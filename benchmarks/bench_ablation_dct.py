@@ -1,0 +1,34 @@
+"""Ablation — naive vs separable-matrix vs AAN FastDCT.
+
+Section VIII-A: "both the standalone and P2G versions of the MJPEG
+encoder use a naive DCT calculation, there are versions of DCT that can
+significantly improve performance, such as FastDCT [2]".  This bench
+quantifies that remark on one CIF frame's worth of luma blocks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.media.dct import dct2_blocks, idct2_blocks
+
+RNG = np.random.default_rng(42)
+#: one CIF frame of luma macro-blocks (1584 blocks)
+BLOCKS = RNG.uniform(-128, 127, size=(1584, 8, 8))
+REFERENCE = dct2_blocks(BLOCKS[:32], "matrix")
+
+
+@pytest.mark.parametrize("method", ["naive", "matrix", "aan"])
+def test_dct_method(benchmark, method):
+    data = BLOCKS[:32] if method == "naive" else BLOCKS
+
+    out = benchmark(dct2_blocks, data, method)
+    # all methods agree numerically
+    tol = 1e-4 if method == "aan" else 1e-9
+    assert np.allclose(out[:32], REFERENCE, atol=tol)
+    benchmark.extra_info["blocks"] = len(data)
+
+
+def test_idct(benchmark):
+    coeffs = dct2_blocks(BLOCKS, "aan")
+    out = benchmark(idct2_blocks, coeffs)
+    assert np.allclose(out, BLOCKS, atol=1e-4)

@@ -1,0 +1,41 @@
+"""Ablation — field-age garbage collection (section IX).
+
+"Write-once semantics on fields incurs a large penalty if implemented
+naively ... the compiler and runtime are free to optimize field usage.
+This includes re-using buffers ... and garbage collecting old ages."
+Measured: live field bytes after a streaming MJPEG encode with and
+without age GC.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.core import run_program
+from repro.media import synthetic_sequence
+from repro.workloads import MJPEGConfig, build_mjpeg, mjpeg_baseline
+
+CFG = MJPEGConfig(width=96, height=64, frames=8)
+CLIP = synthetic_sequence(CFG.frames, CFG.width, CFG.height, CFG.seed)
+REFERENCE = mjpeg_baseline(CLIP, CFG)
+
+
+@pytest.mark.parametrize("gc", [False, True], ids=["no-gc", "gc"])
+def test_field_gc(benchmark, gc):
+    def run():
+        program, sink = build_mjpeg(CLIP, CFG)
+        result = run_program(
+            program, workers=4, timeout=600, gc_fields=gc, keep_ages=1
+        )
+        return result, sink
+
+    result, sink = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert sink.stream() == REFERENCE  # GC never changes output
+    live = result.fields.live_bytes()
+    benchmark.extra_info["live_bytes"] = live
+    benchmark.extra_info["gc_bytes"] = result.gc_bytes
+    emit(
+        f"field GC ablation [{'gc' if gc else 'no-gc'}]",
+        f"live field bytes at end: {live}, reclaimed: {result.gc_bytes}",
+    )
+    if gc:
+        assert result.gc_bytes > 0

@@ -1,0 +1,57 @@
+"""Ablation — LLS task fusion (figure 4, Age 2 → Age 3/4).
+
+Fusing mul2+plus5 halves the instance count; fusing *and* coarsening
+turns each age into "a classical for-loop" (one instance).  The
+intermediate-store elision is measured by dropping the print consumer.
+"""
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.core import coarsen, fuse, run_program
+from repro.workloads import build_mulsum, expected_series
+
+AGES = 60
+EXPECTED = expected_series(AGES + 1, modulo=2**40)
+
+
+def _variant(name):
+    program, sink = build_mulsum(modulo=2**40)
+    if name == "fused":
+        program = fuse(program, "mul2", "plus5")
+    elif name == "fused+coarse":
+        program = coarsen(
+            fuse(program, "mul2", "plus5"), "mul2+plus5", "x", 5
+        )
+    elif name == "fused+elided":
+        program = fuse(program.without_kernels("print"), "mul2", "plus5")
+    return program, sink
+
+
+@pytest.mark.parametrize(
+    "variant", ["baseline", "fused", "fused+coarse", "fused+elided"]
+)
+def test_fusion(benchmark, variant):
+    def run():
+        program, sink = _variant(variant)
+        result = run_program(program, workers=4, max_age=AGES, timeout=600)
+        return result, sink
+
+    result, sink = benchmark.pedantic(run, rounds=1, iterations=1)
+    if variant != "fused+elided":
+        for age in (0, AGES // 2, AGES):
+            assert np.array_equal(sink[age][0], EXPECTED[age][0])
+    else:
+        m = result.fields["m_data"].fetch(AGES)
+        assert np.array_equal(m, EXPECTED[AGES][0])
+    total = result.instrumentation.total_instances()
+    benchmark.extra_info["total_instances"] = total
+    benchmark.extra_info["analyzer_s"] = round(
+        result.instrumentation.analyzer_time, 4
+    )
+    emit(
+        f"fusion ablation [{variant}]",
+        f"total instances: {total}, wall: {result.wall_time:.3f}s, "
+        f"analyzer: {result.instrumentation.analyzer_time:.4f}s",
+    )

@@ -1,0 +1,55 @@
+"""Ablation — LLS data-granularity (figure 4, Age 1 → Age 2).
+
+The paper's remedy for the K-means analyzer bottleneck: "decreasing the
+granularity of data-parallelism, in effect leading to each kernel
+instance of assign working on larger slices of data ... would increase
+the ratio of time spent in kernel code compared to dispatch time and
+reduce the workload of the dependency analyzer."
+
+Measured on the real Python runtime: fine (pair) vs LLS-coarsened vs
+coarse-by-construction (point) decompositions of the same K-means run.
+"""
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.core import coarsen, run_program
+from repro.workloads import build_kmeans, kmeans_baseline
+
+N, K, ITERS = 150, 10, 4
+BASE = kmeans_baseline(n=N, k=K, iterations=ITERS)
+
+
+def _check(sink):
+    for age in BASE.history:
+        assert np.allclose(sink.history[age], BASE.history[age])
+
+
+@pytest.mark.parametrize("variant", ["fine", "coarsened", "point"])
+def test_granularity(benchmark, variant):
+    def run():
+        program, sink = build_kmeans(
+            n=N, k=K, iterations=ITERS,
+            granularity="point" if variant == "point" else "pair",
+        )
+        if variant == "coarsened":
+            program = coarsen(program, "assign", "x", 32)
+        result = run_program(program, workers=4, timeout=600)
+        return result, sink
+
+    result, sink = benchmark.pedantic(run, rounds=1, iterations=1)
+    _check(sink)
+    assign = result.stats["assign"]
+    benchmark.extra_info["assign_instances"] = assign.instances
+    benchmark.extra_info["dispatch_ratio"] = round(assign.dispatch_ratio, 3)
+    benchmark.extra_info["analyzer_s"] = round(
+        result.instrumentation.analyzer_time, 3
+    )
+    emit(
+        f"granularity ablation [{variant}]",
+        f"assign instances: {assign.instances}, dispatch ratio: "
+        f"{assign.dispatch_ratio:.2f}, analyzer time: "
+        f"{result.instrumentation.analyzer_time:.3f}s, wall: "
+        f"{result.wall_time:.3f}s",
+    )

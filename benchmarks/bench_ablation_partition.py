@@ -1,0 +1,38 @@
+"""Ablation — HLS partitioners (graph-partitioning vs search-based,
+section IV's refs [17] and [14]) on instrumentation-weighted graphs."""
+
+import pytest
+from conftest import emit
+
+from repro.core import run_program
+from repro.core.graph import weighted_final_graph
+from repro.dist import partition_graph
+from repro.workloads import MJPEGConfig, build_kmeans, build_mjpeg
+
+CAPS = {"n0": 4.0, "n1": 2.0, "n2": 2.0}
+
+
+def _weighted_graph():
+    program, _ = build_kmeans(n=100, k=8, iterations=3,
+                              granularity="point")
+    result = run_program(program, workers=2, timeout=300)
+    return program, weighted_final_graph(program, result.instrumentation)
+
+
+PROGRAM, GRAPH = _weighted_graph()
+
+
+@pytest.mark.parametrize("method", ["greedy", "kl", "tabu"])
+def test_partitioner(benchmark, method):
+    kwargs = {"iterations": 100} if method == "tabu" else {}
+    partition = benchmark(partition_graph, GRAPH, CAPS, method, **kwargs)
+    partition.validate(GRAPH)
+    cut = partition.edge_cut(GRAPH)
+    imb = partition.imbalance(GRAPH)
+    benchmark.extra_info["edge_cut"] = round(cut, 2)
+    benchmark.extra_info["imbalance"] = round(imb, 3)
+    emit(
+        f"partitioner ablation [{method}]",
+        f"edge cut: {cut:.2f}, imbalance: {imb:.3f}, "
+        f"parts: { {p: len(partition.members(p)) for p in partition.parts()} }",
+    )

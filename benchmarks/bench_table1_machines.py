@@ -1,0 +1,16 @@
+"""Table I — overview of test machines (profile constants + capacity
+model evaluation speed)."""
+
+from conftest import emit
+
+from repro.bench import table1_machines
+from repro.sim import CORE_I7_860, OPTERON_8218
+
+
+def test_table1_machines(benchmark):
+    text = benchmark(table1_machines)
+    emit("Table I: overview of test machines", text)
+    benchmark.extra_info["i7_cap_1"] = CORE_I7_860.capacity(1)
+    benchmark.extra_info["i7_cap_8"] = CORE_I7_860.capacity(8)
+    benchmark.extra_info["opteron_cap_8"] = OPTERON_8218.capacity(8)
+    assert "Core i7" in text

@@ -1,0 +1,77 @@
+"""Wavefront intra prediction — the section-III motivation measured.
+
+Compares the P2G wavefront execution against the sequential raster
+baseline and records the discovered concurrency (ready-queue high water
+vs. the frame's diagonal width).  Also runs the MJPEG decoder pipeline
+(serial VLD + parallel IDCT) as the complementary consumer-side case.
+"""
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.core import run_program
+from repro.media import split_frames, synthetic_sequence
+from repro.workloads import (
+    IntraConfig,
+    MJPEGConfig,
+    build_intra,
+    build_mjpeg_decoder,
+    intra_baseline,
+    mjpeg_baseline,
+)
+
+INTRA_CFG = IntraConfig(width=192, height=128, frames=2)
+
+
+@pytest.mark.parametrize("mode", ["p2g-4w", "p2g-1w", "sequential"])
+def test_intra(benchmark, mode):
+    if mode == "sequential":
+        recon = benchmark.pedantic(
+            intra_baseline, kwargs={"config": INTRA_CFG},
+            rounds=1, iterations=1,
+        )
+        assert len(recon) == INTRA_CFG.frames
+        return
+
+    workers = 4 if mode == "p2g-4w" else 1
+
+    def run():
+        program, sink = build_intra(config=INTRA_CFG)
+        result = run_program(program, workers=workers, timeout=600)
+        return result, sink
+
+    result, sink = benchmark.pedantic(run, rounds=1, iterations=1)
+    baseline = intra_baseline(config=INTRA_CFG)
+    for age in range(INTRA_CFG.frames):
+        assert np.array_equal(sink.recon[age], baseline[age])
+    bh, bw = INTRA_CFG.blocks
+    benchmark.extra_info["ready_high_water"] = result.ready_high_water
+    benchmark.extra_info["diagonal_width"] = min(bh, bw)
+    emit(
+        f"wavefront intra [{mode}]",
+        f"blocks {bh}x{bw}, discovered concurrency (ready high water): "
+        f"{result.ready_high_water}, diagonal width: {min(bh, bw)}",
+    )
+
+
+def test_mjpeg_decode_pipeline(benchmark):
+    cfg = MJPEGConfig(width=176, height=144, frames=3)
+    clip = synthetic_sequence(cfg.frames, cfg.width, cfg.height, cfg.seed)
+    jpegs = split_frames(mjpeg_baseline(clip, cfg))
+
+    def run():
+        program, sink = build_mjpeg_decoder(jpegs, cfg)
+        result = run_program(program, workers=4, timeout=600)
+        return result, sink
+
+    result, sink = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(sink.frames) == cfg.frames
+    stats = result.stats
+    benchmark.extra_info["vld_instances"] = stats["vld"].instances
+    benchmark.extra_info["yidct_instances"] = stats["yidct"].instances
+    emit(
+        "MJPEG decode pipeline",
+        result.instrumentation.table(
+            order=["vld", "yidct", "uidct", "vidct", "write"]),
+    )

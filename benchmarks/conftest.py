@@ -1,0 +1,17 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables/figures (or an
+ablation DESIGN.md calls out) and prints the artifact once, so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the evaluation
+section on the terminal.  Numbers also land in each benchmark's
+``extra_info`` for machine consumption.
+"""
+
+import sys
+
+
+def emit(title: str, text: str) -> None:
+    """Print an artifact block (works under captured output via -s or
+    --capture=no; still visible in benchmark logs otherwise)."""
+    print(f"\n===== {title} =====", file=sys.stderr)
+    print(text, file=sys.stderr)

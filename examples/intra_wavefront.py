@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Wavefront intra prediction — the paper's motivating example.
+
+Section III: "Intra-frame prediction in H.264 AVC ... introduces many
+dependencies between sub-blocks of a frame ... these operations have a
+high potential for benefiting from both types of parallelism."
+
+Each 8x8 block is DC-predicted from its reconstructed left/top
+neighbours *of the same frame*, expressed as shrink-boundary stencil
+fetches on the kernel's own output field.  No scheduling code exists in
+the workload: the dependency analyzer discovers the anti-diagonal
+wavefront on its own, block (0,0) starts as soon as the frame arrives,
+and concurrency grows to the frame's diagonal width (visible in the
+ready-queue high-water mark below).  The result is bit-identical to a
+sequential raster-order encoder at every worker count.
+
+Run:  python examples/intra_wavefront.py [width] [height] [frames] [workers]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.core import run_program
+from repro.workloads import IntraConfig, build_intra, intra_baseline
+
+
+def main() -> None:
+    width = int(sys.argv[1]) if len(sys.argv) > 1 else 256
+    height = int(sys.argv[2]) if len(sys.argv) > 2 else 192
+    frames = int(sys.argv[3]) if len(sys.argv) > 3 else 3
+    workers = int(sys.argv[4]) if len(sys.argv) > 4 else 4
+
+    cfg = IntraConfig(width=width, height=height, frames=frames)
+    bh, bw = cfg.blocks
+    print(f"{width}x{height}, {bh}x{bw} blocks/frame, {frames} frames, "
+          f"{workers} workers")
+    print(f"wavefront diagonal width: {min(bh, bw)} blocks\n")
+
+    program, sink = build_intra(config=cfg)
+    t0 = time.perf_counter()
+    result = run_program(program, workers=workers, timeout=600)
+    p2g_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    baseline = intra_baseline(config=cfg)
+    base_s = time.perf_counter() - t0
+
+    identical = all(
+        np.array_equal(sink.recon[a], baseline[a]) for a in range(frames)
+    )
+    print(f"P2G (wavefront):    {p2g_s:.2f} s")
+    print(f"sequential raster:  {base_s:.2f} s")
+    print(f"bit-identical:      {identical}")
+    print(f"mean luma PSNR:     {sink.mean_psnr():.2f} dB "
+          f"(DC prediction, qstep {cfg.qstep})")
+    print(f"ready-queue high water: {result.ready_high_water} "
+          f"(the discovered wavefront)\n")
+    print(result.instrumentation.table(order=["read", "intra", "quality"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""The same pipeline in Nornir-style KPN and in P2G (sections II–III).
+
+Implements a 3-stage stream transform twice:
+
+* as a Kahn process network — every channel wired by hand, explicit
+  termination counting, bounded buffers babysat by a deadlock monitor;
+* as a P2G program — fetch/store statements on aging fields, with data
+  parallelism (per-element instances) the KPN version simply does not
+  express without manually multiplying processes.
+
+Both produce identical output; the point is the programming-model
+comparison the paper argues from, plus the automatic data parallelism
+P2G extracts (visible in the instance counts).
+
+Run:  python examples/kpn_vs_p2g.py [elements] [generations]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core import (
+    AgeExpr,
+    Dim,
+    FetchSpec,
+    FieldDef,
+    KernelDef,
+    Program,
+    StoreSpec,
+    run_program,
+)
+from repro.kpn import ChannelClosed, Network
+
+
+def run_kpn(values: list[int], generations: int) -> list[list[int]]:
+    """mul2 -> plus5 over `generations` rounds, with manual channels."""
+    out: list[list[int]] = []
+    net = Network("pipeline")
+
+    def source(ins, outs):
+        data = list(values)
+        for _ in range(generations):
+            for v in data:
+                outs["out"].put(v)
+            data = [v * 2 + 5 for v in data]
+
+    def mul2(ins, outs):
+        while True:
+            outs["out"].put(ins["in"].get() * 2)
+
+    def plus5(ins, outs):
+        while True:
+            outs["out"].put(ins["in"].get() + 5)
+
+    def sink(ins, outs):
+        current: list[int] = []
+        try:
+            while True:
+                current.append(ins["in"].get())
+                if len(current) == len(values):
+                    out.append([v - 5 for v in current])  # undo +5: report mul2 output
+                    current = []
+        except ChannelClosed:
+            pass
+
+    net.add_process("source", source)
+    net.add_process("mul2", mul2)
+    net.add_process("plus5", plus5)
+    net.add_process("sink", sink)
+    net.connect("source", "out", "mul2", "in", capacity=4)
+    net.connect("mul2", "out", "plus5", "in", capacity=4)
+    net.connect("plus5", "out", "sink", "in", capacity=4)
+    net.run(timeout=60)
+    print(f"  KPN: 4 processes, 3 hand-wired channels, "
+          f"{net.total_messages()} messages, "
+          f"{net.deadlocks_resolved} deadlocks resolved")
+    return out
+
+
+def run_p2g(values: list[int], generations: int) -> list[list[int]]:
+    collected: dict[int, np.ndarray] = {}
+    init_values = np.array(values, dtype=np.int32)
+
+    def init_body(ctx):
+        ctx.emit("m_data", init_values)
+
+    def mul2_body(ctx):
+        ctx.emit("p_data", ctx["value"] * 2)
+
+    def plus5_body(ctx):
+        ctx.emit("m_data", ctx["value"] + 5)
+
+    def sink_body(ctx):
+        collected[ctx.age] = ctx["p"].copy()
+
+    program = Program.build(
+        fields=[FieldDef("m_data", "int32", 1), FieldDef("p_data", "int32", 1)],
+        kernels=[
+            KernelDef("init", init_body,
+                      stores=(StoreSpec("m_data", age=AgeExpr.const(0)),)),
+            KernelDef("mul2", mul2_body, has_age=True, index_vars=("x",),
+                      fetches=(FetchSpec("value", "m_data",
+                                         dims=(Dim.of("x"),), scalar=True),),
+                      stores=(StoreSpec("p_data", dims=(Dim.of("x"),)),)),
+            KernelDef("plus5", plus5_body, has_age=True, index_vars=("x",),
+                      fetches=(FetchSpec("value", "p_data",
+                                         dims=(Dim.of("x"),), scalar=True),),
+                      stores=(StoreSpec("m_data", age=AgeExpr.var(1),
+                                        dims=(Dim.of("x"),)),)),
+            KernelDef("sink", sink_body, has_age=True,
+                      fetches=(FetchSpec("p", "p_data"),)),
+        ],
+        name="pipeline",
+    )
+    result = run_program(program, workers=4, max_age=generations - 1,
+                         timeout=60)
+    counts = {k: v.instances for k, v in sorted(result.stats.items())}
+    print(f"  P2G: no channels declared; automatic per-element data "
+          f"parallelism, instances: {counts}")
+    return [collected[a].tolist() for a in sorted(collected)]
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+    generations = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    values = list(range(10, 10 + n))
+
+    print("KPN (Nornir-style):")
+    kpn_out = run_kpn(values, generations)
+    print("P2G:")
+    p2g_out = run_p2g(values, generations)
+
+    print(f"\noutputs identical: {kpn_out == p2g_out}")
+    for i, row in enumerate(p2g_out):
+        print(f"  generation {i}: {row}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Experiment harness: regenerates every table and figure in the paper.
+
+Each ``table*``/``fig*`` function returns structured data plus a
+formatted rendering that mirrors the paper's presentation.  The
+``benchmarks/`` directory drives these under pytest-benchmark;
+``EXPERIMENTS.md`` records paper-vs-measured for each.
+
+Measurement tiers (documented per experiment):
+
+* **simulated** — the discrete-event node with table-calibrated costs on
+  the table-I machine profiles (figures 9, 10: curve shapes);
+* **measured** — the real Python runtime on this host, at a reduced
+  scale where the full parameters are impractical under the GIL
+  (tables II, III: instance counts exact, timings host-specific);
+* **structural** — graphs and language artifacts (figures 2–8).
+"""
+
+from .experiments import (
+    fig2_intermediate_graph,
+    fig3_final_graph,
+    fig4_dcdag,
+    fig9_mjpeg_scaling,
+    fig10_kmeans_scaling,
+    table1_machines,
+    table2_mjpeg_micro,
+    table3_kmeans_micro,
+)
+from .plots import ascii_chart, format_sweep
+
+__all__ = [
+    "ascii_chart",
+    "fig10_kmeans_scaling",
+    "fig2_intermediate_graph",
+    "fig3_final_graph",
+    "fig4_dcdag",
+    "fig9_mjpeg_scaling",
+    "format_sweep",
+    "table1_machines",
+    "table2_mjpeg_micro",
+    "table3_kmeans_micro",
+]

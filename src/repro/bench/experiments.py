@@ -1,0 +1,267 @@
+"""Per-table/per-figure experiment definitions.
+
+Every public function regenerates one artifact of the paper's evaluation
+(section VIII) or design discussion (figures 2–4) and returns both the
+raw data and a text rendering.  See DESIGN.md's experiment index for the
+mapping and EXPERIMENTS.md for recorded paper-vs-measured results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core import run_program
+from ..core.graph import ascii_graph, dc_dag, final_graph, intermediate_graph
+from ..sim import (
+    CORE_I7_860,
+    OPTERON_8218,
+    SimResult,
+    machine_table,
+    paper_kmeans_model,
+    paper_mjpeg_model,
+    sweep_workers,
+)
+from ..workloads import build_kmeans, build_mjpeg, build_mulsum
+from ..workloads.mjpeg import MJPEGConfig
+from .plots import ascii_chart, format_sweep
+
+__all__ = [
+    "table1_machines",
+    "table2_mjpeg_micro",
+    "table3_kmeans_micro",
+    "fig9_mjpeg_scaling",
+    "fig10_kmeans_scaling",
+    "fig2_intermediate_graph",
+    "fig3_final_graph",
+    "fig4_dcdag",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+]
+
+#: Table II as published: kernel -> (instances, dispatch µs, kernel µs).
+PAPER_TABLE2: Mapping[str, tuple[int, float, float]] = {
+    "init": (1, 69.00, 18.00),
+    "read": (51, 35.50, 1641.57),
+    "ydct": (80784, 3.07, 170.30),
+    "udct": (20196, 3.14, 170.24),
+    "vdct": (20196, 3.15, 170.58),
+    "vlc": (51, 3.09, 2160.71),
+}
+
+#: Table III as published.
+PAPER_TABLE3: Mapping[str, tuple[int, float, float]] = {
+    "init": (1, 58.00, 9829.00),
+    "assign": (2024251, 4.07, 6.95),
+    "refine": (1000, 3.21, 92.91),
+    "print": (11, 1.09, 379.36),
+}
+
+
+@dataclass
+class MicroBenchResult:
+    """One micro-benchmark table: measured rows + the paper's rows."""
+
+    title: str
+    rows: list[tuple[str, int, float, float]]
+    paper: Mapping[str, tuple[int, float, float]]
+    config: dict = dc_field(default_factory=dict)
+
+    def render(self) -> str:
+        """Text table: measured rows beside the paper's published values."""
+        lines = [self.title]
+        lines.append(
+            f"{'Kernel':<10}{'Instances':>11}{'Dispatch us':>13}"
+            f"{'Kernel us':>12}   |{'paper N':>9}{'paper D':>9}"
+            f"{'paper K':>10}"
+        )
+        for name, n, d, k in self.rows:
+            pn, pd, pk = self.paper.get(name, (0, 0.0, 0.0))
+            lines.append(
+                f"{name:<10}{n:>11}{d:>13.2f}{k:>12.2f}   |"
+                f"{pn:>9}{pd:>9.2f}{pk:>10.2f}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class SweepResult:
+    """One scaling figure: per-machine series of (workers, seconds)."""
+
+    title: str
+    series: dict[str, list[tuple[int, float]]]
+    baselines: dict[str, float] = dc_field(default_factory=dict)
+    raw: dict[str, list[SimResult]] = dc_field(default_factory=dict)
+
+    def render(self) -> str:
+        """Sweep table + ASCII chart + any standalone reference lines."""
+        out = [format_sweep(self.series, self.title)]
+        for name, t in self.baselines.items():
+            out.append(f"standalone encoder on {name}: {t:.2f} s")
+        out.append(ascii_chart(self.series, self.title))
+        return "\n".join(out)
+
+    def speedup(self, machine: str) -> list[float]:
+        """Speedups relative to the 1-worker point for one machine's series."""
+        pts = dict(self.series[machine])
+        base = pts[min(pts)]
+        return [base / pts[w] for w in sorted(pts)]
+
+
+# ----------------------------------------------------------------------
+# Table I
+# ----------------------------------------------------------------------
+def table1_machines() -> str:
+    """Table I: overview of test machines (profile constants)."""
+    return machine_table()
+
+
+# ----------------------------------------------------------------------
+# Tables II and III — measured on the real Python runtime
+# ----------------------------------------------------------------------
+def table2_mjpeg_micro(
+    frames: int = 4,
+    width: int = 352,
+    height: int = 288,
+    workers: int = 4,
+) -> MicroBenchResult:
+    """Table II: MJPEG per-kernel micro-benchmark.
+
+    Runs the real runtime at CIF geometry (instance counts per frame
+    exactly match the paper's 1584/396/396) but fewer frames — the
+    full 50-frame naive-DCT run belongs to the C prototype; counts
+    scale linearly and are reported per the configured frame count.
+    """
+    cfg = MJPEGConfig(width=width, height=height, frames=frames)
+    program, sink = build_mjpeg(config=cfg)
+    result = run_program(program, workers=workers, timeout=600)
+    rows = result.instrumentation.as_rows(
+        order=["read", "ydct", "udct", "vdct", "vlc"]
+    )
+    assert sink.frame_count() == frames
+    return MicroBenchResult(
+        title=(
+            f"Table II (measured, {frames} frames of "
+            f"{width}x{height}; paper: 50 frames CIF)"
+        ),
+        rows=rows,
+        paper=PAPER_TABLE2,
+        config={"frames": frames, "width": width, "height": height,
+                "workers": workers, "reason": result.reason},
+    )
+
+
+def table3_kmeans_micro(
+    n: int = 200,
+    k: int = 20,
+    iterations: int = 10,
+    workers: int = 4,
+    granularity: str = "pair",
+) -> MicroBenchResult:
+    """Table III: K-means per-kernel micro-benchmark.
+
+    Pair granularity matches the paper's instance arithmetic
+    (n·k·iterations assigns, k·iterations refines, iterations+1 prints);
+    the default scale is reduced from n=2000, K=100 for wall-clock
+    practicality under the Python runtime.
+    """
+    program, _sink = build_kmeans(
+        n=n, k=k, iterations=iterations, granularity=granularity
+    )
+    result = run_program(program, workers=workers, timeout=600)
+    rows = result.instrumentation.as_rows(
+        order=["init", "assign", "refine", "print"]
+    )
+    return MicroBenchResult(
+        title=(
+            f"Table III (measured, n={n}, K={k}, {iterations} iterations, "
+            f"{granularity} granularity; paper: n=2000, K=100)"
+        ),
+        rows=rows,
+        paper=PAPER_TABLE3,
+        config={"n": n, "k": k, "iterations": iterations,
+                "workers": workers, "reason": result.reason},
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 9 and 10 — simulated on the table-I machines
+# ----------------------------------------------------------------------
+def fig9_mjpeg_scaling(
+    frames: int = 50, worker_counts: Sequence[int] = range(1, 9)
+) -> SweepResult:
+    """Figure 9: MJPEG execution time vs worker threads on both machines,
+    plus the standalone single-threaded encoder reference."""
+    model = paper_mjpeg_model(frames)
+    series: dict[str, list[tuple[int, float]]] = {}
+    raw: dict[str, list[SimResult]] = {}
+    baselines: dict[str, float] = {}
+    for mach in (CORE_I7_860, OPTERON_8218):
+        rs = sweep_workers(model, mach, worker_counts)
+        series[mach.name] = [(r.workers, r.makespan) for r in rs]
+        raw[mach.name] = rs
+        # Standalone encoder: all kernel work on one core, no framework.
+        baselines[mach.name] = (
+            model.total_kernel_seconds() / mach.capacity(1)
+        )
+    return SweepResult(
+        title=f"Figure 9: MJPEG execution time ({frames} frames, simulated)",
+        series=series,
+        baselines=baselines,
+        raw=raw,
+    )
+
+
+def fig10_kmeans_scaling(
+    n: int = 2000,
+    k: int = 100,
+    iterations: int = 10,
+    worker_counts: Sequence[int] = range(1, 9),
+) -> SweepResult:
+    """Figure 10: K-means execution time vs worker threads; the serial
+    dependency analyzer saturates past 4 workers and the curve turns
+    upward, the Opteron suffering more than the turbo-boosted i7."""
+    model = paper_kmeans_model(n, k, iterations)
+    series: dict[str, list[tuple[int, float]]] = {}
+    raw: dict[str, list[SimResult]] = {}
+    for mach in (CORE_I7_860, OPTERON_8218):
+        rs = sweep_workers(model, mach, worker_counts)
+        series[mach.name] = [(r.workers, r.makespan) for r in rs]
+        raw[mach.name] = rs
+    return SweepResult(
+        title=(
+            f"Figure 10: K-means execution time (n={n}, K={k}, "
+            f"{iterations} iterations, simulated)"
+        ),
+        series=series,
+        raw=raw,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 2–4 — dependency graph structure (mul2/plus5 program)
+# ----------------------------------------------------------------------
+def fig2_intermediate_graph() -> str:
+    """Figure 2: intermediate implicit static dependency graph."""
+    program, _ = build_mulsum()
+    g = intermediate_graph(program)
+    return ascii_graph(g, "Figure 2: intermediate implicit static graph")
+
+
+def fig3_final_graph() -> str:
+    """Figure 3: final implicit static dependency graph (fields merged)."""
+    program, _ = build_mulsum()
+    g = final_graph(program)
+    return ascii_graph(g, "Figure 3: final implicit static graph")
+
+
+def fig4_dcdag(max_age: int = 3) -> str:
+    """Figure 4: the DC-DAG unrolled over ages (acyclic by construction)."""
+    program, _ = build_mulsum()
+    g = dc_dag(program, max_age)
+    assert g.is_acyclic()
+    return ascii_graph(
+        g, f"Figure 4: DC-DAG unrolled to age {max_age} (acyclic)"
+    )

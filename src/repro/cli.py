@@ -1,0 +1,283 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors the paper's tooling surface: the P2G compiler "works also as a
+compiler driver … and produces complete binaries for programs that run
+directly on the target system" (section VI-A).  Here the driver
+compiles ``.p2g`` sources and runs them on the execution-node runtime;
+further subcommands expose the graphs, the workloads and the simulator.
+
+Commands
+--------
+run       compile a .p2g file and execute it
+graph     emit a program's dependency graphs (ascii or DOT)
+mjpeg     encode a YUV file (or the synthetic clip) to MJPEG via P2G
+kmeans    run the K-means workload and print the centroid trajectory
+simulate  sweep simulated worker counts for a paper workload model
+tables    print tables I-III and the figure 9/10 series
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .core import run_program
+    from .lang import compile_file
+
+    program = compile_file(args.source)
+    result = run_program(
+        program,
+        workers=args.workers,
+        max_age=args.max_age,
+        timeout=args.timeout,
+    )
+    print(f"program {program.name!r}: {result.reason} in "
+          f"{result.wall_time:.3f}s")
+    order = list(program.kernels)
+    print(result.instrumentation.table(order=order))
+    return 0 if result.reason == "idle" else 1
+
+
+def _cmd_graph(args: argparse.Namespace) -> int:
+    from .core.graph import (
+        ascii_graph,
+        dc_dag,
+        final_graph,
+        intermediate_graph,
+    )
+    from .lang import compile_file
+
+    program = compile_file(args.source)
+    if args.view == "intermediate":
+        g = intermediate_graph(program)
+    elif args.view == "final":
+        g = final_graph(program)
+    else:
+        g = dc_dag(program, args.max_age)
+    if args.dot:
+        print(g.to_dot(program.name))
+    else:
+        print(ascii_graph(g, f"{program.name}: {args.view} graph"))
+    return 0
+
+
+def _cmd_mjpeg(args: argparse.Namespace) -> int:
+    from .core import run_program
+    from .media import read_yuv_file, synthetic_sequence
+    from .workloads import MJPEGConfig, build_mjpeg
+
+    cfg = MJPEGConfig(
+        width=args.width, height=args.height, frames=args.frames,
+        quality=args.quality, dct_method=args.dct,
+    )
+    if args.input:
+        frames = list(read_yuv_file(args.input, cfg.width, cfg.height,
+                                    max_frames=cfg.frames))
+    else:
+        frames = synthetic_sequence(cfg.frames, cfg.width, cfg.height)
+    program, sink = build_mjpeg(frames, cfg)
+    result = run_program(program, workers=args.workers, timeout=args.timeout)
+    if args.output.endswith(".avi"):
+        from .media import split_frames, write_avi
+
+        jpegs = split_frames(sink.stream())
+        stream = write_avi(args.output, jpegs, cfg.width, cfg.height,
+                           fps=args.fps)
+    else:
+        stream = sink.stream()
+        Path(args.output).write_bytes(stream)
+    print(f"encoded {sink.frame_count()} frames -> {args.output} "
+          f"({len(stream)} bytes) in {result.wall_time:.2f}s "
+          f"({args.workers} workers)")
+    print(result.instrumentation.table(
+        order=["read", "ydct", "udct", "vdct", "vlc"]))
+    return 0
+
+
+def _cmd_kmeans(args: argparse.Namespace) -> int:
+    from .core import run_program
+    from .workloads import build_kmeans
+
+    program, sink = build_kmeans(
+        n=args.n, k=args.k, iterations=args.iterations,
+        granularity=args.granularity,
+    )
+    result = run_program(program, workers=args.workers,
+                         timeout=args.timeout)
+    print(f"k-means n={args.n} K={args.k} x{args.iterations}: "
+          f"{result.reason} in {result.wall_time:.2f}s")
+    print(result.instrumentation.table(
+        order=["init", "assign", "refine", "print"]))
+    final = sink.final_centroids()
+    for i, row in enumerate(final[: args.show]):
+        print(f"centroid {i}: {[round(float(v), 3) for v in row]}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .bench.plots import ascii_chart, format_sweep
+    from .sim import (
+        MACHINES,
+        paper_kmeans_model,
+        paper_mjpeg_model,
+        sweep_workers,
+    )
+
+    model = (paper_mjpeg_model(args.frames) if args.workload == "mjpeg"
+             else paper_kmeans_model())
+    series = {}
+    for name in args.machines:
+        machine = MACHINES[name]
+        results = sweep_workers(
+            model, machine, range(1, args.max_workers + 1)
+        )
+        series[machine.name] = [(r.workers, r.makespan) for r in results]
+    title = f"simulated {args.workload} execution time"
+    print(format_sweep(series, title))
+    print(ascii_chart(series, title))
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from .sim import (
+        MACHINES,
+        granularity_what_if,
+        paper_kmeans_model,
+        paper_mjpeg_model,
+        recommend_workers,
+    )
+
+    model = (paper_mjpeg_model(args.frames) if args.workload == "mjpeg"
+             else paper_kmeans_model())
+    for name in args.machines:
+        machine = MACHINES[name]
+        rec = recommend_workers(model, machine,
+                                max_workers=args.max_workers)
+        print(f"{machine.name}: provision {rec.knee} workers "
+              f"(best {rec.best_workers} at {rec.best_makespan:.2f}s, "
+              f"speedup {rec.speedup():.1f}x"
+              f"{', ANALYZER-BOUND' if rec.analyzer_bound else ''})")
+        if rec.analyzer_bound and args.what_if_stage:
+            print(f"  what-if: coarsening {args.what_if_stage!r}")
+            for r in granularity_what_if(
+                model, machine, args.what_if_stage,
+                factors=(1, 8, 64), max_workers=args.max_workers,
+            ):
+                w = r.recommendation
+                print(f"    x{r.factor:>3}: best {w.best_makespan:6.2f}s "
+                      f"at {w.best_workers} workers"
+                      f"{' (analyzer-bound)' if w.analyzer_bound else ''}")
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from .bench import (
+        fig9_mjpeg_scaling,
+        fig10_kmeans_scaling,
+        table1_machines,
+    )
+
+    print(table1_machines())
+    print()
+    print(fig9_mjpeg_scaling(frames=args.frames).render())
+    print()
+    print(fig10_kmeans_scaling().render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="P2G reproduction command-line driver",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="compile and run a .p2g program")
+    p.add_argument("source", help="kernel-language source file")
+    p.add_argument("-w", "--workers", type=int, default=4)
+    p.add_argument("-a", "--max-age", type=int, default=None,
+                   help="age bound for non-terminating programs")
+    p.add_argument("-t", "--timeout", type=float, default=300.0)
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("graph", help="print a program's dependency graphs")
+    p.add_argument("source")
+    p.add_argument("--view", choices=("intermediate", "final", "dcdag"),
+                   default="final")
+    p.add_argument("--max-age", type=int, default=3,
+                   help="unroll depth for the DC-DAG view")
+    p.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+    p.set_defaults(fn=_cmd_graph)
+
+    p = sub.add_parser("mjpeg", help="encode MJPEG through the P2G pipeline")
+    p.add_argument("output", help="output .mjpeg path")
+    p.add_argument("-i", "--input", help="planar I420 .yuv input "
+                   "(defaults to the synthetic clip)")
+    p.add_argument("--width", type=int, default=352)
+    p.add_argument("--height", type=int, default=288)
+    p.add_argument("--frames", type=int, default=8)
+    p.add_argument("--quality", type=int, default=75)
+    p.add_argument("--dct", choices=("naive", "matrix", "aan"),
+                   default="matrix")
+    p.add_argument("--fps", type=float, default=25.0,
+                   help="frame rate stamped into .avi output")
+    p.add_argument("-w", "--workers", type=int, default=4)
+    p.add_argument("-t", "--timeout", type=float, default=1800.0)
+    p.set_defaults(fn=_cmd_mjpeg)
+
+    p = sub.add_parser("kmeans", help="run the K-means workload")
+    p.add_argument("-n", type=int, default=400)
+    p.add_argument("-k", type=int, default=20)
+    p.add_argument("--iterations", type=int, default=10)
+    p.add_argument("--granularity", choices=("pair", "point"),
+                   default="point")
+    p.add_argument("-w", "--workers", type=int, default=4)
+    p.add_argument("-t", "--timeout", type=float, default=1800.0)
+    p.add_argument("--show", type=int, default=5,
+                   help="centroids to print")
+    p.set_defaults(fn=_cmd_kmeans)
+
+    p = sub.add_parser("simulate",
+                       help="figure 9/10-style simulated worker sweep")
+    p.add_argument("workload", choices=("mjpeg", "kmeans"))
+    p.add_argument("--frames", type=int, default=50)
+    p.add_argument("--max-workers", type=int, default=8)
+    p.add_argument("--machines", nargs="+",
+                   choices=("core_i7", "opteron"),
+                   default=["core_i7", "opteron"])
+    p.set_defaults(fn=_cmd_simulate)
+
+    p = sub.add_parser(
+        "advise",
+        help="simulator-backed configuration advice (section V-A)",
+    )
+    p.add_argument("workload", choices=("mjpeg", "kmeans"))
+    p.add_argument("--frames", type=int, default=50)
+    p.add_argument("--max-workers", type=int, default=8)
+    p.add_argument("--machines", nargs="+",
+                   choices=("core_i7", "opteron"),
+                   default=["core_i7", "opteron"])
+    p.add_argument("--what-if-stage", default="assign",
+                   help="stage to evaluate LLS coarsening for when the "
+                        "analyzer is the bottleneck")
+    p.set_defaults(fn=_cmd_advise)
+
+    p = sub.add_parser("tables", help="print the paper's tables/figures")
+    p.add_argument("--frames", type=int, default=50)
+    p.set_defaults(fn=_cmd_tables)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

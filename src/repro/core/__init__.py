@@ -1,0 +1,142 @@
+"""P2G core: fields, kernels, dependency analysis, runtime, LLS.
+
+This subpackage implements the paper's primary contribution — the P2G
+programming and execution model — independent of any particular workload
+or transport.  See DESIGN.md for the module map.
+"""
+
+from .analyzer import DependencyAnalyzer
+from .deadlines import Timer, TimerSet
+from .errors import (
+    AgeError,
+    CollectedAgeError,
+    DeadlockError,
+    DefinitionError,
+    ExtentError,
+    FieldError,
+    KernelBodyError,
+    KernelError,
+    LanguageError,
+    LexError,
+    P2GError,
+    ParseError,
+    PartitionError,
+    RuntimeStateError,
+    SchedulerError,
+    SemanticError,
+    TopologyError,
+    TransportError,
+    WriteOnceViolation,
+)
+from .events import (
+    Event,
+    EventBus,
+    InstanceDoneEvent,
+    ResizeEvent,
+    StoreEvent,
+)
+from .fields import (
+    DTYPES,
+    Field,
+    FieldDef,
+    FieldStore,
+    LocalField,
+    normalize_index,
+)
+from .graph import (
+    Digraph,
+    ascii_graph,
+    dc_dag,
+    final_graph,
+    intermediate_graph,
+    weighted_final_graph,
+)
+from .instrumentation import Instrumentation, KernelStats
+from .kernels import (
+    AgeExpr,
+    Dim,
+    FetchSpec,
+    KernelContext,
+    KernelDef,
+    KernelInstance,
+    StoreSpec,
+    make_kernel,
+)
+from .program import Program
+from .runtime import (
+    ExecutionNode,
+    ReadyQueue,
+    RunResult,
+    WorkCounter,
+    run_program,
+)
+from .scheduler import (
+    AdaptivePolicy,
+    GranularityDecision,
+    coarsen,
+    fusable_pairs,
+    fuse,
+)
+
+__all__ = [
+    "AdaptivePolicy",
+    "AgeError",
+    "AgeExpr",
+    "CollectedAgeError",
+    "DTYPES",
+    "DeadlockError",
+    "DefinitionError",
+    "DependencyAnalyzer",
+    "Digraph",
+    "Dim",
+    "Event",
+    "EventBus",
+    "ExecutionNode",
+    "ExtentError",
+    "FetchSpec",
+    "Field",
+    "FieldDef",
+    "FieldError",
+    "FieldStore",
+    "GranularityDecision",
+    "Instrumentation",
+    "InstanceDoneEvent",
+    "KernelBodyError",
+    "KernelContext",
+    "KernelDef",
+    "KernelError",
+    "KernelInstance",
+    "KernelStats",
+    "LanguageError",
+    "LexError",
+    "LocalField",
+    "P2GError",
+    "ParseError",
+    "PartitionError",
+    "Program",
+    "ReadyQueue",
+    "ResizeEvent",
+    "RunResult",
+    "RuntimeStateError",
+    "SchedulerError",
+    "SemanticError",
+    "StoreEvent",
+    "StoreSpec",
+    "Timer",
+    "TimerSet",
+    "TopologyError",
+    "TransportError",
+    "WorkCounter",
+    "WriteOnceViolation",
+    "ascii_graph",
+    "coarsen",
+    "dc_dag",
+    "final_graph",
+    "fusable_pairs",
+    "fuse",
+    "intermediate_graph",
+    "make_kernel",
+    "normalize_index",
+    "run_program",
+    "weighted_final_graph",
+]

@@ -1,0 +1,289 @@
+"""The dependency analyzer.
+
+Implements section VI-B of the paper: "When receiving such a storage
+event, the runtime finds all *new* valid combinations of age and index
+variables that can be processed as a result of the store statement, and
+puts these in a per-kernel ready queue."
+
+The analyzer is deliberately single-threaded (the prototype runs it in a
+dedicated thread); all of its mutable state — the dispatched-instance
+set, per-kernel pending ages, dispatch counters — is touched only from
+that thread, so it needs no locks of its own.  Field completeness checks
+go through the fields' own locks.
+
+Algorithm sketch
+----------------
+For every store event on field ``F`` at age ``α`` covering region ``R``:
+
+1. For each (kernel ``K``, fetch ``f``) with ``f.field == F``, derive the
+   candidate *kernel ages*: solving ``f``'s age expression for ``α`` when
+   it references the age variable, or rechecking every *pending* age when
+   it is a literal match (a literal-age fetch alone cannot bound the age
+   domain; program validation guarantees a variable-age fetch exists).
+2. For each candidate age, enumerate candidate index combinations —
+   variables bound by ``f`` are restricted to the block range overlapping
+   ``R``; other variables range over the full instance count implied by
+   current field extents.
+3. A combination is dispatched when it has never been dispatched before
+   (write-once ⇒ dispatch-once) and *every* fetch of ``K`` is complete
+   for the resolved age/region.
+
+Pending ages are pruned once every combination at current extents has
+been dispatched; any event that could make new combinations runnable
+(a store or resize) re-adds the age, so pruning never loses instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Mapping
+
+from .events import InstanceDoneEvent, ResizeEvent, StoreEvent
+from .fields import FieldStore
+from .kernels import FetchSpec, KernelDef, KernelInstance
+from .program import Program
+
+
+class DependencyAnalyzer:
+    """Turns field store/resize events into newly runnable instances."""
+
+    def __init__(
+        self,
+        program: Program,
+        fields: FieldStore,
+        max_age: int | None = None,
+    ) -> None:
+        self.program = program
+        self.fields = fields
+        self.max_age = max_age
+        self._dispatched: set = set()
+        #: kernel name -> candidate ages not yet fully dispatched
+        self._pending: dict[str, set[int]] = {
+            k: set() for k in program.kernels
+        }
+        #: (kernel, age) -> number of instances dispatched
+        self._count: dict[tuple[str, int | None], int] = {}
+        #: field name -> [(kernel, fetch spec)] consuming it
+        self._fetchers: dict[str, list[tuple[KernelDef, FetchSpec]]] = {}
+        for k in program.kernels.values():
+            for f in k.fetches:
+                self._fetchers.setdefault(f.field, []).append((k, f))
+        #: instrumentation: store events processed / candidates examined
+        self.events_processed = 0
+        self.candidates_examined = 0
+
+    # ------------------------------------------------------------------
+    def _extent_of(self, field: str) -> tuple[int, ...]:
+        return self.fields[field].extent
+
+    def _age_ok(self, age: int | None, kernel: KernelDef | None = None) -> bool:
+        if age is None:
+            return True
+        if self.max_age is not None and age > self.max_age:
+            return False
+        if (
+            kernel is not None
+            and kernel.age_limit is not None
+            and age > kernel.age_limit
+        ):
+            return False
+        return True
+
+    def _domain_combos(self, kernel: KernelDef) -> Iterable[tuple[int, ...]]:
+        if not kernel.index_vars:
+            return [()]
+        counts = dict(kernel.domain or {})
+        ranges = [range(counts.get(v, 1)) for v in kernel.index_vars]
+        return itertools.product(*ranges)
+
+    # ------------------------------------------------------------------
+    def initial_instances(self) -> list[KernelInstance]:
+        """Instances runnable before any store: run-once kernels and the
+        age-0 instances of aged source kernels."""
+        out: list[KernelInstance] = []
+        for k in self.program.kernels.values():
+            if not k.is_source:
+                continue
+            age = 0 if k.has_age else None
+            if not self._age_ok(age, k):
+                continue
+            for combo in self._domain_combos(k):
+                inst = KernelInstance(k, age, combo)
+                if inst.key not in self._dispatched:
+                    self._dispatched.add(inst.key)
+                    self._bump(k.name, age)
+                    out.append(inst)
+        return out
+
+    # ------------------------------------------------------------------
+    def on_store(self, ev: StoreEvent) -> list[KernelInstance]:
+        """React to a store event: dispatch every newly satisfiable instance."""
+        self.events_processed += 1
+        out: list[KernelInstance] = []
+        for kernel, fetch in self._fetchers.get(ev.field, ()):
+            ages: list[int | None]
+            if kernel.has_age:
+                if fetch.age.literal is None:
+                    a = fetch.age.solve(ev.age)
+                    if a is None or not self._age_ok(a, kernel):
+                        continue
+                    self._pending[kernel.name].add(a)
+                    ages = [a]
+                elif fetch.age.matches_literal(ev.age):
+                    ages = sorted(self._pending[kernel.name])
+                else:
+                    continue
+            else:
+                if not fetch.age.matches_literal(ev.age):
+                    continue
+                ages = [None]
+            for age in ages:
+                restrict = self._restrict_from_region(fetch, ev)
+                out.extend(self._collect(kernel, age, restrict))
+                self._maybe_prune(kernel, age)
+        return out
+
+    def on_resize(self, ev: ResizeEvent) -> list[KernelInstance]:
+        """A resize may raise instance counts; recheck pending ages of
+        every consumer of the field (and ageless consumers)."""
+        self.events_processed += 1
+        out: list[KernelInstance] = []
+        for kernel, _fetch in self._fetchers.get(ev.field, ()):
+            if kernel.has_age:
+                for age in sorted(self._pending[kernel.name]):
+                    out.extend(self._collect(kernel, age, None))
+                    self._maybe_prune(kernel, age)
+            else:
+                out.extend(self._collect(kernel, None, None))
+        return out
+
+    def on_done(self, ev: InstanceDoneEvent) -> list[KernelInstance]:
+        """Self-advance aged source kernels: instance ``a`` finishing with
+        at least one store schedules instance ``a + 1`` (section VII-B:
+        "the read loop ends when the kernel stops storing")."""
+        inst = ev.instance
+        k = inst.kernel
+        if not (k.is_source and k.has_age and ev.stored_any):
+            return []
+        assert inst.age is not None
+        nxt_age = inst.age + 1
+        if not self._age_ok(nxt_age, k):
+            return []
+        nxt = KernelInstance(k, nxt_age, inst.index)
+        if nxt.key in self._dispatched:
+            return []
+        self._dispatched.add(nxt.key)
+        self._bump(k.name, nxt_age)
+        return [nxt]
+
+    # ------------------------------------------------------------------
+    def _restrict_from_region(
+        self, fetch: FetchSpec, ev: StoreEvent
+    ) -> dict[str, range] | None:
+        """Candidate index-variable ranges implied by the stored region."""
+        if not fetch.vars():
+            return None
+        extent = self._extent_of(ev.field)
+        restrict: dict[str, range] = {}
+        for dim, region, n in zip(fetch.dims, ev.region, extent):
+            if dim.is_all:
+                continue
+            cand = dim.candidates(region, n)
+            if dim.var in restrict:
+                prev = restrict[dim.var]
+                lo = max(prev.start, cand.start)
+                hi = min(prev.stop, cand.stop)
+                cand = range(lo, max(lo, hi))
+            restrict[dim.var] = cand
+        return restrict
+
+    def _collect(
+        self,
+        kernel: KernelDef,
+        age: int | None,
+        restrict: Mapping[str, range] | None,
+    ) -> list[KernelInstance]:
+        """Find every not-yet-dispatched, fully satisfied combination."""
+        # Cheap global pre-check: every variable-free fetch (whole-field)
+        # must be complete; shared across all index combinations.
+        for f in kernel.fetches:
+            if f.vars():
+                continue
+            f_age = f.age.resolve(age)
+            if not self.fields[f.field].is_complete(f_age, None):
+                return []
+        counts = kernel.index_counts(self._extent_of)
+        ranges = []
+        for v in kernel.index_vars:
+            n = counts.get(v, 0)
+            r = range(n)
+            if restrict and v in restrict:
+                rr = restrict[v]
+                r = range(max(0, rr.start), min(n, rr.stop))
+            if len(r) == 0:
+                return []
+            ranges.append(r)
+        out: list[KernelInstance] = []
+        var_fetches = [f for f in kernel.fetches if f.vars()]
+        for combo in itertools.product(*ranges):
+            inst = KernelInstance(kernel, age, combo)
+            if inst.key in self._dispatched:
+                continue
+            self.candidates_examined += 1
+            imap = dict(zip(kernel.index_vars, combo))
+            ok = True
+            for f in var_fetches:
+                f_age = f.age.resolve(age)
+                field = self.fields[f.field]
+                region = f.region(imap, field.extent)
+                empty_dims = [
+                    i for i, s in enumerate(region) if s.stop <= s.start
+                ]
+                if empty_dims:
+                    # A shrink-boundary stencil outside the extent is an
+                    # absent neighbour: trivially satisfied.  Any other
+                    # empty dimension means the combination is invalid.
+                    if all(
+                        not f.dims[i].is_all
+                        and f.dims[i].boundary == "shrink"
+                        for i in empty_dims
+                    ):
+                        continue
+                    ok = False
+                    break
+                if not field.is_complete(f_age, region):
+                    ok = False
+                    break
+            if ok:
+                self._dispatched.add(inst.key)
+                self._bump(kernel.name, age)
+                out.append(inst)
+        return out
+
+    def _bump(self, kernel: str, age: int | None) -> None:
+        self._count[(kernel, age)] = self._count.get((kernel, age), 0) + 1
+
+    def _maybe_prune(self, kernel: KernelDef, age: int | None) -> None:
+        """Drop a pending age once every combination at current extents
+        has been dispatched (safe: new combinations require new store or
+        resize events, which re-add the age)."""
+        if age is None or age not in self._pending[kernel.name]:
+            return
+        counts = kernel.index_counts(self._extent_of)
+        total = 1
+        for v in kernel.index_vars:
+            total *= counts.get(v, 0)
+        if total and self._count.get((kernel.name, age), 0) >= total:
+            self._pending[kernel.name].discard(age)
+
+    # ------------------------------------------------------------------
+    def dispatched_count(self, kernel: str | None = None) -> int:
+        """Total instances dispatched (optionally for one kernel)."""
+        if kernel is None:
+            return len(self._dispatched)
+        return sum(c for (k, _a), c in self._count.items() if k == kernel)
+
+    def min_pending_age(self) -> int | None:
+        """Lowest age any kernel still has pending (GC lower bound)."""
+        ages = [a for s in self._pending.values() for a in s]
+        return min(ages) if ages else None

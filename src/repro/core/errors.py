@@ -1,0 +1,134 @@
+"""Exception hierarchy for the P2G runtime.
+
+Every error raised by :mod:`repro` derives from :class:`P2GError` so callers
+can catch framework failures without masking unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class P2GError(Exception):
+    """Base class for all P2G framework errors."""
+
+
+class FieldError(P2GError):
+    """Base class for field-related errors."""
+
+
+class WriteOnceViolation(FieldError):
+    """An element of a field was stored more than once for the same age.
+
+    P2G's determinism rests on write-once semantics (section III of the
+    paper): a position in a field may be written at most once per age.
+    """
+
+    def __init__(self, field: str, age: int, index) -> None:
+        super().__init__(
+            f"write-once violation: field {field!r} age={age} index={index} "
+            f"was already written"
+        )
+        self.field = field
+        self.age = age
+        self.index = index
+
+
+class ExtentError(FieldError):
+    """A fetch or store referenced indices outside a field's extent in a
+    way that cannot be satisfied by implicit resizing (e.g. negative
+    indices or mismatched dimensionality)."""
+
+
+class AgeError(FieldError):
+    """An operation referenced a negative or otherwise invalid age."""
+
+
+class CollectedAgeError(FieldError):
+    """A fetch referenced an age that the garbage collector already freed."""
+
+    def __init__(self, field: str, age: int) -> None:
+        super().__init__(
+            f"field {field!r} age={age} has been garbage-collected; "
+            f"increase keep_ages or disable GC"
+        )
+        self.field = field
+        self.age = age
+
+
+class KernelError(P2GError):
+    """Base class for kernel-definition errors."""
+
+
+class DefinitionError(KernelError):
+    """A kernel or field definition is malformed (unknown field, duplicate
+    names, inconsistent index variables, ...)."""
+
+
+class KernelBodyError(KernelError):
+    """A kernel body raised an exception at run time.
+
+    Wraps the original exception so the scheduler can report which
+    instance failed without losing the traceback.
+    """
+
+    def __init__(self, kernel: str, age, index, cause: BaseException) -> None:
+        super().__init__(
+            f"kernel {kernel!r} instance (age={age}, index={index}) raised "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.kernel = kernel
+        self.age = age
+        self.index = index
+        self.cause = cause
+
+
+class RuntimeStateError(P2GError):
+    """The runtime was used in an invalid state (e.g. run() twice)."""
+
+
+class SchedulerError(P2GError):
+    """Low-level or high-level scheduler failure (invalid granularity,
+    fusion of incompatible kernels, ...)."""
+
+
+class PartitionError(P2GError):
+    """The HLS graph partitioner received invalid input or produced an
+    invalid partition."""
+
+
+class LanguageError(P2GError):
+    """Base class for kernel-language compilation errors."""
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None) -> None:
+        loc = ""
+        if line is not None:
+            loc = f" at line {line}" + (f", column {column}"
+                                        if column is not None else "")
+        super().__init__(message + loc)
+        self.line = line
+        self.column = column
+
+
+class LexError(LanguageError):
+    """Tokenization failed."""
+
+
+class ParseError(LanguageError):
+    """Parsing failed."""
+
+
+class SemanticError(LanguageError):
+    """Semantic analysis failed (undeclared identifiers, type errors,
+    inconsistent age/index usage, ...)."""
+
+
+class DeadlockError(P2GError):
+    """The KPN baseline detected a deadlock (cycle in the wait-for graph)."""
+
+
+class TransportError(P2GError):
+    """The distributed message transport failed to deliver a message."""
+
+
+class TopologyError(P2GError):
+    """Invalid topology description or node registration."""

@@ -1,0 +1,552 @@
+"""Multi-dimensional, aging, write-once fields.
+
+Fields are P2G's central data abstraction (paper, section III): globally
+visible multi-dimensional arrays with *write-once* semantics per element
+and per *age*.  Aging adds a virtual dimension that lets cyclic programs
+(e.g. the ``mul2``/``plus5`` loop of figure 5 or K-means' assign/refine
+loop) keep write-once semantics: storing to the same position is legal as
+long as the age increases.
+
+Fields support *implicit resizing* (section V-C): a store beyond the
+current extent grows the field, and the new extent propagates to every
+age.  The runtime turns resizes into events so the dependency analyzer
+can dispatch the additional kernel instances the larger extent implies.
+
+The backing arrays are NumPy (the reproduction's stand-in for blitz++),
+with a parallel boolean *written* mask per age used both to enforce
+write-once semantics and to answer the analyzer's completeness queries.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field as dc_field
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .errors import (
+    AgeError,
+    CollectedAgeError,
+    DefinitionError,
+    ExtentError,
+    WriteOnceViolation,
+)
+
+#: Kernel-language type name -> NumPy dtype.  Matches the scalar types the
+#: paper's C-like kernel language exposes.
+DTYPES: Mapping[str, np.dtype] = {
+    "int8": np.dtype(np.int8),
+    "uint8": np.dtype(np.uint8),
+    "int16": np.dtype(np.int16),
+    "uint16": np.dtype(np.uint16),
+    "int32": np.dtype(np.int32),
+    "uint32": np.dtype(np.uint32),
+    "int64": np.dtype(np.int64),
+    "uint64": np.dtype(np.uint64),
+    "float32": np.dtype(np.float32),
+    "float64": np.dtype(np.float64),
+}
+
+IndexExpr = tuple  # normalized tuple of slice objects, one per dimension
+
+
+@dataclass(frozen=True)
+class FieldDef:
+    """Static definition of a field (name, element type, dimensionality).
+
+    Corresponds to a field-definition line in the kernel language, e.g.
+    ``int32[] m_data age;`` -> ``FieldDef("m_data", "int32", 1, aging=True)``.
+
+    Parameters
+    ----------
+    name:
+        Global field name; unique within a program.
+    dtype:
+        One of the kernel-language scalar type names in :data:`DTYPES`.
+    ndim:
+        Number of (non-age) dimensions.
+    aging:
+        Whether the field carries the age dimension.  Non-aging fields
+        behave like aging fields restricted to age 0.
+    shape:
+        Optional declared extent.  An undeclared field grows by implicit
+        resizing, which leaves "the whole field" momentarily ambiguous
+        while element-wise writers are still extending it — harmless for
+        fields established by a single whole-field store (figure 5's
+        ``init``), but racy for a field grown one element at a time and
+        fetched whole (K-means' ``distances``).  Declaring the shape
+        fixes the extent up front, making whole-field completeness
+        exact and deterministic.
+    """
+
+    name: str
+    dtype: str = "int32"
+    ndim: int = 1
+    aging: bool = True
+    shape: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.dtype not in DTYPES:
+            raise DefinitionError(
+                f"field {self.name!r}: unknown dtype {self.dtype!r}; "
+                f"expected one of {sorted(DTYPES)}"
+            )
+        if self.ndim < 1:
+            raise DefinitionError(
+                f"field {self.name!r}: ndim must be >= 1, got {self.ndim}"
+            )
+        if self.shape is not None:
+            object.__setattr__(self, "shape", tuple(self.shape))
+            if len(self.shape) != self.ndim:
+                raise DefinitionError(
+                    f"field {self.name!r}: shape {self.shape} does not "
+                    f"match ndim {self.ndim}"
+                )
+            if any(n < 0 for n in self.shape):
+                raise DefinitionError(
+                    f"field {self.name!r}: negative extent in {self.shape}"
+                )
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        """The NumPy dtype backing this field's elements."""
+        return DTYPES[self.dtype]
+
+
+def normalize_index(index: Any, ndim: int) -> IndexExpr:
+    """Normalize a user-facing index into a tuple of ``slice`` objects.
+
+    Accepts a scalar int (1-d), a slice, or a tuple mixing ints and
+    slices.  Integers become unit slices.  Slices must have explicit,
+    non-negative ``start``/``stop`` and step 1 (``None`` start means 0).
+
+    Raises :class:`ExtentError` for negative indices, wrong arity, or
+    stepped slices — none of which the P2G model defines.
+    """
+    if not isinstance(index, tuple):
+        index = (index,)
+    if len(index) != ndim:
+        raise ExtentError(
+            f"index {index!r} has {len(index)} dimension(s); field has {ndim}"
+        )
+    out = []
+    for dim, part in enumerate(index):
+        if isinstance(part, (int, np.integer)):
+            if part < 0:
+                raise ExtentError(f"negative index {part} in dimension {dim}")
+            out.append(slice(int(part), int(part) + 1))
+        elif isinstance(part, slice):
+            start = 0 if part.start is None else int(part.start)
+            if part.stop is None:
+                raise ExtentError(
+                    f"open-ended slice in dimension {dim}; P2G slices must "
+                    f"have explicit stops (use fetch-all for whole fields)"
+                )
+            stop = int(part.stop)
+            step = 1 if part.step is None else int(part.step)
+            if step != 1:
+                raise ExtentError(f"stepped slice in dimension {dim}")
+            if start < 0 or stop < start:
+                raise ExtentError(
+                    f"invalid slice [{start}:{stop}] in dimension {dim}"
+                )
+            out.append(slice(start, stop))
+        else:
+            raise ExtentError(
+                f"unsupported index component {part!r} in dimension {dim}"
+            )
+    return tuple(out)
+
+
+def index_shape(index: IndexExpr) -> tuple[int, ...]:
+    """Shape of the region selected by a normalized index."""
+    return tuple(s.stop - s.start for s in index)
+
+
+@dataclass
+class ResizeInfo:
+    """Describes an implicit resize triggered by a store."""
+
+    field: str
+    old_extent: tuple[int, ...]
+    new_extent: tuple[int, ...]
+
+
+class _AgeSlot:
+    """Backing storage for a single age of a field."""
+
+    __slots__ = ("data", "written", "store_count", "collected")
+
+    def __init__(self, extent: tuple[int, ...], dtype: np.dtype) -> None:
+        self.data = np.zeros(extent, dtype=dtype)
+        self.written = np.zeros(extent, dtype=bool)
+        self.store_count = 0
+        self.collected = False
+
+    def grow(self, extent: tuple[int, ...]) -> None:
+        """Reallocate to a larger extent, preserving data and masks."""
+        if extent == self.data.shape:
+            return
+        data = np.zeros(extent, dtype=self.data.dtype)
+        written = np.zeros(extent, dtype=bool)
+        old = tuple(slice(0, n) for n in self.data.shape)
+        data[old] = self.data
+        written[old] = self.written
+        self.data = data
+        self.written = written
+
+
+class Field:
+    """A live field instance: per-age NumPy storage plus write-once masks.
+
+    Thread safety: all mutating operations take the field's lock, so
+    worker threads may store concurrently while the analyzer thread polls
+    completeness.
+    """
+
+    def __init__(self, fdef: FieldDef) -> None:
+        self.fdef = fdef
+        self._lock = threading.RLock()
+        self._extent: tuple[int, ...] = (
+            fdef.shape if fdef.shape is not None else (0,) * fdef.ndim
+        )
+        self._ages: dict[int, _AgeSlot] = {}
+        self._max_stored_age = -1
+        #: total elements ever written (across ages); instrumentation.
+        self.elements_written = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """The field's global name."""
+        return self.fdef.name
+
+    @property
+    def ndim(self) -> int:
+        """Number of (non-age) dimensions."""
+        return self.fdef.ndim
+
+    @property
+    def extent(self) -> tuple[int, ...]:
+        """Current global extent (shared by all ages, grows monotonically)."""
+        return self._extent
+
+    @property
+    def max_stored_age(self) -> int:
+        """Highest age that has received at least one store (-1 if none)."""
+        return self._max_stored_age
+
+    def ages(self) -> list[int]:
+        """Sorted list of ages holding (non-collected) data."""
+        with self._lock:
+            return sorted(a for a, s in self._ages.items() if not s.collected)
+
+    def age_touched(self, age: int) -> bool:
+        """Whether any store has hit this age."""
+        with self._lock:
+            slot = self._ages.get(age)
+            return slot is not None and slot.store_count > 0
+
+    def live_bytes(self) -> int:
+        """Bytes held by non-collected ages (data + masks)."""
+        with self._lock:
+            return sum(
+                s.data.nbytes + s.written.nbytes
+                for s in self._ages.values()
+                if not s.collected
+            )
+
+    # ------------------------------------------------------------------
+    # Stores (write-once, implicit resize)
+    # ------------------------------------------------------------------
+    def _check_age(self, age: int) -> None:
+        if age < 0:
+            raise AgeError(f"field {self.name!r}: negative age {age}")
+        if not self.fdef.aging and age != 0:
+            raise AgeError(
+                f"field {self.name!r} is not aging; only age 0 is valid "
+                f"(got {age})"
+            )
+
+    def _slot(self, age: int, create: bool) -> _AgeSlot | None:
+        slot = self._ages.get(age)
+        if slot is None:
+            if not create:
+                return None
+            slot = _AgeSlot(self._extent, self.fdef.np_dtype)
+            self._ages[age] = slot
+        elif slot.collected:
+            raise CollectedAgeError(self.name, age)
+        elif slot.data.shape != self._extent:
+            slot.grow(self._extent)
+        return slot
+
+    def store(self, age: int, index: Any, value: Any) -> ResizeInfo | None:
+        """Store ``value`` into ``self[age][index]``.
+
+        Enforces write-once semantics; grows the field (implicit resize)
+        when the index reaches past the current extent.  Returns a
+        :class:`ResizeInfo` when a resize occurred, else ``None``.
+        """
+        self._check_age(age)
+        idx = normalize_index(index, self.ndim)
+        arr = np.asarray(value, dtype=self.fdef.np_dtype)
+        shape = index_shape(idx)
+        # Allow scalar broadcast into a unit region; otherwise shapes must
+        # match exactly (trailing unit dims tolerated for 1-element stores).
+        if arr.shape != shape:
+            try:
+                arr = np.broadcast_to(arr, shape)
+            except ValueError:
+                raise ExtentError(
+                    f"field {self.name!r}: value shape {arr.shape} does not "
+                    f"match store region {shape}"
+                ) from None
+        with self._lock:
+            resize = None
+            needed = tuple(
+                max(cur, s.stop) for cur, s in zip(self._extent, idx)
+            )
+            if needed != self._extent:
+                if self.fdef.shape is not None:
+                    raise ExtentError(
+                        f"field {self.name!r}: store region {idx} exceeds "
+                        f"the declared shape {self.fdef.shape}"
+                    )
+                old = self._extent
+                self._extent = needed
+                resize = ResizeInfo(self.name, old, needed)
+            slot = self._slot(age, create=True)
+            assert slot is not None
+            region = slot.written[idx]
+            if region.any():
+                flat = np.argwhere(region)[0]
+                offending = tuple(
+                    int(s.start + o) for s, o in zip(idx, flat)
+                )
+                raise WriteOnceViolation(self.name, age, offending)
+            slot.data[idx] = arr
+            slot.written[idx] = True
+            slot.store_count += int(np.prod(shape))
+            self.elements_written += int(np.prod(shape))
+            if age > self._max_stored_age:
+                self._max_stored_age = age
+            return resize
+
+    # ------------------------------------------------------------------
+    # Fetches and completeness
+    # ------------------------------------------------------------------
+    def fetch(self, age: int, index: Any | None = None) -> np.ndarray:
+        """Fetch a copy of ``self[age][index]`` (whole field if ``index``
+        is ``None``).
+
+        The caller is responsible for only fetching complete regions (the
+        dependency analyzer guarantees this for dispatched instances); an
+        incomplete fetch raises :class:`ExtentError` to surface scheduler
+        bugs rather than silently returning zeros.
+        """
+        self._check_age(age)
+        with self._lock:
+            slot = self._ages.get(age)
+            if slot is not None and slot.collected:
+                raise CollectedAgeError(self.name, age)
+            if index is None:
+                idx = tuple(slice(0, n) for n in self._extent)
+            else:
+                idx = normalize_index(index, self.ndim)
+                if any(s.stop > n for s, n in zip(idx, self._extent)):
+                    raise ExtentError(
+                        f"field {self.name!r}: fetch region {idx} exceeds "
+                        f"extent {self._extent}"
+                    )
+            if slot is None or not slot.written[idx].all():
+                raise ExtentError(
+                    f"field {self.name!r}: fetch of incomplete region "
+                    f"age={age} index={idx}"
+                )
+            return slot.data[idx].copy()
+
+    def peek(self, age: int, index: Any | None = None) -> np.ndarray | None:
+        """Like :meth:`fetch` but returns ``None`` for incomplete regions."""
+        try:
+            return self.fetch(age, index)
+        except (ExtentError, CollectedAgeError):
+            return None
+
+    def is_complete(self, age: int, index: Any | None = None) -> bool:
+        """Whether every element of the region is written at ``age``.
+
+        ``index=None`` means the whole field at its *current* extent; the
+        region must be non-empty (an untouched field is never complete).
+        """
+        if age < 0 or (not self.fdef.aging and age != 0):
+            return False
+        with self._lock:
+            slot = self._ages.get(age)
+            if slot is None or slot.collected:
+                return False
+            if index is None:
+                if any(n == 0 for n in self._extent):
+                    return False
+                # Write-once makes store_count an exact element count, so
+                # whole-field completeness is an O(1) comparison — vital
+                # when millions of store events each probe a whole-field
+                # fetch (K-means' refine).
+                total = 1
+                for n in self._extent:
+                    total *= n
+                return slot.store_count == total
+            else:
+                try:
+                    idx = normalize_index(index, self.ndim)
+                except ExtentError:
+                    return False
+                if any(s.stop > n for s, n in zip(idx, self._extent)):
+                    return False
+                if any(s.stop == s.start for s in idx):
+                    return False
+            if slot.data.shape != self._extent:
+                slot.grow(self._extent)
+            return bool(slot.written[idx].all())
+
+    def written_count(self, age: int) -> int:
+        """Number of elements written at ``age``."""
+        with self._lock:
+            slot = self._ages.get(age)
+            return 0 if slot is None else slot.store_count
+
+    # ------------------------------------------------------------------
+    # Garbage collection (section IX: reuse buffers / collect old ages)
+    # ------------------------------------------------------------------
+    def collect_age(self, age: int) -> int:
+        """Free the storage of ``age``; returns bytes reclaimed.
+
+        Subsequent fetches of the age raise :class:`CollectedAgeError`.
+        Idempotent; collecting an age with no storage is a no-op.
+        """
+        with self._lock:
+            slot = self._ages.get(age)
+            if slot is None or slot.collected:
+                return 0
+            freed = slot.data.nbytes + slot.written.nbytes
+            slot.data = np.zeros((0,) * self.ndim, dtype=self.fdef.np_dtype)
+            slot.written = np.zeros((0,) * self.ndim, dtype=bool)
+            slot.collected = True
+            return freed
+
+    def collect_below(self, min_live_age: int) -> int:
+        """Collect every age strictly below ``min_live_age``."""
+        with self._lock:
+            return sum(
+                self.collect_age(a)
+                for a in list(self._ages)
+                if a < min_live_age
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Field({self.name!r}, dtype={self.fdef.dtype}, "
+            f"extent={self._extent}, ages={self.ages()})"
+        )
+
+
+class LocalField:
+    """A kernel-local growable array (``local int32[] values;``).
+
+    Local fields live only for the duration of a kernel instance and have
+    ordinary (not write-once) semantics; they exist so kernel bodies can
+    build up a value of initially unknown extent before storing it to a
+    global field, which is how implicit resizing enters the program
+    (figure 5's ``init`` kernel).
+    """
+
+    def __init__(self, dtype: str = "int32", ndim: int = 1) -> None:
+        if dtype not in DTYPES:
+            raise DefinitionError(f"unknown dtype {dtype!r}")
+        self._dtype = DTYPES[dtype]
+        self._ndim = ndim
+        self._data = np.zeros((0,) * ndim, dtype=self._dtype)
+
+    @property
+    def data(self) -> np.ndarray:
+        """The local field's backing array (what a store of it writes)."""
+        return self._data
+
+    def put(self, value: Any, *index: int) -> None:
+        """``put(values, v, i, ...)`` — store value at index, growing."""
+        if len(index) != self._ndim:
+            raise ExtentError(
+                f"local field put: got {len(index)} indices, need {self._ndim}"
+            )
+        if any(i < 0 for i in index):
+            raise ExtentError(f"negative index {index}")
+        needed = tuple(
+            max(cur, i + 1) for cur, i in zip(self._data.shape, index)
+        )
+        if needed != self._data.shape:
+            data = np.zeros(needed, dtype=self._dtype)
+            old = tuple(slice(0, n) for n in self._data.shape)
+            data[old] = self._data
+            self._data = data
+        self._data[index] = value
+
+    def get(self, *index: int) -> Any:
+        """``get(values, i, ...)`` — read one element."""
+        return self._data[tuple(index)]
+
+    def extent(self, dim: int = 0) -> int:
+        """``extent(values, dim)`` — size along a dimension."""
+        return self._data.shape[dim]
+
+    def from_array(self, arr: Any) -> "LocalField":
+        """Replace contents wholesale (used when a fetch targets a local)."""
+        self._data = np.asarray(arr, dtype=self._dtype)
+        return self
+
+
+class FieldStore:
+    """All live fields of a running program, by name."""
+
+    def __init__(self, defs: Iterable[FieldDef] = ()) -> None:
+        self._fields: dict[str, Field] = {}
+        for fdef in defs:
+            self.add(fdef)
+
+    def add(self, fdef: FieldDef) -> Field:
+        """Create and register a new field; rejects duplicates."""
+        if fdef.name in self._fields:
+            raise DefinitionError(f"duplicate field {fdef.name!r}")
+        f = Field(fdef)
+        self._fields[fdef.name] = f
+        return f
+
+    def __getitem__(self, name: str) -> Field:
+        try:
+            return self._fields[name]
+        except KeyError:
+            raise DefinitionError(f"unknown field {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._fields
+
+    def __iter__(self):
+        return iter(self._fields.values())
+
+    def names(self) -> list[str]:
+        """Sorted field names."""
+        return sorted(self._fields)
+
+    def live_bytes(self) -> int:
+        """Bytes held by all fields' non-collected ages."""
+        return sum(f.live_bytes() for f in self._fields.values())
+
+    def collect_below(self, min_live_age: int) -> int:
+        """GC every aging field below the given age; returns bytes freed."""
+        return sum(
+            f.collect_below(min_live_age)
+            for f in self._fields.values()
+            if f.fdef.aging
+        )

@@ -1,0 +1,361 @@
+"""Implicit static dependency graphs and the DC-DAG (figures 2–4).
+
+Three graph views are derived from a :class:`~repro.core.program.Program`:
+
+* the **intermediate implicit static dependency graph** (figure 2) —
+  bipartite kernels-and-fields graph read straight off the fetch/store
+  statements;
+* the **final implicit static dependency graph** (figure 3) — field
+  vertices merged away, leaving kernel→kernel edges labelled by the
+  fields that connect them; this is the HLS's partitioning input;
+* the **dynamically created DAG (DC-DAG)** (figure 4) — the cyclic final
+  graph unrolled over ages, which write-once semantics guarantee is
+  acyclic; this is the LLS's working view.
+
+A small self-contained digraph class keeps the core dependency-free;
+``to_networkx`` bridges to the wider ecosystem when it is installed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Any, Hashable, Iterable, Iterator, Mapping
+
+from .errors import DefinitionError
+from .instrumentation import Instrumentation
+from .kernels import AgeExpr
+from .program import Program
+
+
+class Digraph:
+    """Minimal directed graph with node/edge attributes."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[Hashable, dict[str, Any]] = {}
+        self._succ: dict[Hashable, dict[Hashable, dict[str, Any]]] = {}
+        self._pred: dict[Hashable, dict[Hashable, dict[str, Any]]] = {}
+
+    # -- construction ---------------------------------------------------
+    def add_node(self, node: Hashable, **attrs: Any) -> None:
+        """Add (or update the attributes of) a node."""
+        if node not in self._nodes:
+            self._nodes[node] = {}
+            self._succ[node] = {}
+            self._pred[node] = {}
+        self._nodes[node].update(attrs)
+
+    def add_edge(self, u: Hashable, v: Hashable, **attrs: Any) -> None:
+        """Add (or update the attributes of) a directed edge."""
+        self.add_node(u)
+        self.add_node(v)
+        if v not in self._succ[u]:
+            self._succ[u][v] = {}
+            self._pred[v][u] = {}
+        self._succ[u][v].update(attrs)
+        self._pred[v][u] = self._succ[u][v]
+
+    # -- queries ---------------------------------------------------------
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def nodes(self) -> list[Hashable]:
+        """All node ids."""
+        return list(self._nodes)
+
+    def node(self, node: Hashable) -> dict[str, Any]:
+        """A node's attribute dict (mutable)."""
+        return self._nodes[node]
+
+    def edges(self) -> list[tuple[Hashable, Hashable, dict[str, Any]]]:
+        """All edges as (u, v, attrs) triples."""
+        return [
+            (u, v, attrs)
+            for u, targets in self._succ.items()
+            for v, attrs in targets.items()
+        ]
+
+    def edge(self, u: Hashable, v: Hashable) -> dict[str, Any]:
+        """The attribute dict of edge u -> v."""
+        return self._succ[u][v]
+
+    def has_edge(self, u: Hashable, v: Hashable) -> bool:
+        """Whether edge u -> v exists."""
+        return u in self._succ and v in self._succ[u]
+
+    def successors(self, node: Hashable) -> list[Hashable]:
+        """Targets of edges leaving ``node``."""
+        return list(self._succ[node])
+
+    def predecessors(self, node: Hashable) -> list[Hashable]:
+        """Sources of edges entering ``node``."""
+        return list(self._pred[node])
+
+    def degree(self, node: Hashable) -> int:
+        """Total degree (in + out) of ``node``."""
+        return len(self._succ[node]) + len(self._pred[node])
+
+    def n_edges(self) -> int:
+        """Number of edges."""
+        return sum(len(t) for t in self._succ.values())
+
+    # -- algorithms -------------------------------------------------------
+    def topological_sort(self) -> list[Hashable]:
+        """Kahn's algorithm; raises :class:`DefinitionError` on a cycle."""
+        indeg = {n: len(self._pred[n]) for n in self._nodes}
+        ready = sorted(
+            (n for n, d in indeg.items() if d == 0), key=repr
+        )
+        out: list[Hashable] = []
+        while ready:
+            n = ready.pop(0)
+            out.append(n)
+            for s in sorted(self._succ[n], key=repr):
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    ready.append(s)
+        if len(out) != len(self._nodes):
+            raise DefinitionError("graph contains a cycle")
+        return out
+
+    def is_acyclic(self) -> bool:
+        """Whether the graph has no directed cycle."""
+        try:
+            self.topological_sort()
+            return True
+        except DefinitionError:
+            return False
+
+    def find_cycles(self) -> list[list[Hashable]]:
+        """Simple cycles via DFS back-edge walk (small graphs only)."""
+        cycles: list[list[Hashable]] = []
+        color: dict[Hashable, int] = {}
+        stack: list[Hashable] = []
+
+        def dfs(n: Hashable) -> None:
+            color[n] = 1
+            stack.append(n)
+            for s in self._succ[n]:
+                if color.get(s, 0) == 0:
+                    dfs(s)
+                elif color.get(s) == 1:
+                    i = stack.index(s)
+                    cycles.append(stack[i:] + [s])
+            stack.pop()
+            color[n] = 2
+
+        for n in self._nodes:
+            if color.get(n, 0) == 0:
+                dfs(n)
+        return cycles
+
+    def weakly_connected_components(self) -> list[set[Hashable]]:
+        """Connected components ignoring edge direction."""
+        seen: set[Hashable] = set()
+        comps: list[set[Hashable]] = []
+        for start in self._nodes:
+            if start in seen:
+                continue
+            comp = {start}
+            frontier = [start]
+            while frontier:
+                n = frontier.pop()
+                for m in list(self._succ[n]) + list(self._pred[n]):
+                    if m not in comp:
+                        comp.add(m)
+                        frontier.append(m)
+            seen |= comp
+            comps.append(comp)
+        return comps
+
+    def subgraph(self, nodes: Iterable[Hashable]) -> "Digraph":
+        """The induced subgraph on ``nodes`` (copies attributes)."""
+        keep = set(nodes)
+        g = Digraph()
+        for n in keep:
+            g.add_node(n, **self._nodes[n])
+        for u, v, attrs in self.edges():
+            if u in keep and v in keep:
+                g.add_edge(u, v, **attrs)
+        return g
+
+    # -- export -----------------------------------------------------------
+    def to_dot(self, name: str = "g") -> str:
+        """Graphviz DOT rendering (fields as boxes, kernels as ellipses)."""
+        lines = [f"digraph {name} {{"]
+        for n, attrs in self._nodes.items():
+            shape = "box" if attrs.get("kind") == "field" else "ellipse"
+            label = attrs.get("label", str(n))
+            w = attrs.get("weight")
+            if w is not None:
+                label += f"\\n[{w:.3g}]"
+            lines.append(f'  "{n}" [shape={shape}, label="{label}"];')
+        for u, v, attrs in self.edges():
+            lbl = attrs.get("label", "")
+            extra = f' [label="{lbl}"]' if lbl else ""
+            lines.append(f'  "{u}" -> "{v}"{extra};')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def to_networkx(self):  # pragma: no cover - thin bridge
+        """Convert to a ``networkx.DiGraph`` (attributes preserved)."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        for n, attrs in self._nodes.items():
+            g.add_node(n, **attrs)
+        for u, v, attrs in self.edges():
+            g.add_edge(u, v, **attrs)
+        return g
+
+
+# ----------------------------------------------------------------------
+# Paper graph views
+# ----------------------------------------------------------------------
+def intermediate_graph(program: Program) -> Digraph:
+    """Figure 2: bipartite kernel/field graph from fetch/store statements."""
+    g = Digraph()
+    for fname in program.fields:
+        g.add_node(fname, kind="field", label=fname)
+    for k in program.kernels.values():
+        g.add_node(k.name, kind="kernel", label=k.name)
+        for s in k.stores:
+            g.add_edge(k.name, s.field, label=f"store({s.age})")
+        for f in k.fetches:
+            g.add_edge(f.field, k.name, label=f"fetch({f.age})")
+    return g
+
+
+def final_graph(program: Program) -> Digraph:
+    """Figure 3: field vertices merged into kernel→kernel edges.
+
+    Each edge carries the connecting field names and the age offset of
+    the store→fetch hop (0 = same age / pipeline, >0 = feedback across an
+    iteration), which the HLS uses for partitioning and the LLS uses to
+    recognize fusable pipelines.
+    """
+    g = Digraph()
+    for k in program.kernels.values():
+        g.add_node(k.name, kind="kernel", label=k.name)
+    for k in program.kernels.values():
+        for s in k.stores:
+            for consumer in program.consumers_of(s.field):
+                for f in consumer.fetches:
+                    if f.field != s.field:
+                        continue
+                    if g.has_edge(k.name, consumer.name):
+                        attrs = g.edge(k.name, consumer.name)
+                        flds = attrs.setdefault("fields", [])
+                        if s.field not in flds:
+                            flds.append(s.field)
+                        attrs["label"] = ",".join(flds)
+                    else:
+                        g.add_edge(
+                            k.name,
+                            consumer.name,
+                            fields=[s.field],
+                            label=s.field,
+                            age_delta=_age_delta(s.age, f.age),
+                        )
+    return g
+
+
+def _age_delta(store_age: AgeExpr, fetch_age: AgeExpr) -> int | None:
+    """Kernel-age shift from producer to consumer along this field edge
+    (``None`` when a literal age is involved and the shift is undefined)."""
+    if store_age.literal is not None or fetch_age.literal is not None:
+        return None
+    return store_age.offset - fetch_age.offset
+
+
+def dc_dag(program: Program, max_age: int) -> Digraph:
+    """Figure 4: unroll the final graph over ages 0..max_age.
+
+    Nodes are ``(kernel, age)`` pairs (ageless kernels get age ``None``
+    rendered once).  Write-once semantics make this graph provably
+    acyclic — asserted here and property-tested in the suite.
+    """
+    g = Digraph()
+    ages = list(range(max_age + 1))
+    for k in program.kernels.values():
+        if k.has_age:
+            for a in ages:
+                g.add_node((k.name, a), kind="kernel",
+                           label=f"{k.name}@{a}")
+        else:
+            g.add_node((k.name, None), kind="kernel", label=k.name)
+    for producer in program.kernels.values():
+        for s in producer.stores:
+            for consumer in program.consumers_of(s.field):
+                for f in consumer.fetches:
+                    if f.field != s.field:
+                        continue
+                    for (cname, cage) in list(g.nodes()):
+                        if cname != consumer.name:
+                            continue
+                        field_age = f.age.resolve(cage) if (
+                            consumer.has_age or f.age.literal is not None
+                        ) else None
+                        if field_age is None or field_age < 0:
+                            continue
+                        if producer.has_age:
+                            p_age = s.age.solve(field_age)
+                            if p_age is None:
+                                if s.age.matches_literal(field_age):
+                                    # literal store: producer age unknown;
+                                    # conservatively connect every age
+                                    continue
+                                else:
+                                    continue
+                            if p_age > max_age:
+                                continue
+                            pnode = (producer.name, p_age)
+                        else:
+                            if s.age.literal is not None and not \
+                                    s.age.matches_literal(field_age):
+                                continue
+                            pnode = (producer.name, None)
+                        cnode = (cname, cage)
+                        if pnode in g and pnode != cnode:
+                            g.add_edge(pnode, cnode, label=s.field)
+    if not g.is_acyclic():  # pragma: no cover - guarded by construction
+        raise DefinitionError(
+            "DC-DAG contains a cycle; write-once semantics violated"
+        )
+    return g
+
+
+def weighted_final_graph(
+    program: Program, instrumentation: Instrumentation
+) -> Digraph:
+    """Final graph weighted with profiling data (section IV): node weight
+    is total kernel time, edge weight approximates traffic by the
+    producer's instance count."""
+    g = final_graph(program)
+    stats = instrumentation.stats()
+    for n in g.nodes():
+        st = stats.get(n)
+        g.node(n)["weight"] = st.kernel_time if st else 0.0
+        g.node(n)["instances"] = st.instances if st else 0
+    for u, v, attrs in g.edges():
+        st = stats.get(u)
+        attrs["weight"] = float(st.instances) if st else 1.0
+    return g
+
+
+def ascii_graph(g: Digraph, title: str = "") -> str:
+    """Plain-text adjacency rendering used by the figure benches."""
+    lines = [title] if title else []
+    for n in sorted(g.nodes(), key=repr):
+        succ = sorted(g.successors(n), key=repr)
+        attrs = g.node(n)
+        tag = "[]" if attrs.get("kind") == "field" else "()"
+        label = f"{tag[0]}{attrs.get('label', n)}{tag[1]}"
+        if succ:
+            tgt = ", ".join(str(g.node(s).get("label", s)) for s in succ)
+            lines.append(f"  {label} -> {tgt}")
+        else:
+            lines.append(f"  {label}")
+    return "\n".join(lines)

@@ -1,0 +1,166 @@
+"""Instrumentation: per-kernel instance counts and timing.
+
+Reproduces the measurements behind tables II and III of the paper: for
+every kernel definition, the number of instances dispatched, the mean
+*dispatch time* (per-instance overhead the framework adds: dependency
+matching, fetch slicing, field allocation/reallocation and store
+processing) and the mean *kernel time* (time inside the native block).
+
+The same data feeds the LLS's adaptive granularity policy (a high
+dispatch/kernel ratio means the decomposition is too fine — the K-means
+``assign`` kernel in table III) and, in the distributed layer, the HLS's
+instrumentation-weighted repartitioning.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field as dc_field
+from typing import Iterable, Mapping
+
+
+@dataclass
+class KernelStats:
+    """Aggregated measurements for one kernel definition."""
+
+    instances: int = 0
+    dispatch_time: float = 0.0  #: total seconds of framework overhead
+    kernel_time: float = 0.0  #: total seconds inside the native block
+
+    @property
+    def mean_dispatch_us(self) -> float:
+        """Mean dispatch overhead per instance, microseconds."""
+        return 1e6 * self.dispatch_time / self.instances if self.instances else 0.0
+
+    @property
+    def mean_kernel_us(self) -> float:
+        """Mean native-block time per instance, microseconds."""
+        return 1e6 * self.kernel_time / self.instances if self.instances else 0.0
+
+    @property
+    def dispatch_ratio(self) -> float:
+        """dispatch / (dispatch + kernel) — the LLS's granularity signal."""
+        total = self.dispatch_time + self.kernel_time
+        return self.dispatch_time / total if total else 0.0
+
+    def merged(self, other: "KernelStats") -> "KernelStats":
+        """Sum of two stats records (cluster-wide merging)."""
+        return KernelStats(
+            self.instances + other.instances,
+            self.dispatch_time + other.dispatch_time,
+            self.kernel_time + other.kernel_time,
+        )
+
+
+class Instrumentation:
+    """Thread-safe collector of per-kernel stats for one run."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stats: dict[str, KernelStats] = {}
+        self.analyzer_time = 0.0  #: seconds spent in the analyzer thread
+        self.wall_time = 0.0  #: wall-clock duration of the run
+        self._t0: float | None = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Mark the start of the run (wall-clock origin)."""
+        self._t0 = time.perf_counter()
+
+    def stop(self) -> None:
+        """Freeze ``wall_time`` at the current clock."""
+        if self._t0 is not None:
+            self.wall_time = time.perf_counter() - self._t0
+
+    def record(
+        self, kernel: str, dispatch_time: float, kernel_time: float
+    ) -> None:
+        """Account one executed instance's dispatch and kernel seconds."""
+        with self._lock:
+            st = self._stats.setdefault(kernel, KernelStats())
+            st.instances += 1
+            st.dispatch_time += dispatch_time
+            st.kernel_time += kernel_time
+
+    def add_analyzer_time(self, seconds: float) -> None:
+        """Accumulate time spent inside the analyzer thread."""
+        with self._lock:
+            self.analyzer_time += seconds
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, KernelStats]:
+        """Snapshot of per-kernel stats."""
+        with self._lock:
+            return {
+                k: KernelStats(s.instances, s.dispatch_time, s.kernel_time)
+                for k, s in self._stats.items()
+            }
+
+    def __getitem__(self, kernel: str) -> KernelStats:
+        with self._lock:
+            return self._stats.get(kernel, KernelStats())
+
+    def total_instances(self) -> int:
+        """Total instances recorded across all kernels."""
+        with self._lock:
+            return sum(s.instances for s in self._stats.values())
+
+    def total_kernel_time(self) -> float:
+        """Total native-block seconds across all kernels."""
+        with self._lock:
+            return sum(s.kernel_time for s in self._stats.values())
+
+    def merged(self, other: "Instrumentation") -> "Instrumentation":
+        """A new collector holding the sum of both runs."""
+        out = Instrumentation()
+        mine, theirs = self.stats(), other.stats()
+        for k in set(mine) | set(theirs):
+            s = mine.get(k, KernelStats()).merged(theirs.get(k, KernelStats()))
+            out._stats[k] = s
+        out.analyzer_time = self.analyzer_time + other.analyzer_time
+        out.wall_time = max(self.wall_time, other.wall_time)
+        return out
+
+    # ------------------------------------------------------------------
+    def table(
+        self, order: Iterable[str] | None = None, title: str | None = None
+    ) -> str:
+        """Render the paper's micro-benchmark table layout::
+
+            Kernel         Instances  Dispatch Time  Kernel Time
+            init                   1       69.00 us     18.00 us
+        """
+        stats = self.stats()
+        names = list(order) if order is not None else sorted(stats)
+        lines = []
+        if title:
+            lines.append(title)
+        lines.append(
+            f"{'Kernel':<16}{'Instances':>12}{'Dispatch Time':>16}"
+            f"{'Kernel Time':>16}"
+        )
+        for name in names:
+            s = stats.get(name, KernelStats())
+            lines.append(
+                f"{name:<16}{s.instances:>12}"
+                f"{s.mean_dispatch_us:>13.2f} us"
+                f"{s.mean_kernel_us:>13.2f} us"
+            )
+        return "\n".join(lines)
+
+    def as_rows(
+        self, order: Iterable[str] | None = None
+    ) -> list[tuple[str, int, float, float]]:
+        """(kernel, instances, mean dispatch µs, mean kernel µs) rows."""
+        stats = self.stats()
+        names = list(order) if order is not None else sorted(stats)
+        return [
+            (
+                n,
+                stats.get(n, KernelStats()).instances,
+                stats.get(n, KernelStats()).mean_dispatch_us,
+                stats.get(n, KernelStats()).mean_kernel_us,
+            )
+            for n in names
+        ]

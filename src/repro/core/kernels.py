@@ -1,0 +1,623 @@
+"""Kernel definitions, fetch/store specifications and kernel instances.
+
+A *kernel definition* (paper, section V-B) describes a unit of sequential
+code together with the slices of global fields it fetches and stores.  At
+run time the dependency analyzer expands a definition into *kernel
+instances* — one per valid combination of the kernel's ``age`` and
+``index`` variables — and dispatches an instance exactly once, when every
+slice it fetches has been completely written (write-once semantics make
+"completely written" a stable property).
+
+The objects here are deliberately declarative: a :class:`KernelDef` is
+plain data plus a Python callable for the native block, so the same
+definitions drive the threaded runtime (:mod:`repro.core.runtime`), the
+static dependency graphs (:mod:`repro.core.graph`), the LLS granularity
+transformations (:mod:`repro.core.scheduler`) and the discrete-event
+simulator (:mod:`repro.sim`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field as dc_field
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from .errors import DefinitionError
+from .fields import Field, IndexExpr, LocalField
+
+
+# ----------------------------------------------------------------------
+# Age expressions:  a, a+1, a-1, or a literal constant (e.g. 0)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AgeExpr:
+    """Age expression of a fetch/store: ``kernel_age + offset`` or a
+    literal constant age.
+
+    Examples from figure 5: ``m_data(a)`` → ``AgeExpr(offset=0)``;
+    ``m_data(a+1)`` → ``AgeExpr(offset=1)``; ``m_data(0)`` →
+    ``AgeExpr(literal=0)``.
+    """
+
+    offset: int = 0
+    literal: int | None = None
+
+    @staticmethod
+    def var(offset: int = 0) -> "AgeExpr":
+        """Age expression ``a + offset``."""
+        return AgeExpr(offset=offset)
+
+    @staticmethod
+    def const(value: int) -> "AgeExpr":
+        """Literal age expression (e.g. ``m_data(0)``)."""
+        return AgeExpr(literal=value)
+
+    @property
+    def is_literal(self) -> bool:
+        """Whether the expression is a constant age."""
+        return self.literal is not None
+
+    def resolve(self, kernel_age: int | None) -> int:
+        """Concrete field age for a kernel instance at ``kernel_age``."""
+        if self.literal is not None:
+            return self.literal
+        if kernel_age is None:
+            raise DefinitionError(
+                "age expression references the kernel age, but the kernel "
+                "declares no age variable"
+            )
+        return kernel_age + self.offset
+
+    def solve(self, field_age: int) -> int | None:
+        """Kernel age such that :meth:`resolve` yields ``field_age``.
+
+        Returns ``None`` when the expression is a literal that does not
+        match (no kernel age is implied) or the solution is negative.
+        """
+        if self.literal is not None:
+            return None
+        age = field_age - self.offset
+        return age if age >= 0 else None
+
+    def matches_literal(self, field_age: int) -> bool:
+        """Whether a literal expression equals ``field_age``."""
+        return self.literal is not None and self.literal == field_age
+
+    def __str__(self) -> str:
+        if self.literal is not None:
+            return str(self.literal)
+        if self.offset == 0:
+            return "a"
+        sign = "+" if self.offset > 0 else "-"
+        return f"a{sign}{abs(self.offset)}"
+
+
+# ----------------------------------------------------------------------
+# Per-dimension index patterns
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Dim:
+    """Index pattern of one dimension of a fetch/store.
+
+    Two kinds exist:
+
+    * ``Dim.all()`` — the whole dimension (``fetch m = m_data(a)``).
+    * ``Dim.var("x", block=b)`` — blocks of size ``b`` indexed by the
+      kernel's index variable ``x`` (``b = 1`` is the per-element fetch of
+      figure 5; ``b = 8`` fetches 8-wide stripes, which is how the MJPEG
+      DCT kernels grab 8x8 macro-blocks).
+
+    The block size is exactly the data-granularity knob the LLS turns
+    (figure 4, Age 1 → Age 2): coarsening multiplies ``block``.
+
+    A variable dimension may also carry an ``offset`` — a *stencil*
+    fetch (``fetch left = f(a)[x-1]``), the neighbour-access pattern
+    behind the paper's intra-prediction motivation.  The selected region
+    shifts by ``offset`` elements; what happens at the field border is
+    the ``boundary`` policy:
+
+    * ``"clamp"`` (default) — the region is clamped into the extent
+      preserving its width (image-processing edge replication: at
+      ``x = 0``, ``[x-1]`` reads element 0);
+    * ``"shrink"`` — the region is intersected with the extent and may
+      become *empty*; an empty region is trivially satisfied and the
+      kernel body receives a zero-length array.  This expresses
+      "neighbour if available" dependencies — exactly H.264-style
+      intra prediction, where block (0,0) has no left/top neighbour and
+      the dependency pattern forms a wavefront.
+
+    Offsets are fetch-only; a store with holes would break write-once
+    coverage.
+    """
+
+    kind: str  # "all" | "var"
+    var: str | None = None
+    block: int = 1
+    offset: int = 0
+    boundary: str = "clamp"  # "clamp" | "shrink"
+
+    @staticmethod
+    def all() -> "Dim":
+        """The whole-dimension pattern (``[:]``)."""
+        return Dim("all")
+
+    @staticmethod
+    def of(
+        var: str, block: int = 1, offset: int = 0, boundary: str = "clamp"
+    ) -> "Dim":
+        """A variable dimension: blocks of ``block``, optional stencil offset."""
+        if block < 1:
+            raise DefinitionError(f"block size must be >= 1, got {block}")
+        if boundary not in ("clamp", "shrink"):
+            raise DefinitionError(
+                f"unknown boundary policy {boundary!r}; expected 'clamp' "
+                f"or 'shrink'"
+            )
+        return Dim("var", var, block, offset, boundary)
+
+    @property
+    def is_all(self) -> bool:
+        """Whether this is the whole-dimension pattern."""
+        return self.kind == "all"
+
+    def count(self, extent: int) -> int:
+        """Number of distinct values of the index variable this dimension
+        admits at the given extent (1 for ``all``).  Offsets clamp, so
+        they do not change the domain."""
+        if self.is_all:
+            return 1
+        return max(0, math.ceil(extent / self.block))
+
+    def region(self, value: int, extent: int) -> slice:
+        """Concrete slice selected for index-variable value ``value``."""
+        if self.is_all:
+            return slice(0, extent)
+        start = value * self.block + self.offset
+        stop = start + self.block
+        if self.offset == 0:
+            # plain partitioning: the last block may be ragged
+            return slice(start, min(stop, extent))
+        if self.boundary == "shrink":
+            # intersect with the extent; possibly empty
+            lo = max(0, start)
+            hi = max(lo, min(stop, extent))
+            return slice(lo, hi)
+        # clamp: pull into the extent *preserving the block width* where
+        # possible (edge replication at the boundaries)
+        if start < 0:
+            start, stop = 0, min(self.block, extent)
+        if stop > extent:
+            stop = extent
+            start = max(0, stop - self.block)
+        return slice(start, max(start, stop))
+
+    def candidates(self, region: slice, extent: int) -> range:
+        """Index-variable values whose region intersects ``region``."""
+        if self.is_all:
+            return range(1)
+        # exact for plain partitions; conservatively widened for stencil
+        # dims so boundary-clamped regions are always covered
+        pad = 0 if self.offset == 0 else abs(self.offset) + self.block
+        lo = max(0, (region.start - pad) // self.block)
+        hi = min(
+            math.ceil((region.stop + pad) / self.block),
+            self.count(extent),
+        )
+        return range(lo, max(lo, hi))
+
+    def __str__(self) -> str:
+        if self.is_all:
+            return ":"
+        out = str(self.var)
+        if self.offset:
+            out += f"+{self.offset}" if self.offset > 0 else str(self.offset)
+        if self.block != 1:
+            out += f":{self.block}"
+        return out
+
+
+def _fmt_dims(dims: Sequence[Dim]) -> str:
+    if all(d.is_all for d in dims):
+        return ""
+    return "[" + "][".join(str(d) for d in dims) + "]"
+
+
+# ----------------------------------------------------------------------
+# Fetch / store specifications
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FetchSpec:
+    """``fetch <param> = <field>(<age>)[<dims>...]``.
+
+    ``param`` names the value inside the kernel body (``ctx.fetched``
+    key).  ``scalar`` asks the runtime to deliver a Python scalar instead
+    of a 0-d/1-element array when the selected region has exactly one
+    element (matches ``fetch value = m_data(a)[x]``).
+    """
+
+    param: str
+    field: str
+    age: AgeExpr = dc_field(default_factory=AgeExpr)
+    dims: tuple[Dim, ...] = ()
+    scalar: bool = False
+
+    def vars(self) -> tuple[str, ...]:
+        """Index variables this fetch binds, in dimension order."""
+        return tuple(d.var for d in self.dims if not d.is_all)
+
+    def whole_field(self) -> bool:
+        """Whether every dimension is ``all`` (fetches the entire field)."""
+        return all(d.is_all for d in self.dims)
+
+    def region(
+        self, index: Mapping[str, int], extent: tuple[int, ...]
+    ) -> IndexExpr:
+        """Concrete region for an instance's index-variable assignment."""
+        return tuple(
+            d.region(index[d.var] if not d.is_all else 0, n)
+            for d, n in zip(self.dims, extent)
+        )
+
+    def counts(self, extent: tuple[int, ...]) -> dict[str, int]:
+        """Per-index-variable instance counts at the given field extent."""
+        out: dict[str, int] = {}
+        for d, n in zip(self.dims, extent):
+            if not d.is_all:
+                c = d.count(n)
+                out[d.var] = min(out.get(d.var, c), c)
+        return out
+
+    def __str__(self) -> str:
+        return (
+            f"fetch {self.param} = {self.field}({self.age})"
+            f"{_fmt_dims(self.dims)}"
+        )
+
+
+@dataclass(frozen=True)
+class StoreSpec:
+    """``store <field>(<age>)[<dims>...] = <key>``.
+
+    ``key`` is the name the kernel body emits the value under
+    (``ctx.emit(key, value)``); it defaults to the field name.  A body
+    that does not emit the key skips the store — this is how source
+    kernels signal end-of-stream (MJPEG's read kernel at EOF) and how
+    deadline-triggered alternate code paths store to different fields.
+    """
+
+    field: str
+    age: AgeExpr = dc_field(default_factory=AgeExpr)
+    dims: tuple[Dim, ...] = ()
+    key: str | None = None
+
+    @property
+    def emit_key(self) -> str:
+        """The key the kernel body must ``emit`` to feed this store."""
+        return self.key if self.key is not None else self.field
+
+    def vars(self) -> tuple[str, ...]:
+        """Index variables this store uses, in dimension order."""
+        return tuple(d.var for d in self.dims if not d.is_all)
+
+    def region(
+        self,
+        index: Mapping[str, int],
+        value_shape: tuple[int, ...],
+    ) -> IndexExpr:
+        """Concrete store region: variable dims start at ``var*block``,
+        ``all`` dims start at 0; the value's shape defines the stops
+        (ragged trailing blocks and implicit resizes both fall out of
+        this)."""
+        if len(value_shape) != len(self.dims):
+            raise DefinitionError(
+                f"store to {self.field!r}: value has {len(value_shape)} "
+                f"dimension(s), spec has {len(self.dims)}"
+            )
+        region = []
+        for d, n in zip(self.dims, value_shape):
+            start = 0 if d.is_all else index[d.var] * d.block
+            region.append(slice(start, start + n))
+        return tuple(region)
+
+    def __str__(self) -> str:
+        return f"store {self.field}({self.age}){_fmt_dims(self.dims)}"
+
+
+# ----------------------------------------------------------------------
+# Kernel definitions
+# ----------------------------------------------------------------------
+BodyFn = Callable[["KernelContext"], None]
+
+
+@dataclass
+class KernelDef:
+    """A kernel definition: native block + declarations + fetch/store
+    specs.
+
+    Parameters
+    ----------
+    name:
+        Unique kernel name.
+    body:
+        The native block: a callable receiving a :class:`KernelContext`.
+    fetches / stores:
+        Field interaction specs; these define the implicit dependency
+        graph.
+    has_age:
+        Whether the kernel declares an ``age`` variable.  Ageless kernels
+        with no fetches run exactly once (figure 5's ``init``); aged
+        kernels with no fetches are *sources* that self-advance one age at
+        a time until they stop storing (MJPEG's ``read``).
+    index_vars:
+        Declared index variables, in declaration order (the instance's
+        index tuple follows this order).
+    domain:
+        Optional explicit per-variable instance counts for index
+        variables that appear in no fetch (rare; sources with data
+        parallelism).
+    cost_hint:
+        Optional relative cost used by the simulator/LLS when no
+        instrumentation exists yet.
+    age_limit:
+        Optional per-kernel age bound: no instance with ``age >
+        age_limit`` is ever dispatched.  This is how a program expresses
+        a fixed iteration count (the paper's K-means "is not run until
+        convergence, but with 10 iterations").
+    """
+
+    name: str
+    body: BodyFn
+    fetches: tuple[FetchSpec, ...] = ()
+    stores: tuple[StoreSpec, ...] = ()
+    has_age: bool = False
+    index_vars: tuple[str, ...] = ()
+    domain: Mapping[str, int] | None = None
+    cost_hint: float = 1.0
+    age_limit: int | None = None
+
+    def __post_init__(self) -> None:
+        self.fetches = tuple(self.fetches)
+        self.stores = tuple(self.stores)
+        self.index_vars = tuple(self.index_vars)
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.name:
+            raise DefinitionError("kernel name must be non-empty")
+        seen_params: set[str] = set()
+        for f in self.fetches:
+            if f.param in seen_params:
+                raise DefinitionError(
+                    f"kernel {self.name!r}: duplicate fetch param {f.param!r}"
+                )
+            seen_params.add(f.param)
+            for v in f.vars():
+                if v not in self.index_vars:
+                    raise DefinitionError(
+                        f"kernel {self.name!r}: fetch {f.param!r} uses "
+                        f"undeclared index variable {v!r}"
+                    )
+            if (f.age.literal is None or f.age.offset) and not self.has_age:
+                if f.age.literal is None:
+                    raise DefinitionError(
+                        f"kernel {self.name!r}: fetch {f.param!r} references "
+                        f"the age variable, but the kernel declares no age"
+                    )
+        keys: set[str] = set()
+        for s in self.stores:
+            if s.emit_key in keys:
+                raise DefinitionError(
+                    f"kernel {self.name!r}: duplicate store key "
+                    f"{s.emit_key!r}"
+                )
+            keys.add(s.emit_key)
+            for d in s.dims:
+                if not d.is_all and d.offset:
+                    raise DefinitionError(
+                        f"kernel {self.name!r}: store to {s.field!r} uses "
+                        f"an index offset; offsets are fetch-only (a "
+                        f"shifted store leaves write-once holes)"
+                    )
+            for v in s.vars():
+                if v not in self.index_vars:
+                    raise DefinitionError(
+                        f"kernel {self.name!r}: store to {s.field!r} uses "
+                        f"undeclared index variable {v!r}"
+                    )
+            if s.age.literal is None and not self.has_age:
+                raise DefinitionError(
+                    f"kernel {self.name!r}: store to {s.field!r} references "
+                    f"the age variable, but the kernel declares no age"
+                )
+        bound = set()
+        for f in self.fetches:
+            bound.update(f.vars())
+        if self.domain:
+            bound.update(self.domain)
+        for v in self.index_vars:
+            if v not in bound:
+                raise DefinitionError(
+                    f"kernel {self.name!r}: index variable {v!r} appears in "
+                    f"no fetch and has no explicit domain; its instance "
+                    f"count would be undefined"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def is_source(self) -> bool:
+        """True when the kernel has no fetches (dispatch is not driven by
+        field stores)."""
+        return not self.fetches
+
+    @property
+    def run_once(self) -> bool:
+        """True for ageless sources — dispatched exactly once at start."""
+        return self.is_source and not self.has_age
+
+    def fetched_fields(self) -> tuple[str, ...]:
+        """Distinct fields fetched, in declaration order."""
+        return tuple(dict.fromkeys(f.field for f in self.fetches))
+
+    def stored_fields(self) -> tuple[str, ...]:
+        """Distinct fields stored to, in declaration order."""
+        return tuple(dict.fromkeys(s.field for s in self.stores))
+
+    def index_counts(
+        self, extent_of: Callable[[str], tuple[int, ...]]
+    ) -> dict[str, int]:
+        """Instance count per index variable, given field extents.
+
+        A variable bound by several fetches gets the *minimum* count — an
+        instance must be satisfiable by every fetch.
+        """
+        counts: dict[str, int] = dict(self.domain or {})
+        for f in self.fetches:
+            for var, c in f.counts(extent_of(f.field)).items():
+                counts[var] = min(counts.get(var, c), c)
+        return counts
+
+    def describe(self) -> str:
+        """Kernel-language-style rendering (used in graph dumps/tests)."""
+        lines = [f"{self.name}:"]
+        if self.has_age:
+            lines.append("  age a;")
+        for v in self.index_vars:
+            lines.append(f"  index {v};")
+        for f in self.fetches:
+            lines.append(f"  {f};")
+        lines.append("  %{ ... %}")
+        for s in self.stores:
+            lines.append(f"  {s};")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"KernelDef({self.name!r})"
+
+
+# ----------------------------------------------------------------------
+# Kernel instances and the execution context
+# ----------------------------------------------------------------------
+InstanceKey = tuple[str, int | None, tuple[int, ...]]
+
+
+@dataclass(frozen=True)
+class KernelInstance:
+    """One dispatchable unit: a kernel definition bound to concrete age
+    and index-variable values.  Dispatched at most once (write-once
+    semantics make re-dispatch meaningless)."""
+
+    kernel: KernelDef
+    age: int | None = None
+    index: tuple[int, ...] = ()
+
+    @property
+    def key(self) -> InstanceKey:
+        """Hashable identity used for dispatch-once bookkeeping."""
+        return (self.kernel.name, self.age, self.index)
+
+    def index_map(self) -> dict[str, int]:
+        """Index-variable name -> value for this instance."""
+        return dict(zip(self.kernel.index_vars, self.index))
+
+    def __str__(self) -> str:
+        parts = []
+        if self.age is not None:
+            parts.append(f"age={self.age}")
+        parts.extend(
+            f"{v}={i}" for v, i in zip(self.kernel.index_vars, self.index)
+        )
+        return f"{self.kernel.name}({', '.join(parts)})"
+
+
+class KernelContext:
+    """Execution context handed to a kernel body.
+
+    Attributes
+    ----------
+    age:
+        The instance's age (``None`` for ageless kernels).
+    index:
+        Mapping from index-variable name to its value.
+    fetched:
+        Mapping from fetch param name to the fetched value (scalar or
+        NumPy array, per the spec's ``scalar`` flag).
+    timers:
+        Mapping of program timers (see :mod:`repro.core.deadlines`);
+        empty when the program declares none.
+    """
+
+    __slots__ = ("age", "index", "fetched", "timers", "_emitted", "node")
+
+    def __init__(
+        self,
+        age: int | None = None,
+        index: Mapping[str, int] | None = None,
+        fetched: Mapping[str, Any] | None = None,
+        timers: Mapping[str, Any] | None = None,
+        node: Any = None,
+    ) -> None:
+        self.age = age
+        self.index = dict(index or {})
+        self.fetched = dict(fetched or {})
+        self.timers = dict(timers or {})
+        self.node = node
+        self._emitted: dict[str, Any] = {}
+
+    def emit(self, key: str, value: Any) -> None:
+        """Provide the value for the store spec whose ``emit_key`` is
+        ``key``.  Emitting the same key twice is a write-once violation
+        at the kernel level and raises immediately."""
+        if key in self._emitted:
+            raise DefinitionError(
+                f"kernel body emitted {key!r} twice in one instance"
+            )
+        self._emitted[key] = value
+
+    @property
+    def emitted(self) -> dict[str, Any]:
+        """Values the body emitted, by store key."""
+        return self._emitted
+
+    def local(self, dtype: str = "int32", ndim: int = 1) -> LocalField:
+        """Create a kernel-local growable field (``local int32[] v;``)."""
+        return LocalField(dtype, ndim)
+
+    def __getitem__(self, param: str) -> Any:
+        return self.fetched[param]
+
+
+def make_kernel(
+    name: str,
+    *,
+    fetches: Sequence[FetchSpec] = (),
+    stores: Sequence[StoreSpec] = (),
+    age: bool = False,
+    index: Sequence[str] = (),
+    domain: Mapping[str, int] | None = None,
+    cost_hint: float = 1.0,
+) -> Callable[[BodyFn], KernelDef]:
+    """Decorator sugar for defining kernels in plain Python::
+
+        @make_kernel("mul2", age=True, index=["x"],
+                     fetches=[FetchSpec("value", "m_data", dims=(Dim.of("x"),),
+                                        scalar=True)],
+                     stores=[StoreSpec("p_data", dims=(Dim.of("x"),))])
+        def mul2(ctx):
+            ctx.emit("p_data", ctx["value"] * 2)
+    """
+
+    def wrap(body: BodyFn) -> KernelDef:
+        return KernelDef(
+            name=name,
+            body=body,
+            fetches=tuple(fetches),
+            stores=tuple(stores),
+            has_age=age,
+            index_vars=tuple(index),
+            domain=domain,
+            cost_hint=cost_hint,
+        )
+
+    return wrap

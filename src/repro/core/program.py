@@ -1,0 +1,165 @@
+"""Program: a validated bundle of field and kernel definitions.
+
+A :class:`Program` is the unit the rest of the system operates on — the
+runtime executes it, :mod:`repro.core.graph` derives its implicit static
+dependency graphs, the LLS rewrites it, and the HLS partitions it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Iterable, Mapping
+
+from .errors import DefinitionError, SemanticError
+from .fields import FieldDef
+from .kernels import KernelDef
+
+
+@dataclass
+class Program:
+    """Field definitions + kernel definitions + timers, validated.
+
+    Parameters
+    ----------
+    fields:
+        The program's global fields.
+    kernels:
+        The program's kernel definitions.
+    timers:
+        Names of global deadline timers (``timer t1;``).
+    name:
+        Cosmetic program name used in graph dumps and logs.
+    """
+
+    fields: dict[str, FieldDef] = dc_field(default_factory=dict)
+    kernels: dict[str, KernelDef] = dc_field(default_factory=dict)
+    timers: tuple[str, ...] = ()
+    name: str = "program"
+
+    @classmethod
+    def build(
+        cls,
+        fields: Iterable[FieldDef],
+        kernels: Iterable[KernelDef],
+        timers: Iterable[str] = (),
+        name: str = "program",
+    ) -> "Program":
+        """Assemble and validate a program from definition iterables."""
+        fmap: dict[str, FieldDef] = {}
+        for f in fields:
+            if f.name in fmap:
+                raise DefinitionError(f"duplicate field {f.name!r}")
+            fmap[f.name] = f
+        kmap: dict[str, KernelDef] = {}
+        for k in kernels:
+            if k.name in kmap:
+                raise DefinitionError(f"duplicate kernel {k.name!r}")
+            kmap[k.name] = k
+        prog = cls(fmap, kmap, tuple(timers), name)
+        prog.validate()
+        return prog
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Cross-checks between kernels and fields.
+
+        * every fetched/stored field is declared;
+        * fetch/store dims arity matches the field's dimensionality
+          (empty dims = whole field);
+        * an aged kernel with fetches has at least one age-variable fetch
+          (otherwise its set of ages would be unbounded with identical
+          inputs, which write-once semantics make meaningless);
+        * field names and kernel names do not collide (they share the
+          graph's vertex namespace).
+        """
+        overlap = set(self.fields) & set(self.kernels)
+        if overlap:
+            raise DefinitionError(
+                f"names used for both a field and a kernel: {sorted(overlap)}"
+            )
+        for k in self.kernels.values():
+            for f in k.fetches:
+                if f.field not in self.fields:
+                    raise DefinitionError(
+                        f"kernel {k.name!r} fetches unknown field {f.field!r}"
+                    )
+                ndim = self.fields[f.field].ndim
+                if f.dims and len(f.dims) != ndim:
+                    raise DefinitionError(
+                        f"kernel {k.name!r}: fetch {f.param!r} has "
+                        f"{len(f.dims)} dims; field {f.field!r} has {ndim}"
+                    )
+            for s in k.stores:
+                if s.field not in self.fields:
+                    raise DefinitionError(
+                        f"kernel {k.name!r} stores to unknown field "
+                        f"{s.field!r}"
+                    )
+                ndim = self.fields[s.field].ndim
+                if s.dims and len(s.dims) != ndim:
+                    raise DefinitionError(
+                        f"kernel {k.name!r}: store to {s.field!r} has "
+                        f"{len(s.dims)} dims; field has {ndim}"
+                    )
+            if k.has_age and k.fetches:
+                if not any(f.age.literal is None for f in k.fetches):
+                    raise SemanticError(
+                        f"kernel {k.name!r} declares an age but every fetch "
+                        f"uses a literal age; its age domain is unbounded"
+                    )
+
+    # ------------------------------------------------------------------
+    def producers_of(self, field: str) -> list[KernelDef]:
+        """Kernels that store to ``field``."""
+        return [
+            k for k in self.kernels.values() if field in k.stored_fields()
+        ]
+
+    def consumers_of(self, field: str) -> list[KernelDef]:
+        """Kernels that fetch from ``field``."""
+        return [
+            k for k in self.kernels.values() if field in k.fetched_fields()
+        ]
+
+    def sources(self) -> list[KernelDef]:
+        """Kernels with no fetches (dispatch is not store-driven)."""
+        return [k for k in self.kernels.values() if k.is_source]
+
+    def replace_kernel(self, kernel: KernelDef) -> "Program":
+        """Functional update: new Program with one kernel replaced."""
+        kernels = dict(self.kernels)
+        kernels[kernel.name] = kernel
+        return Program.build(
+            self.fields.values(), kernels.values(), self.timers, self.name
+        )
+
+    def without_kernels(self, *names: str) -> "Program":
+        """Functional update: a new Program without the named kernels."""
+        kernels = {n: k for n, k in self.kernels.items() if n not in names}
+        return Program.build(
+            self.fields.values(), kernels.values(), self.timers, self.name
+        )
+
+    def with_kernel(self, kernel: KernelDef) -> "Program":
+        """Functional update: a new Program with one kernel added."""
+        if kernel.name in self.kernels:
+            raise DefinitionError(f"kernel {kernel.name!r} already defined")
+        kernels = dict(self.kernels)
+        kernels[kernel.name] = kernel
+        return Program.build(
+            self.fields.values(), kernels.values(), self.timers, self.name
+        )
+
+    def describe(self) -> str:
+        """Kernel-language-style rendering of the whole program."""
+        lines = [f"program {self.name}:"]
+        for f in self.fields.values():
+            age = " age" if f.aging else ""
+            dims = "[]" * f.ndim
+            lines.append(f"  {f.dtype}{dims} {f.name}{age};")
+        for t in self.timers:
+            lines.append(f"  timer {t};")
+        for k in self.kernels.values():
+            lines.append("")
+            lines.extend("  " + ln for ln in k.describe().splitlines())
+        return "\n".join(lines)

@@ -1,0 +1,571 @@
+"""The execution-node runtime (paper, section VI-B).
+
+Structure mirrors the prototype:
+
+* kernel instances are executed by a pool of **worker threads** drawn
+  from an age-ordered ready queue ("scheduled in an order that prefers
+  the execution of kernel instances with a lower age value" — this is
+  what keeps aging cycles such as ``mul2``/``plus5`` from starving other
+  kernels);
+* store/resize events produced by running instances are consumed by a
+  **dedicated dependency-analyzer thread**, which pushes every newly
+  satisfiable (age, index) combination onto the ready queue;
+* the run terminates on *quiescence* — no queued events, no ready
+  instances, no running instances — or on an external :meth:`stop`,
+  a wall-clock timeout, or the ``max_age`` bound used to cut off
+  non-terminating cyclic programs.
+
+The counter protocol for quiescence: ``outstanding`` counts queued
+events + ready instances + running instances.  Every producer increments
+*before* the corresponding decrement can happen, so the counter reaching
+zero is a stable property.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import queue
+import threading
+import time
+from dataclasses import dataclass, field as dc_field
+from typing import Any
+
+import numpy as np
+
+from .analyzer import DependencyAnalyzer
+from .deadlines import TimerSet
+from .errors import KernelBodyError, RuntimeStateError
+from .events import (
+    Event,
+    InstanceDoneEvent,
+    ResizeEvent,
+    ShutdownEvent,
+    StoreEvent,
+)
+from .fields import FieldStore
+from .instrumentation import Instrumentation
+from .kernels import Dim, KernelContext, KernelInstance, StoreSpec
+from .program import Program
+
+
+class ReadyQueue:
+    """Age-priority ready queue shared by the worker threads.
+
+    Instances with lower age run first (``None`` ages — run-once
+    kernels — sort before everything).  Ties break by insertion order,
+    giving FIFO behaviour within an age.
+
+    Alternative ``scheduling`` policies exist as ablation knobs for
+    section VI-B's argument ("scheduled in an order that prefers the
+    execution of kernel instances with a lower age value.  This ensures
+    that no runnable kernel instance is starved by others that have no
+    fetch statements"):
+
+    * ``"age"`` (default) — the paper's policy;
+    * ``"fifo"`` — insertion order (benign here because the serial
+      analyzer enqueues in near-age order);
+    * ``"lifo"`` — newest first (a work-stack, as many schedulers use):
+      self-advancing source kernels race ahead of their consumers,
+      ballooning the live field footprint — the starvation the paper's
+      policy exists to prevent.
+    """
+
+    _SENTINEL = object()
+    _POLICIES = ("age", "fifo", "lifo")
+
+    def __init__(self, scheduling: str = "age") -> None:
+        if scheduling not in self._POLICIES:
+            raise RuntimeStateError(
+                f"unknown scheduling policy {scheduling!r}; "
+                f"expected one of {self._POLICIES}"
+            )
+        self._heap: list[tuple[int, int, Any]] = []
+        self._lock = threading.Lock()
+        self._cv = threading.Condition(self._lock)
+        self._seq = itertools.count()
+        self._age_counts: dict[int, int] = {}
+        self.scheduling = scheduling
+        self.max_depth = 0  #: high-water mark (instrumentation)
+
+    def _heap_key(self, inst: KernelInstance) -> tuple[int, int]:
+        seq = next(self._seq)
+        if self.scheduling == "fifo":
+            return (0, seq)
+        if self.scheduling == "lifo":
+            return (0, -seq)
+        age = -1 if inst.age is None else inst.age
+        return (age, seq)
+
+    def push(self, inst: KernelInstance) -> None:
+        """Enqueue a runnable instance (wakes one waiting worker)."""
+        with self._cv:
+            key, seq = self._heap_key(inst)
+            heapq.heappush(self._heap, (key, seq, inst))
+            real = -1 if inst.age is None else inst.age
+            self._age_counts[real] = self._age_counts.get(real, 0) + 1
+            self.max_depth = max(self.max_depth, len(self._heap))
+            self._cv.notify()
+
+    def push_sentinel(self, n: int = 1) -> None:
+        """Wake ``n`` workers with an exit marker (always sorts last)."""
+        with self._cv:
+            for _ in range(n):
+                heapq.heappush(
+                    self._heap, (2**62, next(self._seq), self._SENTINEL)
+                )
+            self._cv.notify_all()
+
+    def pop(self) -> KernelInstance | None:
+        """Blocking pop; ``None`` means shut down."""
+        with self._cv:
+            while not self._heap:
+                self._cv.wait()
+            _key, _seq, item = heapq.heappop(self._heap)
+            if item is self._SENTINEL:
+                return None
+            real = -1 if item.age is None else item.age
+            self._age_counts[real] -= 1
+            if not self._age_counts[real]:
+                del self._age_counts[real]
+            return item
+
+    def min_age(self) -> int | None:
+        """Lowest age currently queued (for the GC live-age bound)."""
+        with self._lock:
+            real = [a for a, c in self._age_counts.items() if c and a >= 0]
+            return min(real) if real else None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+
+class WorkCounter:
+    """Counts outstanding work: queued events + ready instances + running
+    instances.  Producers always increment before the matching decrement
+    can occur, so reaching zero is stable and means quiescence.  Shared
+    across nodes in a distributed run so quiescence is global."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._cv = threading.Condition(self._lock)
+        self._count = 0
+        self._poked = False
+
+    def inc(self, n: int = 1) -> None:
+        """Add outstanding work units."""
+        with self._cv:
+            self._count += n
+
+    def dec(self, n: int = 1) -> None:
+        """Retire work units; reaching zero signals quiescence."""
+        with self._cv:
+            self._count -= n
+            if self._count <= 0:
+                self._cv.notify_all()
+
+    def poke(self) -> None:
+        """Wake all waiters without changing the count (stop/error)."""
+        with self._cv:
+            self._poked = True
+            self._cv.notify_all()
+
+    def value(self) -> int:
+        """Current outstanding count (diagnostics only)."""
+        with self._lock:
+            return self._count
+
+    def wait(self, timeout: float | None = None) -> str:
+        """Block until quiescent, poked, or timed out; returns
+        ``"idle"``, ``"poked"`` or ``"timeout"``."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cv:
+            while True:
+                if self._poked:
+                    return "poked"
+                if self._count == 0:
+                    return "idle"
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return "timeout"
+                self._cv.wait(remaining)
+
+
+@dataclass
+class RunResult:
+    """Outcome of :meth:`ExecutionNode.run`."""
+
+    reason: str  #: "idle" | "stopped" | "timeout"
+    wall_time: float
+    instrumentation: Instrumentation
+    fields: FieldStore
+    ready_high_water: int = 0
+    gc_bytes: int = 0
+
+    @property
+    def stats(self):
+        """Per-kernel stats snapshot (shorthand for instrumentation.stats())."""
+        return self.instrumentation.stats()
+
+
+class ExecutionNode:
+    """A P2G execution node for multi-core machines.
+
+    Parameters
+    ----------
+    program:
+        The (possibly LLS-transformed) program to execute.
+    workers:
+        Number of worker threads (the paper sweeps 1–8).  The dependency
+        analyzer always runs in its own additional thread, exactly as in
+        the prototype.
+    max_age:
+        Upper bound on instance ages; bounds non-terminating cyclic
+        programs (``mul2``/``plus5``) and iteration-limited runs
+        (K-means "is not run until convergence, but with 10 iterations").
+    gc_fields:
+        Enable garbage collection of old field ages (section IX).
+    keep_ages:
+        How many ages behind the oldest live consumer to retain when GC
+        is on.
+    name:
+        Node name (used by the distributed layer and in logs).
+    fields / counter / timers:
+        Normally created internally; the distributed layer passes a
+        shared :class:`~repro.core.fields.FieldStore`, a cluster-wide
+        :class:`WorkCounter` (so quiescence is detected globally) and a
+        shared :class:`TimerSet` when several nodes cooperate on one
+        program.
+    on_event:
+        Optional tap invoked with every locally produced store/resize
+        event — the hook the distributed transport uses to forward
+        events to the other nodes' analyzers.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        workers: int = 1,
+        *,
+        max_age: int | None = None,
+        gc_fields: bool = False,
+        keep_ages: int = 1,
+        name: str = "node0",
+        clock=None,
+        fields: FieldStore | None = None,
+        counter: "WorkCounter | None" = None,
+        timers: TimerSet | None = None,
+        on_event=None,
+        scheduling: str = "age",
+    ) -> None:
+        if workers < 1:
+            raise RuntimeStateError("need at least one worker thread")
+        self.program = program
+        self.workers = workers
+        self.name = name
+        self.max_age = max_age
+        self.gc_fields = gc_fields
+        self.keep_ages = keep_ages
+        self.fields = fields if fields is not None else FieldStore(
+            program.fields.values()
+        )
+        self.timers = timers if timers is not None else TimerSet(
+            program.timers, clock
+        )
+        self.analyzer = DependencyAnalyzer(program, self.fields, max_age)
+        self.instrumentation = Instrumentation()
+        self.ready = ReadyQueue(scheduling)
+        self.on_event = on_event
+        self._events: queue.SimpleQueue = queue.SimpleQueue()
+        self._counter = counter if counter is not None else WorkCounter()
+        self._stop = threading.Event()
+        self._error: BaseException | None = None
+        self._ran = False
+        self._threads: list[threading.Thread] = []
+        self._running_ages: dict[int, int] = {}  # worker id -> age
+        self._gc_bytes = 0
+        self._max_back = max(
+            (0,)
+            + tuple(
+                -f.age.offset
+                for k in program.kernels.values()
+                for f in k.fetches
+                if f.age.literal is None and f.age.offset < 0
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Outstanding-work counter
+    # ------------------------------------------------------------------
+    def _inc(self, n: int = 1) -> None:
+        self._counter.inc(n)
+
+    def _dec(self, n: int = 1) -> None:
+        self._counter.dec(n)
+
+    def inject(self, ev: Event) -> None:
+        """Enqueue an externally produced event (distributed layer:
+        another node's store arriving over the transport)."""
+        self._inc()
+        self._events.put(ev)
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _execute(self, inst: KernelInstance, worker_id: int) -> None:
+        kernel = inst.kernel
+        t0 = time.perf_counter()
+        imap = inst.index_map()
+        fetched: dict[str, Any] = {}
+        for f in kernel.fetches:
+            field = self.fields[f.field]
+            f_age = f.age.resolve(inst.age)
+            if f.whole_field():
+                value: Any = field.fetch(f_age, None)
+            else:
+                region = f.region(imap, field.extent)
+                if any(s.stop <= s.start for s in region):
+                    # absent shrink-boundary neighbour: empty array
+                    shape = tuple(
+                        max(0, s.stop - s.start) for s in region
+                    )
+                    value = np.zeros(shape, dtype=field.fdef.np_dtype)
+                else:
+                    value = field.fetch(f_age, region)
+                if f.scalar and value.size == 1:
+                    value = value.reshape(()).item()
+            fetched[f.param] = value
+        ctx = KernelContext(
+            age=inst.age,
+            index=imap,
+            fetched=fetched,
+            timers=self.timers.as_mapping(),
+            node=self,
+        )
+        t1 = time.perf_counter()
+        try:
+            kernel.body(ctx)
+        except Exception as exc:  # noqa: BLE001 - rewrapped with context
+            raise KernelBodyError(kernel.name, inst.age, inst.index, exc)
+        t2 = time.perf_counter()
+        stored_any = False
+        for s in kernel.stores:
+            if s.emit_key not in ctx.emitted:
+                continue
+            value = ctx.emitted[s.emit_key]
+            field = self.fields[s.field]
+            s_age = s.age.resolve(inst.age)
+            arr = np.asarray(value, dtype=field.fdef.np_dtype)
+            if arr.ndim == 0:
+                arr = arr.reshape((1,) * field.ndim)
+            elif arr.ndim < field.ndim and s.dims:
+                # Align a lower-rank value to the store's dims: unit axes
+                # are inserted at block-1 variable dimensions (a row
+                # store ``f(a)[c][:] = row`` takes a 1-d row), trailing
+                # otherwise.
+                shape = list(arr.shape)
+                missing = field.ndim - arr.ndim
+                for axis, d in enumerate(s.dims):
+                    if missing and not d.is_all and d.block == 1:
+                        shape.insert(axis, 1)
+                        missing -= 1
+                shape.extend([1] * missing)
+                arr = arr.reshape(shape)
+            elif arr.ndim != field.ndim:
+                arr = arr.reshape(arr.shape + (1,) * (field.ndim - arr.ndim))
+            spec = s if s.dims else StoreSpec(
+                field=s.field, age=s.age, key=s.key,
+                dims=tuple(Dim.all() for _ in range(field.ndim)),
+            )
+            region = spec.region(imap, arr.shape)
+            resize = field.store(s_age, region, arr)
+            stored_any = True
+            if resize is not None:
+                self._post(ResizeEvent(s.field, resize.old_extent,
+                                       resize.new_extent))
+            self._post(StoreEvent(s.field, s_age, region))
+        t3 = time.perf_counter()
+        self.instrumentation.record(
+            kernel.name, (t1 - t0) + (t3 - t2), t2 - t1
+        )
+        self._post(
+            InstanceDoneEvent(
+                inst, stored_any, kernel_time=t2 - t1,
+                dispatch_time=(t1 - t0) + (t3 - t2),
+            )
+        )
+
+    def _worker_loop(self, worker_id: int) -> None:
+        while True:
+            inst = self.ready.pop()
+            if inst is None:
+                return
+            if inst.age is not None:
+                self._running_ages[worker_id] = inst.age
+            try:
+                if not self._stop.is_set():
+                    self._execute(inst, worker_id)
+            except BaseException as exc:  # noqa: BLE001
+                self._error = exc
+                self._stop.set()
+                self._counter.poke()
+                return
+            finally:
+                self._running_ages.pop(worker_id, None)
+                self._dec()
+
+    # ------------------------------------------------------------------
+    # Analyzer side
+    # ------------------------------------------------------------------
+    def _post(self, ev: Event) -> None:
+        self._inc()
+        self._events.put(ev)
+        if self.on_event is not None and isinstance(
+            ev, (StoreEvent, ResizeEvent)
+        ):
+            self.on_event(self, ev)
+
+    def _dispatch(self, instances) -> None:
+        for inst in instances:
+            self._inc()
+            self.ready.push(inst)
+
+    def _analyzer_loop(self) -> None:
+        while True:
+            ev = self._events.get()
+            if isinstance(ev, ShutdownEvent):
+                return
+            t0 = time.perf_counter()
+            try:
+                if isinstance(ev, StoreEvent):
+                    self._dispatch(self.analyzer.on_store(ev))
+                elif isinstance(ev, ResizeEvent):
+                    self._dispatch(self.analyzer.on_resize(ev))
+                elif isinstance(ev, InstanceDoneEvent):
+                    self._dispatch(self.analyzer.on_done(ev))
+                    if self.gc_fields:
+                        self._collect_garbage()
+            except BaseException as exc:  # noqa: BLE001
+                self._error = exc
+                self._stop.set()
+                self._counter.poke()
+                return
+            finally:
+                self.instrumentation.add_analyzer_time(
+                    time.perf_counter() - t0
+                )
+                self._dec()
+
+    def _collect_garbage(self) -> None:
+        """Free field ages no pending/ready/running instance can reach."""
+        live: list[int] = []
+        p = self.analyzer.min_pending_age()
+        if p is not None:
+            live.append(p)
+        q = self.ready.min_age()
+        if q is not None:
+            live.append(q)
+        live.extend(self._running_ages.values())
+        if not live:
+            return
+        min_live = min(live) - self._max_back - self.keep_ages
+        if min_live > 0:
+            self._gc_bytes += self.fields.collect_below(min_live)
+
+    # ------------------------------------------------------------------
+    # Driving a run
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Dispatch initial instances and start the analyzer and worker
+        threads.  Separated from :meth:`join` so a cluster can start all
+        nodes before any of them may observe global quiescence."""
+        if self._ran:
+            raise RuntimeStateError(
+                "ExecutionNode may only run once; build a new node to re-run"
+            )
+        self._ran = True
+        self.instrumentation.start()
+        self._t0 = time.perf_counter()
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, args=(i,), daemon=True,
+                name=f"{self.name}-worker{i}",
+            )
+            for i in range(self.workers)
+        ]
+        self._analyzer_thread = threading.Thread(
+            target=self._analyzer_loop, daemon=True,
+            name=f"{self.name}-analyzer",
+        )
+        initial = self.analyzer.initial_instances()
+        if initial:
+            self._dispatch(initial)
+        self._analyzer_thread.start()
+        for t in self._threads:
+            t.start()
+
+    def join(self, timeout: float | None = None) -> RunResult:
+        """Wait for quiescence (or timeout/stop), tear down the threads
+        and return the result.  Raises the wrapped exception if any
+        kernel body failed."""
+        if not self._ran:
+            raise RuntimeStateError("join() before start()")
+        outcome = self._counter.wait(timeout)
+        reason = "idle"
+        if outcome == "timeout":
+            reason = "timeout"
+            self._stop.set()
+        elif outcome == "poked" and self._error is None:
+            reason = "stopped"
+        # Tear down: workers exit on sentinel, analyzer on ShutdownEvent.
+        self.ready.push_sentinel(self.workers)
+        self._events.put(ShutdownEvent())
+        for t in self._threads:
+            t.join()
+        self._analyzer_thread.join()
+        self.instrumentation.stop()
+        if self._error is not None:
+            raise self._error
+        return RunResult(
+            reason=reason,
+            wall_time=time.perf_counter() - self._t0,
+            instrumentation=self.instrumentation,
+            fields=self.fields,
+            ready_high_water=self.ready.max_depth,
+            gc_bytes=self._gc_bytes,
+        )
+
+    def run(self, timeout: float | None = None) -> RunResult:
+        """Execute the program to quiescence (:meth:`start` +
+        :meth:`join`)."""
+        self.start()
+        return self.join(timeout)
+
+    def stop(self) -> None:
+        """Ask a continuous program to stop; pending instances are
+        abandoned and :meth:`run` returns with reason ``"stopped"``."""
+        self._stop.set()
+        self._counter.poke()
+
+
+def run_program(
+    program: Program,
+    workers: int = 1,
+    *,
+    max_age: int | None = None,
+    timeout: float | None = None,
+    gc_fields: bool = False,
+    keep_ages: int = 1,
+) -> RunResult:
+    """One-shot convenience: build an :class:`ExecutionNode` and run it."""
+    node = ExecutionNode(
+        program,
+        workers,
+        max_age=max_age,
+        gc_fields=gc_fields,
+        keep_ages=keep_ages,
+    )
+    return node.run(timeout=timeout)

@@ -1,0 +1,238 @@
+"""A multi-node P2G cluster, in process.
+
+Completes the paper's figure-1 architecture: a master node plans a
+kernel→node assignment (HLS), then each execution node runs *its*
+kernels with its own dependency analyzer and worker threads.  Nodes
+share the program's write-once fields (each kernel — and therefore each
+store region — lives on exactly one node, so write-once semantics hold
+globally) and forward their store/resize events over the
+publish–subscribe transport to every node that fetches the stored field;
+quiescence is detected cluster-wide through a shared
+:class:`~repro.core.WorkCounter`.
+
+The transport's traffic statistics expose exactly what the HLS's
+partitioning objective minimizes: events crossing node boundaries.
+A partition that keeps a pipeline on one node moves almost nothing; a
+bad partition pays per store.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field as dc_field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core import (
+    ExecutionNode,
+    Program,
+    RunResult,
+    WorkCounter,
+)
+from ..core.deadlines import TimerSet
+from ..core.errors import PartitionError
+from ..core.events import ResizeEvent, StoreEvent
+from ..core.fields import FieldStore
+from ..core.instrumentation import Instrumentation
+from .master import MasterNode, WorkloadAssignment
+from .topology import GlobalTopology, LocalTopology, ProcessorSpec
+from .transport import InProcTransport, TransportStats
+
+__all__ = ["Cluster", "ClusterResult"]
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of one cluster run."""
+
+    assignment: WorkloadAssignment
+    node_results: dict[str, RunResult]
+    transport: TransportStats
+    wall_time: float
+    fields: FieldStore
+
+    @property
+    def instrumentation(self) -> Instrumentation:
+        """All nodes' instrumentation merged into one collector."""
+        merged = Instrumentation()
+        for r in self.node_results.values():
+            merged = merged.merged(r.instrumentation)
+        return merged
+
+    @property
+    def reason(self) -> str:
+        """Aggregate outcome: idle only if every node went idle."""
+        reasons = {r.reason for r in self.node_results.values()}
+        if reasons == {"idle"}:
+            return "idle"
+        return "timeout" if "timeout" in reasons else "stopped"
+
+    def cross_node_messages(self) -> int:
+        """Store/resize events that crossed node boundaries."""
+        return self.transport.messages
+
+
+class Cluster:
+    """Runs one program across several in-process execution nodes.
+
+    Parameters
+    ----------
+    program:
+        The program to distribute.
+    nodes:
+        Node name → worker-thread count (each node also runs its own
+        analyzer thread), or name → :class:`LocalTopology` for
+        heterogeneous capacities.
+    transport:
+        Optional preconfigured transport (e.g. with a latency model).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        nodes: Mapping[str, int | LocalTopology],
+        transport: InProcTransport | None = None,
+    ) -> None:
+        if not nodes:
+            raise PartitionError("cluster needs at least one node")
+        self.program = program
+        self.master = MasterNode()
+        self._workers: dict[str, int] = {}
+        for name, spec in nodes.items():
+            if isinstance(spec, LocalTopology):
+                topo = spec
+                workers = max(
+                    1, int(sum(p.cores for p in spec.processors))
+                )
+            else:
+                workers = int(spec)
+                topo = LocalTopology(
+                    name, (ProcessorSpec("cpu", cores=workers),)
+                )
+            self.master.register(topo)
+            self._workers[name] = workers
+        self.transport = transport if transport is not None else \
+            InProcTransport()
+
+    # ------------------------------------------------------------------
+    def _subprogram(self, assignment: WorkloadAssignment, node: str) -> Program:
+        kernels = [
+            self.program.kernels[k] for k in assignment.kernels_for(node)
+        ]
+        return Program.build(
+            self.program.fields.values(),
+            kernels,
+            self.program.timers,
+            name=f"{self.program.name}@{node}",
+        )
+
+    def run(
+        self,
+        assignment: WorkloadAssignment | None = None,
+        method: str = "kl",
+        instrumentation: Instrumentation | None = None,
+        max_age: int | None = None,
+        timeout: float | None = None,
+    ) -> ClusterResult:
+        """Plan (unless given an assignment) and execute the program.
+
+        Returns after cluster-wide quiescence; raises the first node
+        error if any kernel body failed.
+        """
+        if assignment is None:
+            assignment = self.master.plan(
+                self.program, instrumentation, method
+            )
+        fields = FieldStore(self.program.fields.values())
+        counter = WorkCounter()
+        timers = TimerSet(self.program.timers)
+        dtype_size = {
+            f.name: f.np_dtype.itemsize
+            for f in self.program.fields.values()
+        }
+
+        def tap(node: ExecutionNode, ev) -> None:
+            if isinstance(ev, StoreEvent):
+                elems = 1
+                for s in ev.region:
+                    elems *= s.stop - s.start
+                size = elems * dtype_size.get(ev.field, 8)
+                self.transport.publish(ev.field, node.name, ev, size)
+            elif isinstance(ev, ResizeEvent):
+                self.transport.publish(ev.field, node.name, ev, 0)
+
+        exec_nodes: dict[str, ExecutionNode] = {}
+        for name in assignment.nodes():
+            sub = self._subprogram(assignment, name)
+            if not sub.kernels:
+                continue
+            exec_nodes[name] = ExecutionNode(
+                sub,
+                self._workers[name],
+                max_age=max_age,
+                name=name,
+                fields=fields,
+                counter=counter,
+                timers=timers,
+                on_event=tap,
+            )
+        if not exec_nodes:
+            raise PartitionError("assignment left every node empty")
+
+        # Wire subscriptions: a node receives events for every field one
+        # of its kernels fetches.
+        for name, node in exec_nodes.items():
+            fetched = {
+                f.field
+                for k in node.program.kernels.values()
+                for f in k.fetches
+            }
+            for fname in sorted(fetched):
+                self.transport.subscribe(
+                    fname, name,
+                    lambda msg, node=node: node.inject(msg.payload),
+                )
+
+        # Startup token keeps the shared counter nonzero until every node
+        # has dispatched its initial instances, so no node can observe a
+        # false global quiescence during startup.
+        counter.inc()
+        results: dict[str, RunResult] = {}
+        errors: list[BaseException] = []
+        lock = threading.Lock()
+
+        def drive(name: str, node: ExecutionNode) -> None:
+            try:
+                r = node.join(timeout=timeout)
+                with lock:
+                    results[name] = r
+            except BaseException as exc:  # noqa: BLE001
+                with lock:
+                    errors.append(exc)
+                counter.poke()
+
+        t0 = time.perf_counter()
+        for node in exec_nodes.values():
+            node.start()
+        counter.dec()  # every node started: release the startup token
+        threads = [
+            threading.Thread(target=drive, args=(n, en), daemon=True,
+                             name=f"cluster-{n}")
+            for n, en in exec_nodes.items()
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - t0
+        if errors:
+            raise errors[0]
+        return ClusterResult(
+            assignment=assignment,
+            node_results=results,
+            transport=self.transport.stats,
+            wall_time=wall,
+            fields=fields,
+        )

@@ -1,0 +1,123 @@
+"""The master node and its high-level scheduler (paper, section IV).
+
+The master holds the global topology, derives the program's final
+implicit static dependency graph, optionally weights it with
+instrumentation data collected from the execution nodes, and partitions
+it across the registered nodes — repartitioning "with the intent of
+improving the throughput in the system, or accommodate for changes in
+the global load".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import TopologyError
+from ..core.graph import final_graph, weighted_final_graph
+from ..core.instrumentation import Instrumentation
+from ..core.program import Program
+from .partition import Partition, partition_graph
+from .topology import GlobalTopology, LocalTopology
+
+__all__ = ["WorkloadAssignment", "MasterNode"]
+
+
+@dataclass
+class WorkloadAssignment:
+    """The HLS's output: which kernel runs on which node."""
+
+    partition: Partition
+    method: str
+    epoch: int  #: topology epoch the plan was computed against
+
+    def node_of(self, kernel: str) -> str:
+        """The node a kernel is assigned to."""
+        return self.partition.assign[kernel]
+
+    def kernels_for(self, node: str) -> list[str]:
+        """Kernels assigned to ``node``, sorted."""
+        return self.partition.members(node)
+
+    def nodes(self) -> list[str]:
+        """All part (node) names."""
+        return self.partition.parts()
+
+    def describe(self) -> str:
+        """Human-readable per-node kernel listing."""
+        lines = [f"assignment ({self.method}):"]
+        for node in self.nodes():
+            ks = ", ".join(str(k) for k in self.kernels_for(node))
+            lines.append(f"  {node}: {ks}")
+        return "\n".join(lines)
+
+
+class MasterNode:
+    """Registry + HLS.  Execution nodes register their local topologies;
+    :meth:`plan` produces a :class:`WorkloadAssignment`."""
+
+    def __init__(self, topology: GlobalTopology | None = None) -> None:
+        self.topology = topology if topology is not None else GlobalTopology()
+        self.last_assignment: WorkloadAssignment | None = None
+
+    # -- node lifecycle -------------------------------------------------
+    def register(self, topo: LocalTopology) -> None:
+        """An execution node joins the global topology."""
+        self.topology.add(topo)
+
+    def unregister(self, node: str) -> None:
+        """An execution node leaves the global topology."""
+        self.topology.remove(node)
+
+    # -- HLS --------------------------------------------------------------
+    def plan(
+        self,
+        program: Program,
+        instrumentation: Instrumentation | None = None,
+        method: str = "kl",
+        **kwargs,
+    ) -> WorkloadAssignment:
+        """Partition the program's final graph over the registered nodes.
+
+        With ``instrumentation`` the graph is weighted by measured kernel
+        times and instance counts; without, kernels weigh their
+        ``cost_hint``.
+        """
+        if len(self.topology) == 0:
+            raise TopologyError("no execution nodes registered")
+        if instrumentation is not None:
+            graph = weighted_final_graph(program, instrumentation)
+        else:
+            graph = final_graph(program)
+            for name in graph.nodes():
+                graph.node(name)["weight"] = program.kernels[name].cost_hint
+        capacities = self.topology.capacities()
+        partition = partition_graph(graph, capacities, method, **kwargs)
+        assignment = WorkloadAssignment(
+            partition, method, self.topology.epoch
+        )
+        self.last_assignment = assignment
+        return assignment
+
+    def repartition(
+        self,
+        program: Program,
+        instrumentation: Instrumentation,
+        method: str = "kl",
+        **kwargs,
+    ) -> tuple[WorkloadAssignment, bool]:
+        """Profile-driven repartitioning: returns (assignment, changed).
+
+        ``changed`` compares against the previous assignment so callers
+        can skip migration when the plan is stable.
+        """
+        prev = self.last_assignment
+        new = self.plan(program, instrumentation, method, **kwargs)
+        changed = prev is None or prev.partition.assign != new.partition.assign
+        return new, changed
+
+    def stale(self) -> bool:
+        """Whether the topology changed since the last plan."""
+        return (
+            self.last_assignment is None
+            or self.last_assignment.epoch != self.topology.epoch
+        )

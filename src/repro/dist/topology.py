@@ -1,0 +1,161 @@
+"""Topology descriptions (paper, section IV and figure 1).
+
+"Each execution node reports its local topology (a graph of multi-core
+and single-core CPUs and GPUs, connected by various kinds of buses and
+other networks) to the master node, which combines this information into
+a global topology of available resources.  As such, the global topology
+can change during runtime as execution nodes are dynamically added and
+removed."
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field as dc_field
+from typing import Iterable
+
+from ..core.errors import TopologyError
+from ..core.graph import Digraph
+
+__all__ = ["ProcessorSpec", "LocalTopology", "GlobalTopology"]
+
+
+@dataclass(frozen=True)
+class ProcessorSpec:
+    """One processing resource of a node.
+
+    ``kind`` is free-form ("cpu", "gpu", "dsp"); ``cores`` counts
+    hardware execution units; ``speed`` is relative per-core throughput
+    (reference core = 1.0).
+    """
+
+    kind: str = "cpu"
+    cores: int = 1
+    speed: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise TopologyError(f"processor must have >= 1 core: {self}")
+        if self.speed <= 0:
+            raise TopologyError(f"processor speed must be positive: {self}")
+
+    @property
+    def capacity(self) -> float:
+        """cores x speed, in reference-core units."""
+        return self.cores * self.speed
+
+
+@dataclass(frozen=True)
+class LocalTopology:
+    """What one execution node reports to the master."""
+
+    node: str
+    processors: tuple[ProcessorSpec, ...] = (ProcessorSpec(),)
+
+    def __post_init__(self) -> None:
+        if not self.processors:
+            raise TopologyError(f"node {self.node!r} reports no processors")
+
+    @property
+    def cpu_capacity(self) -> float:
+        """Total general-purpose capacity (what the HLS balances on)."""
+        return sum(p.capacity for p in self.processors if p.kind == "cpu")
+
+    @property
+    def total_capacity(self) -> float:
+        """Capacity across all processors, accelerators included."""
+        return sum(p.capacity for p in self.processors)
+
+    def has(self, kind: str) -> bool:
+        """Whether the node has a processor of ``kind``."""
+        return any(p.kind == kind for p in self.processors)
+
+
+class GlobalTopology:
+    """The master's merged view; thread-safe, supports dynamic add/remove
+    (elastic scaling, section IX)."""
+
+    def __init__(self, nodes: Iterable[LocalTopology] = ()) -> None:
+        self._lock = threading.Lock()
+        self._nodes: dict[str, LocalTopology] = {}
+        self._epoch = 0
+        for n in nodes:
+            self.add(n)
+
+    def add(self, topo: LocalTopology) -> None:
+        """A node joins; bumps the epoch."""
+        with self._lock:
+            if topo.node in self._nodes:
+                raise TopologyError(f"node {topo.node!r} already registered")
+            self._nodes[topo.node] = topo
+            self._epoch += 1
+
+    def remove(self, node: str) -> LocalTopology:
+        """A node leaves; bumps the epoch and returns its report."""
+        with self._lock:
+            try:
+                topo = self._nodes.pop(node)
+            except KeyError:
+                raise TopologyError(f"unknown node {node!r}") from None
+            self._epoch += 1
+            return topo
+
+    def update(self, topo: LocalTopology) -> None:
+        """Replace a node's report (its resources changed)."""
+        with self._lock:
+            if topo.node not in self._nodes:
+                raise TopologyError(f"unknown node {topo.node!r}")
+            self._nodes[topo.node] = topo
+            self._epoch += 1
+
+    @property
+    def epoch(self) -> int:
+        """Bumped on every change; the HLS repartitions on epoch drift."""
+        with self._lock:
+            return self._epoch
+
+    def nodes(self) -> list[LocalTopology]:
+        """All registered local topologies, by node name."""
+        with self._lock:
+            return [self._nodes[k] for k in sorted(self._nodes)]
+
+    def node_names(self) -> list[str]:
+        """Sorted registered node names."""
+        with self._lock:
+            return sorted(self._nodes)
+
+    def capacities(self) -> dict[str, float]:
+        """Per-node CPU capacity — the HLS's balancing weights."""
+        with self._lock:
+            return {
+                name: t.cpu_capacity for name, t in sorted(self._nodes.items())
+            }
+
+    def total_capacity(self) -> float:
+        """Summed CPU capacity of every node."""
+        return sum(self.capacities().values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        with self._lock:
+            return node in self._nodes
+
+    def as_graph(self) -> Digraph:
+        """Figure-1-style rendering: master connected to every node,
+        nodes to their processors."""
+        g = Digraph()
+        g.add_node("master", kind="kernel", label="master node")
+        for t in self.nodes():
+            g.add_node(t.node, kind="kernel", label=t.node)
+            g.add_edge("master", t.node)
+            for i, p in enumerate(t.processors):
+                pid = f"{t.node}/{p.kind}{i}"
+                g.add_node(
+                    pid, kind="field",
+                    label=f"{p.kind} x{p.cores} @{p.speed:g}",
+                )
+                g.add_edge(t.node, pid)
+        return g

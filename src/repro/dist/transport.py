@@ -1,0 +1,131 @@
+"""Publish–subscribe message transport (paper, section IV).
+
+"Data distribution, reporting, and other communication patterns is
+achieved in P2G through an event-based, distributed publish-subscribe
+model."
+
+:class:`InProcTransport` is the in-process realization used by the
+cluster simulation: topics are field names (plus control topics),
+delivery is synchronous on the publisher's thread, and every message is
+accounted (count + payload bytes per topic and per link) so experiments
+can measure the inter-node traffic the HLS's partitioning decisions
+produce.  An optional latency model charges simulated microseconds per
+message + per byte without sleeping, for offline what-if analysis.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field as dc_field
+from typing import Any, Callable
+
+from ..core.errors import TransportError
+
+__all__ = ["Message", "TransportStats", "InProcTransport"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One published message."""
+
+    topic: str
+    sender: str
+    payload: Any
+    size: int = 0  #: accounted payload bytes (0 if unknown)
+
+
+@dataclass
+class TransportStats:
+    """Accounting of everything that crossed the transport."""
+
+    messages: int = 0
+    bytes: int = 0
+    per_topic: dict[str, int] = dc_field(default_factory=dict)
+    per_link: dict[tuple[str, str], int] = dc_field(default_factory=dict)
+    simulated_latency_s: float = 0.0
+
+    def record(
+        self, msg: Message, receiver: str, latency_s: float
+    ) -> None:
+        """Account one delivery (message count, bytes, per-topic/link)."""
+        self.messages += 1
+        self.bytes += msg.size
+        self.per_topic[msg.topic] = self.per_topic.get(msg.topic, 0) + 1
+        link = (msg.sender, receiver)
+        self.per_link[link] = self.per_link.get(link, 0) + 1
+        self.simulated_latency_s += latency_s
+
+
+class InProcTransport:
+    """Thread-safe in-process pub-sub with traffic accounting.
+
+    Subscribers register as (node name, callback); publishing delivers to
+    every subscriber of the topic except the sender (a node already has
+    its own events locally).
+    """
+
+    def __init__(
+        self,
+        latency_per_message_us: float = 0.0,
+        latency_per_byte_ns: float = 0.0,
+    ) -> None:
+        self._lock = threading.RLock()
+        self._subs: dict[str, list[tuple[str, Callable[[Message], None]]]] = {}
+        self.stats = TransportStats()
+        self.latency_per_message_us = latency_per_message_us
+        self.latency_per_byte_ns = latency_per_byte_ns
+        self._closed = False
+
+    def subscribe(
+        self, topic: str, node: str, handler: Callable[[Message], None]
+    ) -> Callable[[], None]:
+        """Register ``handler`` for ``topic`` on behalf of ``node``;
+        returns an unsubscribe callable."""
+        with self._lock:
+            if self._closed:
+                raise TransportError("transport is closed")
+            entry = (node, handler)
+            self._subs.setdefault(topic, []).append(entry)
+
+        def unsubscribe() -> None:
+            with self._lock:
+                subs = self._subs.get(topic, [])
+                if entry in subs:
+                    subs.remove(entry)
+
+        return unsubscribe
+
+    def publish(
+        self, topic: str, sender: str, payload: Any, size: int = 0
+    ) -> int:
+        """Deliver to all subscribers except the sender; returns the
+        number of deliveries."""
+        with self._lock:
+            if self._closed:
+                raise TransportError("transport is closed")
+            targets = [
+                (node, handler)
+                for node, handler in self._subs.get(topic, ())
+                if node != sender
+            ]
+        msg = Message(topic, sender, payload, size)
+        latency = (
+            self.latency_per_message_us * 1e-6
+            + size * self.latency_per_byte_ns * 1e-9
+        )
+        for node, handler in targets:
+            with self._lock:
+                self.stats.record(msg, node, latency)
+            handler(msg)
+        return len(targets)
+
+    def topics(self) -> list[str]:
+        """Topics that currently have subscribers."""
+        with self._lock:
+            return sorted(t for t, s in self._subs.items() if s)
+
+    def close(self) -> None:
+        """Reject all further traffic and drop subscriptions."""
+        with self._lock:
+            self._closed = True
+            self._subs.clear()

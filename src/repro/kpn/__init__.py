@@ -1,0 +1,39 @@
+"""A Kahn-Process-Network runtime — the Nornir baseline.
+
+The paper builds on the authors' earlier Nornir system [39], a C++ KPN
+runtime, and motivates P2G by KPN's pain points: processes and
+communication channels must be wired *manually*, channels are formally
+unbounded FIFOs (real implementations bound them and then need deadlock
+handling), and data parallelism requires explicitly instantiating more
+processes.
+
+This package is a faithful small KPN runtime used by the comparison
+examples and tests:
+
+* :class:`~repro.kpn.channel.Channel` — bounded, blocking, single-
+  producer/single-consumer FIFO;
+* :class:`~repro.kpn.process.Process` — a Python callable run in its own
+  thread, reading/writing only through its channels (Kahn semantics:
+  blocking reads, no polling — which is what makes execution
+  deterministic);
+* :class:`~repro.kpn.network.Network` — wiring + lifecycle + the
+  deadlock monitor;
+* :mod:`repro.kpn.deadlock` — wait-for-graph cycle detection with
+  Parks' resolution (grow the smallest full channel in the cycle) for
+  *artificial* deadlocks, and :class:`~repro.core.errors.DeadlockError`
+  for true ones.
+"""
+
+from .channel import Channel, ChannelClosed
+from .deadlock import WaitForGraph, find_cycle
+from .network import Network
+from .process import Process
+
+__all__ = [
+    "Channel",
+    "ChannelClosed",
+    "Network",
+    "Process",
+    "WaitForGraph",
+    "find_cycle",
+]

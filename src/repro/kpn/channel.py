@@ -1,0 +1,114 @@
+"""Bounded KPN channels.
+
+A Kahn channel is an unbounded FIFO in theory; "in real-life distributed
+implementations, however, queue length is limited by available memory"
+(paper, section III) — so these channels have a capacity, writers block
+when full, and the network's deadlock monitor may *grow* a channel to
+resolve an artificial deadlock (Parks' algorithm).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+__all__ = ["Channel", "ChannelClosed"]
+
+
+class ChannelClosed(Exception):
+    """Raised by :meth:`Channel.get` after the producer closed an empty
+    channel, and by :meth:`Channel.put` after close."""
+
+
+class Channel:
+    """Single-producer / single-consumer bounded blocking FIFO.
+
+    The ``reader``/``writer`` attributes are filled in by the network at
+    wiring time and used by the deadlock monitor to build the wait-for
+    graph.
+    """
+
+    def __init__(self, name: str, capacity: int = 16) -> None:
+        if capacity < 1:
+            raise ValueError("channel capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self._q: deque[Any] = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        self.writer: str | None = None
+        self.reader: str | None = None
+        #: deadlock-monitor state: process name blocked on this channel
+        self.blocked_writer: str | None = None
+        self.blocked_reader: str | None = None
+        self.total_messages = 0
+
+    # ------------------------------------------------------------------
+    def put(self, item: Any) -> None:
+        """Blocking write (Kahn semantics: the only way a process emits)."""
+        with self._not_full:
+            if self._closed:
+                raise ChannelClosed(self.name)
+            while len(self._q) >= self.capacity:
+                self.blocked_writer = self.writer
+                self._not_full.wait(0.05)
+                if self._closed:
+                    self.blocked_writer = None
+                    raise ChannelClosed(self.name)
+            self.blocked_writer = None
+            self._q.append(item)
+            self.total_messages += 1
+            self._not_empty.notify()
+
+    def get(self) -> Any:
+        """Blocking read; raises :class:`ChannelClosed` at end of stream."""
+        with self._not_empty:
+            while not self._q:
+                if self._closed:
+                    raise ChannelClosed(self.name)
+                self.blocked_reader = self.reader
+                self._not_empty.wait(0.05)
+            self.blocked_reader = None
+            item = self._q.popleft()
+            self._not_full.notify()
+            return item
+
+    def close(self) -> None:
+        """Producer signals end of stream; blocked peers wake."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    def grow(self, extra: int = 1) -> int:
+        """Parks' resolution: raise capacity, waking a blocked writer.
+        Returns the new capacity."""
+        with self._lock:
+            self.capacity += extra
+            self._not_full.notify_all()
+            return self.capacity
+
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether the producer has signalled end of stream."""
+        return self._closed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._q)
+
+    @property
+    def full(self) -> bool:
+        """Whether the buffer is at capacity (writers would block)."""
+        with self._lock:
+            return len(self._q) >= self.capacity
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Channel({self.name!r}, {len(self)}/{self.capacity}"
+            f"{', closed' if self._closed else ''})"
+        )

@@ -1,0 +1,98 @@
+"""Wait-for-graph deadlock detection for the KPN runtime.
+
+"A distributed version of a KPN implementation requires a distributed
+deadlock detection algorithm" (paper, section II) — the single-node
+variant here builds the wait-for graph from blocked channel operations:
+
+* a process blocked *reading* channel ``c`` waits for ``c``'s writer;
+* a process blocked *writing* (full) channel ``c`` waits for ``c``'s
+  reader.
+
+A cycle containing at least one full-channel (write) edge is an
+*artificial* deadlock caused by finite buffering; Parks' algorithm
+resolves it by growing the smallest full channel on the cycle.  A cycle
+of pure read edges is a true deadlock and is reported as
+:class:`~repro.core.errors.DeadlockError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Iterable
+
+from .channel import Channel
+
+__all__ = ["WaitForGraph", "find_cycle"]
+
+
+@dataclass(frozen=True)
+class WaitEdge:
+    """``waiter`` is blocked on ``channel`` waiting for ``holder``."""
+
+    waiter: str
+    holder: str
+    channel: Channel
+    kind: str  # "read" | "write"
+
+
+@dataclass
+class WaitForGraph:
+    """Snapshot of who waits for whom."""
+
+    edges: list[WaitEdge] = dc_field(default_factory=list)
+
+    @classmethod
+    def snapshot(cls, channels: Iterable[Channel]) -> "WaitForGraph":
+        """Build the wait-for graph from the channels' blocked markers."""
+        edges = []
+        for ch in channels:
+            if ch.blocked_reader and ch.writer:
+                edges.append(
+                    WaitEdge(ch.blocked_reader, ch.writer, ch, "read")
+                )
+            if ch.blocked_writer and ch.reader:
+                edges.append(
+                    WaitEdge(ch.blocked_writer, ch.reader, ch, "write")
+                )
+        return cls(edges)
+
+    def successors(self, process: str) -> list[WaitEdge]:
+        """Edges whose waiter is ``process``."""
+        return [e for e in self.edges if e.waiter == process]
+
+
+def find_cycle(graph: WaitForGraph) -> list[WaitEdge] | None:
+    """Find one cycle in the wait-for graph (DFS); returns its edges or
+    ``None``."""
+    adjacency: dict[str, list[WaitEdge]] = {}
+    for e in graph.edges:
+        adjacency.setdefault(e.waiter, []).append(e)
+    color: dict[str, int] = {}
+    stack: list[WaitEdge] = []
+    result: list[WaitEdge] | None = None
+
+    def dfs(node: str) -> bool:
+        nonlocal result
+        color[node] = 1
+        for e in adjacency.get(node, ()):
+            if color.get(e.holder, 0) == 1:
+                # found a back edge; slice the cycle out of the stack
+                cycle = [e]
+                for prev in reversed(stack):
+                    cycle.append(prev)
+                    if prev.waiter == e.holder:
+                        break
+                result = list(reversed(cycle))
+                return True
+            if color.get(e.holder, 0) == 0:
+                stack.append(e)
+                if dfs(e.holder):
+                    return True
+                stack.pop()
+        color[node] = 2
+        return False
+
+    for node in list(adjacency):
+        if color.get(node, 0) == 0 and dfs(node):
+            return result
+    return None

@@ -1,0 +1,127 @@
+"""KPN network wiring and lifecycle.
+
+Demonstrates exactly the programming-model burden the paper contrasts
+P2G against: every process and every channel is declared and connected
+*manually* ("the KPN model requires the application developer to specify
+the communication channels between the processes manually"), and the
+runtime must babysit bounded buffers with a deadlock monitor.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Mapping
+
+from ..core.errors import DeadlockError
+from .channel import Channel
+from .deadlock import WaitForGraph, find_cycle
+from .process import Process
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A set of processes connected by bounded channels."""
+
+    def __init__(self, name: str = "kpn") -> None:
+        self.name = name
+        self._processes: dict[str, Process] = {}
+        self._channels: dict[str, Channel] = {}
+        self.deadlocks_resolved = 0
+
+    # -- construction -----------------------------------------------------
+    def add_process(
+        self,
+        name: str,
+        fn: Callable[[Mapping[str, Channel], Mapping[str, Channel]], None],
+    ) -> Process:
+        """Declare a process; wiring happens via connect()."""
+        if name in self._processes:
+            raise ValueError(f"duplicate process {name!r}")
+        p = Process(name, fn)
+        self._processes[name] = p
+        return p
+
+    def add_channel(self, name: str, capacity: int = 16) -> Channel:
+        """Declare an unwired channel (advanced use; prefer connect())."""
+        if name in self._channels:
+            raise ValueError(f"duplicate channel {name!r}")
+        ch = Channel(name, capacity)
+        self._channels[name] = ch
+        return ch
+
+    def connect(
+        self,
+        producer: str,
+        out_port: str,
+        consumer: str,
+        in_port: str,
+        capacity: int = 16,
+    ) -> Channel:
+        """Create a channel and wire producer.out_port -> consumer.in_port."""
+        ch = self.add_channel(
+            f"{producer}.{out_port}->{consumer}.{in_port}", capacity
+        )
+        self._processes[producer].add_output(out_port, ch)
+        self._processes[consumer].add_input(in_port, ch)
+        return ch
+
+    def channel(self, name: str) -> Channel:
+        """Look up a channel by name."""
+        return self._channels[name]
+
+    def processes(self) -> list[Process]:
+        """All processes in declaration order."""
+        return list(self._processes.values())
+
+    # -- execution ----------------------------------------------------------
+    def run(self, timeout: float | None = None, poll: float = 0.01) -> None:
+        """Start every process and run to completion.
+
+        The monitor polls the channels' blocked markers; an artificial
+        deadlock (cycle containing a full-channel edge) is resolved by
+        growing the smallest full channel on the cycle (Parks); a true
+        deadlock (all-read cycle) raises :class:`DeadlockError`.
+        """
+        for p in self._processes.values():
+            p.start()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            alive = [p for p in self._processes.values() if p.running]
+            if not alive:
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                raise DeadlockError(
+                    f"network {self.name!r} did not finish within {timeout}s"
+                )
+            graph = WaitForGraph.snapshot(self._channels.values())
+            cycle = find_cycle(graph)
+            if cycle is not None:
+                # Re-check after a short settle: a transiently blocked
+                # process may already have moved on.
+                time.sleep(poll)
+                graph2 = WaitForGraph.snapshot(self._channels.values())
+                cycle2 = find_cycle(graph2)
+                if cycle2 is not None:
+                    self._resolve(cycle2)
+            time.sleep(poll)
+        errors = [p.error for p in self._processes.values() if p.error]
+        if errors:
+            raise errors[0]
+
+    def _resolve(self, cycle) -> None:
+        write_edges = [e for e in cycle if e.kind == "write"]
+        if not write_edges:
+            chain = " -> ".join(e.waiter for e in cycle)
+            raise DeadlockError(
+                f"true deadlock in network {self.name!r}: {chain}"
+            )
+        smallest = min(write_edges, key=lambda e: e.channel.capacity)
+        smallest.channel.grow()
+        self.deadlocks_resolved += 1
+
+    # -- stats ---------------------------------------------------------------
+    def total_messages(self) -> int:
+        """Messages that passed through all channels."""
+        return sum(ch.total_messages for ch in self._channels.values())

@@ -1,0 +1,96 @@
+"""KPN processes.
+
+A process is a plain Python callable executed in its own thread, whose
+only communication is blocking :meth:`Channel.get`/:meth:`Channel.put`
+on the channels it was wired to — the Kahn conditions that make the
+whole network deterministic.  When the callable returns (or its input
+closes), the process closes its output channels, propagating end of
+stream downstream.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Mapping
+
+from .channel import Channel, ChannelClosed
+
+__all__ = ["Process"]
+
+
+class Process:
+    """One KPN process.
+
+    Parameters
+    ----------
+    name:
+        Unique process name.
+    fn:
+        ``fn(inputs, outputs)`` where both arguments are name→Channel
+        mappings.  The function runs once; loops are written inside it
+        (``while True: x = inputs["in"].get() ...``), and a
+        :class:`ChannelClosed` escaping the function is normal end of
+        stream.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[[Mapping[str, Channel], Mapping[str, Channel]], None],
+    ) -> None:
+        self.name = name
+        self.fn = fn
+        self.inputs: dict[str, Channel] = {}
+        self.outputs: dict[str, Channel] = {}
+        self._thread: threading.Thread | None = None
+        self.error: BaseException | None = None
+        self.finished = threading.Event()
+
+    # -- wiring (done by the Network) ------------------------------------
+    def add_input(self, port: str, channel: Channel) -> None:
+        """Wire a channel to an input port (sets the channel's reader)."""
+        if port in self.inputs:
+            raise ValueError(f"process {self.name!r}: duplicate input port "
+                             f"{port!r}")
+        channel.reader = self.name
+        self.inputs[port] = channel
+
+    def add_output(self, port: str, channel: Channel) -> None:
+        """Wire a channel to an output port (sets the channel's writer)."""
+        if port in self.outputs:
+            raise ValueError(f"process {self.name!r}: duplicate output port "
+                             f"{port!r}")
+        channel.writer = self.name
+        self.outputs[port] = channel
+
+    # -- lifecycle ---------------------------------------------------------
+    def _run(self) -> None:
+        try:
+            self.fn(self.inputs, self.outputs)
+        except ChannelClosed:
+            pass  # upstream ended; normal termination
+        except BaseException as exc:  # noqa: BLE001 - reported by network
+            self.error = exc
+        finally:
+            for ch in self.outputs.values():
+                ch.close()
+            self.finished.set()
+
+    def start(self) -> None:
+        """Start the process thread."""
+        self._thread = threading.Thread(
+            target=self._run, daemon=True, name=f"kpn-{self.name}"
+        )
+        self._thread.start()
+
+    def join(self, timeout: float | None = None) -> bool:
+        """Wait for termination; True when the thread has exited."""
+        if self._thread is None:
+            return True
+        self._thread.join(timeout)
+        return not self._thread.is_alive()
+
+    @property
+    def running(self) -> bool:
+        """Whether the process thread is still alive."""
+        return self._thread is not None and self._thread.is_alive()

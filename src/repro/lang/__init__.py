@@ -1,0 +1,67 @@
+"""The P2G kernel language (paper, section V-B and figure 5).
+
+A small C-like language in which programs declare global *fields* and
+*kernels*; kernels declare ``age``/``index``/``local`` variables, specify
+their field interaction through ``fetch``/``store`` statements, and embed
+a *native block* (``%{ ... %}``) containing the sequential transformation
+code.  The paper's native blocks are C/C++ compiled by a compiler driver;
+this reproduction's native blocks are Python, compiled by
+:func:`compile_program` into a regular :class:`repro.core.Program` that
+the runtime, graphs, LLS and simulator consume unchanged — the language
+is "not an integral part and can be replaced easily", which this package
+demonstrates by being a pure front-end.
+
+Example (figure 5)::
+
+    int32[] m_data age;
+    int32[] p_data age;
+
+    init:
+      local int32[] values;
+      %{
+        for i in range(5):
+            put(values, i + 10, i)
+      %}
+      store m_data(0) = values;
+
+    mul2:
+      age a;
+      index x;
+      fetch value = m_data(a)[x];
+      %{ value *= 2 %}
+      store p_data(a)[x] = value;
+"""
+
+from .ast import (
+    AgeRef,
+    FieldDecl,
+    IndexRef,
+    KernelDecl,
+    NativeBlock,
+    ProgramDecl,
+    TimerDecl,
+)
+from .compiler import compile_program, compile_file
+from .lexer import Lexer, tokenize
+from .parser import Parser, parse_program
+from .sema import analyze
+from .tokens import Token, TokenType
+
+__all__ = [
+    "AgeRef",
+    "FieldDecl",
+    "IndexRef",
+    "KernelDecl",
+    "Lexer",
+    "NativeBlock",
+    "Parser",
+    "ProgramDecl",
+    "TimerDecl",
+    "Token",
+    "TokenType",
+    "analyze",
+    "compile_file",
+    "compile_program",
+    "parse_program",
+    "tokenize",
+]

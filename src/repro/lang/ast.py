@@ -1,0 +1,209 @@
+"""Abstract syntax of the kernel language.
+
+Node names follow figure 5's vocabulary: a program is a list of field,
+timer and kernel declarations; a kernel declaration is a list of
+age/index/local declarations, fetch/store statements, options and native
+blocks, in source order (order matters for codegen: native blocks run in
+the order written, with locals created first).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+
+@dataclass(frozen=True)
+class AgeRef:
+    """Age expression in a fetch/store: ``a``, ``a+1``, ``a-2`` or a
+    literal integer."""
+
+    var: str | None  # None = literal
+    offset: int = 0
+    literal: int | None = None
+    line: int = 0
+
+    @staticmethod
+    def of_var(name: str, offset: int = 0, line: int = 0) -> "AgeRef":
+        """Age reference through the kernel's age variable."""
+        return AgeRef(var=name, offset=offset, line=line)
+
+    @staticmethod
+    def of_literal(value: int, line: int = 0) -> "AgeRef":
+        """Literal age reference."""
+        return AgeRef(var=None, literal=value, line=line)
+
+    def __str__(self) -> str:
+        if self.var is None:
+            return str(self.literal)
+        if self.offset == 0:
+            return self.var
+        sign = "+" if self.offset > 0 else "-"
+        return f"{self.var}{sign}{abs(self.offset)}"
+
+
+@dataclass(frozen=True)
+class IndexRef:
+    """One ``[...]`` index item: a variable (optionally blocked,
+    ``[x:8]``, optionally offset, ``[x-1]`` — a clamped stencil access)
+    or ``[:]`` for the whole dimension."""
+
+    var: str | None  # None = all
+    block: int = 1
+    offset: int = 0
+    line: int = 0
+
+    @property
+    def is_all(self) -> bool:
+        """Whether this is the whole-dimension item (``[:]``)."""
+        return self.var is None
+
+    def __str__(self) -> str:
+        if self.is_all:
+            return ":"
+        out = self.var
+        if self.offset:
+            out += f"+{self.offset}" if self.offset > 0 else str(self.offset)
+        if self.block != 1:
+            out += f":{self.block}"
+        return out
+
+
+@dataclass(frozen=True)
+class FieldDecl:
+    """``int32[][] frame age;`` — dtype, ndim = number of [] pairs.
+
+    Dimensions may carry declared sizes (``int64[4][8] partial age;``),
+    fixing the field's extent up front; unsized dimensions grow by
+    implicit resizing.  Mixing is rejected by semantic analysis because
+    a partially declared extent has the same whole-field ambiguity as an
+    undeclared one.
+    """
+
+    name: str
+    dtype: str
+    ndim: int
+    aging: bool
+    shape: tuple[int | None, ...] = ()
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class TimerDecl:
+    """``timer t1;``"""
+
+    name: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class AgeDecl:
+    """``age a;``"""
+
+    name: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class IndexDecl:
+    """``index x;``"""
+
+    name: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class LocalDecl:
+    """``local int32[] values;`` (ndim 0 = scalar local)."""
+
+    name: str
+    dtype: str
+    ndim: int
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class FetchStmt:
+    """``fetch value = m_data(a)[x];``"""
+
+    param: str
+    field: str
+    age: AgeRef
+    index: tuple[IndexRef, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class StoreStmt:
+    """``store p_data(a)[x] = value;``"""
+
+    field: str
+    age: AgeRef
+    index: tuple[IndexRef, ...]
+    source: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class NativeBlock:
+    """``%{ ... %}`` — raw Python code."""
+
+    code: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class OptionStmt:
+    """``age_limit 9;`` or ``domain x = 100;`` — runtime bounds that have
+    no figure-5 counterpart but are needed to express the paper's
+    iteration-bounded evaluation runs inside the language."""
+
+    name: str  # "age_limit" | "domain"
+    key: str | None
+    value: int
+    line: int = 0
+
+
+@dataclass
+class KernelDecl:
+    """One kernel definition in source order."""
+
+    name: str
+    items: list = dc_field(default_factory=list)
+    line: int = 0
+
+    def ages(self) -> list[AgeDecl]:
+        """The kernel's age declarations, in source order."""
+        return [i for i in self.items if isinstance(i, AgeDecl)]
+
+    def indices(self) -> list[IndexDecl]:
+        """The kernel's index declarations, in source order."""
+        return [i for i in self.items if isinstance(i, IndexDecl)]
+
+    def locals(self) -> list[LocalDecl]:
+        """The kernel's local declarations, in source order."""
+        return [i for i in self.items if isinstance(i, LocalDecl)]
+
+    def fetches(self) -> list[FetchStmt]:
+        """The kernel's fetch statements, in source order."""
+        return [i for i in self.items if isinstance(i, FetchStmt)]
+
+    def stores(self) -> list[StoreStmt]:
+        """The kernel's store statements, in source order."""
+        return [i for i in self.items if isinstance(i, StoreStmt)]
+
+    def natives(self) -> list[NativeBlock]:
+        """The kernel's native blocks, in source order."""
+        return [i for i in self.items if isinstance(i, NativeBlock)]
+
+    def options(self) -> list[OptionStmt]:
+        """The kernel's option statements, in source order."""
+        return [i for i in self.items if isinstance(i, OptionStmt)]
+
+
+@dataclass
+class ProgramDecl:
+    """Top-level AST: all declarations in source order."""
+
+    fields: list[FieldDecl] = dc_field(default_factory=list)
+    timers: list[TimerDecl] = dc_field(default_factory=list)
+    kernels: list[KernelDecl] = dc_field(default_factory=list)

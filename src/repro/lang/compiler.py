@@ -1,0 +1,56 @@
+"""The kernel-language compiler driver.
+
+Mirrors the paper's pipeline (section VI-A): the P2G compiler parses the
+kernel language, validates it, and hands the native blocks to the host
+tool-chain — a C++ compiler there, the Python runtime here — producing a
+runnable program.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..core import Program
+from .codegen import generate_program
+from .parser import parse_program
+from .sema import analyze
+
+__all__ = ["compile_program", "compile_file"]
+
+
+def compile_program(
+    source: str,
+    bindings: Mapping[str, Any] | None = None,
+    name: str = "program",
+) -> Program:
+    """Compile kernel-language source text into a runnable
+    :class:`repro.core.Program`.
+
+    Parameters
+    ----------
+    source:
+        Kernel-language text (see :mod:`repro.lang` for the grammar).
+    bindings:
+        Host objects made visible inside native blocks (e.g. an output
+        list the ``print`` kernel appends to).
+    name:
+        Program name used in graphs and logs.
+
+    Raises
+    ------
+    LexError / ParseError / SemanticError
+        With source line information, for malformed programs.
+    """
+    ast = parse_program(source)
+    analyze(ast)
+    return generate_program(ast, bindings, name)
+
+
+def compile_file(
+    path: str | Path,
+    bindings: Mapping[str, Any] | None = None,
+) -> Program:
+    """Compile a ``.p2g`` source file (program name = file stem)."""
+    p = Path(path)
+    return compile_program(p.read_text(), bindings, name=p.stem)

@@ -1,0 +1,128 @@
+"""Kernel-language lexer.
+
+Hand-written scanner producing :class:`~repro.lang.tokens.Token` objects.
+Two non-obvious rules:
+
+* ``%{ ... %}`` native blocks are captured raw (their contents are
+  Python in this reproduction and must not be tokenized);
+* ``//`` and ``#`` start line comments (the paper's examples use C-style
+  comments; ``#`` is a courtesy for Python-minded programs).
+"""
+
+from __future__ import annotations
+
+from ..core.errors import LexError
+from .tokens import KEYWORDS, TYPE_NAMES, Token, TokenType
+
+_SINGLE = {
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    ":": TokenType.COLON,
+    ";": TokenType.SEMI,
+    "=": TokenType.ASSIGN,
+    "+": TokenType.PLUS,
+    "-": TokenType.MINUS,
+    ",": TokenType.COMMA,
+}
+
+
+class Lexer:
+    """Tokenizes one source string."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _error(self, msg: str) -> LexError:
+        return LexError(msg, self.line, self.column)
+
+    def _advance(self, n: int = 1) -> None:
+        for _ in range(n):
+            if self.pos < len(self.source) and self.source[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _peek(self, offset: int = 0) -> str:
+        i = self.pos + offset
+        return self.source[i] if i < len(self.source) else ""
+
+    def tokens(self) -> list[Token]:
+        """Scan the whole source; returns tokens ending with EOF."""
+        out: list[Token] = []
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+                continue
+            if ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+                continue
+            if ch == "#":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+                continue
+            if ch == "%" and self._peek(1) == "{":
+                out.append(self._native_block())
+                continue
+            if ch.isdigit():
+                out.append(self._number())
+                continue
+            if ch.isalpha() or ch == "_":
+                out.append(self._word())
+                continue
+            if ch in _SINGLE:
+                out.append(Token(_SINGLE[ch], ch, self.line, self.column))
+                self._advance()
+                continue
+            raise self._error(f"unexpected character {ch!r}")
+        out.append(Token(TokenType.EOF, "", self.line, self.column))
+        return out
+
+    # ------------------------------------------------------------------
+    def _native_block(self) -> Token:
+        line, column = self.line, self.column
+        self._advance(2)  # consume %{
+        start = self.pos
+        while self.pos < len(self.source):
+            if self._peek() == "%" and self._peek(1) == "}":
+                code = self.source[start : self.pos]
+                self._advance(2)
+                return Token(TokenType.NATIVE, code, line, column)
+            self._advance()
+        raise LexError("unterminated native block (%{ without %})",
+                       line, column)
+
+    def _number(self) -> Token:
+        line, column = self.line, self.column
+        start = self.pos
+        while self.pos < len(self.source) and self._peek().isdigit():
+            self._advance()
+        return Token(TokenType.INT, self.source[start : self.pos],
+                     line, column)
+
+    def _word(self) -> Token:
+        line, column = self.line, self.column
+        start = self.pos
+        while self.pos < len(self.source) and (
+            self._peek().isalnum() or self._peek() == "_"
+        ):
+            self._advance()
+        word = self.source[start : self.pos]
+        if word in TYPE_NAMES:
+            return Token(TokenType.TYPE, word, line, column)
+        if word in KEYWORDS:
+            return Token(TokenType.KEYWORD, word, line, column)
+        return Token(TokenType.IDENT, word, line, column)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; raises :class:`LexError` on bad input."""
+    return Lexer(source).tokens()

@@ -1,0 +1,262 @@
+"""Recursive-descent parser for the kernel language.
+
+Grammar (see :mod:`repro.lang` for an example program)::
+
+    program      := (field_def | timer_def | kernel_def)*
+    field_def    := TYPE brackets IDENT ["age"] ";"
+    brackets     := ("[" "]")+
+    timer_def    := "timer" IDENT ";"
+    kernel_def   := IDENT ":" item*
+    item         := "age" IDENT ";"
+                  | "index" IDENT ";"
+                  | "local" TYPE brackets? IDENT ";"
+                  | "fetch" IDENT "=" field_ref ";"
+                  | "store" field_ref "=" IDENT ";"
+                  | "age_limit" INT ";"
+                  | "domain" IDENT "=" INT ";"
+                  | NATIVE
+    field_ref    := IDENT "(" age_expr ")" index_suffix?
+    age_expr     := IDENT [("+"|"-") INT] | INT
+    index_suffix := ("[" index_item "]")+
+    index_item   := IDENT [":" INT] | ":"
+
+A kernel body extends until the next kernel header (``IDENT ":"``) or
+end of file — the language has no braces, matching figure 5's layout.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ParseError
+from .ast import (
+    AgeDecl,
+    AgeRef,
+    FieldDecl,
+    FetchStmt,
+    IndexDecl,
+    IndexRef,
+    KernelDecl,
+    LocalDecl,
+    NativeBlock,
+    OptionStmt,
+    ProgramDecl,
+    StoreStmt,
+    TimerDecl,
+)
+from .lexer import tokenize
+from .tokens import Token, TokenType
+
+
+class Parser:
+    """Recursive-descent parser over a token list."""
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        i = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[i]
+
+    def _next(self) -> Token:
+        tok = self._peek()
+        if tok.type is not TokenType.EOF:
+            self.pos += 1
+        return tok
+
+    def _expect(self, ttype: TokenType, what: str) -> Token:
+        tok = self._peek()
+        if tok.type is not ttype:
+            raise ParseError(
+                f"expected {what}, found {tok.value!r}", tok.line, tok.column
+            )
+        return self._next()
+
+    def _expect_keyword(self, word: str) -> Token:
+        tok = self._peek()
+        if not tok.is_keyword(word):
+            raise ParseError(
+                f"expected {word!r}, found {tok.value!r}",
+                tok.line, tok.column,
+            )
+        return self._next()
+
+    # ------------------------------------------------------------------
+    def parse(self) -> ProgramDecl:
+        """Parse a whole program (fields, timers, kernels)."""
+        prog = ProgramDecl()
+        while self._peek().type is not TokenType.EOF:
+            tok = self._peek()
+            if tok.type is TokenType.TYPE:
+                prog.fields.append(self._field_def())
+            elif tok.is_keyword("timer"):
+                prog.timers.append(self._timer_def())
+            elif (
+                tok.type is TokenType.IDENT
+                and self._peek(1).type is TokenType.COLON
+            ):
+                prog.kernels.append(self._kernel_def())
+            else:
+                raise ParseError(
+                    f"expected a field, timer or kernel definition, found "
+                    f"{tok.value!r}",
+                    tok.line,
+                    tok.column,
+                )
+        return prog
+
+    # ------------------------------------------------------------------
+    def _brackets(self) -> tuple[int, tuple[int | None, ...]]:
+        """Parse ``[]``/``[N]`` dimension suffixes; returns (ndim, sizes)
+        where each size is an int or None (unsized)."""
+        sizes: list[int | None] = []
+        while self._peek().type is TokenType.LBRACKET:
+            self._next()
+            if self._peek().type is TokenType.INT:
+                sizes.append(int(self._next().value))
+            else:
+                sizes.append(None)
+            self._expect(TokenType.RBRACKET, "']'")
+        return len(sizes), tuple(sizes)
+
+    def _field_def(self) -> FieldDecl:
+        ttok = self._expect(TokenType.TYPE, "a type name")
+        ndim, shape = self._brackets()
+        if ndim == 0:
+            raise ParseError(
+                "field must have at least one [] dimension",
+                ttok.line, ttok.column,
+            )
+        name = self._expect(TokenType.IDENT, "a field name")
+        aging = False
+        if self._peek().is_keyword("age"):
+            self._next()
+            aging = True
+        self._expect(TokenType.SEMI, "';'")
+        return FieldDecl(name.value, ttok.value, ndim, aging, shape,
+                         ttok.line)
+
+    def _timer_def(self) -> TimerDecl:
+        tok = self._expect_keyword("timer")
+        name = self._expect(TokenType.IDENT, "a timer name")
+        self._expect(TokenType.SEMI, "';'")
+        return TimerDecl(name.value, tok.line)
+
+    # ------------------------------------------------------------------
+    def _kernel_def(self) -> KernelDecl:
+        name = self._expect(TokenType.IDENT, "a kernel name")
+        self._expect(TokenType.COLON, "':'")
+        kernel = KernelDecl(name.value, line=name.line)
+        while True:
+            tok = self._peek()
+            if tok.type is TokenType.EOF or tok.type is TokenType.TYPE:
+                break
+            if (
+                tok.type is TokenType.IDENT
+                and self._peek(1).type is TokenType.COLON
+            ):
+                break  # next kernel header
+            if tok.is_keyword("timer"):
+                break
+            kernel.items.append(self._kernel_item())
+        return kernel
+
+    def _kernel_item(self):
+        tok = self._peek()
+        if tok.type is TokenType.NATIVE:
+            self._next()
+            return NativeBlock(tok.value, tok.line)
+        if tok.is_keyword("age"):
+            self._next()
+            name = self._expect(TokenType.IDENT, "an age variable name")
+            self._expect(TokenType.SEMI, "';'")
+            return AgeDecl(name.value, tok.line)
+        if tok.is_keyword("index"):
+            self._next()
+            name = self._expect(TokenType.IDENT, "an index variable name")
+            self._expect(TokenType.SEMI, "';'")
+            return IndexDecl(name.value, tok.line)
+        if tok.is_keyword("local"):
+            self._next()
+            ttok = self._expect(TokenType.TYPE, "a type name")
+            ndim, _sizes = self._brackets()  # locals grow; sizes ignored
+            name = self._expect(TokenType.IDENT, "a local name")
+            self._expect(TokenType.SEMI, "';'")
+            return LocalDecl(name.value, ttok.value, ndim, tok.line)
+        if tok.is_keyword("fetch"):
+            self._next()
+            param = self._expect(TokenType.IDENT, "a fetch target name")
+            self._expect(TokenType.ASSIGN, "'='")
+            field, age, index = self._field_ref()
+            self._expect(TokenType.SEMI, "';'")
+            return FetchStmt(param.value, field, age, index, tok.line)
+        if tok.is_keyword("store"):
+            self._next()
+            field, age, index = self._field_ref()
+            self._expect(TokenType.ASSIGN, "'='")
+            source = self._expect(TokenType.IDENT, "a source name")
+            self._expect(TokenType.SEMI, "';'")
+            return StoreStmt(field, age, index, source.value, tok.line)
+        if tok.is_keyword("age_limit"):
+            self._next()
+            value = self._expect(TokenType.INT, "an integer")
+            self._expect(TokenType.SEMI, "';'")
+            return OptionStmt("age_limit", None, int(value.value), tok.line)
+        if tok.is_keyword("domain"):
+            self._next()
+            key = self._expect(TokenType.IDENT, "an index variable name")
+            self._expect(TokenType.ASSIGN, "'='")
+            value = self._expect(TokenType.INT, "an integer")
+            self._expect(TokenType.SEMI, "';'")
+            return OptionStmt("domain", key.value, int(value.value), tok.line)
+        raise ParseError(
+            f"unexpected {tok.value!r} in kernel body", tok.line, tok.column
+        )
+
+    # ------------------------------------------------------------------
+    def _field_ref(self) -> tuple[str, AgeRef, tuple[IndexRef, ...]]:
+        name = self._expect(TokenType.IDENT, "a field name")
+        self._expect(TokenType.LPAREN, "'('")
+        age = self._age_expr()
+        self._expect(TokenType.RPAREN, "')'")
+        index: list[IndexRef] = []
+        while self._peek().type is TokenType.LBRACKET:
+            self._next()
+            index.append(self._index_item())
+            self._expect(TokenType.RBRACKET, "']'")
+        return name.value, age, tuple(index)
+
+    def _age_expr(self) -> AgeRef:
+        tok = self._peek()
+        if tok.type is TokenType.INT:
+            self._next()
+            return AgeRef.of_literal(int(tok.value), tok.line)
+        name = self._expect(TokenType.IDENT, "an age variable or literal")
+        offset = 0
+        if self._peek().type in (TokenType.PLUS, TokenType.MINUS):
+            sign = 1 if self._next().type is TokenType.PLUS else -1
+            num = self._expect(TokenType.INT, "an integer offset")
+            offset = sign * int(num.value)
+        return AgeRef.of_var(name.value, offset, tok.line)
+
+    def _index_item(self) -> IndexRef:
+        tok = self._peek()
+        if tok.type is TokenType.COLON:
+            self._next()
+            return IndexRef(None, line=tok.line)
+        name = self._expect(TokenType.IDENT, "an index variable or ':'")
+        offset = 0
+        if self._peek().type in (TokenType.PLUS, TokenType.MINUS):
+            sign = 1 if self._next().type is TokenType.PLUS else -1
+            num = self._expect(TokenType.INT, "an index offset")
+            offset = sign * int(num.value)
+        block = 1
+        if self._peek().type is TokenType.COLON:
+            self._next()
+            num = self._expect(TokenType.INT, "a block size")
+            block = int(num.value)
+        return IndexRef(name.value, block, offset, tok.line)
+
+
+def parse_program(source: str) -> ProgramDecl:
+    """Tokenize and parse; raises :class:`LexError`/:class:`ParseError`."""
+    return Parser(tokenize(source)).parse()

@@ -1,0 +1,203 @@
+"""Semantic analysis of a parsed kernel-language program.
+
+Checks everything that can be checked without executing native blocks:
+declaration uniqueness, reference resolution (fields, age and index
+variables), index arity against field dimensionality, age-expression
+well-formedness, and option validity.  Violations raise
+:class:`~repro.core.errors.SemanticError` with source positions.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import SemanticError
+from .ast import (
+    AgeRef,
+    FetchStmt,
+    KernelDecl,
+    ProgramDecl,
+    StoreStmt,
+)
+
+
+def analyze(prog: ProgramDecl) -> None:
+    """Validate ``prog``; raises :class:`SemanticError` on the first
+    violation found."""
+    fields = {}
+    for f in prog.fields:
+        if f.name in fields:
+            raise SemanticError(f"duplicate field {f.name!r}", f.line)
+        if f.shape and any(s is not None for s in f.shape):
+            if any(s is None for s in f.shape):
+                raise SemanticError(
+                    f"field {f.name!r}: either every dimension or none "
+                    f"must declare a size",
+                    f.line,
+                )
+            if any(s < 0 for s in f.shape):
+                raise SemanticError(
+                    f"field {f.name!r}: negative dimension size", f.line
+                )
+        fields[f.name] = f
+    timers = set()
+    for t in prog.timers:
+        if t.name in timers:
+            raise SemanticError(f"duplicate timer {t.name!r}", t.line)
+        if t.name in fields:
+            raise SemanticError(
+                f"timer {t.name!r} collides with a field name", t.line
+            )
+        timers.add(t.name)
+    kernel_names = set()
+    for k in prog.kernels:
+        if k.name in kernel_names:
+            raise SemanticError(f"duplicate kernel {k.name!r}", k.line)
+        if k.name in fields:
+            raise SemanticError(
+                f"kernel {k.name!r} collides with a field name", k.line
+            )
+        kernel_names.add(k.name)
+        _analyze_kernel(k, fields)
+
+
+def _analyze_kernel(kernel: KernelDecl, fields: dict) -> None:
+    ages = kernel.ages()
+    if len(ages) > 1:
+        raise SemanticError(
+            f"kernel {kernel.name!r} declares more than one age variable",
+            ages[1].line,
+        )
+    age_name = ages[0].name if ages else None
+
+    names: set[str] = set()
+    if age_name:
+        names.add(age_name)
+    index_names: set[str] = set()
+    for ix in kernel.indices():
+        if ix.name in names or ix.name in index_names:
+            raise SemanticError(
+                f"kernel {kernel.name!r}: duplicate declaration of "
+                f"{ix.name!r}",
+                ix.line,
+            )
+        index_names.add(ix.name)
+    names |= index_names
+    for lo in kernel.locals():
+        if lo.name in names:
+            raise SemanticError(
+                f"kernel {kernel.name!r}: local {lo.name!r} shadows another "
+                f"declaration",
+                lo.line,
+            )
+        names.add(lo.name)
+    for fe in kernel.fetches():
+        if fe.param in names:
+            raise SemanticError(
+                f"kernel {kernel.name!r}: fetch target {fe.param!r} shadows "
+                f"another declaration",
+                fe.line,
+            )
+        names.add(fe.param)
+        _check_field_ref(kernel, fe.field, fe.age, fe.index, fields,
+                         age_name, index_names, fe.line, "fetch")
+    store_keys: set[tuple[str, str]] = set()
+    for st in kernel.stores():
+        _check_field_ref(kernel, st.field, st.age, st.index, fields,
+                         age_name, index_names, st.line, "store")
+        key = (st.field, st.source)
+        if key in store_keys:
+            raise SemanticError(
+                f"kernel {kernel.name!r}: duplicate store of {st.source!r} "
+                f"to {st.field!r}",
+                st.line,
+            )
+        store_keys.add(key)
+    for opt in kernel.options():
+        if opt.name == "domain" and opt.key not in index_names:
+            raise SemanticError(
+                f"kernel {kernel.name!r}: domain option names unknown index "
+                f"variable {opt.key!r}",
+                opt.line,
+            )
+        if opt.value < 0:
+            raise SemanticError(
+                f"kernel {kernel.name!r}: option {opt.name!r} must be "
+                f"non-negative",
+                opt.line,
+            )
+    if kernel.stores() or kernel.fetches():
+        pass  # pure-native kernels are legal (side-effect sinks)
+
+
+def _check_field_ref(
+    kernel: KernelDecl,
+    field: str,
+    age: AgeRef,
+    index: tuple,
+    fields: dict,
+    age_name: str | None,
+    index_names: set[str],
+    line: int,
+    what: str,
+) -> None:
+    if field not in fields:
+        raise SemanticError(
+            f"kernel {kernel.name!r}: {what} references unknown field "
+            f"{field!r}",
+            line,
+        )
+    fdecl = fields[field]
+    if age.var is not None:
+        if age_name is None:
+            raise SemanticError(
+                f"kernel {kernel.name!r}: {what} on {field!r} uses age "
+                f"variable {age.var!r} but the kernel declares no age",
+                line,
+            )
+        if age.var != age_name:
+            raise SemanticError(
+                f"kernel {kernel.name!r}: unknown age variable {age.var!r} "
+                f"(declared: {age_name!r})",
+                line,
+            )
+        if not fdecl.aging and (age.offset or True):
+            # variable age on a non-aging field is only meaningful at 0
+            raise SemanticError(
+                f"kernel {kernel.name!r}: {what} uses a variable age on "
+                f"non-aging field {field!r}",
+                line,
+            )
+    else:
+        if not fdecl.aging and age.literal != 0:
+            raise SemanticError(
+                f"kernel {kernel.name!r}: non-aging field {field!r} only "
+                f"has age 0",
+                line,
+            )
+        if age.literal is not None and age.literal < 0:
+            raise SemanticError(
+                f"kernel {kernel.name!r}: negative literal age", line
+            )
+    if index and len(index) != fdecl.ndim:
+        raise SemanticError(
+            f"kernel {kernel.name!r}: {what} on {field!r} has "
+            f"{len(index)} index item(s); the field has {fdecl.ndim} "
+            f"dimension(s)",
+            line,
+        )
+    for item in index:
+        if item.var is not None and item.var not in index_names:
+            raise SemanticError(
+                f"kernel {kernel.name!r}: undeclared index variable "
+                f"{item.var!r}",
+                line,
+            )
+        if item.block < 1:
+            raise SemanticError(
+                f"kernel {kernel.name!r}: block size must be >= 1", line
+            )
+        if item.offset and what == "store":
+            raise SemanticError(
+                f"kernel {kernel.name!r}: index offsets are fetch-only "
+                f"(a shifted store leaves write-once holes)",
+                line,
+            )

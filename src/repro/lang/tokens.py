@@ -1,0 +1,75 @@
+"""Token kinds and the token record for the kernel-language lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenType(enum.Enum):
+    """Lexical categories of the kernel language."""
+
+    IDENT = "ident"
+    INT = "int"
+    KEYWORD = "keyword"
+    TYPE = "type"
+    NATIVE = "native"  # a %{ ... %} block, value = raw code
+    LBRACKET = "["
+    RBRACKET = "]"
+    LPAREN = "("
+    RPAREN = ")"
+    COLON = ":"
+    SEMI = ";"
+    ASSIGN = "="
+    PLUS = "+"
+    MINUS = "-"
+    COMMA = ","
+    EOF = "eof"
+
+
+#: reserved words that are not type names
+KEYWORDS = frozenset(
+    {
+        "age",
+        "index",
+        "local",
+        "fetch",
+        "store",
+        "timer",
+        "age_limit",
+        "domain",
+    }
+)
+
+#: scalar type names (must match ``repro.core.fields.DTYPES``)
+TYPE_NAMES = frozenset(
+    {
+        "int8",
+        "uint8",
+        "int16",
+        "uint16",
+        "int32",
+        "uint32",
+        "int64",
+        "uint64",
+        "float32",
+        "float64",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its source position (1-based line/column)."""
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        """Whether this token is the given keyword."""
+        return self.type is TokenType.KEYWORD and self.value == word
+
+    def __str__(self) -> str:
+        return f"{self.type.name}({self.value!r})@{self.line}:{self.column}"

@@ -1,0 +1,101 @@
+"""Media substrate for the MJPEG workload.
+
+The paper's prototype encodes Motion JPEG (section VII-B): YUV input is
+split into 8x8 macro-blocks, DCT-transformed and quantized (the
+compute-intensive part it parallelizes), then variable-length-coded into
+a JPEG bit-stream.  This subpackage provides that entire substrate from
+scratch:
+
+* :mod:`repro.media.yuv` — YUV frames, planar I/O and the deterministic
+  synthetic CIF sequence standing in for the copyrighted *Foreman* clip;
+* :mod:`repro.media.dct` — naive (the paper's choice), separable-matrix
+  and AAN "FastDCT" (the paper's reference [2]) 8x8 transforms + IDCT;
+* :mod:`repro.media.quant` / :mod:`repro.media.zigzag` — JPEG Annex-K
+  quantization and zig-zag ordering;
+* :mod:`repro.media.bitstream` / :mod:`repro.media.huffman` — bit-level
+  I/O with JPEG byte stuffing and the Annex-K Huffman code tables;
+* :mod:`repro.media.jpeg` — a complete baseline JPEG encoder *and*
+  decoder (the decoder exists to verify encoder output round-trips);
+* :mod:`repro.media.mjpeg` — the Motion JPEG stream container.
+"""
+
+from .avi import AVIInfo, read_avi, write_avi
+from .bitstream import BitReader, BitWriter
+from .dct import (
+    aan_dct2,
+    dct2_blocks,
+    idct2,
+    idct2_blocks,
+    matrix_dct2,
+    naive_dct2,
+)
+from .huffman import (
+    HuffmanTable,
+    STD_AC_CHROMA,
+    STD_AC_LUMA,
+    STD_DC_CHROMA,
+    STD_DC_LUMA,
+)
+from .jpeg import (
+    blocks_to_plane,
+    decode_jpeg,
+    encode_from_quantized,
+    encode_jpeg,
+    pad_plane,
+    plane_to_blocks,
+    qtables_for_quality,
+    quantize_plane,
+)
+from .mjpeg import MJPEGReader, MJPEGWriter, split_frames
+from .quant import (
+    STD_CHROMA_QTABLE,
+    STD_LUMA_QTABLE,
+    dequantize,
+    quantize,
+    scale_qtable,
+)
+from .yuv import YUVFrame, psnr, read_yuv_file, synthetic_sequence, write_yuv_file
+from .zigzag import ZIGZAG_ORDER, inverse_zigzag, zigzag
+
+__all__ = [
+    "AVIInfo",
+    "BitReader",
+    "BitWriter",
+    "HuffmanTable",
+    "MJPEGReader",
+    "MJPEGWriter",
+    "STD_AC_CHROMA",
+    "STD_AC_LUMA",
+    "STD_CHROMA_QTABLE",
+    "STD_DC_CHROMA",
+    "STD_DC_LUMA",
+    "STD_LUMA_QTABLE",
+    "YUVFrame",
+    "ZIGZAG_ORDER",
+    "aan_dct2",
+    "blocks_to_plane",
+    "dct2_blocks",
+    "decode_jpeg",
+    "dequantize",
+    "encode_from_quantized",
+    "encode_jpeg",
+    "pad_plane",
+    "plane_to_blocks",
+    "qtables_for_quality",
+    "quantize_plane",
+    "split_frames",
+    "idct2",
+    "idct2_blocks",
+    "inverse_zigzag",
+    "matrix_dct2",
+    "naive_dct2",
+    "psnr",
+    "quantize",
+    "read_avi",
+    "read_yuv_file",
+    "scale_qtable",
+    "synthetic_sequence",
+    "write_avi",
+    "write_yuv_file",
+    "zigzag",
+]

@@ -1,0 +1,179 @@
+"""Motion-JPEG AVI container (RIFF ``AVI `` with an ``MJPG`` stream).
+
+The raw concatenated-JPEG stream of :mod:`repro.media.mjpeg` is the
+paper's on-disk format; wrapping it in the classic AVI 1.0 structure
+(``hdrl`` headers + ``movi`` chunks + ``idx1`` index) makes the encoder
+output playable in ordinary media players.  Writer and reader are
+implemented from the RIFF layout directly; both round-trip the exact
+JPEG payloads.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["write_avi", "read_avi", "AVIInfo"]
+
+
+def _chunk(fourcc: bytes, payload: bytes) -> bytes:
+    """A RIFF chunk: fourcc, little-endian size, payload, even padding."""
+    data = struct.pack("<4sI", fourcc, len(payload)) + payload
+    if len(payload) % 2:
+        data += b"\x00"
+    return data
+
+
+def _list(list_type: bytes, payload: bytes) -> bytes:
+    return _chunk(b"LIST", list_type + payload)
+
+
+@dataclass(frozen=True)
+class AVIInfo:
+    """Parsed AVI metadata."""
+
+    width: int
+    height: int
+    fps: float
+    frame_count: int
+    codec: str
+
+
+def write_avi(
+    target: str | Path | None,
+    jpeg_frames: Sequence[bytes],
+    width: int,
+    height: int,
+    fps: float = 25.0,
+) -> bytes:
+    """Build an AVI file from encoded JPEG frames.
+
+    Returns the bytes (and writes them to ``target`` when given).
+    """
+    if not jpeg_frames:
+        raise ValueError("cannot write an AVI with zero frames")
+    if fps <= 0:
+        raise ValueError(f"fps must be positive, got {fps}")
+    for i, f in enumerate(jpeg_frames):
+        if f[:2] != b"\xff\xd8":
+            raise ValueError(f"frame {i} is not a JPEG (missing SOI)")
+    n = len(jpeg_frames)
+    usec_per_frame = int(round(1_000_000 / fps))
+    max_bytes = max(len(f) for f in jpeg_frames)
+
+    # --- avih: main AVI header (56 bytes) ---------------------------------
+    avih = struct.pack(
+        "<IIIIIIIIIIIIII",
+        usec_per_frame,          # dwMicroSecPerFrame
+        max_bytes * int(fps),    # dwMaxBytesPerSec (approximate)
+        0,                       # dwPaddingGranularity
+        0x10,                    # dwFlags: AVIF_HASINDEX
+        n,                       # dwTotalFrames
+        0,                       # dwInitialFrames
+        1,                       # dwStreams
+        max_bytes,               # dwSuggestedBufferSize
+        width,
+        height,
+        0, 0, 0, 0,              # dwReserved[4]
+    )
+
+    # --- strh: stream header (56 bytes) -----------------------------------
+    strh = struct.pack(
+        "<4s4sIHHIIIIIIIIhhhh",
+        b"vids",                 # fccType
+        b"MJPG",                 # fccHandler
+        0,                       # dwFlags
+        0, 0,                    # wPriority, wLanguage
+        0,                       # dwInitialFrames
+        usec_per_frame,          # dwScale
+        1_000_000,               # dwRate (rate/scale = fps)
+        0,                       # dwStart
+        n,                       # dwLength
+        max_bytes,               # dwSuggestedBufferSize
+        0xFFFFFFFF & -1,         # dwQuality (-1 = default)
+        0,                       # dwSampleSize (0 = variable)
+        0, 0, width, height,     # rcFrame
+    )
+
+    # --- strf: BITMAPINFOHEADER (40 bytes) --------------------------------
+    strf = struct.pack(
+        "<IiiHH4sIiiII",
+        40,                      # biSize
+        width,
+        height,
+        1,                       # biPlanes
+        24,                      # biBitCount
+        b"MJPG",                 # biCompression
+        width * height * 3,      # biSizeImage (nominal)
+        0, 0, 0, 0,              # resolutions, colours
+    )
+
+    hdrl = _list(
+        b"hdrl",
+        _chunk(b"avih", avih)
+        + _list(b"strl", _chunk(b"strh", strh) + _chunk(b"strf", strf)),
+    )
+
+    # --- movi + idx1 -------------------------------------------------------
+    movi_payload = bytearray()
+    index_entries = []
+    for frame in jpeg_frames:
+        # offset is relative to the start of the 'movi' list type fourcc
+        offset = 4 + len(movi_payload)
+        movi_payload += _chunk(b"00dc", frame)
+        index_entries.append((offset, len(frame)))
+    movi = _list(b"movi", bytes(movi_payload))
+    idx1 = _chunk(
+        b"idx1",
+        b"".join(
+            struct.pack("<4sIII", b"00dc", 0x10, off, size)
+            for off, size in index_entries
+        ),
+    )
+
+    riff_payload = b"AVI " + hdrl + movi + idx1
+    data = struct.pack("<4sI", b"RIFF", len(riff_payload)) + riff_payload
+    if target is not None:
+        Path(target).write_bytes(data)
+    return data
+
+
+def read_avi(source: str | Path | bytes) -> tuple[AVIInfo, list[bytes]]:
+    """Parse an MJPG AVI; returns (info, jpeg frames)."""
+    data = (Path(source).read_bytes()
+            if isinstance(source, (str, Path)) else bytes(source))
+    if data[:4] != b"RIFF" or data[8:12] != b"AVI ":
+        raise ValueError("not a RIFF/AVI file")
+
+    width = height = 0
+    fps = 0.0
+    codec = ""
+    frames: list[bytes] = []
+
+    def walk(buf: bytes, pos: int, end: int) -> None:
+        nonlocal width, height, fps, codec
+        while pos + 8 <= end:
+            fourcc, size = struct.unpack_from("<4sI", buf, pos)
+            body_start = pos + 8
+            body_end = body_start + size
+            if fourcc == b"LIST":
+                walk(buf, body_start + 4, body_end)
+            elif fourcc == b"avih":
+                vals = struct.unpack_from("<IIIIIIIIII", buf, body_start)
+                if vals[0]:
+                    fps = 1_000_000 / vals[0]
+                width, height = vals[8], vals[9]
+            elif fourcc == b"strh":
+                codec = buf[body_start + 4 : body_start + 8].decode(
+                    "ascii", "replace"
+                )
+            elif fourcc == b"00dc":
+                frames.append(buf[body_start:body_end])
+            pos = body_end + (size % 2)
+
+    walk(data, 12, 8 + struct.unpack_from("<I", data, 4)[0])
+    if codec not in ("MJPG", ""):
+        raise ValueError(f"unsupported AVI codec {codec!r}")
+    return AVIInfo(width, height, fps, len(frames), codec or "MJPG"), frames

@@ -1,0 +1,264 @@
+"""JPEG Huffman entropy coding (ISO/IEC 10918-1, Annex K.3 tables).
+
+Implements canonical Huffman code construction from the (BITS, HUFFVAL)
+representation used by the DHT marker, the standard luminance and
+chrominance DC/AC tables, and the block-level run-length + magnitude
+coding of quantized zig-zag coefficients (the "VLC" in the paper's
+``VLC + write`` kernel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .bitstream import BitReader, BitWriter
+
+__all__ = [
+    "HuffmanTable",
+    "STD_DC_LUMA",
+    "STD_DC_CHROMA",
+    "STD_AC_LUMA",
+    "STD_AC_CHROMA",
+    "magnitude_category",
+    "encode_block",
+    "decode_block",
+]
+
+
+class HuffmanTable:
+    """A canonical JPEG Huffman table.
+
+    Parameters
+    ----------
+    bits:
+        16 counts — number of codes of length 1..16 (DHT ``BITS``).
+    values:
+        Symbols in code order (DHT ``HUFFVAL``).
+    """
+
+    def __init__(self, bits: Sequence[int], values: Sequence[int]) -> None:
+        bits = list(bits)
+        values = list(values)
+        if len(bits) != 16:
+            raise ValueError(f"BITS must have 16 entries, got {len(bits)}")
+        if sum(bits) != len(values):
+            raise ValueError(
+                f"BITS claims {sum(bits)} codes but {len(values)} values "
+                f"were given"
+            )
+        self.bits = tuple(bits)
+        self.values = tuple(values)
+        # Canonical code assignment (spec C.2): codes of equal length are
+        # consecutive; moving to the next length left-shifts.
+        self._encode: dict[int, tuple[int, int]] = {}
+        code = 0
+        k = 0
+        #: per length (1-based): (min_code, max_code, first_value_index)
+        self._decode: list[tuple[int, int, int] | None] = [None] * 17
+        for length in range(1, 17):
+            n = bits[length - 1]
+            if n:
+                self._decode[length] = (code, code + n - 1, k)
+                for _ in range(n):
+                    symbol = values[k]
+                    if symbol in self._encode:
+                        raise ValueError(f"duplicate symbol {symbol:#x}")
+                    self._encode[symbol] = (code, length)
+                    code += 1
+                    k += 1
+            code <<= 1
+
+    def encode(self, symbol: int) -> tuple[int, int]:
+        """(code, bit length) for ``symbol``."""
+        try:
+            return self._encode[symbol]
+        except KeyError:
+            raise ValueError(
+                f"symbol {symbol:#x} not in Huffman table"
+            ) from None
+
+    def write_symbol(self, writer: BitWriter, symbol: int) -> None:
+        """Encode ``symbol`` into the bit stream."""
+        code, length = self.encode(symbol)
+        writer.write_bits(code, length)
+
+    def read_symbol(self, reader: BitReader) -> int:
+        """Decode one symbol bit by bit (spec F.2.2.3 DECODE procedure)."""
+        code = 0
+        for length in range(1, 17):
+            code = (code << 1) | reader.read_bit()
+            rng = self._decode[length]
+            if rng is not None and rng[0] <= code <= rng[1]:
+                return self.values[rng[2] + (code - rng[0])]
+        raise ValueError("invalid Huffman code in stream")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+# ----------------------------------------------------------------------
+# Annex K.3 standard tables
+# ----------------------------------------------------------------------
+STD_DC_LUMA = HuffmanTable(
+    bits=[0, 1, 5, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0],
+    values=list(range(12)),
+)
+
+STD_DC_CHROMA = HuffmanTable(
+    bits=[0, 3, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0],
+    values=list(range(12)),
+)
+
+STD_AC_LUMA = HuffmanTable(
+    bits=[0, 2, 1, 3, 3, 2, 4, 3, 5, 5, 4, 4, 0, 0, 1, 0x7D],
+    values=[
+        0x01, 0x02, 0x03, 0x00, 0x04, 0x11, 0x05, 0x12,
+        0x21, 0x31, 0x41, 0x06, 0x13, 0x51, 0x61, 0x07,
+        0x22, 0x71, 0x14, 0x32, 0x81, 0x91, 0xA1, 0x08,
+        0x23, 0x42, 0xB1, 0xC1, 0x15, 0x52, 0xD1, 0xF0,
+        0x24, 0x33, 0x62, 0x72, 0x82, 0x09, 0x0A, 0x16,
+        0x17, 0x18, 0x19, 0x1A, 0x25, 0x26, 0x27, 0x28,
+        0x29, 0x2A, 0x34, 0x35, 0x36, 0x37, 0x38, 0x39,
+        0x3A, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48, 0x49,
+        0x4A, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59,
+        0x5A, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68, 0x69,
+        0x6A, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79,
+        0x7A, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89,
+        0x8A, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98,
+        0x99, 0x9A, 0xA2, 0xA3, 0xA4, 0xA5, 0xA6, 0xA7,
+        0xA8, 0xA9, 0xAA, 0xB2, 0xB3, 0xB4, 0xB5, 0xB6,
+        0xB7, 0xB8, 0xB9, 0xBA, 0xC2, 0xC3, 0xC4, 0xC5,
+        0xC6, 0xC7, 0xC8, 0xC9, 0xCA, 0xD2, 0xD3, 0xD4,
+        0xD5, 0xD6, 0xD7, 0xD8, 0xD9, 0xDA, 0xE1, 0xE2,
+        0xE3, 0xE4, 0xE5, 0xE6, 0xE7, 0xE8, 0xE9, 0xEA,
+        0xF1, 0xF2, 0xF3, 0xF4, 0xF5, 0xF6, 0xF7, 0xF8,
+        0xF9, 0xFA,
+    ],
+)
+
+STD_AC_CHROMA = HuffmanTable(
+    bits=[0, 2, 1, 2, 4, 4, 3, 4, 7, 5, 4, 4, 0, 1, 2, 0x77],
+    values=[
+        0x00, 0x01, 0x02, 0x03, 0x11, 0x04, 0x05, 0x21,
+        0x31, 0x06, 0x12, 0x41, 0x51, 0x07, 0x61, 0x71,
+        0x13, 0x22, 0x32, 0x81, 0x08, 0x14, 0x42, 0x91,
+        0xA1, 0xB1, 0xC1, 0x09, 0x23, 0x33, 0x52, 0xF0,
+        0x15, 0x62, 0x72, 0xD1, 0x0A, 0x16, 0x24, 0x34,
+        0xE1, 0x25, 0xF1, 0x17, 0x18, 0x19, 0x1A, 0x26,
+        0x27, 0x28, 0x29, 0x2A, 0x35, 0x36, 0x37, 0x38,
+        0x39, 0x3A, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48,
+        0x49, 0x4A, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58,
+        0x59, 0x5A, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68,
+        0x69, 0x6A, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78,
+        0x79, 0x7A, 0x82, 0x83, 0x84, 0x85, 0x86, 0x87,
+        0x88, 0x89, 0x8A, 0x92, 0x93, 0x94, 0x95, 0x96,
+        0x97, 0x98, 0x99, 0x9A, 0xA2, 0xA3, 0xA4, 0xA5,
+        0xA6, 0xA7, 0xA8, 0xA9, 0xAA, 0xB2, 0xB3, 0xB4,
+        0xB5, 0xB6, 0xB7, 0xB8, 0xB9, 0xBA, 0xC2, 0xC3,
+        0xC4, 0xC5, 0xC6, 0xC7, 0xC8, 0xC9, 0xCA, 0xD2,
+        0xD3, 0xD4, 0xD5, 0xD6, 0xD7, 0xD8, 0xD9, 0xDA,
+        0xE2, 0xE3, 0xE4, 0xE5, 0xE6, 0xE7, 0xE8, 0xE9,
+        0xEA, 0xF2, 0xF3, 0xF4, 0xF5, 0xF6, 0xF7, 0xF8,
+        0xF9, 0xFA,
+    ],
+)
+
+
+# ----------------------------------------------------------------------
+# Coefficient coding (spec F.1.2 / F.2.2)
+# ----------------------------------------------------------------------
+def magnitude_category(value: int) -> int:
+    """SSSS — number of bits needed for the magnitude of ``value``."""
+    return int(abs(int(value))).bit_length()
+
+
+def _magnitude_bits(value: int, category: int) -> int:
+    """Appended magnitude bits: value itself for positives, value - 1 in
+    two's complement (low ``category`` bits) for negatives."""
+    value = int(value)
+    if value >= 0:
+        return value
+    return (value - 1) & ((1 << category) - 1)
+
+
+def _extend(bits: int, category: int) -> int:
+    """Inverse of :func:`_magnitude_bits` (spec EXTEND procedure)."""
+    if category == 0:
+        return 0
+    if bits < (1 << (category - 1)):
+        return bits - (1 << category) + 1
+    return bits
+
+
+def encode_block(
+    writer: BitWriter,
+    zz: np.ndarray,
+    prev_dc: int,
+    dc_table: HuffmanTable,
+    ac_table: HuffmanTable,
+) -> int:
+    """Entropy-encode one zig-zag block; returns the block's DC value
+    (the caller threads it as the next block's predictor)."""
+    zz = np.asarray(zz, dtype=np.int64)
+    if zz.shape != (64,):
+        raise ValueError(f"expected 64 zig-zag coefficients, got {zz.shape}")
+    dc = int(zz[0])
+    diff = dc - prev_dc
+    cat = magnitude_category(diff)
+    if cat > 11:
+        raise ValueError(f"DC difference {diff} out of baseline range")
+    dc_table.write_symbol(writer, cat)
+    if cat:
+        writer.write_bits(_magnitude_bits(diff, cat), cat)
+
+    run = 0
+    for k in range(1, 64):
+        coef = int(zz[k])
+        if coef == 0:
+            run += 1
+            continue
+        while run > 15:
+            ac_table.write_symbol(writer, 0xF0)  # ZRL: 16 zeros
+            run -= 16
+        cat = magnitude_category(coef)
+        if cat > 10:
+            raise ValueError(f"AC coefficient {coef} out of baseline range")
+        ac_table.write_symbol(writer, (run << 4) | cat)
+        writer.write_bits(_magnitude_bits(coef, cat), cat)
+        run = 0
+    if run:
+        ac_table.write_symbol(writer, 0x00)  # EOB
+    return dc
+
+
+def decode_block(
+    reader: BitReader,
+    prev_dc: int,
+    dc_table: HuffmanTable,
+    ac_table: HuffmanTable,
+) -> tuple[np.ndarray, int]:
+    """Decode one block; returns (zig-zag coefficients, DC value)."""
+    zz = np.zeros(64, dtype=np.int64)
+    cat = dc_table.read_symbol(reader)
+    diff = _extend(reader.read_bits(cat), cat) if cat else 0
+    dc = prev_dc + diff
+    zz[0] = dc
+    k = 1
+    while k < 64:
+        symbol = ac_table.read_symbol(reader)
+        if symbol == 0x00:  # EOB
+            break
+        if symbol == 0xF0:  # ZRL
+            k += 16
+            continue
+        run = symbol >> 4
+        cat = symbol & 0x0F
+        k += run
+        if k >= 64:
+            raise ValueError("AC run overflows block")
+        zz[k] = _extend(reader.read_bits(cat), cat)
+        k += 1
+    return zz, dc

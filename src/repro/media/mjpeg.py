@@ -1,0 +1,130 @@
+"""Motion JPEG stream container.
+
+Motion JPEG in its simplest interchange form is a concatenation of
+complete JPEG images (each SOI..EOI); this is what the paper's
+``VLC + write`` kernel appends to disk per frame.  The reader splits a
+stream back into frames by walking marker structure (not by scanning for
+byte patterns, which would be confused by entropy-coded 0xFFD8 byte
+pairs — stuffing prevents them, but walking segments is the robust way).
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import BinaryIO, Iterator
+
+__all__ = ["MJPEGWriter", "MJPEGReader", "split_frames"]
+
+_STANDALONE = {0xD8, 0xD9} | set(range(0xD0, 0xD8))  # SOI, EOI, RSTn
+
+
+def _frame_end(data: bytes, start: int) -> int:
+    """Offset one past the EOI of the JPEG starting at ``start``."""
+    if data[start : start + 2] != b"\xff\xd8":
+        raise ValueError(f"no SOI at offset {start}")
+    pos = start + 2
+    in_scan = False
+    while pos < len(data):
+        if not in_scan:
+            if data[pos] != 0xFF:
+                raise ValueError(f"expected marker at offset {pos}")
+            code = data[pos + 1]
+            pos += 2
+            if code == 0xD9:
+                return pos
+            if code in _STANDALONE:
+                continue
+            (seg_len,) = struct.unpack(">H", data[pos : pos + 2])
+            if code == 0xDA:
+                in_scan = True
+            pos += seg_len
+        else:
+            # skip entropy-coded data: 0xFF followed by a non-stuffing,
+            # non-RST byte ends the scan
+            if data[pos] == 0xFF and pos + 1 < len(data):
+                nxt = data[pos + 1]
+                if nxt == 0x00 or 0xD0 <= nxt <= 0xD7:
+                    pos += 2
+                    continue
+                in_scan = False
+                continue
+            pos += 1
+    raise ValueError("truncated JPEG (no EOI)")
+
+
+def split_frames(data: bytes) -> list[bytes]:
+    """Split a concatenated-JPEG byte string into individual frames."""
+    frames = []
+    pos = 0
+    while pos < len(data):
+        end = _frame_end(data, pos)
+        frames.append(data[pos:end])
+        pos = end
+    return frames
+
+
+class MJPEGWriter:
+    """Appends JPEG frames to a file or in-memory buffer."""
+
+    def __init__(self, target: str | Path | BinaryIO | None = None) -> None:
+        self._own = False
+        if target is None:
+            import io
+
+            self._fh: BinaryIO = io.BytesIO()
+            self._own = True
+        elif isinstance(target, (str, Path)):
+            self._fh = open(target, "wb")
+            self._own = True
+        else:
+            self._fh = target
+        self.frames_written = 0
+        self.bytes_written = 0
+
+    def write_frame(self, jpeg_bytes: bytes) -> None:
+        """Append one complete JPEG (SOI..EOI) to the stream."""
+        if jpeg_bytes[:2] != b"\xff\xd8" or jpeg_bytes[-2:] != b"\xff\xd9":
+            raise ValueError("frame is not a complete JPEG (SOI..EOI)")
+        self._fh.write(jpeg_bytes)
+        self.frames_written += 1
+        self.bytes_written += len(jpeg_bytes)
+
+    def getvalue(self) -> bytes:
+        """The in-memory stream contents (memory targets only)."""
+        getv = getattr(self._fh, "getvalue", None)
+        if getv is None:
+            raise TypeError("getvalue() only available for memory streams")
+        return getv()
+
+    def close(self) -> None:
+        """Close the underlying file if this writer opened it."""
+        if self._own and not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "MJPEGWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class MJPEGReader:
+    """Iterates JPEG frames out of an MJPEG stream."""
+
+    def __init__(self, source: str | Path | bytes) -> None:
+        if isinstance(source, (str, Path)):
+            self._data = Path(source).read_bytes()
+        else:
+            self._data = bytes(source)
+
+    def __iter__(self) -> Iterator[bytes]:
+        pos = 0
+        while pos < len(self._data):
+            end = _frame_end(self._data, pos)
+            yield self._data[pos:end]
+            pos = end
+
+    def count(self) -> int:
+        """Number of frames in the stream."""
+        return sum(1 for _ in self)

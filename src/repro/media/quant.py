@@ -1,0 +1,79 @@
+"""JPEG quantization (ISO/IEC 10918-1, Annex K tables).
+
+Quantization is the lossy half of the DCT/quantization stage the paper's
+MJPEG workload optimizes; the standard example tables and the ubiquitous
+libjpeg quality scaling are implemented here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "STD_LUMA_QTABLE",
+    "STD_CHROMA_QTABLE",
+    "scale_qtable",
+    "quantize",
+    "dequantize",
+]
+
+#: Annex K.1 — luminance quantization table (quality 50 reference).
+STD_LUMA_QTABLE = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.int32,
+)
+
+#: Annex K.2 — chrominance quantization table.
+STD_CHROMA_QTABLE = np.array(
+    [
+        [17, 18, 24, 47, 99, 99, 99, 99],
+        [18, 21, 26, 66, 99, 99, 99, 99],
+        [24, 26, 56, 99, 99, 99, 99, 99],
+        [47, 66, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+    ],
+    dtype=np.int32,
+)
+
+
+def scale_qtable(table: np.ndarray, quality: int) -> np.ndarray:
+    """libjpeg quality scaling: quality 50 returns the table unchanged,
+    100 approaches all-ones, 1 is maximally coarse.  Entries are clamped
+    to the baseline-JPEG range [1, 255]."""
+    if not 1 <= quality <= 100:
+        raise ValueError(f"quality must be in [1, 100], got {quality}")
+    if quality < 50:
+        scale = 5000 // quality
+    else:
+        scale = 200 - 2 * quality
+    scaled = (np.asarray(table, dtype=np.int64) * scale + 50) // 100
+    return np.clip(scaled, 1, 255).astype(np.int32)
+
+
+def quantize(coeffs: np.ndarray, qtable: np.ndarray) -> np.ndarray:
+    """Round DCT coefficients to quantization steps: ``round(F / Q)``.
+
+    Works on one block or a batch ``(..., 8, 8)``; returns int32.
+    """
+    coeffs = np.asarray(coeffs, dtype=np.float64)
+    q = np.asarray(qtable, dtype=np.float64)
+    return np.round(coeffs / q).astype(np.int32)
+
+
+def dequantize(levels: np.ndarray, qtable: np.ndarray) -> np.ndarray:
+    """Reverse quantization: ``level * Q`` (float64 output for the IDCT)."""
+    return np.asarray(levels, dtype=np.float64) * np.asarray(
+        qtable, dtype=np.float64
+    )

@@ -1,0 +1,183 @@
+"""YUV frames, planar file I/O and the synthetic test sequence.
+
+The paper's evaluation encodes 50 CIF (352x288) frames of the standard
+*Foreman* test sequence.  Foreman is not redistributable, so
+:func:`synthetic_sequence` generates a deterministic CIF clip with
+foreman-like properties — smooth regions, textured regions, object
+motion and a panning background — which exercises the identical code
+path (instance counts and per-block work depend only on geometry, not on
+pixel content).  Real ``.yuv`` clips can be substituted via
+:func:`read_yuv_file`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "YUVFrame",
+    "synthetic_sequence",
+    "read_yuv_file",
+    "write_yuv_file",
+    "psnr",
+    "CIF_WIDTH",
+    "CIF_HEIGHT",
+]
+
+CIF_WIDTH = 352
+CIF_HEIGHT = 288
+
+
+@dataclass
+class YUVFrame:
+    """One 4:2:0 frame: full-resolution luma, half-resolution chroma."""
+
+    y: np.ndarray
+    u: np.ndarray
+    v: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.y = np.asarray(self.y, dtype=np.uint8)
+        self.u = np.asarray(self.u, dtype=np.uint8)
+        self.v = np.asarray(self.v, dtype=np.uint8)
+        h, w = self.y.shape
+        ch, cw = (h + 1) // 2, (w + 1) // 2
+        if self.u.shape != (ch, cw) or self.v.shape != (ch, cw):
+            raise ValueError(
+                f"chroma shape {self.u.shape}/{self.v.shape} does not match "
+                f"4:2:0 subsampling of {self.y.shape}"
+            )
+
+    @property
+    def width(self) -> int:
+        """Luma width in pixels."""
+        return self.y.shape[1]
+
+    @property
+    def height(self) -> int:
+        """Luma height in pixels."""
+        return self.y.shape[0]
+
+    def planes(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The (y, u, v) planes as a tuple."""
+        return self.y, self.u, self.v
+
+    def tobytes(self) -> bytes:
+        """Planar I420 layout (Y then U then V)."""
+        return self.y.tobytes() + self.u.tobytes() + self.v.tobytes()
+
+    @classmethod
+    def frombytes(cls, data: bytes, width: int, height: int) -> "YUVFrame":
+        """Parse one planar I420 frame from bytes."""
+        ysize = width * height
+        csize = (width // 2) * (height // 2)
+        if len(data) < ysize + 2 * csize:
+            raise ValueError("truncated I420 frame")
+        y = np.frombuffer(data[:ysize], dtype=np.uint8).reshape(
+            height, width
+        )
+        u = np.frombuffer(
+            data[ysize : ysize + csize], dtype=np.uint8
+        ).reshape(height // 2, width // 2)
+        v = np.frombuffer(
+            data[ysize + csize : ysize + 2 * csize], dtype=np.uint8
+        ).reshape(height // 2, width // 2)
+        return cls(y.copy(), u.copy(), v.copy())
+
+    @staticmethod
+    def frame_size(width: int, height: int) -> int:
+        """Bytes of one I420 frame at the given geometry."""
+        return width * height + 2 * (width // 2) * (height // 2)
+
+
+def synthetic_sequence(
+    frames: int,
+    width: int = CIF_WIDTH,
+    height: int = CIF_HEIGHT,
+    seed: int = 1234,
+) -> list[YUVFrame]:
+    """Deterministic foreman-like CIF clip.
+
+    Composition per frame ``t``:
+
+    * a slowly panning luma gradient (global motion, like the camera pan);
+    * a sinusoidal texture band (high-frequency detail that stresses the
+      AC Huffman path);
+    * a moving bright square (foreground object motion);
+    * low-amplitude fixed-seed noise (keeps quantized blocks non-trivial).
+
+    The generator is pure NumPy and deterministic in ``seed``.
+    """
+    if frames < 0:
+        raise ValueError("frames must be >= 0")
+    rng = np.random.default_rng(seed)
+    noise = rng.integers(0, 12, size=(height, width), dtype=np.int32)
+    yy, xx = np.mgrid[0:height, 0:width]
+    out: list[YUVFrame] = []
+    for t in range(frames):
+        pan = 3 * t
+        grad = ((xx + pan) * 255 // (width + pan + 1)).astype(np.int32)
+        texture = (
+            40 * np.sin(2 * math.pi * (xx + 2 * t) / 16.0)
+            * np.sin(2 * math.pi * yy / 24.0)
+        ).astype(np.int32)
+        y = 64 + grad // 2 + texture // 2 + noise
+        sq = 32
+        sx = (17 * t) % max(1, width - sq)
+        sy = (11 * t) % max(1, height - sq)
+        y[sy : sy + sq, sx : sx + sq] += 80
+        y = np.clip(y, 0, 255).astype(np.uint8)
+        ch, cw = height // 2, width // 2
+        cyy, cxx = np.mgrid[0:ch, 0:cw]
+        u = np.clip(
+            128 + 30 * np.sin(2 * math.pi * (cxx + t) / 64.0), 0, 255
+        ).astype(np.uint8)
+        v = np.clip(
+            128 + 30 * np.cos(2 * math.pi * (cyy + 2 * t) / 48.0), 0, 255
+        ).astype(np.uint8)
+        out.append(YUVFrame(y, u, v))
+    return out
+
+
+def write_yuv_file(
+    path: str | Path, frames: Sequence[YUVFrame]
+) -> int:
+    """Write frames as planar I420; returns bytes written."""
+    data = b"".join(f.tobytes() for f in frames)
+    Path(path).write_bytes(data)
+    return len(data)
+
+
+def read_yuv_file(
+    path: str | Path,
+    width: int,
+    height: int,
+    max_frames: int | None = None,
+) -> Iterator[YUVFrame]:
+    """Stream planar I420 frames from disk (the MJPEG read kernel's
+    on-disk path)."""
+    fsize = YUVFrame.frame_size(width, height)
+    data = Path(path).read_bytes()
+    n = len(data) // fsize
+    if max_frames is not None:
+        n = min(n, max_frames)
+    for i in range(n):
+        yield YUVFrame.frombytes(data[i * fsize : (i + 1) * fsize],
+                                 width, height)
+
+
+def psnr(a: np.ndarray, b: np.ndarray, peak: float = 255.0) -> float:
+    """Peak signal-to-noise ratio in dB (inf for identical inputs)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch {a.shape} vs {b.shape}")
+    mse = float(np.mean((a - b) ** 2))
+    if mse == 0.0:
+        return math.inf
+    return 10.0 * math.log10(peak * peak / mse)

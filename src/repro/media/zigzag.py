@@ -1,0 +1,48 @@
+"""JPEG zig-zag coefficient ordering (ISO/IEC 10918-1, figure 5).
+
+The zig-zag scan orders 8x8 DCT coefficients by increasing spatial
+frequency so that the run-length/Huffman stage sees long zero runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ZIGZAG_ORDER", "INVERSE_ZIGZAG_ORDER", "zigzag", "inverse_zigzag"]
+
+
+def _build_order() -> np.ndarray:
+    """Walk the 8x8 grid along anti-diagonals, alternating direction."""
+    order = []
+    for s in range(15):
+        diag = [(i, s - i) for i in range(8) if 0 <= s - i < 8]
+        if s % 2 == 0:
+            diag.reverse()  # even diagonals run bottom-left -> top-right
+        order.extend(diag)
+    return np.array([r * 8 + c for r, c in order], dtype=np.int64)
+
+
+#: flat index into an 8x8 block for each zig-zag position
+ZIGZAG_ORDER = _build_order()
+
+#: zig-zag position of each flat 8x8 index (the scatter permutation)
+INVERSE_ZIGZAG_ORDER = np.argsort(ZIGZAG_ORDER)
+
+
+def zigzag(block: np.ndarray) -> np.ndarray:
+    """Flatten one 8x8 block (or a batch ``(..., 8, 8)``) into zig-zag
+    order ``(..., 64)``."""
+    block = np.asarray(block)
+    if block.shape[-2:] != (8, 8):
+        raise ValueError(f"expected (..., 8, 8), got {block.shape}")
+    flat = block.reshape(block.shape[:-2] + (64,))
+    return flat[..., ZIGZAG_ORDER]
+
+
+def inverse_zigzag(seq: np.ndarray) -> np.ndarray:
+    """Rebuild 8x8 blocks from zig-zag sequences ``(..., 64)``."""
+    seq = np.asarray(seq)
+    if seq.shape[-1] != 64:
+        raise ValueError(f"expected (..., 64), got {seq.shape}")
+    flat = seq[..., INVERSE_ZIGZAG_ORDER]
+    return flat.reshape(seq.shape[:-1] + (8, 8))

@@ -1,0 +1,161 @@
+"""Configuration advisor: what-if analysis on the simulator.
+
+Section V-A of the paper: the weighted static graphs "can serve as
+input to static offline analysis.  For example, it could be used as
+input to a simulator to best determine how to initially configure a
+workload, given various global topology configurations."  This module
+is that use-case: given a workload model (from the paper's tables or
+calibrated from a real run), it answers
+
+* :func:`recommend_workers` — how many worker threads before returns
+  stop (the figure-10 knee, found without running the real system);
+* :func:`compare_machines` — which topology runs the workload fastest;
+* :func:`granularity_what_if` — how the curves move if the LLS coarsens
+  a stage by some factor (predicting the §VIII-B remedy *before*
+  rewriting the program).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Mapping, Sequence
+
+from .machine import MachineProfile
+from .simnode import SimExecutionNode
+from .workload import StageSpec, WorkloadModel
+
+__all__ = [
+    "WorkerRecommendation",
+    "recommend_workers",
+    "compare_machines",
+    "coarsen_model",
+    "granularity_what_if",
+]
+
+
+@dataclass
+class WorkerRecommendation:
+    """Outcome of a simulated worker sweep."""
+
+    machine: str
+    best_workers: int  #: worker count minimizing makespan
+    best_makespan: float
+    knee: int  #: smallest count within ``tolerance`` of the best
+    series: list[tuple[int, float]]
+    analyzer_bound: bool  #: analyzer utilization > 90% at the knee
+
+    def speedup(self) -> float:
+        """Best makespan relative to the 1-worker point."""
+        first = dict(self.series)[min(w for w, _ in self.series)]
+        return first / self.best_makespan
+
+
+def recommend_workers(
+    model: WorkloadModel,
+    machine: MachineProfile,
+    max_workers: int = 16,
+    tolerance: float = 0.05,
+    **sim_kwargs,
+) -> WorkerRecommendation:
+    """Sweep 1..max_workers in simulation and pick the configuration.
+
+    ``knee`` is the *cheapest adequate* choice: the smallest worker
+    count whose makespan is within ``tolerance`` of the best — the
+    number an operator should provision.
+    """
+    results = [
+        SimExecutionNode(model, machine, w, **sim_kwargs).run()
+        for w in range(1, max_workers + 1)
+    ]
+    series = [(r.workers, r.makespan) for r in results]
+    best = min(results, key=lambda r: r.makespan)
+    knee = next(
+        r for r in results
+        if r.makespan <= best.makespan * (1.0 + tolerance)
+    )
+    return WorkerRecommendation(
+        machine=machine.name,
+        best_workers=best.workers,
+        best_makespan=best.makespan,
+        knee=knee.workers,
+        series=series,
+        analyzer_bound=knee.analyzer_utilization > 0.9,
+    )
+
+
+def compare_machines(
+    model: WorkloadModel,
+    machines: Mapping[str, MachineProfile],
+    max_workers: int = 8,
+    **sim_kwargs,
+) -> dict[str, WorkerRecommendation]:
+    """Recommend per machine; the HLS's topology-choice question."""
+    return {
+        name: recommend_workers(model, m, max_workers, **sim_kwargs)
+        for name, m in machines.items()
+    }
+
+
+def coarsen_model(
+    model: WorkloadModel, stage: str, factor: int
+) -> WorkloadModel:
+    """The LLS data-granularity transform applied to a *model*: the
+    stage's instances divide by ``factor``, its per-instance kernel time
+    multiplies (same total work), and its per-instance dispatch cost
+    stays — so total dispatch load shrinks by ``factor``.
+    """
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    stages = []
+    found = False
+    for s in model.stages:
+        if s.name == stage:
+            found = True
+            per_age = max(1, -(-s.instances_per_age // factor))
+            effective = s.instances_per_age / per_age
+            stages.append(
+                StageSpec(
+                    s.name,
+                    per_age,
+                    s.kernel_time_us * effective,
+                    s.dispatch_time_us,
+                    ages=s.ages,
+                    deps=s.deps,
+                )
+            )
+        else:
+            stages.append(s)
+    if not found:
+        raise KeyError(stage)
+    return WorkloadModel(
+        f"{model.name}/coarse-{stage}x{factor}", model.ages, tuple(stages)
+    )
+
+
+@dataclass
+class WhatIfResult:
+    """Granularity what-if outcome for one coarsening factor."""
+
+    factor: int
+    recommendation: WorkerRecommendation
+
+
+def granularity_what_if(
+    model: WorkloadModel,
+    machine: MachineProfile,
+    stage: str,
+    factors: Sequence[int] = (1, 8, 64, 512),
+    max_workers: int = 8,
+    **sim_kwargs,
+) -> list[WhatIfResult]:
+    """Predict how coarsening ``stage`` moves the scaling curve —
+    the §VIII-B remedy evaluated offline."""
+    out = []
+    for f in factors:
+        m = coarsen_model(model, stage, f) if f > 1 else model
+        out.append(
+            WhatIfResult(
+                f, recommend_workers(m, machine, max_workers, **sim_kwargs)
+            )
+        )
+    return out

@@ -1,0 +1,56 @@
+"""A minimal discrete-event simulation core.
+
+A single event heap with a monotonically advancing clock.  Callbacks may
+schedule further events; ties break in scheduling order, making runs
+fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+__all__ = ["EventLoop"]
+
+
+class EventLoop:
+    """Deterministic event heap."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self.events_processed = 0
+
+    def at(self, time: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` at absolute simulation time ``time``."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule into the past ({time} < {self.now})"
+            )
+        heapq.heappush(self._heap, (time, next(self._seq), fn))
+
+    def after(self, delay: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self.at(self.now + delay, fn)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Process events until the heap drains (or a bound is hit);
+        returns the final clock value."""
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                break
+            if max_events is not None and self.events_processed >= max_events:
+                break
+            time, _seq, fn = heapq.heappop(self._heap)
+            self.now = time
+            self.events_processed += 1
+            fn()
+        return self.now
+
+    def __len__(self) -> int:
+        return len(self._heap)

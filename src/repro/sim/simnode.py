@@ -1,0 +1,296 @@
+"""Discrete-event simulation of one P2G execution node.
+
+The simulated node has the prototype's exact thread structure:
+
+* ``W`` **workers** executing kernel instances from an age-ordered ready
+  queue;
+* one **dependency analyzer** thread, a serial server that must spend
+  each instance's dispatch cost before the instance reaches the ready
+  queue (section VI-B's dedicated analyzer thread).  Synchronization
+  with the workers adds a contention term that grows with the number of
+  busy workers — the mechanism behind K-means' post-knee slowdown.
+
+All ``W + 1`` threads time-share the machine's cores under the
+processor-sharing capacity model of
+:class:`~repro.sim.machine.MachineProfile`: with more runnable threads
+than cores (or SMT siblings), every thread slows down — which is why
+the 8th worker (sharing with the analyzer) bends the MJPEG curve in
+figure 9.
+
+Instances are simulated in *chunks* (batches of identical instances) to
+keep the event count tractable at table-III scale (2 million assign
+instances); chunking preserves aggregate service demands and barrier
+structure.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field as dc_field
+
+from .desim import EventLoop
+from .machine import MachineProfile
+from .workload import StageSpec, WorkloadModel
+
+__all__ = ["SimExecutionNode", "SimResult", "SimStageStats"]
+
+
+@dataclass
+class SimStageStats:
+    """Aggregate per-stage accounting of one simulated run."""
+
+    instances: int = 0
+    kernel_seconds: float = 0.0  # service demand executed (reference units)
+    dispatch_seconds: float = 0.0
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated run."""
+
+    machine: str
+    workers: int
+    makespan: float  #: simulated wall-clock seconds
+    stages: dict[str, SimStageStats]
+    analyzer_busy: float  #: simulated seconds the analyzer was busy
+    worker_busy: float  #: summed busy seconds across workers
+    events: int
+
+    @property
+    def analyzer_utilization(self) -> float:
+        """Fraction of the makespan the analyzer thread was busy."""
+        return self.analyzer_busy / self.makespan if self.makespan else 0.0
+
+    @property
+    def worker_utilization(self) -> float:
+        """Mean busy fraction across the worker threads."""
+        if not self.makespan or not self.workers:
+            return 0.0
+        return self.worker_busy / (self.makespan * self.workers)
+
+
+class SimExecutionNode:
+    """Simulates a workload model on a machine with ``workers`` threads.
+
+    Parameters
+    ----------
+    model / machine / workers:
+        What to run, on what, with how many worker threads.
+    contention:
+        Fractional analyzer slowdown per provisioned worker beyond the
+        first (lock and cache-line traffic on the shared event/ready
+        queues — present whether a worker is busy or starved, since
+        starved workers poll).  0.04 reproduces the paper's post-knee
+        degradation in figure 10; set 0 to ablate.
+    analyzer_share:
+        Fraction of a kernel's measured dispatch time spent *in the
+        analyzer thread*; the remainder (fetch slicing, field
+        allocation/reallocation — "the dispatch time includes allocation
+        or reallocation of fields", section VIII-A) is paid by the
+        worker executing the instance.  0.5 places K-means' knee at 4
+        workers as in figure 10.
+    chunks_per_stage:
+        Target number of chunks a stage-age's instances are split into
+        (more = finer interleaving, more events).
+    """
+
+    def __init__(
+        self,
+        model: WorkloadModel,
+        machine: MachineProfile,
+        workers: int,
+        *,
+        contention: float = 0.04,
+        analyzer_share: float = 0.5,
+        chunks_per_stage: int = 64,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.model = model
+        self.machine = machine
+        self.workers = workers
+        self.contention = contention
+        if not 0.0 <= analyzer_share <= 1.0:
+            raise ValueError("analyzer_share must be in [0, 1]")
+        self.analyzer_share = analyzer_share
+        self.chunks_per_stage = max(1, chunks_per_stage)
+        self.loop = EventLoop()
+        # queues: heaps of (age, seq, stage, count)
+        self._seq = itertools.count()
+        self._analyzer_q: list[tuple[int, int, StageSpec, int]] = []
+        self._ready_q: list[tuple[int, int, StageSpec, int]] = []
+        self._analyzer_busy = False
+        self._busy_workers = 0
+        # (stage, age) -> instances not yet completed
+        self._remaining: dict[tuple[str, int], int] = {}
+        # (stage, age) -> unmet dependency count
+        self._waiting: dict[tuple[str, int], int] = {}
+        # reverse deps: (stage, age) -> [(stage, age) it unblocks]
+        self._unblocks: dict[tuple[str, int], list[tuple[str, int]]] = {}
+        self._stats: dict[str, SimStageStats] = {
+            s.name: SimStageStats() for s in model.stages
+        }
+        self.analyzer_busy_time = 0.0
+        self.worker_busy_time = 0.0
+        self._build_dependency_table()
+
+    # ------------------------------------------------------------------
+    def _exists(self, stage: str, age: int) -> bool:
+        try:
+            s = self.model.stage(stage)
+        except KeyError:
+            return False
+        return 0 <= age < self.model.stage_ages(s)
+
+    def _build_dependency_table(self) -> None:
+        for s in self.model.stages:
+            for age in range(self.model.stage_ages(s)):
+                key = (s.name, age)
+                self._remaining[key] = s.instances_per_age
+                unmet = 0
+                for dep_name, offset in s.deps:
+                    dep_key = (dep_name, age + offset)
+                    if self._exists(dep_name, age + offset):
+                        unmet += 1
+                        self._unblocks.setdefault(dep_key, []).append(key)
+                self._waiting[key] = unmet
+
+    # ------------------------------------------------------------------
+    # Speeds
+    # ------------------------------------------------------------------
+    def _active_threads(self) -> int:
+        return self._busy_workers + (1 if self._analyzer_busy else 0)
+
+    def _thread_speed(self) -> float:
+        return self.machine.per_thread_speed(max(1, self._active_threads()))
+
+    # ------------------------------------------------------------------
+    # Analyzer server
+    # ------------------------------------------------------------------
+    def _enqueue_analysis(self, stage: StageSpec, age: int) -> None:
+        count = stage.instances_per_age
+        if count == 0:
+            self._stage_age_completed(stage, age)
+            return
+        chunk = max(1, math.ceil(count / self.chunks_per_stage))
+        while count > 0:
+            c = min(chunk, count)
+            heapq.heappush(
+                self._analyzer_q, (age, next(self._seq), stage, c)
+            )
+            count -= c
+        self._kick_analyzer()
+
+    def _kick_analyzer(self) -> None:
+        if self._analyzer_busy or not self._analyzer_q:
+            return
+        age, _seq, stage, count = heapq.heappop(self._analyzer_q)
+        self._analyzer_busy = True
+        factor = 1.0 + self.contention * max(0, self.workers - 1)
+        speed = self._thread_speed()
+        analyzer_us = stage.dispatch_time_us * self.analyzer_share
+        duration = count * analyzer_us * 1e-6 * factor / speed
+        self.analyzer_busy_time += duration
+        self._stats[stage.name].dispatch_seconds += (
+            count * stage.dispatch_time_us * 1e-6
+        )
+
+        def done() -> None:
+            self._analyzer_busy = False
+            heapq.heappush(
+                self._ready_q, (age, next(self._seq), stage, count)
+            )
+            self._kick_workers()
+            self._kick_analyzer()
+
+        self.loop.after(duration, done)
+
+    # ------------------------------------------------------------------
+    # Worker pool
+    # ------------------------------------------------------------------
+    def _kick_workers(self) -> None:
+        while self._busy_workers < self.workers and self._ready_q:
+            age, _seq, stage, count = heapq.heappop(self._ready_q)
+            self._busy_workers += 1
+            speed = self._thread_speed()
+            worker_us = (
+                stage.kernel_time_us
+                + stage.dispatch_time_us * (1.0 - self.analyzer_share)
+            )
+            demand = count * worker_us * 1e-6
+            duration = demand / speed
+            self.worker_busy_time += duration
+            self._stats[stage.name].kernel_seconds += demand
+            self._stats[stage.name].instances += count
+
+            def done(stage=stage, age=age, count=count) -> None:
+                self._busy_workers -= 1
+                self._instances_completed(stage, age, count)
+                self._kick_workers()
+
+            self.loop.after(duration, done)
+
+    # ------------------------------------------------------------------
+    # Dependency bookkeeping
+    # ------------------------------------------------------------------
+    def _instances_completed(
+        self, stage: StageSpec, age: int, count: int
+    ) -> None:
+        key = (stage.name, age)
+        self._remaining[key] -= count
+        if self._remaining[key] == 0:
+            self._stage_age_completed(stage, age)
+
+    def _stage_age_completed(self, stage: StageSpec, age: int) -> None:
+        for succ_name, succ_age in self._unblocks.get((stage.name, age), ()):
+            self._waiting[(succ_name, succ_age)] -= 1
+            if self._waiting[(succ_name, succ_age)] == 0:
+                self._enqueue_analysis(
+                    self.model.stage(succ_name), succ_age
+                )
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimResult:
+        """Simulate to completion and return the result."""
+        started = False
+        for s in self.model.stages:
+            for age in range(self.model.stage_ages(s)):
+                if self._waiting[(s.name, age)] == 0:
+                    self._enqueue_analysis(s, age)
+                    started = True
+        if not started:
+            raise ValueError(
+                f"workload model {self.model.name!r} has no dependency-free "
+                f"stage to start from"
+            )
+        makespan = self.loop.run()
+        incomplete = [k for k, v in self._remaining.items() if v > 0]
+        if incomplete:
+            raise ValueError(
+                f"simulation deadlocked; incomplete stage/ages: "
+                f"{incomplete[:5]}{'...' if len(incomplete) > 5 else ''}"
+            )
+        return SimResult(
+            machine=self.machine.name,
+            workers=self.workers,
+            makespan=makespan,
+            stages=self._stats,
+            analyzer_busy=self.analyzer_busy_time,
+            worker_busy=self.worker_busy_time,
+            events=self.loop.events_processed,
+        )
+
+
+def sweep_workers(
+    model: WorkloadModel,
+    machine: MachineProfile,
+    worker_counts=range(1, 9),
+    **kwargs,
+) -> list[SimResult]:
+    """Run the figure-9/10 sweep: one simulation per worker count."""
+    return [
+        SimExecutionNode(model, machine, w, **kwargs).run()
+        for w in worker_counts
+    ]

@@ -1,0 +1,214 @@
+"""Abstract workload models for the simulator.
+
+A :class:`WorkloadModel` describes a P2G program as *stages*: per age,
+each stage dispatches a number of kernel instances with known per-
+instance analyzer (dispatch) and worker (kernel) costs, gated by
+dependencies on other stage/age combinations.  This is the final
+implicit static dependency graph plus the instance counts and the
+table II/III cost columns — exactly the information the paper says the
+weighted graphs provide for "static offline analysis … input to a
+simulator" (section V-A).
+
+Models come from two sources:
+
+* :func:`paper_mjpeg_model` / :func:`paper_kmeans_model` — constants
+  straight from tables II and III;
+* :func:`model_from_instrumentation` — calibrated from a real
+  (Python-runtime) run, used by the calibration tests to check the
+  simulator against measured single-thread behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Mapping, Sequence
+
+from ..core.graph import final_graph
+from ..core.instrumentation import Instrumentation
+from ..core.program import Program
+
+__all__ = [
+    "StageSpec",
+    "WorkloadModel",
+    "paper_mjpeg_model",
+    "paper_kmeans_model",
+    "model_from_instrumentation",
+]
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One kernel definition as the simulator sees it.
+
+    Parameters
+    ----------
+    name:
+        Kernel name.
+    instances_per_age:
+        Kernel instances dispatched per age.
+    kernel_time_us:
+        Mean native-block time per instance (reference-core µs).
+    dispatch_time_us:
+        Mean analyzer cost per instance (event handling + dispatch).
+    ages:
+        Number of ages this stage runs (defaults to the model's).
+    deps:
+        ``(stage, age_offset)`` pairs: this stage at age ``a`` waits for
+        ``stage`` at ``a + age_offset`` to complete.  Dependencies whose
+        target age does not exist are waived (how an age-0 stage depends
+        on ``init`` while later ages depend on the previous iteration).
+    """
+
+    name: str
+    instances_per_age: int
+    kernel_time_us: float
+    dispatch_time_us: float
+    ages: int | None = None
+    deps: tuple[tuple[str, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class WorkloadModel:
+    """A named set of stages with a default age count."""
+
+    name: str
+    ages: int
+    stages: tuple[StageSpec, ...]
+
+    def stage_ages(self, stage: StageSpec) -> int:
+        """Ages a stage runs (its own count or the model default)."""
+        return stage.ages if stage.ages is not None else self.ages
+
+    def stage(self, name: str) -> StageSpec:
+        """Look up a stage by kernel name."""
+        for s in self.stages:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+    def total_instances(self) -> int:
+        """Kernel instances across all stages and ages."""
+        return sum(
+            s.instances_per_age * self.stage_ages(s) for s in self.stages
+        )
+
+    def total_kernel_seconds(self) -> float:
+        """Total native-block demand in reference-core seconds."""
+        return 1e-6 * sum(
+            s.instances_per_age * self.stage_ages(s) * s.kernel_time_us
+            for s in self.stages
+        )
+
+    def total_dispatch_seconds(self) -> float:
+        """Total analyzer demand in reference-core seconds."""
+        return 1e-6 * sum(
+            s.instances_per_age * self.stage_ages(s) * s.dispatch_time_us
+            for s in self.stages
+        )
+
+
+def paper_mjpeg_model(frames: int = 50) -> WorkloadModel:
+    """MJPEG stage model with table II's counts and costs.
+
+    Geometry: CIF 4:2:0 → 1584 luma + 2x396 chroma blocks per frame;
+    the read kernel runs ``frames + 1`` times (EOF instance).
+    """
+    return WorkloadModel(
+        name="mjpeg",
+        ages=frames,
+        stages=(
+            StageSpec("init", 1, 18.00, 69.00, ages=1),
+            StageSpec(
+                "read", 1, 1641.57, 35.50, ages=frames + 1,
+                deps=(("init", 0), ("read", -1)),
+            ),
+            StageSpec(
+                "ydct", 1584, 170.30, 3.07, deps=(("read", 0),)
+            ),
+            StageSpec(
+                "udct", 396, 170.24, 3.14, deps=(("read", 0),)
+            ),
+            StageSpec(
+                "vdct", 396, 170.58, 3.15, deps=(("read", 0),)
+            ),
+            StageSpec(
+                "vlc", 1, 2160.71, 3.09,
+                deps=(("ydct", 0), ("udct", 0), ("vdct", 0)),
+            ),
+        ),
+    )
+
+
+def paper_kmeans_model(
+    n: int = 2000, k: int = 100, iterations: int = 10
+) -> WorkloadModel:
+    """K-means stage model with table III's counts and costs.
+
+    The paper's 2,024,251 ``assign`` instances are ≈ n·k·iterations
+    (pair granularity); we model exactly n·k per iteration.
+    """
+    return WorkloadModel(
+        name="kmeans",
+        ages=iterations,
+        stages=(
+            StageSpec("init", 1, 9829.00, 58.00, ages=1),
+            StageSpec(
+                "assign", n * k, 6.95, 4.07,
+                deps=(("init", 0), ("refine", -1)),
+            ),
+            StageSpec(
+                "refine", k, 92.91, 3.21, deps=(("assign", 0),)
+            ),
+            StageSpec(
+                "print", 1, 379.36, 1.09, ages=iterations + 1,
+                deps=(("init", 0), ("refine", -1)),
+            ),
+        ),
+    )
+
+
+def model_from_instrumentation(
+    program: Program,
+    instrumentation: Instrumentation,
+    ages: int,
+    deps: Mapping[str, Sequence[tuple[str, int]]] | None = None,
+    once_kernels: Sequence[str] = ("init",),
+) -> WorkloadModel:
+    """Calibrate a stage model from a measured run.
+
+    Per-kernel mean dispatch/kernel times and instance counts come from
+    ``instrumentation``; dependencies default to the final static
+    dependency graph's edges (same-age for pipeline edges, ``-1`` for
+    feedback edges), overridable via ``deps``.
+    """
+    g = final_graph(program)
+    stats = instrumentation.stats()
+    stages = []
+    for name, k in program.kernels.items():
+        st = stats.get(name)
+        if st is None or st.instances == 0:
+            continue
+        once = name in once_kernels or k.run_once
+        stage_ages = 1 if once else ages
+        per_age = max(1, round(st.instances / stage_ages))
+        if deps and name in deps:
+            d = tuple(deps[name])
+        else:
+            d = []
+            for u, v, attrs in g.edges():
+                if v != name or u == name:
+                    continue
+                delta = attrs.get("age_delta")
+                d.append((u, -delta if delta else 0))
+            d = tuple(d)
+        stages.append(
+            StageSpec(
+                name,
+                per_age,
+                st.mean_kernel_us,
+                st.mean_dispatch_us,
+                ages=stage_ages,
+                deps=d,
+            )
+        )
+    return WorkloadModel(program.name, ages, tuple(stages))

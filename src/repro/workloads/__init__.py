@@ -1,0 +1,34 @@
+"""Workloads: the paper's example programs expressed against the P2G API.
+
+* :mod:`repro.workloads.mulsum` — the mul2/plus5/print/init running
+  example of figures 2–6.
+* :mod:`repro.workloads.kmeans` — K-means clustering (figure 7, section
+  VII-A) plus the sequential baseline.
+* :mod:`repro.workloads.mjpeg` — Motion JPEG encoding (figure 8, section
+  VII-B) plus the standalone single-threaded baseline encoder.
+"""
+
+from .intra import IntraConfig, IntraSink, build_intra, intra_baseline
+from .kmeans import KMeansResult, build_kmeans, generate_dataset, kmeans_baseline
+from .mjpeg import MJPEGConfig, MJPEGSink, build_mjpeg, mjpeg_baseline
+from .mjpeg_decode import MJPEGDecodeSink, build_mjpeg_decoder
+from .mulsum import build_mulsum, expected_series
+
+__all__ = [
+    "IntraConfig",
+    "IntraSink",
+    "KMeansResult",
+    "MJPEGConfig",
+    "MJPEGDecodeSink",
+    "MJPEGSink",
+    "build_intra",
+    "build_kmeans",
+    "build_mjpeg",
+    "build_mjpeg_decoder",
+    "build_mulsum",
+    "expected_series",
+    "generate_dataset",
+    "intra_baseline",
+    "kmeans_baseline",
+    "mjpeg_baseline",
+]

@@ -1,0 +1,77 @@
+"""Unit tests for timers and deadline expressions (fake clock)."""
+
+from repro.core import Timer, TimerSet
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, seconds: float) -> None:
+        self.t += seconds
+
+
+class TestTimer:
+    def test_elapsed_tracks_clock(self):
+        clock = FakeClock()
+        t = Timer("t1", clock)
+        clock.advance(0.050)
+        assert t.elapsed_ms() == 50.0
+
+    def test_expired(self):
+        clock = FakeClock()
+        t = Timer("t1", clock)
+        assert not t.expired(100)
+        clock.advance(0.101)
+        assert t.expired(100)
+
+    def test_reset(self):
+        clock = FakeClock()
+        t = Timer("t1", clock)
+        clock.advance(1.0)
+        t.reset()  # t1 = now
+        assert t.elapsed_ms() == 0.0
+        assert not t.expired(100)
+
+    def test_remaining(self):
+        clock = FakeClock()
+        t = Timer("t1", clock)
+        clock.advance(0.030)
+        assert t.remaining_ms(100) == 70.0
+        clock.advance(0.100)
+        assert t.remaining_ms(100) == -30.0
+
+    def test_boundary_is_not_expired(self):
+        clock = FakeClock()
+        t = Timer("t1", clock)
+        clock.advance(0.100)
+        assert not t.expired(100)  # strict: t1 + 100ms must have *passed*
+
+    def test_default_clock_is_monotonic(self):
+        t = Timer("t")
+        a = t.now()
+        b = t.now()
+        assert b >= a
+
+
+class TestTimerSet:
+    def test_lookup_and_contains(self):
+        ts = TimerSet(("t1", "t2"))
+        assert "t1" in ts and "t3" not in ts
+        assert ts["t1"].name == "t1"
+
+    def test_as_mapping(self):
+        ts = TimerSet(("t1",))
+        m = ts.as_mapping()
+        assert set(m) == {"t1"}
+
+    def test_reset_all(self):
+        clock = FakeClock()
+        ts = TimerSet(("a", "b"), clock)
+        clock.advance(2.0)
+        ts.reset_all()
+        assert ts["a"].elapsed_ms() == 0.0
+        assert ts["b"].elapsed_ms() == 0.0

@@ -1,0 +1,164 @@
+"""Unit tests for graphs: Digraph algorithms and the paper's views."""
+
+import pytest
+
+from repro.core import (
+    DefinitionError,
+    Digraph,
+    Instrumentation,
+    ascii_graph,
+    dc_dag,
+    final_graph,
+    intermediate_graph,
+    weighted_final_graph,
+)
+from repro.workloads import build_kmeans, build_mjpeg, build_mulsum
+from repro.workloads.mjpeg import MJPEGConfig
+
+
+class TestDigraph:
+    def _diamond(self):
+        g = Digraph()
+        g.add_edge("a", "b")
+        g.add_edge("a", "c")
+        g.add_edge("b", "d")
+        g.add_edge("c", "d")
+        return g
+
+    def test_nodes_edges(self):
+        g = self._diamond()
+        assert len(g) == 4
+        assert g.n_edges() == 4
+        assert set(g.successors("a")) == {"b", "c"}
+        assert set(g.predecessors("d")) == {"b", "c"}
+        assert g.degree("a") == 2
+
+    def test_attrs_update(self):
+        g = Digraph()
+        g.add_node("a", weight=1)
+        g.add_node("a", color="red")
+        assert g.node("a") == {"weight": 1, "color": "red"}
+        g.add_edge("a", "b", w=1)
+        g.add_edge("a", "b", x=2)
+        assert g.edge("a", "b") == {"w": 1, "x": 2}
+
+    def test_topological_sort(self):
+        order = self._diamond().topological_sort()
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("a") < order.index("c") < order.index("d")
+
+    def test_cycle_detection(self):
+        g = self._diamond()
+        assert g.is_acyclic()
+        g.add_edge("d", "a")
+        assert not g.is_acyclic()
+        with pytest.raises(DefinitionError):
+            g.topological_sort()
+        cycles = g.find_cycles()
+        assert cycles and any("a" in c for c in cycles)
+
+    def test_components(self):
+        g = self._diamond()
+        g.add_edge("x", "y")
+        comps = g.weakly_connected_components()
+        assert sorted(len(c) for c in comps) == [2, 4]
+
+    def test_subgraph(self):
+        g = self._diamond()
+        sub = g.subgraph({"a", "b", "d"})
+        assert len(sub) == 3
+        assert sub.has_edge("a", "b") and sub.has_edge("b", "d")
+        assert not sub.has_edge("a", "c")
+
+    def test_to_dot(self):
+        g = self._diamond()
+        g.add_node("a", kind="field", label="A")
+        dot = g.to_dot("test")
+        assert "digraph test" in dot
+        assert '"a" -> "b"' in dot
+        assert "shape=box" in dot
+
+    def test_to_networkx(self):
+        nx_g = self._diamond().to_networkx()
+        assert nx_g.number_of_nodes() == 4
+        assert nx_g.number_of_edges() == 4
+
+
+class TestPaperGraphs:
+    def test_intermediate_graph_structure(self):
+        """Figure 2: kernels connect through field vertices."""
+        program, _ = build_mulsum()
+        g = intermediate_graph(program)
+        assert g.node("m_data")["kind"] == "field"
+        assert g.has_edge("init", "m_data")
+        assert g.has_edge("m_data", "mul2")
+        assert g.has_edge("mul2", "p_data")
+        assert g.has_edge("p_data", "plus5")
+        assert g.has_edge("plus5", "m_data")  # the cycle through the field
+        assert g.has_edge("m_data", "print")
+        assert g.has_edge("p_data", "print")
+
+    def test_final_graph_merges_fields(self):
+        """Figure 3: field vertices disappear; the kernel cycle remains."""
+        program, _ = build_mulsum()
+        g = final_graph(program)
+        assert set(g.nodes()) == {"init", "mul2", "plus5", "print"}
+        assert g.has_edge("init", "mul2")
+        assert g.has_edge("mul2", "plus5")
+        assert g.has_edge("plus5", "mul2")
+        assert not g.is_acyclic()  # cyclic program
+
+    def test_final_graph_age_delta(self):
+        program, _ = build_mulsum()
+        g = final_graph(program)
+        assert g.edge("mul2", "plus5")["age_delta"] == 0  # pipeline
+        assert g.edge("plus5", "mul2")["age_delta"] == 1  # feedback
+
+    def test_dc_dag_is_acyclic(self):
+        """Figure 4: unrolling by age removes every cycle."""
+        program, _ = build_mulsum()
+        g = dc_dag(program, max_age=4)
+        assert g.is_acyclic()
+        assert g.has_edge(("mul2", 0), ("plus5", 0))
+        assert g.has_edge(("plus5", 0), ("mul2", 1))
+        assert not g.has_edge(("plus5", 0), ("mul2", 0))
+
+    def test_dc_dag_init_feeds_age0(self):
+        program, _ = build_mulsum()
+        g = dc_dag(program, max_age=1)
+        assert g.has_edge(("init", None), ("mul2", 0))
+        assert not g.has_edge(("init", None), ("mul2", 1))
+
+    def test_kmeans_graph_loop(self):
+        """Figure 7: assign/refine form the aging loop."""
+        program, _ = build_kmeans(n=10, k=2, iterations=2)
+        g = final_graph(program)
+        assert g.has_edge("assign", "refine")
+        assert g.has_edge("refine", "assign")
+        assert g.has_edge("init", "assign")
+
+    def test_mjpeg_graph_fanout(self):
+        """Figure 8: read feeds the three DCTs, which feed vlc."""
+        cfg = MJPEGConfig(width=32, height=32, frames=1)
+        program, _ = build_mjpeg(config=cfg)
+        g = final_graph(program)
+        for dct in ("ydct", "udct", "vdct"):
+            assert g.has_edge("read", dct)
+            assert g.has_edge(dct, "vlc")
+        assert g.is_acyclic()  # MJPEG has no feedback
+
+    def test_weighted_graph(self):
+        program, _ = build_mulsum()
+        instr = Instrumentation()
+        instr.record("mul2", 1e-6, 5e-6)
+        instr.record("mul2", 1e-6, 5e-6)
+        g = weighted_final_graph(program, instr)
+        assert g.node("mul2")["weight"] == pytest.approx(10e-6)
+        assert g.node("mul2")["instances"] == 2
+        assert g.edge("mul2", "plus5")["weight"] == 2.0
+
+    def test_ascii_graph_renders(self):
+        program, _ = build_mulsum()
+        text = ascii_graph(final_graph(program), "title")
+        assert text.startswith("title")
+        assert "(mul2)" in text

@@ -1,0 +1,94 @@
+"""Unit tests for the instrumentation collector."""
+
+import pytest
+
+from repro.core import Instrumentation, KernelStats
+
+
+class TestKernelStats:
+    def test_means(self):
+        s = KernelStats(instances=4, dispatch_time=8e-6, kernel_time=40e-6)
+        assert s.mean_dispatch_us == pytest.approx(2.0)
+        assert s.mean_kernel_us == pytest.approx(10.0)
+
+    def test_empty_means_are_zero(self):
+        s = KernelStats()
+        assert s.mean_dispatch_us == 0.0
+        assert s.mean_kernel_us == 0.0
+        assert s.dispatch_ratio == 0.0
+
+    def test_dispatch_ratio(self):
+        s = KernelStats(instances=1, dispatch_time=3.0, kernel_time=1.0)
+        assert s.dispatch_ratio == pytest.approx(0.75)
+
+    def test_merged(self):
+        a = KernelStats(2, 1.0, 2.0)
+        b = KernelStats(3, 0.5, 1.0)
+        m = a.merged(b)
+        assert m.instances == 5
+        assert m.dispatch_time == 1.5
+        assert m.kernel_time == 3.0
+
+
+class TestInstrumentation:
+    def test_record_accumulates(self):
+        instr = Instrumentation()
+        instr.record("k", 1e-6, 2e-6)
+        instr.record("k", 1e-6, 2e-6)
+        s = instr["k"]
+        assert s.instances == 2
+        assert s.kernel_time == pytest.approx(4e-6)
+
+    def test_unknown_kernel_is_empty(self):
+        assert Instrumentation()["nope"].instances == 0
+
+    def test_totals(self):
+        instr = Instrumentation()
+        instr.record("a", 0, 1.0)
+        instr.record("b", 0, 2.0)
+        assert instr.total_instances() == 2
+        assert instr.total_kernel_time() == pytest.approx(3.0)
+
+    def test_merged(self):
+        a = Instrumentation()
+        a.record("x", 1.0, 1.0)
+        a.add_analyzer_time(0.5)
+        b = Instrumentation()
+        b.record("x", 1.0, 1.0)
+        b.record("y", 0.0, 2.0)
+        m = a.merged(b)
+        assert m["x"].instances == 2
+        assert m["y"].instances == 1
+        assert m.analyzer_time == 0.5
+
+    def test_table_layout(self):
+        instr = Instrumentation()
+        instr.record("init", 69e-6, 18e-6)
+        text = instr.table(order=["init"], title="Table II")
+        assert "Table II" in text
+        assert "init" in text
+        assert "69.00 us" in text
+        assert "18.00 us" in text
+
+    def test_table_includes_missing_kernels_as_zero(self):
+        text = Instrumentation().table(order=["ghost"])
+        assert "ghost" in text
+
+    def test_as_rows(self):
+        instr = Instrumentation()
+        instr.record("a", 2e-6, 4e-6)
+        rows = instr.as_rows(order=["a"])
+        assert rows == [("a", 1, pytest.approx(2.0), pytest.approx(4.0))]
+
+    def test_start_stop_wall_time(self):
+        instr = Instrumentation()
+        instr.start()
+        instr.stop()
+        assert instr.wall_time >= 0.0
+
+    def test_snapshot_is_copy(self):
+        instr = Instrumentation()
+        instr.record("a", 1.0, 1.0)
+        snap = instr.stats()
+        snap["a"].instances = 99
+        assert instr["a"].instances == 1

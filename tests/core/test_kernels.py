@@ -1,0 +1,267 @@
+"""Unit tests for kernel definitions and instance machinery."""
+
+import pytest
+
+from repro.core import (
+    AgeExpr,
+    DefinitionError,
+    Dim,
+    FetchSpec,
+    KernelContext,
+    KernelDef,
+    KernelInstance,
+    StoreSpec,
+    make_kernel,
+)
+
+
+class TestAgeExpr:
+    def test_var_resolve(self):
+        assert AgeExpr.var(0).resolve(3) == 3
+        assert AgeExpr.var(1).resolve(3) == 4
+        assert AgeExpr.var(-1).resolve(3) == 2
+
+    def test_literal_resolve_ignores_kernel_age(self):
+        assert AgeExpr.const(0).resolve(7) == 0
+        assert AgeExpr.const(2).resolve(None) == 2
+
+    def test_var_resolve_without_age_raises(self):
+        with pytest.raises(DefinitionError):
+            AgeExpr.var(0).resolve(None)
+
+    def test_solve_inverts_resolve(self):
+        for offset in (-2, 0, 3):
+            e = AgeExpr.var(offset)
+            for kernel_age in range(5):
+                field_age = e.resolve(kernel_age)
+                if field_age >= 0:
+                    assert e.solve(field_age) == kernel_age
+
+    def test_solve_negative_is_none(self):
+        assert AgeExpr.var(2).solve(1) is None
+
+    def test_literal_solve_is_none(self):
+        assert AgeExpr.const(0).solve(0) is None
+        assert AgeExpr.const(0).matches_literal(0)
+        assert not AgeExpr.const(0).matches_literal(1)
+
+    def test_str(self):
+        assert str(AgeExpr.var(0)) == "a"
+        assert str(AgeExpr.var(1)) == "a+1"
+        assert str(AgeExpr.var(-2)) == "a-2"
+        assert str(AgeExpr.const(0)) == "0"
+
+
+class TestDim:
+    def test_all(self):
+        d = Dim.all()
+        assert d.count(10) == 1
+        assert d.region(0, 10) == slice(0, 10)
+
+    def test_element(self):
+        d = Dim.of("x")
+        assert d.count(5) == 5
+        assert d.region(3, 5) == slice(3, 4)
+
+    def test_block(self):
+        d = Dim.of("x", 8)
+        assert d.count(20) == 3  # ceil(20/8)
+        assert d.region(2, 20) == slice(16, 20)  # ragged tail clamps
+
+    def test_zero_extent(self):
+        assert Dim.of("x").count(0) == 0
+
+    def test_candidates_cover_region(self):
+        d = Dim.of("x", 4)
+        cand = d.candidates(slice(5, 9), 16)
+        assert list(cand) == [1, 2]
+
+    def test_candidates_clamped_to_extent(self):
+        d = Dim.of("x", 4)
+        assert list(d.candidates(slice(0, 100), 8)) == [0, 1]
+
+    def test_invalid_block(self):
+        with pytest.raises(DefinitionError):
+            Dim.of("x", 0)
+
+
+class TestFetchSpec:
+    def test_whole_field(self):
+        f = FetchSpec("m", "m_data")
+        assert f.whole_field()
+        assert f.vars() == ()
+
+    def test_counts_min_across_fetches(self):
+        k = KernelDef(
+            "k", lambda ctx: None, has_age=True, index_vars=("x",),
+            fetches=(
+                FetchSpec("a", "fa", dims=(Dim.of("x"),)),
+                FetchSpec("b", "fb", dims=(Dim.of("x", 2),)),
+            ),
+        )
+        extents = {"fa": (10,), "fb": (10,)}
+        counts = k.index_counts(lambda f: extents[f])
+        assert counts["x"] == 5  # min(10, ceil(10/2))
+
+    def test_region(self):
+        f = FetchSpec("b", "f", dims=(Dim.of("y", 8), Dim.all()))
+        assert f.region({"y": 1}, (32, 5)) == (slice(8, 16), slice(0, 5))
+
+
+class TestStoreSpec:
+    def test_emit_key_defaults_to_field(self):
+        assert StoreSpec("out").emit_key == "out"
+        assert StoreSpec("out", key="k").emit_key == "k"
+
+    def test_region_from_value_shape(self):
+        s = StoreSpec("f", dims=(Dim.of("x", 8), Dim.all()))
+        region = s.region({"x": 2}, (5, 7))
+        assert region == (slice(16, 21), slice(0, 7))
+
+    def test_region_arity_mismatch(self):
+        s = StoreSpec("f", dims=(Dim.of("x"),))
+        with pytest.raises(DefinitionError):
+            s.region({"x": 0}, (2, 2))
+
+
+class TestKernelDefValidation:
+    def test_duplicate_fetch_param(self):
+        with pytest.raises(DefinitionError):
+            KernelDef(
+                "k", lambda ctx: None, has_age=True,
+                fetches=(FetchSpec("v", "a"), FetchSpec("v", "b")),
+            )
+
+    def test_undeclared_index_var_in_fetch(self):
+        with pytest.raises(DefinitionError):
+            KernelDef(
+                "k", lambda ctx: None, has_age=True,
+                fetches=(FetchSpec("v", "a", dims=(Dim.of("x"),)),),
+            )
+
+    def test_age_fetch_without_age_decl(self):
+        with pytest.raises(DefinitionError):
+            KernelDef(
+                "k", lambda ctx: None,
+                fetches=(FetchSpec("v", "a"),),  # AgeExpr.var default
+            )
+
+    def test_unbound_index_var(self):
+        with pytest.raises(DefinitionError):
+            KernelDef(
+                "k", lambda ctx: None, has_age=True, index_vars=("x",),
+                fetches=(FetchSpec("v", "a"),),
+            )
+
+    def test_domain_binds_index_var(self):
+        k = KernelDef(
+            "k", lambda ctx: None, has_age=True, index_vars=("x",),
+            domain={"x": 4},
+        )
+        assert k.index_counts(lambda f: ())["x"] == 4
+
+    def test_duplicate_store_key(self):
+        with pytest.raises(DefinitionError):
+            KernelDef(
+                "k", lambda ctx: None, has_age=True,
+                stores=(StoreSpec("f"), StoreSpec("f")),
+            )
+
+    def test_distinct_keys_same_field_ok(self):
+        k = KernelDef(
+            "k", lambda ctx: None, has_age=True,
+            stores=(StoreSpec("f", key="a"), StoreSpec("f", key="b")),
+        )
+        assert {s.emit_key for s in k.stores} == {"a", "b"}
+
+    def test_source_and_run_once(self):
+        init = KernelDef("init", lambda ctx: None)
+        assert init.is_source and init.run_once
+        src = KernelDef("read", lambda ctx: None, has_age=True)
+        assert src.is_source and not src.run_once
+        consumer = KernelDef(
+            "c", lambda ctx: None, has_age=True,
+            fetches=(FetchSpec("v", "f"),),
+        )
+        assert not consumer.is_source
+
+    def test_fetched_stored_fields_dedup(self):
+        k = KernelDef(
+            "k", lambda ctx: None, has_age=True, index_vars=("x",),
+            fetches=(
+                FetchSpec("a", "f", dims=(Dim.of("x"),)),
+                FetchSpec("b", "f"),
+            ),
+            stores=(StoreSpec("g", key="s1"),),
+        )
+        assert k.fetched_fields() == ("f",)
+        assert k.stored_fields() == ("g",)
+
+    def test_describe_mentions_statements(self):
+        k = KernelDef(
+            "mul2", lambda ctx: None, has_age=True, index_vars=("x",),
+            fetches=(FetchSpec("value", "m_data", dims=(Dim.of("x"),)),),
+            stores=(StoreSpec("p_data", dims=(Dim.of("x"),)),),
+        )
+        text = k.describe()
+        assert "fetch value = m_data(a)[x]" in text
+        assert "store p_data(a)[x]" in text
+
+
+class TestKernelInstance:
+    def test_key_uniqueness(self):
+        k = KernelDef("k", lambda ctx: None, has_age=True,
+                      index_vars=("x",), domain={"x": 3})
+        a = KernelInstance(k, 0, (1,))
+        b = KernelInstance(k, 0, (2,))
+        c = KernelInstance(k, 1, (1,))
+        assert len({a.key, b.key, c.key}) == 3
+
+    def test_index_map(self):
+        k = KernelDef("k", lambda ctx: None, has_age=True,
+                      index_vars=("x", "y"), domain={"x": 2, "y": 2})
+        inst = KernelInstance(k, 0, (1, 0))
+        assert inst.index_map() == {"x": 1, "y": 0}
+
+    def test_str(self):
+        k = KernelDef("k", lambda ctx: None, has_age=True,
+                      index_vars=("x",), domain={"x": 9})
+        assert str(KernelInstance(k, 2, (5,))) == "k(age=2, x=5)"
+
+
+class TestKernelContext:
+    def test_emit_and_read(self):
+        ctx = KernelContext(age=1, fetched={"v": 10})
+        ctx.emit("out", 20)
+        assert ctx.emitted == {"out": 20}
+        assert ctx["v"] == 10
+
+    def test_double_emit_raises(self):
+        ctx = KernelContext()
+        ctx.emit("out", 1)
+        with pytest.raises(DefinitionError):
+            ctx.emit("out", 2)
+
+    def test_local_helper(self):
+        ctx = KernelContext()
+        lf = ctx.local("int32", 1)
+        lf.put(5, 0)
+        assert lf.data.tolist() == [5]
+
+
+class TestMakeKernel:
+    def test_decorator(self):
+        @make_kernel(
+            "mul2", age=True, index=["x"],
+            fetches=[FetchSpec("value", "m", dims=(Dim.of("x"),),
+                               scalar=True)],
+            stores=[StoreSpec("p", dims=(Dim.of("x"),))],
+        )
+        def mul2(ctx):
+            ctx.emit("p", ctx["value"] * 2)
+
+        assert isinstance(mul2, KernelDef)
+        assert mul2.name == "mul2"
+        ctx = KernelContext(age=0, index={"x": 0}, fetched={"value": 21})
+        mul2.body(ctx)
+        assert ctx.emitted["p"] == 42

@@ -1,0 +1,113 @@
+"""Unit tests for Program construction and validation."""
+
+import pytest
+
+from repro.core import (
+    AgeExpr,
+    DefinitionError,
+    FetchSpec,
+    FieldDef,
+    KernelDef,
+    Program,
+    SemanticError,
+    StoreSpec,
+)
+
+
+def nop(ctx):
+    pass
+
+
+class TestBuildAndValidate:
+    def test_duplicate_field(self):
+        with pytest.raises(DefinitionError):
+            Program.build([FieldDef("a"), FieldDef("a")], [])
+
+    def test_duplicate_kernel(self):
+        ks = [KernelDef("k", nop), KernelDef("k", nop)]
+        with pytest.raises(DefinitionError):
+            Program.build([], ks)
+
+    def test_field_kernel_name_collision(self):
+        with pytest.raises(DefinitionError):
+            Program.build([FieldDef("x")], [KernelDef("x", nop)])
+
+    def test_unknown_fetch_field(self):
+        k = KernelDef("k", nop, has_age=True,
+                      fetches=(FetchSpec("v", "missing"),))
+        with pytest.raises(DefinitionError):
+            Program.build([FieldDef("a")], [k])
+
+    def test_unknown_store_field(self):
+        k = KernelDef("k", nop, has_age=True,
+                      stores=(StoreSpec("missing"),))
+        with pytest.raises(DefinitionError):
+            Program.build([FieldDef("a")], [k])
+
+    def test_dims_arity_checked_against_field(self):
+        from repro.core import Dim
+
+        k = KernelDef(
+            "k", nop, has_age=True, index_vars=("x",),
+            fetches=(FetchSpec("v", "a", dims=(Dim.of("x"),)),),
+        )
+        with pytest.raises(DefinitionError):
+            Program.build([FieldDef("a", ndim=2)], [k])
+
+    def test_aged_kernel_with_only_literal_fetches_rejected(self):
+        k = KernelDef(
+            "k", nop, has_age=True,
+            fetches=(FetchSpec("v", "a", AgeExpr.const(0)),),
+        )
+        with pytest.raises(SemanticError):
+            Program.build([FieldDef("a")], [k])
+
+    def test_empty_dims_means_whole_field(self):
+        k = KernelDef("k", nop, has_age=True, fetches=(FetchSpec("v", "a"),))
+        prog = Program.build([FieldDef("a", ndim=3)], [k])
+        assert prog.kernels["k"].fetches[0].whole_field()
+
+
+class TestQueries:
+    def _program(self):
+        producer = KernelDef("p", nop, has_age=True,
+                             stores=(StoreSpec("f"),))
+        consumer = KernelDef("c", nop, has_age=True,
+                             fetches=(FetchSpec("v", "f"),))
+        return Program.build([FieldDef("f")], [producer, consumer])
+
+    def test_producers_consumers(self):
+        prog = self._program()
+        assert [k.name for k in prog.producers_of("f")] == ["p"]
+        assert [k.name for k in prog.consumers_of("f")] == ["c"]
+
+    def test_sources(self):
+        prog = self._program()
+        assert [k.name for k in prog.sources()] == ["p"]
+
+    def test_replace_kernel(self):
+        prog = self._program()
+        replaced = prog.replace_kernel(
+            KernelDef("p", nop, has_age=True, stores=(StoreSpec("f"),),
+                      cost_hint=9.0)
+        )
+        assert replaced.kernels["p"].cost_hint == 9.0
+        assert prog.kernels["p"].cost_hint == 1.0  # original untouched
+
+    def test_without_with_kernel(self):
+        prog = self._program()
+        smaller = prog.without_kernels("c")
+        assert set(smaller.kernels) == {"p"}
+        bigger = smaller.with_kernel(
+            KernelDef("c2", nop, has_age=True,
+                      fetches=(FetchSpec("v", "f"),))
+        )
+        assert set(bigger.kernels) == {"p", "c2"}
+        with pytest.raises(DefinitionError):
+            bigger.with_kernel(KernelDef("p", nop, has_age=True,
+                                         stores=(StoreSpec("f"),)))
+
+    def test_describe(self):
+        text = self._program().describe()
+        assert "int32[] f age;" in text
+        assert "p:" in text and "c:" in text

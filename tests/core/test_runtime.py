@@ -1,0 +1,269 @@
+"""Unit and integration tests for the threaded execution node."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AgeExpr,
+    Dim,
+    ExecutionNode,
+    FetchSpec,
+    FieldDef,
+    KernelBodyError,
+    KernelDef,
+    KernelInstance,
+    Program,
+    ReadyQueue,
+    RuntimeStateError,
+    StoreSpec,
+    WorkCounter,
+    run_program,
+)
+from repro.workloads import build_mulsum, expected_series
+
+
+class TestReadyQueue:
+    def _kernel(self):
+        return KernelDef("k", lambda ctx: None, has_age=True)
+
+    def test_age_priority(self):
+        q = ReadyQueue()
+        k = self._kernel()
+        q.push(KernelInstance(k, 5))
+        q.push(KernelInstance(k, 1))
+        q.push(KernelInstance(k, 3))
+        assert q.pop().age == 1
+        assert q.pop().age == 3
+        assert q.pop().age == 5
+
+    def test_ageless_first(self):
+        q = ReadyQueue()
+        init = KernelDef("init", lambda ctx: None)
+        k = self._kernel()
+        q.push(KernelInstance(k, 0))
+        q.push(KernelInstance(init, None))
+        assert q.pop().age is None
+
+    def test_fifo_within_age(self):
+        q = ReadyQueue()
+        k = KernelDef("k", lambda ctx: None, has_age=True,
+                      index_vars=("x",), domain={"x": 10})
+        for i in range(5):
+            q.push(KernelInstance(k, 0, (i,)))
+        assert [q.pop().index[0] for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_fifo_policy_is_insertion_order(self):
+        q = ReadyQueue("fifo")
+        k = self._kernel()
+        q.push(KernelInstance(k, 5))
+        q.push(KernelInstance(k, 1))
+        assert q.pop().age == 5
+        assert q.pop().age == 1
+
+    def test_lifo_policy_is_newest_first(self):
+        q = ReadyQueue("lifo")
+        k = self._kernel()
+        q.push(KernelInstance(k, 1))
+        q.push(KernelInstance(k, 5))
+        assert q.pop().age == 5
+        assert q.pop().age == 1
+
+    def test_unknown_policy_rejected(self):
+        import pytest as _pytest
+
+        from repro.core import RuntimeStateError as _RSE
+
+        with _pytest.raises(_RSE):
+            ReadyQueue("random")
+
+    def test_sentinel_wakes(self):
+        q = ReadyQueue()
+        got = []
+
+        def worker():
+            got.append(q.pop())
+
+        t = threading.Thread(target=worker)
+        t.start()
+        q.push_sentinel()
+        t.join(2)
+        assert got == [None]
+
+    def test_min_age_and_len(self):
+        q = ReadyQueue()
+        k = self._kernel()
+        assert q.min_age() is None
+        q.push(KernelInstance(k, 4))
+        q.push(KernelInstance(k, 2))
+        assert q.min_age() == 2
+        assert len(q) == 2
+
+
+class TestWorkCounter:
+    def test_zero_is_idle(self):
+        c = WorkCounter()
+        assert c.wait(0.01) == "idle"
+
+    def test_inc_dec(self):
+        c = WorkCounter()
+        c.inc(3)
+        assert c.wait(0.05) == "timeout"
+        c.dec(3)
+        assert c.wait(0.5) == "idle"
+
+    def test_poke(self):
+        c = WorkCounter()
+        c.inc()
+        results = []
+        t = threading.Thread(target=lambda: results.append(c.wait(5)))
+        t.start()
+        time.sleep(0.02)
+        c.poke()
+        t.join(2)
+        assert results == ["poked"]
+
+
+class TestExecutionNode:
+    def test_mulsum_exact_values(self):
+        program, sink = build_mulsum()
+        result = run_program(program, workers=4, max_age=4, timeout=60)
+        assert result.reason == "idle"
+        expected = expected_series(5)
+        for age, (m, p) in expected.items():
+            assert np.array_equal(sink[age][0], m)
+            assert np.array_equal(sink[age][1], p)
+
+    @pytest.mark.parametrize("workers", [1, 2, 3, 8])
+    def test_deterministic_across_worker_counts(self, workers):
+        program, sink = build_mulsum()
+        run_program(program, workers=workers, max_age=2, timeout=60)
+        expected = expected_series(3)
+        for age in expected:
+            assert np.array_equal(sink[age][0], expected[age][0])
+
+    def test_instance_counts(self):
+        program, _ = build_mulsum()
+        result = run_program(program, workers=2, max_age=3, timeout=60)
+        stats = result.stats
+        assert stats["init"].instances == 1
+        assert stats["mul2"].instances == 4 * 5
+        assert stats["plus5"].instances == 4 * 5
+        assert stats["print"].instances == 4
+
+    def test_run_twice_rejected(self):
+        program, _ = build_mulsum()
+        node = ExecutionNode(program, 1, max_age=0)
+        node.run(timeout=30)
+        with pytest.raises(RuntimeStateError):
+            node.run()
+
+    def test_join_before_start_rejected(self):
+        program, _ = build_mulsum()
+        node = ExecutionNode(program, 1, max_age=0)
+        with pytest.raises(RuntimeStateError):
+            node.join()
+
+    def test_zero_workers_rejected(self):
+        program, _ = build_mulsum()
+        with pytest.raises(RuntimeStateError):
+            ExecutionNode(program, 0)
+
+    def test_kernel_error_propagates(self):
+        def bad(ctx):
+            raise ValueError("boom")
+
+        prog = Program.build(
+            [FieldDef("f")],
+            [KernelDef("bad", bad, stores=(StoreSpec("f", AgeExpr.const(0)),))],
+        )
+        with pytest.raises(KernelBodyError) as err:
+            run_program(prog, workers=2, timeout=30)
+        assert err.value.kernel == "bad"
+        assert isinstance(err.value.cause, ValueError)
+
+    def test_stop_midway(self):
+        # unbounded cyclic program (modulo keeps int64 exact forever)
+        program, _ = build_mulsum(modulo=2**40)
+        node = ExecutionNode(program, 2)
+        node.start()
+        time.sleep(0.05)
+        node.stop()
+        result = node.join(timeout=10)
+        assert result.reason == "stopped"
+
+    def test_timeout(self):
+        program, _ = build_mulsum(modulo=2**40)  # runs forever
+        node = ExecutionNode(program, 1)
+        result = node.run(timeout=0.2)
+        assert result.reason == "timeout"
+
+    def test_empty_program_is_idle(self):
+        prog = Program.build([FieldDef("f")], [])
+        result = run_program(prog, workers=1, timeout=10)
+        assert result.reason == "idle"
+
+    def test_gc_frees_old_ages(self):
+        program, _ = build_mulsum(modulo=2**40)
+        result = run_program(
+            program, workers=2, max_age=30, timeout=120,
+            gc_fields=True, keep_ages=1,
+        )
+        assert result.reason == "idle"
+        assert result.gc_bytes > 0
+        # late ages must survive GC
+        assert result.fields["m_data"].is_complete(30)
+
+    def test_gc_does_not_change_results(self):
+        program, sink = build_mulsum()
+        run_program(program, workers=4, max_age=10, timeout=120,
+                    gc_fields=True, keep_ages=2)
+        expected = expected_series(11)
+        for age in expected:
+            assert np.array_equal(sink[age][0], expected[age][0])
+
+    def test_inject_external_event(self):
+        """The distributed layer injects store events produced elsewhere;
+        the local analyzer must react to them."""
+        seen = []
+
+        def sink_body(ctx):
+            seen.append(ctx.age)
+
+        sink = KernelDef(
+            "sink", sink_body, has_age=True,
+            fetches=(FetchSpec("v", "f"),),
+        )
+        prog = Program.build([FieldDef("f")], [sink])
+        node = ExecutionNode(prog, 1)
+        # store performed "remotely" against the shared field store
+        from repro.core.events import StoreEvent
+
+        node.fields["f"].store(0, slice(0, 2), [1, 2])
+        node.start()
+        node.inject(StoreEvent("f", 0, (slice(0, 2),)))
+        result = node.join(timeout=10)
+        assert result.reason == "idle"
+        assert seen == [0]
+
+    def test_on_event_tap_sees_stores(self):
+        events = []
+        program, _ = build_mulsum()
+        node = ExecutionNode(
+            program, 2, max_age=1,
+            on_event=lambda n, ev: events.append(type(ev).__name__),
+        )
+        node.run(timeout=30)
+        assert "StoreEvent" in events
+
+    def test_instrumentation_populated(self):
+        program, _ = build_mulsum()
+        result = run_program(program, workers=2, max_age=2, timeout=60)
+        stats = result.stats
+        assert stats["mul2"].kernel_time >= 0
+        assert stats["mul2"].mean_dispatch_us > 0
+        assert result.instrumentation.analyzer_time > 0
+        assert result.instrumentation.wall_time > 0
+        assert result.ready_high_water >= 1

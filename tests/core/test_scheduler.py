@@ -1,0 +1,186 @@
+"""Unit tests for the LLS transformations (coarsen / fuse / adaptive)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AdaptivePolicy,
+    GranularityDecision,
+    Instrumentation,
+    SchedulerError,
+    coarsen,
+    fusable_pairs,
+    fuse,
+    run_program,
+)
+from repro.workloads import build_kmeans, build_mulsum, expected_series
+
+
+def run_sink(program, max_age=2, workers=2):
+    return run_program(program, workers=workers, max_age=max_age, timeout=60)
+
+
+class TestCoarsen:
+    def test_reduces_instances_preserves_values(self):
+        program, sink = build_mulsum()
+        coarse = coarsen(program, "mul2", "x", 5)
+        result = run_sink(coarse)
+        assert result.stats["mul2"].instances == 3  # one per age
+        expected = expected_series(3)
+        for age in expected:
+            assert np.array_equal(sink[age][1], expected[age][1])
+
+    def test_partial_factor(self):
+        program, sink = build_mulsum()
+        coarse = coarsen(program, "mul2", "x", 2)  # blocks of 2 over 5
+        result = run_sink(coarse, max_age=1)
+        assert result.stats["mul2"].instances == 2 * 3  # ceil(5/2) per age
+        expected = expected_series(2)
+        for age in expected:
+            assert np.array_equal(sink[age][1], expected[age][1])
+
+    def test_factor_one_is_identity(self):
+        program, _ = build_mulsum()
+        assert coarsen(program, "mul2", "x", 1) is program
+
+    def test_unknown_kernel(self):
+        program, _ = build_mulsum()
+        with pytest.raises(SchedulerError):
+            coarsen(program, "nope", "x", 2)
+
+    def test_unknown_var(self):
+        program, _ = build_mulsum()
+        with pytest.raises(SchedulerError):
+            coarsen(program, "mul2", "y", 2)
+
+    def test_invalid_factor(self):
+        program, _ = build_mulsum()
+        with pytest.raises(SchedulerError):
+            coarsen(program, "mul2", "x", 0)
+
+    def test_coarsen_2d_kernel(self):
+        """K-means' pair assign has two index vars; coarsening x batches
+        points while c stays per-centroid."""
+        program, sink = build_kmeans(
+            n=40, k=4, iterations=2, granularity="pair"
+        )
+        coarse = coarsen(program, "assign", "x", 8)
+        result = run_program(coarse, workers=2, timeout=60)
+        # ceil(40/8)=5 x-blocks * 4 centroids * 2 iterations
+        assert result.stats["assign"].instances == 5 * 4 * 2
+        from repro.workloads import kmeans_baseline
+
+        base = kmeans_baseline(n=40, k=4, iterations=2)
+        for age in base.history:
+            assert np.allclose(sink.history[age], base.history[age])
+
+
+class TestFuse:
+    def test_fuse_preserves_values(self):
+        program, sink = build_mulsum()
+        fused = fuse(program, "mul2", "plus5")
+        assert "mul2+plus5" in fused.kernels
+        assert "mul2" not in fused.kernels
+        run_sink(fused)
+        expected = expected_series(3)
+        for age in expected:
+            assert np.array_equal(sink[age][0], expected[age][0])
+            assert np.array_equal(sink[age][1], expected[age][1])
+
+    def test_no_elide_with_other_consumer(self):
+        """print fetches p_data, so the intermediate store must remain."""
+        program, _ = build_mulsum()
+        fused = fuse(program, "mul2", "plus5")
+        k = fused.kernels["mul2+plus5"]
+        assert "p_data" in k.stored_fields()
+
+    def test_forced_elide_rejected_with_consumers(self):
+        program, _ = build_mulsum()
+        with pytest.raises(SchedulerError):
+            fuse(program, "mul2", "plus5", elide=True)
+
+    def test_elide_drops_field(self):
+        program, _ = build_mulsum()
+        trimmed = program.without_kernels("print")
+        fused = fuse(trimmed, "mul2", "plus5")
+        k = fused.kernels["mul2+plus5"]
+        assert "p_data" not in k.stored_fields()
+        assert "p_data" not in fused.fields
+
+    def test_elided_pipeline_still_correct(self):
+        program, _ = build_mulsum()
+        trimmed = program.without_kernels("print")
+        fused = fuse(trimmed, "mul2", "plus5")
+        result = run_program(fused, workers=2, max_age=3, timeout=60)
+        m = result.fields["m_data"].fetch(3)
+        assert m.tolist() == expected_series(4)[3][0].tolist()
+
+    def test_fuse_then_coarsen(self):
+        """Figure 4's Age 4: both knobs — one instance per age."""
+        program, sink = build_mulsum()
+        both = coarsen(fuse(program, "mul2", "plus5"), "mul2+plus5", "x", 5)
+        result = run_sink(both)
+        assert result.stats["mul2+plus5"].instances == 3
+        expected = expected_series(3)
+        for age in expected:
+            assert np.array_equal(sink[age][0], expected[age][0])
+
+    def test_non_pipeline_rejected(self):
+        program, _ = build_mulsum()
+        with pytest.raises(SchedulerError):
+            fuse(program, "init", "print")
+
+    def test_fusable_pairs(self):
+        program, _ = build_mulsum()
+        pairs = fusable_pairs(program)
+        assert ("mul2", "plus5") in pairs
+        # plus5 -> mul2 crosses an age (a+1): not a same-age pipeline
+        assert ("plus5", "mul2") not in pairs
+
+
+class TestAdaptivePolicy:
+    def _instr(self, kernel="assign", instances=1000, dispatch_us=40.0,
+               kernel_us=10.0):
+        instr = Instrumentation()
+        for _ in range(instances):
+            instr.record(kernel, dispatch_us * 1e-6, kernel_us * 1e-6)
+        return instr
+
+    def test_recommends_for_high_ratio(self):
+        program, _ = build_kmeans(n=40, k=4, iterations=2,
+                                  granularity="pair")
+        policy = AdaptivePolicy(ratio_target=0.25)
+        decisions = policy.recommend(program, self._instr())
+        assert len(decisions) == 1
+        d = decisions[0]
+        assert d.kernel == "assign" and d.factor > 1
+
+    def test_no_recommendation_below_target(self):
+        program, _ = build_kmeans(n=40, k=4, iterations=2,
+                                  granularity="pair")
+        policy = AdaptivePolicy(ratio_target=0.25)
+        instr = self._instr(dispatch_us=1.0, kernel_us=99.0)
+        assert policy.recommend(program, instr) == []
+
+    def test_min_instances_guard(self):
+        program, _ = build_kmeans(n=40, k=4, iterations=2,
+                                  granularity="pair")
+        policy = AdaptivePolicy(min_instances=10_000)
+        assert policy.recommend(program, self._instr(instances=100)) == []
+
+    def test_apply_produces_runnable_program(self):
+        program, sink = build_kmeans(n=40, k=4, iterations=2,
+                                     granularity="pair")
+        policy = AdaptivePolicy()
+        adapted = policy.apply(
+            program, [GranularityDecision("assign", "x", 8)]
+        )
+        run_program(adapted, workers=2, timeout=60)
+        from repro.workloads import kmeans_baseline
+
+        base = kmeans_baseline(n=40, k=4, iterations=2)
+        assert np.allclose(sink.history[2], base.history[2])
+
+    def test_invalid_target(self):
+        with pytest.raises(SchedulerError):
+            AdaptivePolicy(ratio_target=0.0)

@@ -1,0 +1,84 @@
+"""Unit tests for the master node / HLS."""
+
+import pytest
+
+from repro.core import Instrumentation, TopologyError
+from repro.dist import LocalTopology, MasterNode, ProcessorSpec
+from repro.workloads import build_mulsum
+
+
+def master_with_nodes(*caps):
+    m = MasterNode()
+    for i, c in enumerate(caps):
+        m.register(LocalTopology(f"n{i}", (ProcessorSpec("cpu", c),)))
+    return m
+
+
+class TestPlan:
+    def test_plan_covers_all_kernels(self):
+        program, _ = build_mulsum()
+        m = master_with_nodes(2, 2)
+        plan = m.plan(program)
+        assert set(plan.partition.assign) == set(program.kernels)
+        assert set(plan.nodes()) == {"n0", "n1"}
+
+    def test_plan_without_nodes_rejected(self):
+        program, _ = build_mulsum()
+        with pytest.raises(TopologyError):
+            MasterNode().plan(program)
+
+    def test_kernels_for_is_partition(self):
+        program, _ = build_mulsum()
+        m = master_with_nodes(2, 2)
+        plan = m.plan(program)
+        all_kernels = sorted(
+            k for n in plan.nodes() for k in plan.kernels_for(n)
+        )
+        assert all_kernels == sorted(program.kernels)
+
+    def test_weighted_plan_uses_instrumentation(self):
+        program, _ = build_mulsum()
+        m = master_with_nodes(2, 2)
+        instr = Instrumentation()
+        for _ in range(100):
+            instr.record("mul2", 1e-6, 100e-6)
+            instr.record("plus5", 1e-6, 100e-6)
+        instr.record("init", 1e-6, 1e-6)
+        instr.record("print", 1e-6, 1e-6)
+        plan = m.plan(program, instr, method="kl")
+        # the two heavy kernels should be spread for balance... or kept
+        # together for traffic; either way the plan is valid and total
+        loads = plan.partition.loads
+        assert set(plan.partition.assign) == set(program.kernels)
+
+    def test_describe(self):
+        program, _ = build_mulsum()
+        m = master_with_nodes(1)
+        text = m.plan(program).describe()
+        assert "n0:" in text and "mul2" in text
+
+
+class TestRepartition:
+    def test_changed_flag(self):
+        program, _ = build_mulsum()
+        m = master_with_nodes(2, 2)
+        instr = Instrumentation()
+        instr.record("mul2", 1e-6, 1e-6)
+        plan1, changed1 = m.repartition(program, instr)
+        assert changed1  # first plan is always a change
+        plan2, changed2 = m.repartition(program, instr)
+        assert not changed2  # same inputs -> same plan
+
+    def test_stale_tracks_topology_epoch(self):
+        program, _ = build_mulsum()
+        m = master_with_nodes(2)
+        assert m.stale()
+        m.plan(program)
+        assert not m.stale()
+        m.register(LocalTopology("late", (ProcessorSpec("cpu", 4),)))
+        assert m.stale()
+
+    def test_unregister(self):
+        m = master_with_nodes(2, 2)
+        m.unregister("n0")
+        assert m.topology.node_names() == ["n1"]

@@ -1,0 +1,178 @@
+"""Unit + property tests for the HLS graph partitioners."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import PartitionError
+from repro.core.graph import Digraph
+from repro.dist import (
+    greedy_partition,
+    kernighan_lin,
+    partition_graph,
+    tabu_search,
+)
+
+
+def chain_graph(n=6, weight=1.0):
+    g = Digraph()
+    for i in range(n):
+        g.add_node(f"k{i}", weight=weight)
+    for i in range(n - 1):
+        g.add_edge(f"k{i}", f"k{i+1}", weight=1.0)
+    return g
+
+
+def clustered_graph():
+    """Two 3-cliques joined by one light edge; the obvious 2-cut."""
+    g = Digraph()
+    for group, names in enumerate((["a0", "a1", "a2"], ["b0", "b1", "b2"])):
+        for n in names:
+            g.add_node(n, weight=1.0)
+        g.add_edge(names[0], names[1], weight=10.0)
+        g.add_edge(names[1], names[2], weight=10.0)
+        g.add_edge(names[2], names[0], weight=10.0)
+    g.add_edge("a0", "b0", weight=0.1)
+    return g
+
+
+CAPS2 = {"n0": 1.0, "n1": 1.0}
+
+
+class TestGreedy:
+    def test_covers_all_nodes(self):
+        g = chain_graph()
+        p = greedy_partition(g, CAPS2)
+        assert set(p.assign) == set(g.nodes())
+        assert set(p.assign.values()) <= {"n0", "n1"}
+
+    def test_balances_equal_weights(self):
+        g = chain_graph(8)
+        p = greedy_partition(g, CAPS2)
+        loads = p.loads(g)
+        assert loads["n0"] == loads["n1"] == 4.0
+
+    def test_respects_capacity_ratios(self):
+        g = chain_graph(9)
+        p = greedy_partition(g, {"big": 2.0, "small": 1.0})
+        loads = p.loads(g)
+        assert loads["big"] > loads["small"]
+
+    def test_rejects_empty_parts(self):
+        with pytest.raises(PartitionError):
+            greedy_partition(chain_graph(), {})
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(PartitionError):
+            greedy_partition(chain_graph(), {"a": 0.0})
+
+
+class TestKernighanLin:
+    def test_finds_natural_cut(self):
+        g = clustered_graph()
+        p = kernighan_lin(g, CAPS2, balance_penalty=2.0)
+        # the two cliques should not be split
+        assert len({p.assign[n] for n in ("a0", "a1", "a2")}) == 1
+        assert len({p.assign[n] for n in ("b0", "b1", "b2")}) == 1
+        assert p.edge_cut(g) == pytest.approx(0.1)
+
+    def test_never_worse_than_greedy(self):
+        g = clustered_graph()
+        seed = greedy_partition(g, CAPS2)
+        refined = kernighan_lin(g, CAPS2, start=seed)
+        assert refined.cost(g) <= seed.cost(g) + 1e-9
+
+    def test_start_not_mutated(self):
+        g = clustered_graph()
+        seed = greedy_partition(g, CAPS2)
+        before = dict(seed.assign)
+        kernighan_lin(g, CAPS2, start=seed)
+        assert seed.assign == before
+
+
+class TestTabu:
+    def test_valid_partition(self):
+        g = clustered_graph()
+        p = tabu_search(g, CAPS2, iterations=80, seed=1)
+        p.validate(g)
+        assert set(p.assign) == set(g.nodes())
+
+    def test_improves_or_matches_greedy(self):
+        g = clustered_graph()
+        seed = greedy_partition(g, CAPS2)
+        p = tabu_search(g, CAPS2, start=seed, iterations=120, seed=3)
+        assert p.cost(g) <= seed.cost(g) + 1e-9
+
+    def test_deterministic_in_seed(self):
+        g = clustered_graph()
+        a = tabu_search(g, CAPS2, iterations=50, seed=7)
+        b = tabu_search(g, CAPS2, iterations=50, seed=7)
+        assert a.assign == b.assign
+
+
+class TestPartitionMetrics:
+    def test_edge_cut_counts_cross_edges(self):
+        g = chain_graph(4)
+        p = greedy_partition(g, CAPS2)
+        manual = sum(
+            1.0
+            for u, v, _ in g.edges()
+            if p.assign[u] != p.assign[v]
+        )
+        assert p.edge_cut(g) == manual
+
+    def test_imbalance_zero_for_proportional(self):
+        g = chain_graph(4)
+        p = greedy_partition(g, CAPS2)
+        if p.loads(g)["n0"] == p.loads(g)["n1"]:
+            assert p.imbalance(g) == pytest.approx(0.0)
+
+    def test_validate_catches_missing(self):
+        g = chain_graph(3)
+        p = greedy_partition(g, CAPS2)
+        del p.assign["k0"]
+        with pytest.raises(PartitionError):
+            p.validate(g)
+
+    def test_unknown_method(self):
+        with pytest.raises(PartitionError):
+            partition_graph(chain_graph(), CAPS2, "simulated-annealing")
+
+
+@st.composite
+def random_graph(draw):
+    n = draw(st.integers(2, 12))
+    g = Digraph()
+    for i in range(n):
+        g.add_node(i, weight=draw(st.floats(0.1, 10.0)))
+    n_edges = draw(st.integers(0, min(20, n * (n - 1))))
+    for _ in range(n_edges):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u != v:
+            g.add_edge(u, v, weight=draw(st.floats(0.1, 5.0)))
+    return g
+
+
+class TestPartitionProperties:
+    @given(random_graph(), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_all_methods_produce_valid_partitions(self, g, parts):
+        caps = {f"p{i}": 1.0 for i in range(parts)}
+        for method in ("greedy", "kl", "tabu"):
+            kwargs = {"iterations": 20} if method == "tabu" else {}
+            p = partition_graph(g, caps, method, **kwargs)
+            p.validate(g)
+            assert set(p.assign) == set(g.nodes())
+            # every load non-negative and total preserved
+            loads = p.loads(g)
+            total = sum(loads.values())
+            expected = sum(
+                g.node(n).get("weight", 1.0) for n in g.nodes()
+            )
+            assert total == pytest.approx(expected)
+
+    @given(random_graph())
+    @settings(max_examples=20, deadline=None)
+    def test_single_part_has_zero_cut(self, g):
+        p = partition_graph(g, {"only": 1.0}, "greedy")
+        assert p.edge_cut(g) == 0.0

@@ -1,0 +1,80 @@
+"""Unit tests for local/global topologies."""
+
+import pytest
+
+from repro.core import TopologyError
+from repro.dist import GlobalTopology, LocalTopology, ProcessorSpec
+
+
+class TestProcessorSpec:
+    def test_capacity(self):
+        assert ProcessorSpec("cpu", 4, 1.5).capacity == 6.0
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            ProcessorSpec(cores=0)
+        with pytest.raises(TopologyError):
+            ProcessorSpec(speed=0.0)
+
+
+class TestLocalTopology:
+    def test_cpu_capacity_excludes_accelerators(self):
+        t = LocalTopology("n", (
+            ProcessorSpec("cpu", 4, 1.0),
+            ProcessorSpec("gpu", 100, 0.1),
+        ))
+        assert t.cpu_capacity == 4.0
+        assert t.total_capacity == 14.0
+        assert t.has("gpu") and not t.has("dsp")
+
+    def test_needs_processors(self):
+        with pytest.raises(TopologyError):
+            LocalTopology("n", ())
+
+
+class TestGlobalTopology:
+    def _topo(self):
+        return GlobalTopology([
+            LocalTopology("a", (ProcessorSpec("cpu", 4),)),
+            LocalTopology("b", (ProcessorSpec("cpu", 2),)),
+        ])
+
+    def test_merge_and_query(self):
+        g = self._topo()
+        assert len(g) == 2
+        assert "a" in g and "c" not in g
+        assert g.node_names() == ["a", "b"]
+        assert g.capacities() == {"a": 4.0, "b": 2.0}
+        assert g.total_capacity() == 6.0
+
+    def test_dynamic_add_remove(self):
+        g = self._topo()
+        e0 = g.epoch
+        g.add(LocalTopology("c", (ProcessorSpec("cpu", 8),)))
+        assert g.epoch > e0
+        assert g.total_capacity() == 14.0
+        removed = g.remove("a")
+        assert removed.node == "a"
+        assert g.node_names() == ["b", "c"]
+
+    def test_duplicate_rejected(self):
+        g = self._topo()
+        with pytest.raises(TopologyError):
+            g.add(LocalTopology("a", (ProcessorSpec(),)))
+
+    def test_remove_unknown(self):
+        with pytest.raises(TopologyError):
+            self._topo().remove("ghost")
+
+    def test_update_replaces(self):
+        g = self._topo()
+        g.update(LocalTopology("a", (ProcessorSpec("cpu", 16),)))
+        assert g.capacities()["a"] == 16.0
+        with pytest.raises(TopologyError):
+            g.update(LocalTopology("ghost", (ProcessorSpec(),)))
+
+    def test_as_graph(self):
+        g = self._topo().as_graph()
+        assert "master" in g
+        assert g.has_edge("master", "a")
+        assert any("cpu" in str(n) for n in g.nodes())

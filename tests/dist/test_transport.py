@@ -1,0 +1,78 @@
+"""Unit tests for the publish-subscribe transport."""
+
+import pytest
+
+from repro.core import TransportError
+from repro.dist import InProcTransport
+
+
+class TestPubSub:
+    def test_delivery(self):
+        t = InProcTransport()
+        got = []
+        t.subscribe("f", "nodeB", lambda m: got.append(m))
+        n = t.publish("f", "nodeA", payload={"x": 1}, size=8)
+        assert n == 1
+        assert got[0].payload == {"x": 1}
+        assert got[0].sender == "nodeA"
+
+    def test_sender_excluded(self):
+        t = InProcTransport()
+        got = []
+        t.subscribe("f", "nodeA", lambda m: got.append(m))
+        assert t.publish("f", "nodeA", None) == 0
+        assert got == []
+
+    def test_multiple_subscribers(self):
+        t = InProcTransport()
+        got = []
+        t.subscribe("f", "b", lambda m: got.append("b"))
+        t.subscribe("f", "c", lambda m: got.append("c"))
+        assert t.publish("f", "a", None) == 2
+        assert got == ["b", "c"]
+
+    def test_unsubscribe(self):
+        t = InProcTransport()
+        got = []
+        unsub = t.subscribe("f", "b", lambda m: got.append(1))
+        t.publish("f", "a", None)
+        unsub()
+        t.publish("f", "a", None)
+        assert got == [1]
+
+    def test_topics(self):
+        t = InProcTransport()
+        t.subscribe("x", "n", lambda m: None)
+        assert t.topics() == ["x"]
+
+
+class TestStats:
+    def test_accounting(self):
+        t = InProcTransport()
+        t.subscribe("f", "b", lambda m: None)
+        t.subscribe("f", "c", lambda m: None)
+        t.publish("f", "a", None, size=100)
+        assert t.stats.messages == 2
+        assert t.stats.bytes == 200
+        assert t.stats.per_topic["f"] == 2
+        assert t.stats.per_link[("a", "b")] == 1
+        assert t.stats.per_link[("a", "c")] == 1
+
+    def test_latency_model(self):
+        t = InProcTransport(latency_per_message_us=10.0,
+                            latency_per_byte_ns=1.0)
+        t.subscribe("f", "b", lambda m: None)
+        t.publish("f", "a", None, size=1000)
+        assert t.stats.simulated_latency_s == pytest.approx(
+            10e-6 + 1000e-9
+        )
+
+
+class TestClose:
+    def test_closed_rejects_operations(self):
+        t = InProcTransport()
+        t.close()
+        with pytest.raises(TransportError):
+            t.subscribe("f", "n", lambda m: None)
+        with pytest.raises(TransportError):
+            t.publish("f", "n", None)

@@ -1,0 +1,113 @@
+"""Chaos tests: deterministic output under adversarial timing.
+
+Kernel bodies get random sleeps injected (seeded per run), workers race,
+the analyzer lags — and the write-once model must still produce
+bit-identical results.  This is the strongest executable form of the
+paper's determinism claim.
+"""
+
+import random
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AgeExpr,
+    Dim,
+    FetchSpec,
+    FieldDef,
+    KernelContext,
+    KernelDef,
+    Program,
+    StoreSpec,
+    run_program,
+)
+from repro.workloads import build_mulsum, expected_series
+
+
+def jittered_mulsum(seed: int):
+    """The figure-5 program with random per-instance delays."""
+    rng = random.Random(seed)
+    program, sink = build_mulsum()
+    kernels = []
+    for k in program.kernels.values():
+        inner = k.body
+
+        def body(ctx, inner=inner):
+            time.sleep(rng.random() * 0.002)
+            inner(ctx)
+
+        kernels.append(
+            KernelDef(k.name, body, fetches=k.fetches, stores=k.stores,
+                      has_age=k.has_age, index_vars=k.index_vars,
+                      domain=k.domain, age_limit=k.age_limit)
+        )
+    return Program.build(
+        program.fields.values(), kernels, program.timers, "jittered"
+    ), sink
+
+
+class TestChaos:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_jittered_mulsum_still_exact(self, seed):
+        program, sink = jittered_mulsum(seed)
+        run_program(program, workers=6, max_age=3, timeout=120)
+        expected = expected_series(4)
+        for age in expected:
+            assert np.array_equal(sink[age][0], expected[age][0])
+            assert np.array_equal(sink[age][1], expected[age][1])
+
+    def test_slow_producer_fast_consumer(self):
+        """A consumer that outruns its producer must simply wait, never
+        observe partial data."""
+        observed = []
+
+        def slow_source(ctx):
+            if ctx.age >= 4:
+                return
+            time.sleep(0.01)
+            ctx.emit("data", np.full(16, ctx.age, dtype=np.int64))
+
+        def fast_consumer(ctx):
+            chunk = ctx["chunk"]
+            # all elements of an age must be the same value — a partial
+            # observation would mix ages or zeros
+            assert len(set(chunk.tolist())) == 1
+            observed.append((ctx.age, int(chunk[0])))
+
+        program = Program.build(
+            [FieldDef("data", "int64", 1, shape=(16,))],
+            [
+                KernelDef("source", slow_source, has_age=True,
+                          stores=(StoreSpec("data", key="data"),)),
+                KernelDef(
+                    "consumer", fast_consumer, has_age=True,
+                    index_vars=("x",),
+                    fetches=(FetchSpec("chunk", "data",
+                                       dims=(Dim.of("x", 4),)),),
+                ),
+            ],
+        )
+        result = run_program(program, workers=8, timeout=60)
+        assert result.reason == "idle"
+        assert sorted(observed) == [
+            (age, age) for age in range(4) for _ in range(4)
+        ]
+
+    def test_many_workers_tiny_work(self):
+        """More workers than instances: no deadlock, no double dispatch."""
+        counts = []
+
+        def one(ctx):
+            counts.append(ctx.age)
+            if ctx.age < 3:
+                ctx.emit("f", ctx.age)
+
+        program = Program.build(
+            [FieldDef("f", "int64", 1)],
+            [KernelDef("one", one, has_age=True,
+                       stores=(StoreSpec("f", key="f"),))],
+        )
+        run_program(program, workers=16, timeout=60)
+        assert sorted(counts) == [0, 1, 2, 3]

@@ -1,0 +1,185 @@
+"""Property-based determinism tests.
+
+The paper's central correctness claim: "the schedulers ... can analyze
+dependencies and guarantee fully deterministic output independent of
+order due to the write-once semantics of fields."  Hypothesis generates
+random multi-stage pipeline programs (random per-stage index patterns,
+block sizes, arithmetic and optional cross-age feedback) and we assert
+that the runtime's output equals a sequential NumPy evaluation and is
+bit-identical across worker counts and scheduling policies.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    AgeExpr,
+    Dim,
+    FetchSpec,
+    FieldDef,
+    KernelContext,
+    KernelDef,
+    Program,
+    StoreSpec,
+    run_program,
+)
+
+
+@dataclass(frozen=True)
+class StagePlan:
+    mode: str  # "element" | "block" | "whole"
+    block: int
+    mul: int
+    add: int
+
+
+@st.composite
+def pipeline_case(draw):
+    n = draw(st.integers(4, 24))
+    stages = draw(
+        st.lists(
+            st.builds(
+                StagePlan,
+                mode=st.sampled_from(["element", "block", "whole"]),
+                block=st.integers(2, 5),
+                mul=st.integers(1, 3),
+                add=st.integers(-5, 5),
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    feedback_ages = draw(st.integers(0, 3))
+    return n, stages, feedback_ages
+
+
+def build_pipeline(n, stages, feedback_ages):
+    """Source -> stage_1 -> ... -> stage_k (-> feedback to source field)."""
+    fields = [FieldDef("f0", "int64", 1, shape=(n,))]
+    kernels = []
+    init_data = np.arange(n, dtype=np.int64)
+
+    def init_body(ctx: KernelContext) -> None:
+        ctx.emit("f0", init_data)
+
+    kernels.append(
+        KernelDef("init", init_body,
+                  stores=(StoreSpec("f0", AgeExpr.const(0)),))
+    )
+
+    for i, plan in enumerate(stages, start=1):
+        src, dst = f"f{i-1}", f"f{i}"
+        fields.append(FieldDef(dst, "int64", 1, shape=(n,)))
+        mul, add = plan.mul, plan.add
+
+        def body(ctx: KernelContext, mul=mul, add=add) -> None:
+            ctx.emit("out", ctx["v"] * mul + add)
+
+        if plan.mode == "element":
+            dims = (Dim.of("x"),)
+            fetch = FetchSpec("v", src, dims=dims, scalar=True)
+            store = StoreSpec(dst, dims=dims, key="out")
+            index_vars = ("x",)
+        elif plan.mode == "block":
+            dims = (Dim.of("x", plan.block),)
+            fetch = FetchSpec("v", src, dims=dims)
+            store = StoreSpec(dst, dims=dims, key="out")
+            index_vars = ("x",)
+        else:
+            fetch = FetchSpec("v", src)
+            store = StoreSpec(dst, key="out")
+            index_vars = ()
+        kernels.append(
+            KernelDef(f"stage{i}", body, has_age=True,
+                      index_vars=index_vars, fetches=(fetch,),
+                      stores=(store,))
+        )
+
+    if feedback_ages > 0:
+        last = f"f{len(stages)}"
+
+        def feedback_body(ctx: KernelContext) -> None:
+            ctx.emit("f0", ctx["v"] + 1)
+
+        kernels.append(
+            KernelDef(
+                "feedback", feedback_body, has_age=True,
+                fetches=(FetchSpec("v", last),),
+                stores=(StoreSpec("f0", AgeExpr.var(1)),),
+                age_limit=feedback_ages - 1,
+            )
+        )
+    return Program.build(fields, kernels, name="random-pipeline")
+
+
+def reference_eval(n, stages, feedback_ages):
+    """Sequential NumPy semantics of the generated program."""
+    ages = feedback_ages + 1
+    f0 = np.arange(n, dtype=np.int64)
+    outputs = {}
+    for age in range(ages):
+        v = f0
+        for plan in stages:
+            v = v * plan.mul + plan.add
+        outputs[age] = v
+        f0 = v + 1  # feedback
+    return outputs
+
+
+class TestPipelineDeterminism:
+    @given(pipeline_case())
+    @settings(max_examples=25, deadline=None)
+    def test_matches_reference_and_worker_invariant(self, case):
+        n, stages, feedback_ages = case
+        expected = reference_eval(n, stages, feedback_ages)
+        last = f"f{len(stages)}"
+        results = []
+        for workers in (1, 4):
+            program = build_pipeline(n, stages, feedback_ages)
+            run = run_program(program, workers=workers, timeout=60)
+            assert run.reason == "idle"
+            got = {
+                age: run.fields[last].fetch(age)
+                for age in expected
+            }
+            results.append(got)
+            for age, ref in expected.items():
+                assert np.array_equal(got[age], ref), (
+                    f"age {age}: {got[age]} != {ref} "
+                    f"(workers={workers}, stages={stages})"
+                )
+        for age in expected:
+            assert np.array_equal(results[0][age], results[1][age])
+
+    @given(pipeline_case())
+    @settings(max_examples=10, deadline=None)
+    def test_scheduling_policy_does_not_change_output(self, case):
+        from repro.core import ExecutionNode
+
+        n, stages, feedback_ages = case
+        expected = reference_eval(n, stages, feedback_ages)
+        last = f"f{len(stages)}"
+        for policy in ("age", "fifo", "lifo"):
+            program = build_pipeline(n, stages, feedback_ages)
+            node = ExecutionNode(program, workers=3, scheduling=policy)
+            run = node.run(timeout=60)
+            for age, ref in expected.items():
+                assert np.array_equal(run.fields[last].fetch(age), ref)
+
+    @given(pipeline_case())
+    @settings(max_examples=8, deadline=None)
+    def test_instance_counts_match_structure(self, case):
+        n, stages, feedback_ages = case
+        program = build_pipeline(n, stages, feedback_ages)
+        run = run_program(program, workers=2, timeout=60)
+        ages = feedback_ages + 1
+        for i, plan in enumerate(stages, start=1):
+            if plan.mode == "element":
+                per_age = n
+            elif plan.mode == "block":
+                per_age = -(-n // plan.block)
+            else:
+                per_age = 1
+            assert run.stats[f"stage{i}"].instances == per_age * ages

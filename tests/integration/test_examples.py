@@ -1,0 +1,87 @@
+"""Smoke tests: every shipped example runs to completion (small args).
+
+Examples are user-facing documentation; a broken one is a broken
+README.  Each runs in a subprocess with reduced parameters and must
+exit 0 and print its key success line.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 300) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, (
+        f"{name} failed:\nstdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "2", "2")
+        assert "matches the paper's published series: True" in out
+
+    def test_mjpeg_encode(self):
+        out = run_example("mjpeg_encode.py", "2", "2")
+        assert "byte-identical:  True" in out
+
+    def test_kmeans_clustering(self):
+        out = run_example("kmeans_clustering.py", "80", "5", "3", "2")
+        assert "trajectory == Lloyd's: True" in out
+
+    def test_deadline_stream(self):
+        out = run_example("deadline_stream.py", "6", "40", "2")
+        assert "deadline" in out
+        assert "SKIPPED" in out  # at least one frame misses by design
+
+    def test_lls_granularity(self):
+        out = run_example("lls_granularity.py")
+        assert "centroid trajectories identical: True" in out
+
+    def test_kpn_vs_p2g(self):
+        out = run_example("kpn_vs_p2g.py", "4", "3")
+        assert "outputs identical: True" in out
+
+    def test_distributed_cluster(self):
+        out = run_example("distributed_cluster.py", "80", "5", "2")
+        assert "distributed result == sequential Lloyd's: True" in out
+        assert "plan changed" in out
+
+    def test_intra_wavefront(self):
+        out = run_example("intra_wavefront.py", "96", "64", "1", "2")
+        assert "bit-identical:      True" in out
+
+    def test_video_pipeline(self, tmp_path):
+        out = run_example(
+            "video_pipeline.py", "2", "2", str(tmp_path / "c.avi")
+        )
+        assert "luma PSNR" in out
+        assert (tmp_path / "c.avi").exists()
+
+    @pytest.mark.parametrize(
+        "program,expect",
+        [
+            ("mulsum.p2g", "age 0 : 10 11 12 13 14"),
+            ("histogram.p2g", "total 640"),
+            ("blur.p2g", "age 4"),
+        ],
+    )
+    def test_p2g_programs_via_cli(self, program, expect):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "run",
+             str(EXAMPLES / "programs" / program), "-w", "2"],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert expect in proc.stdout

@@ -1,0 +1,187 @@
+"""Integration tests asserting the paper's published artifacts.
+
+Each test corresponds to a row in DESIGN.md's experiment index; the
+assertions encode what the paper *states* (exact values, counts,
+geometry, curve shapes) rather than incidental implementation detail.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    fig2_intermediate_graph,
+    fig3_final_graph,
+    fig4_dcdag,
+    fig9_mjpeg_scaling,
+    fig10_kmeans_scaling,
+    table1_machines,
+)
+from repro.bench.experiments import PAPER_TABLE2, PAPER_TABLE3
+from repro.core import run_program
+from repro.lang import compile_program
+from repro.workloads import MJPEGConfig, build_mulsum
+
+
+class TestFigure5Semantics:
+    """Section V: 'The print kernel writes {10, 11, 12, 13, 14},
+    {20, 22, 24, 26, 28} for the first age and {25, 27, 29, 31, 33},
+    {50, 54, 58, 62, 66} for the second'."""
+
+    PAPER_AGE0 = ([10, 11, 12, 13, 14], [20, 22, 24, 26, 28])
+    PAPER_AGE1 = ([25, 27, 29, 31, 33], [50, 54, 58, 62, 66])
+
+    def test_python_api(self):
+        program, sink = build_mulsum()
+        run_program(program, workers=4, max_age=1, timeout=60)
+        assert (sink[0][0].tolist(), sink[0][1].tolist()) == self.PAPER_AGE0
+        assert (sink[1][0].tolist(), sink[1][1].tolist()) == self.PAPER_AGE1
+
+    def test_kernel_language(self):
+        sink = {}
+        src = """
+int32[] m_data age;
+int32[] p_data age;
+init:
+  local int32[] values;
+  %{
+    for i in range(5):
+        put(values, i + 10, i)
+  %}
+  store m_data(0) = values;
+mul2:
+  age a;
+  index x;
+  fetch value = m_data(a)[x];
+  %{ value *= 2 %}
+  store p_data(a)[x] = value;
+plus5:
+  age a;
+  index x;
+  fetch value = p_data(a)[x];
+  %{ value += 5 %}
+  store m_data(a+1)[x] = value;
+print:
+  age a;
+  fetch m = m_data(a);
+  fetch p = p_data(a);
+  %{ sink[a] = (m.tolist(), p.tolist()) %}
+"""
+        program = compile_program(src, bindings={"sink": sink})
+        run_program(program, workers=4, max_age=1, timeout=60)
+        assert sink[0] == self.PAPER_AGE0
+        assert sink[1] == self.PAPER_AGE1
+
+
+class TestTableI:
+    def test_machine_rows(self):
+        text = table1_machines()
+        for fragment in (
+            "Intel Core i7 860 2,8 GHz", "AMD Opteron 8218 2,6 GHz",
+            "Nehalem (Intel)", "Santa Rosa (AMD)",
+        ):
+            assert fragment in text
+
+
+class TestTableIIGeometry:
+    """Table II instance arithmetic at the paper's CIF parameters."""
+
+    def test_block_counts(self):
+        cfg = MJPEGConfig()
+        assert cfg.luma_blocks == 1584
+        assert cfg.chroma_blocks == 396
+
+    def test_paper_dct_counts_are_per_age_times_ages(self):
+        # yDCT 80784 = 1584 x 51, uDCT/vDCT 20196 = 396 x 51
+        assert PAPER_TABLE2["ydct"][0] == 1584 * 51
+        assert PAPER_TABLE2["udct"][0] == 396 * 51
+        assert PAPER_TABLE2["vdct"][0] == 396 * 51
+
+    def test_paper_ratio_dct_dominates(self):
+        """Section VIII-A: 'the majority of CPU-time is spent in the
+        kernel instances of yDCT, uDCT and vDCT'."""
+        total = sum(n * k for n, _d, k in PAPER_TABLE2.values())
+        dct = sum(
+            PAPER_TABLE2[s][0] * PAPER_TABLE2[s][2]
+            for s in ("ydct", "udct", "vdct")
+        )
+        assert dct / total > 0.9
+
+    def test_dispatch_much_smaller_than_kernel_time(self):
+        """Section VIII-A: 'time spent in kernel code is considerably
+        higher compared to the dispatch overhead'."""
+        for name in ("ydct", "udct", "vdct", "vlc"):
+            _n, dispatch, kernel = PAPER_TABLE2[name]
+            assert kernel / dispatch > 10
+
+
+class TestTableIIIGeometry:
+    def test_paper_counts(self):
+        assert PAPER_TABLE3["refine"][0] == 100 * 10
+        assert PAPER_TABLE3["print"][0] == 10 + 1
+        assert abs(PAPER_TABLE3["assign"][0] - 2000 * 100 * 10) < 25_000
+
+    def test_assign_dispatch_comparable_to_kernel(self):
+        """Section VIII-B: the fine granularity of assign is 'witnessed
+        when comparing the dispatch time to the time spent in kernel
+        code' — they are the same order of magnitude."""
+        _n, dispatch, kernel = PAPER_TABLE3["assign"]
+        assert 0.2 < dispatch / kernel < 1.0
+
+
+class TestFigure9:
+    def test_series_shapes(self):
+        sweep = fig9_mjpeg_scaling(frames=50)
+        for machine, pts in sweep.series.items():
+            times = [t for _w, t in sorted(pts)]
+            # near-linear scaling: monotone decreasing
+            assert all(b <= a * 1.02 for a, b in zip(times, times[1:]))
+        # speedup at 8 workers is substantial on both machines
+        for machine in sweep.series:
+            assert sweep.speedup(machine)[-1] > 3.0
+
+    def test_standalone_reference_lines(self):
+        sweep = fig9_mjpeg_scaling(frames=50)
+        i7 = sweep.baselines["4-way Intel Core i7"]
+        opteron = sweep.baselines["8-way AMD Opteron"]
+        # paper: 19 s vs 30 s -> ratio ~1.58
+        assert opteron / i7 == pytest.approx(30 / 19, rel=0.05)
+
+    def test_render(self):
+        text = fig9_mjpeg_scaling(frames=10).render()
+        assert "Figure 9" in text and "standalone" in text
+
+
+class TestFigure10:
+    def test_knee_and_degradation(self):
+        sweep = fig10_kmeans_scaling()
+        for machine, pts in sweep.series.items():
+            times = dict(pts)
+            # scales up to 4 workers...
+            assert times[4] < times[1] / 2
+            # ...then turns upward
+            assert times[8] > min(times.values()) * 1.02
+
+    def test_opteron_worse_than_i7_past_knee(self):
+        sweep = fig10_kmeans_scaling()
+
+        def deg(name):
+            times = dict(sweep.series[name])
+            return times[8] / min(times.values())
+
+        assert deg("8-way AMD Opteron") > deg("4-way Intel Core i7")
+
+
+class TestFigures234:
+    def test_fig2_mentions_fields(self):
+        text = fig2_intermediate_graph()
+        assert "[m_data]" in text and "[p_data]" in text
+
+    def test_fig3_no_fields(self):
+        text = fig3_final_graph()
+        assert "[m_data]" not in text
+        assert "(mul2)" in text
+
+    def test_fig4_acyclic_unroll(self):
+        text = fig4_dcdag(max_age=2)
+        assert "acyclic" in text
+        assert "mul2@0" in text and "mul2@2" in text

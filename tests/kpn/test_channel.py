@@ -1,0 +1,117 @@
+"""Unit tests for bounded KPN channels."""
+
+import threading
+import time
+
+import pytest
+
+from repro.kpn import Channel, ChannelClosed
+
+
+class TestFIFO:
+    def test_order_preserved(self):
+        ch = Channel("c", capacity=10)
+        for i in range(5):
+            ch.put(i)
+        assert [ch.get() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_len_and_full(self):
+        ch = Channel("c", capacity=2)
+        assert len(ch) == 0 and not ch.full
+        ch.put(1)
+        ch.put(2)
+        assert len(ch) == 2 and ch.full
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            Channel("c", capacity=0)
+
+    def test_message_count(self):
+        ch = Channel("c")
+        ch.put(1)
+        ch.put(2)
+        assert ch.total_messages == 2
+
+
+class TestBlocking:
+    def test_put_blocks_when_full(self):
+        ch = Channel("c", capacity=1)
+        ch.writer = "w"
+        ch.put(1)
+        done = threading.Event()
+
+        def writer():
+            ch.put(2)  # blocks until a get
+            done.set()
+
+        t = threading.Thread(target=writer, daemon=True)
+        t.start()
+        time.sleep(0.05)
+        assert not done.is_set()
+        assert ch.blocked_writer == "w"
+        assert ch.get() == 1
+        assert done.wait(2)
+        assert ch.get() == 2
+
+    def test_get_blocks_when_empty(self):
+        ch = Channel("c")
+        ch.reader = "r"
+        got = []
+
+        def reader():
+            got.append(ch.get())
+
+        t = threading.Thread(target=reader, daemon=True)
+        t.start()
+        time.sleep(0.05)
+        assert ch.blocked_reader == "r"
+        ch.put(42)
+        t.join(2)
+        assert got == [42]
+
+    def test_grow_unblocks_writer(self):
+        ch = Channel("c", capacity=1)
+        ch.put(1)
+        done = threading.Event()
+
+        def writer():
+            ch.put(2)
+            done.set()
+
+        threading.Thread(target=writer, daemon=True).start()
+        time.sleep(0.05)
+        assert ch.grow() == 2
+        assert done.wait(2)
+
+
+class TestClose:
+    def test_get_after_close_drains_then_raises(self):
+        ch = Channel("c")
+        ch.put(1)
+        ch.close()
+        assert ch.get() == 1
+        with pytest.raises(ChannelClosed):
+            ch.get()
+
+    def test_put_after_close_raises(self):
+        ch = Channel("c")
+        ch.close()
+        with pytest.raises(ChannelClosed):
+            ch.put(1)
+
+    def test_close_wakes_blocked_reader(self):
+        ch = Channel("c")
+        result = []
+
+        def reader():
+            try:
+                ch.get()
+            except ChannelClosed:
+                result.append("closed")
+
+        t = threading.Thread(target=reader, daemon=True)
+        t.start()
+        time.sleep(0.05)
+        ch.close()
+        t.join(2)
+        assert result == ["closed"]

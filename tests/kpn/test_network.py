@@ -1,0 +1,192 @@
+"""Tests for KPN networks: determinism, deadlock detection/resolution."""
+
+import pytest
+
+from repro.core import DeadlockError
+from repro.kpn import ChannelClosed, Network
+from repro.kpn.deadlock import WaitForGraph, find_cycle
+from repro.kpn.channel import Channel
+
+
+def build_pipeline(out):
+    """source -> double -> sink."""
+    net = Network("pipe")
+
+    def source(ins, outs):
+        for i in range(20):
+            outs["out"].put(i)
+
+    def double(ins, outs):
+        while True:
+            outs["out"].put(ins["in"].get() * 2)
+
+    def sink(ins, outs):
+        try:
+            while True:
+                out.append(ins["in"].get())
+        except ChannelClosed:
+            pass
+
+    net.add_process("source", source)
+    net.add_process("double", double)
+    net.add_process("sink", sink)
+    net.connect("source", "out", "double", "in", capacity=3)
+    net.connect("double", "out", "sink", "in", capacity=3)
+    return net
+
+
+class TestPipeline:
+    def test_results_in_order(self):
+        out = []
+        build_pipeline(out).run(timeout=30)
+        assert out == [i * 2 for i in range(20)]
+
+    def test_deterministic_across_runs(self):
+        runs = []
+        for _ in range(3):
+            out = []
+            build_pipeline(out).run(timeout=30)
+            runs.append(out)
+        assert runs[0] == runs[1] == runs[2]
+
+    def test_message_accounting(self):
+        out = []
+        net = build_pipeline(out)
+        net.run(timeout=30)
+        assert net.total_messages() == 40  # 20 through each channel
+
+    def test_fan_out_fan_in(self):
+        """Split a stream over two workers and merge deterministically
+        (round-robin both ways keeps Kahn determinism)."""
+        out = []
+        net = Network("fanout")
+
+        def source(ins, outs):
+            for i in range(10):
+                outs["a" if i % 2 == 0 else "b"].put(i)
+
+        def worker(ins, outs):
+            while True:
+                outs["out"].put(ins["in"].get() + 100)
+
+        def merge(ins, outs):
+            try:
+                while True:
+                    out.append(ins["a"].get())
+                    out.append(ins["b"].get())
+            except ChannelClosed:
+                pass
+
+        net.add_process("source", source)
+        net.add_process("w1", worker)
+        net.add_process("w2", worker)
+        net.add_process("merge", merge)
+        net.connect("source", "a", "w1", "in")
+        net.connect("source", "b", "w2", "in")
+        net.connect("w1", "out", "merge", "a")
+        net.connect("w2", "out", "merge", "b")
+        net.run(timeout=30)
+        assert out == [100 + i for i in range(10)]
+
+    def test_duplicate_names_rejected(self):
+        net = Network()
+        net.add_process("p", lambda i, o: None)
+        with pytest.raises(ValueError):
+            net.add_process("p", lambda i, o: None)
+        net.add_channel("c")
+        with pytest.raises(ValueError):
+            net.add_channel("c")
+
+    def test_process_error_propagates(self):
+        net = Network()
+
+        def bad(ins, outs):
+            raise ValueError("kaboom")
+
+        net.add_process("bad", bad)
+        with pytest.raises(ValueError):
+            net.run(timeout=10)
+
+
+class TestDeadlockHandling:
+    def test_artificial_deadlock_resolved_by_growing(self):
+        """A guaranteed artificial deadlock: the producer must buffer two
+        items before the consumer starts draining, but the data channel
+        holds one.  Parks' algorithm must grow it instead of hanging."""
+        out = []
+        net = Network("parks")
+
+        def producer(ins, outs):
+            outs["data"].put(1)
+            outs["data"].put(2)  # blocks: consumer is waiting on "go"
+            outs["go"].put(True)
+
+        def consumer(ins, outs):
+            ins["go"].get()  # blocks until the producer finished pushing
+            out.append(ins["data"].get())
+            out.append(ins["data"].get())
+
+        net.add_process("producer", producer)
+        net.add_process("consumer", consumer)
+        net.connect("producer", "data", "consumer", "data", capacity=1)
+        net.connect("producer", "go", "consumer", "go", capacity=1)
+        net.run(timeout=30)
+        assert out == [1, 2]
+        assert net.deadlocks_resolved >= 1
+        assert net.channel("producer.data->consumer.data").capacity > 1
+
+    def test_true_deadlock_detected(self):
+        """Two processes each reading before writing: an all-read cycle
+        that no buffer growth can fix."""
+        net = Network("deadly")
+
+        def a(ins, outs):
+            v = ins["in"].get()  # waits for b forever
+            outs["out"].put(v)
+
+        def b(ins, outs):
+            v = ins["in"].get()  # waits for a forever
+            outs["out"].put(v)
+
+        net.add_process("a", a)
+        net.add_process("b", b)
+        net.connect("a", "out", "b", "in")
+        net.connect("b", "out", "a", "in")
+        with pytest.raises(DeadlockError):
+            net.run(timeout=10)
+
+    def test_timeout_reports_deadlock_error(self):
+        net = Network("slow")
+
+        def sleeper(ins, outs):
+            import time
+
+            time.sleep(5)
+
+        net.add_process("sleeper", sleeper)
+        with pytest.raises(DeadlockError):
+            net.run(timeout=0.2)
+
+
+class TestWaitForGraph:
+    def test_snapshot_and_cycle(self):
+        c1 = Channel("c1")
+        c1.writer, c1.reader = "a", "b"
+        c2 = Channel("c2")
+        c2.writer, c2.reader = "b", "a"
+        # a blocked reading c2 (waits for b); b blocked reading c1
+        c2.blocked_reader = "a"
+        c1.blocked_reader = "b"
+        g = WaitForGraph.snapshot([c1, c2])
+        assert len(g.edges) == 2
+        cycle = find_cycle(g)
+        assert cycle is not None
+        assert {e.waiter for e in cycle} == {"a", "b"}
+        assert all(e.kind == "read" for e in cycle)
+
+    def test_no_cycle(self):
+        c1 = Channel("c1")
+        c1.writer, c1.reader = "a", "b"
+        c1.blocked_reader = "b"
+        g = WaitForGraph.snapshot([c1])
+        assert find_cycle(g) is None

@@ -1,0 +1,101 @@
+"""Unit tests for the kernel-language lexer."""
+
+import pytest
+
+from repro.core import LexError
+from repro.lang import Token, TokenType, tokenize
+
+
+def kinds(source):
+    return [t.type for t in tokenize(source)]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)[:-1]]  # drop EOF
+
+
+class TestBasics:
+    def test_field_definition(self):
+        toks = tokenize("int32[] m_data age;")
+        assert [t.type for t in toks] == [
+            TokenType.TYPE, TokenType.LBRACKET, TokenType.RBRACKET,
+            TokenType.IDENT, TokenType.KEYWORD, TokenType.SEMI,
+            TokenType.EOF,
+        ]
+
+    def test_numbers(self):
+        toks = tokenize("a+100")
+        assert toks[2].type is TokenType.INT
+        assert toks[2].value == "100"
+
+    def test_keywords_vs_idents(self):
+        toks = tokenize("fetch fetched age ages")
+        assert toks[0].type is TokenType.KEYWORD
+        assert toks[1].type is TokenType.IDENT
+        assert toks[2].type is TokenType.KEYWORD
+        assert toks[3].type is TokenType.IDENT
+
+    def test_all_type_names(self):
+        for name in ("int8", "uint8", "int16", "uint16", "int32",
+                     "uint32", "int64", "uint64", "float32", "float64"):
+            assert tokenize(name)[0].type is TokenType.TYPE
+
+    def test_punctuation(self):
+        assert values("( ) [ ] : ; = + - ,") == list("()[]:;=+-,")
+
+    def test_positions(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_empty_source(self):
+        assert kinds("") == [TokenType.EOF]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert values("a // comment here\nb") == ["a", "b"]
+
+    def test_hash_comment(self):
+        assert values("a # python-style\nb") == ["a", "b"]
+
+    def test_comment_at_eof(self):
+        assert values("a // no newline") == ["a"]
+
+
+class TestNativeBlocks:
+    def test_single_line(self):
+        toks = tokenize("%{ value *= 2 %}")
+        assert toks[0].type is TokenType.NATIVE
+        assert toks[0].value.strip() == "value *= 2"
+
+    def test_multi_line_preserved_raw(self):
+        src = "%{\nfor i in range(5):\n    put(values, i, i)\n%}"
+        tok = tokenize(src)[0]
+        assert "for i in range(5):" in tok.value
+        assert "    put(values, i, i)" in tok.value
+
+    def test_special_chars_not_tokenized(self):
+        tok = tokenize("%{ a = {'x': [1, 2]} @ weird $ %}")[0]
+        assert tok.type is TokenType.NATIVE
+        assert "{'x': [1, 2]}" in tok.value
+
+    def test_unterminated_raises(self):
+        with pytest.raises(LexError):
+            tokenize("%{ never closed")
+
+    def test_percent_inside_block(self):
+        tok = tokenize("%{ x = 5 % 2 %}")[0]
+        assert "5 % 2" in tok.value
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError) as e:
+            tokenize("int32[] f @;")
+        assert e.value.line == 1
+
+    def test_error_has_position(self):
+        with pytest.raises(LexError) as e:
+            tokenize("ok\n  &")
+        assert e.value.line == 2

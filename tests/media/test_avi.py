@@ -1,0 +1,80 @@
+"""Tests for the MJPG AVI container."""
+
+import struct
+
+import pytest
+
+from repro.media.avi import AVIInfo, read_avi, write_avi
+from repro.media.jpeg import decode_jpeg, encode_jpeg
+from repro.media.yuv import psnr, synthetic_sequence
+
+
+def jpegs(n=3, w=64, h=48):
+    return [encode_jpeg(f, 70) for f in synthetic_sequence(n, w, h)]
+
+
+class TestWrite:
+    def test_riff_layout(self):
+        data = write_avi(None, jpegs(2), 64, 48, fps=25)
+        assert data[:4] == b"RIFF"
+        assert data[8:12] == b"AVI "
+        # RIFF size covers the rest of the file
+        (size,) = struct.unpack_from("<I", data, 4)
+        assert size == len(data) - 8
+        assert b"MJPG" in data[:200]
+        assert b"movi" in data
+        assert b"idx1" in data
+
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "clip.avi"
+        data = write_avi(path, jpegs(1), 64, 48)
+        assert path.read_bytes() == data
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            write_avi(None, [], 64, 48)
+
+    def test_rejects_non_jpeg(self):
+        with pytest.raises(ValueError):
+            write_avi(None, [b"not a jpeg"], 64, 48)
+
+    def test_rejects_bad_fps(self):
+        with pytest.raises(ValueError):
+            write_avi(None, jpegs(1), 64, 48, fps=0)
+
+    def test_odd_sized_frames_padded_even(self):
+        frames = jpegs(2)
+        # make one frame odd-length by a COM segment of odd size
+        odd = frames[0]
+        if len(odd) % 2 == 0:
+            odd = odd[:-2] + b"\xff\xfe\x00\x03\x00" + b"\xff\xd9"
+        data = write_avi(None, [odd, frames[1]], 64, 48)
+        _info, back = read_avi(data)
+        assert back[0] == odd  # padding removed on read
+
+
+class TestRead:
+    def test_roundtrip(self):
+        frames = jpegs(4)
+        info, back = read_avi(write_avi(None, frames, 64, 48, fps=30))
+        assert back == frames
+        assert info == AVIInfo(64, 48, pytest.approx(30.0, rel=1e-3),
+                               4, "MJPG")
+
+    def test_frames_decode(self):
+        clip = synthetic_sequence(2, 64, 48)
+        frames = [encode_jpeg(f, 80) for f in clip]
+        _info, back = read_avi(write_avi(None, frames, 64, 48))
+        for i, data in enumerate(back):
+            dec = decode_jpeg(data)
+            assert psnr(dec.frame.y, clip[i].y) > 30.0
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            read_avi(b"MPEG not avi")
+
+    def test_reads_from_path(self, tmp_path):
+        path = tmp_path / "c.avi"
+        write_avi(path, jpegs(2), 64, 48)
+        info, back = read_avi(path)
+        assert info.frame_count == 2

@@ -1,0 +1,123 @@
+"""Unit + property tests for bit-level I/O with JPEG stuffing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.media.bitstream import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_msb_first(self):
+        w = BitWriter(stuffing=False)
+        w.write_bits(0b1, 1)
+        w.write_bits(0b0000000, 7)
+        assert w.getvalue() == b"\x80"
+
+    def test_cross_byte_value(self):
+        w = BitWriter(stuffing=False)
+        w.write_bits(0xABC, 12)
+        w.flush()  # pads the final nibble with 1-bits
+        assert w.getvalue() == bytes([0xAB, 0xCF])
+
+    def test_stuffing_inserts_zero_after_ff(self):
+        w = BitWriter(stuffing=True)
+        w.write_bits(0xFF, 8)
+        assert w.getvalue() == b"\xff\x00"
+
+    def test_no_stuffing_mode(self):
+        w = BitWriter(stuffing=False)
+        w.write_bits(0xFF, 8)
+        assert w.getvalue() == b"\xff"
+
+    def test_flush_pads_with_ones(self):
+        w = BitWriter(stuffing=False)
+        w.write_bits(0, 3)
+        w.flush()
+        assert w.getvalue() == bytes([0b00011111])
+
+    def test_flush_on_boundary_is_noop(self):
+        w = BitWriter(stuffing=False)
+        w.write_bits(0x5A, 8)
+        w.flush()
+        assert w.getvalue() == b"\x5a"
+
+    def test_value_range_checked(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_bits(4, 2)
+        with pytest.raises(ValueError):
+            w.write_bits(-1, 2)
+
+    def test_zero_bits_is_noop(self):
+        w = BitWriter()
+        w.write_bits(0, 0)
+        assert w.bit_length == 0
+
+
+class TestBitReader:
+    def test_reads_what_writer_wrote(self):
+        w = BitWriter(stuffing=True)
+        w.write_bits(0b101, 3)
+        w.write_bits(0xFFEE, 16)
+        w.flush()
+        r = BitReader(w.getvalue(), stuffing=True)
+        assert r.read_bits(3) == 0b101
+        assert r.read_bits(16) == 0xFFEE
+
+    def test_unstuffing(self):
+        r = BitReader(b"\xff\x00\x12", stuffing=True)
+        assert r.read_bits(8) == 0xFF
+        assert r.read_bits(8) == 0x12
+
+    def test_eof(self):
+        r = BitReader(b"\xab")
+        r.read_bits(8)
+        with pytest.raises(EOFError):
+            r.read_bit()
+
+    def test_marker_in_stream_raises(self):
+        r = BitReader(b"\xff\xd9", stuffing=True)
+        with pytest.raises(EOFError):
+            r.read_bits(16)
+
+    def test_bits_remaining(self):
+        r = BitReader(b"\x00\x00")
+        assert r.bits_remaining() == 16
+        r.read_bits(5)
+        assert r.bits_remaining() == 11
+
+
+class TestRoundTripProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2**16 - 1), st.integers(1, 16)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60)
+    def test_roundtrip_arbitrary_sequences(self, pieces):
+        w = BitWriter(stuffing=True)
+        expected = []
+        for value, nbits in pieces:
+            value &= (1 << nbits) - 1
+            w.write_bits(value, nbits)
+            expected.append((value, nbits))
+        w.flush()
+        r = BitReader(w.getvalue(), stuffing=True)
+        for value, nbits in expected:
+            assert r.read_bits(value.bit_length() and nbits or nbits) == value
+
+    @given(st.binary(min_size=0, max_size=64))
+    @settings(max_examples=60)
+    def test_byte_roundtrip_with_stuffing(self, data):
+        w = BitWriter(stuffing=True)
+        for b in data:
+            w.write_bits(b, 8)
+        out = w.getvalue()
+        # stuffed stream never contains 0xFF followed by a non-zero byte
+        for i in range(len(out) - 1):
+            if out[i] == 0xFF:
+                assert out[i + 1] == 0x00
+        r = BitReader(out, stuffing=True)
+        assert bytes(r.read_bits(8) for _ in data) == data

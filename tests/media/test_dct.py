@@ -1,0 +1,104 @@
+"""Unit + property tests for the three DCT implementations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.media.dct import (
+    aan_dct2,
+    dct2_blocks,
+    dct_matrix,
+    idct2,
+    idct2_blocks,
+    matrix_dct2,
+    naive_dct2,
+)
+
+BLOCKS = hnp.arrays(
+    dtype=np.float64,
+    shape=(8, 8),
+    elements=st.floats(-128, 127, allow_nan=False),
+)
+
+
+class TestBasisMatrix:
+    def test_orthonormal(self):
+        m = dct_matrix()
+        assert np.allclose(m @ m.T, np.eye(8), atol=1e-12)
+
+    def test_first_row_constant(self):
+        m = dct_matrix()
+        assert np.allclose(m[0], m[0, 0])
+
+
+class TestEquivalence:
+    @given(BLOCKS)
+    @settings(max_examples=25, deadline=None)
+    def test_naive_equals_matrix(self, block):
+        assert np.allclose(naive_dct2(block), matrix_dct2(block), atol=1e-9)
+
+    @given(BLOCKS)
+    @settings(max_examples=25, deadline=None)
+    def test_aan_equals_matrix(self, block):
+        assert np.allclose(aan_dct2(block), matrix_dct2(block), atol=1e-5)
+
+    def test_batch_matches_single(self):
+        rng = np.random.default_rng(0)
+        batch = rng.uniform(-128, 127, (6, 8, 8))
+        out = dct2_blocks(batch, "matrix")
+        for i in range(6):
+            assert np.array_equal(out[i], matrix_dct2(batch[i]))
+
+    def test_methods_dispatch(self):
+        rng = np.random.default_rng(1)
+        b = rng.uniform(-10, 10, (2, 8, 8))
+        for method in ("naive", "matrix", "aan"):
+            out = dct2_blocks(b, method)
+            assert out.shape == (2, 8, 8)
+        with pytest.raises(ValueError):
+            dct2_blocks(b, "fft")
+
+
+class TestRoundTrip:
+    @given(BLOCKS)
+    @settings(max_examples=25, deadline=None)
+    def test_idct_inverts_dct(self, block):
+        assert np.allclose(idct2(matrix_dct2(block)), block, atol=1e-9)
+
+    def test_idct_blocks_batch(self):
+        rng = np.random.default_rng(2)
+        batch = rng.uniform(-128, 127, (3, 4, 8, 8))
+        coeffs = dct2_blocks(batch)
+        assert np.allclose(idct2_blocks(coeffs), batch, atol=1e-9)
+
+
+class TestDCTProperties:
+    def test_constant_block_concentrates_in_dc(self):
+        block = np.full((8, 8), 100.0)
+        coeffs = matrix_dct2(block)
+        assert coeffs[0, 0] == pytest.approx(800.0)  # 8 * mean
+        coeffs[0, 0] = 0
+        assert np.allclose(coeffs, 0, atol=1e-10)
+
+    @given(BLOCKS, BLOCKS)
+    @settings(max_examples=20, deadline=None)
+    def test_linearity(self, a, b):
+        lhs = matrix_dct2(a + b)
+        rhs = matrix_dct2(a) + matrix_dct2(b)
+        assert np.allclose(lhs, rhs, atol=1e-9)
+
+    @given(BLOCKS)
+    @settings(max_examples=20, deadline=None)
+    def test_parseval_energy_preserved(self, block):
+        assert np.sum(block**2) == pytest.approx(
+            np.sum(matrix_dct2(block) ** 2), rel=1e-9, abs=1e-6
+        )
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            naive_dct2(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            aan_dct2(np.zeros((8, 4)))
+        with pytest.raises(ValueError):
+            idct2_blocks(np.zeros((2, 8, 4)))

@@ -1,0 +1,139 @@
+"""Unit tests for the JPEG encoder/decoder."""
+
+import numpy as np
+import pytest
+
+from repro.media.jpeg import (
+    blocks_to_plane,
+    decode_jpeg,
+    encode_jpeg,
+    pad_plane,
+    plane_to_blocks,
+    qtables_for_quality,
+    quantize_plane,
+)
+from repro.media.yuv import YUVFrame, psnr, synthetic_sequence
+
+
+def frame(w=96, h=64, seed=3):
+    return synthetic_sequence(1, w, h, seed)[0]
+
+
+class TestBlockHelpers:
+    def test_plane_blocks_roundtrip(self):
+        plane = np.arange(32 * 16).reshape(16, 32)
+        blocks = plane_to_blocks(plane)
+        assert blocks.shape == (2, 4, 8, 8)
+        assert np.array_equal(blocks_to_plane(blocks), plane)
+
+    def test_block_content(self):
+        plane = np.arange(16 * 16).reshape(16, 16)
+        blocks = plane_to_blocks(plane)
+        assert np.array_equal(blocks[0, 1], plane[0:8, 8:16])
+
+    def test_non_multiple_rejected(self):
+        with pytest.raises(ValueError):
+            plane_to_blocks(np.zeros((10, 16)))
+
+    def test_pad_plane_replicates_edges(self):
+        plane = np.array([[1, 2], [3, 4]], dtype=np.uint8)
+        padded = pad_plane(plane, 8)
+        assert padded.shape == (8, 8)
+        assert padded[0, 7] == 2
+        assert padded[7, 0] == 3
+        assert padded[7, 7] == 4
+
+    def test_pad_noop_when_aligned(self):
+        plane = np.zeros((16, 16), np.uint8)
+        assert pad_plane(plane, 8) is plane
+
+
+class TestEncode:
+    def test_produces_jfif_markers(self):
+        data = encode_jpeg(frame())
+        assert data[:2] == b"\xff\xd8"  # SOI
+        assert data[-2:] == b"\xff\xd9"  # EOI
+        assert b"JFIF\x00" in data[:32]
+
+    def test_higher_quality_larger_file(self):
+        f = frame()
+        sizes = [len(encode_jpeg(f, q)) for q in (20, 50, 80, 95)]
+        assert sizes == sorted(sizes)
+
+    def test_quantize_plane_shape(self):
+        qy, _ = qtables_for_quality(75)
+        q = quantize_plane(frame().y.astype(float), qy)
+        assert q.shape == (8, 12, 8, 8)
+        assert q.dtype == np.int32
+
+
+class TestDecodeRoundTrip:
+    def test_psnr_reasonable_at_q75(self):
+        f = frame()
+        dec = decode_jpeg(encode_jpeg(f, 75))
+        assert psnr(dec.frame.y, f.y) > 30.0
+        assert psnr(dec.frame.u, f.u) > 30.0
+        assert psnr(dec.frame.v, f.v) > 30.0
+
+    def test_quality_improves_psnr(self):
+        f = frame()
+        scores = [
+            psnr(decode_jpeg(encode_jpeg(f, q)).frame.y, f.y)
+            for q in (10, 50, 90)
+        ]
+        assert scores == sorted(scores)
+
+    def test_header_fields_roundtrip(self):
+        f = frame()
+        dec = decode_jpeg(encode_jpeg(f, 75))
+        assert (dec.width, dec.height) == (f.width, f.height)
+        assert dec.sampling == ((2, 2), (1, 1), (1, 1))
+        qy, qc = qtables_for_quality(75)
+        assert np.array_equal(dec.qtables[0], qy)
+        assert np.array_equal(dec.qtables[1], qc)
+
+    def test_non_mcu_aligned_dimensions(self):
+        """Arbitrary sizes go through pad_plane; decode crops back."""
+        y = np.tile(np.arange(60, dtype=np.uint8), (44, 1))
+        u = np.full((22, 30), 90, np.uint8)
+        v = np.full((22, 30), 160, np.uint8)
+        f = YUVFrame(y, u, v)
+        dec = decode_jpeg(encode_jpeg(f, 85))
+        assert dec.frame.y.shape == (44, 60)
+        assert psnr(dec.frame.y, y) > 30.0
+
+    def test_flat_frame_compresses_tightly(self):
+        y = np.full((64, 64), 128, np.uint8)
+        u = np.full((32, 32), 128, np.uint8)
+        v = np.full((32, 32), 128, np.uint8)
+        data = encode_jpeg(YUVFrame(y, u, v), 75)
+        dec = decode_jpeg(data)
+        assert np.array_equal(dec.frame.y, y)
+        assert len(data) < 1200  # headers dominate
+
+    def test_gray_extremes_clip_correctly(self):
+        y = np.zeros((16, 16), np.uint8)
+        y[:8] = 255
+        f = YUVFrame(y, np.full((8, 8), 128, np.uint8),
+                     np.full((8, 8), 128, np.uint8))
+        dec = decode_jpeg(encode_jpeg(f, 95))
+        assert dec.frame.y.min() >= 0 and dec.frame.y.max() <= 255
+        assert psnr(dec.frame.y, y) > 25.0
+
+
+class TestDecodeErrors:
+    def test_not_a_jpeg(self):
+        with pytest.raises(ValueError):
+            decode_jpeg(b"\x00\x01\x02")
+
+    def test_truncated_headers(self):
+        data = encode_jpeg(frame())
+        with pytest.raises(Exception):
+            decode_jpeg(data[:20])
+
+    def test_progressive_rejected(self):
+        data = bytearray(encode_jpeg(frame()))
+        idx = data.find(b"\xff\xc0")
+        data[idx + 1] = 0xC2  # pretend SOF2 (progressive)
+        with pytest.raises(ValueError):
+            decode_jpeg(bytes(data))

@@ -1,0 +1,79 @@
+"""Unit tests for the MJPEG stream container."""
+
+import io
+
+import pytest
+
+from repro.media.jpeg import encode_jpeg
+from repro.media.mjpeg import MJPEGReader, MJPEGWriter, split_frames
+from repro.media.yuv import synthetic_sequence
+
+
+def jpegs(n=3, w=32, h=32):
+    return [encode_jpeg(f, 70) for f in synthetic_sequence(n, w, h)]
+
+
+class TestWriter:
+    def test_memory_stream(self):
+        frames = jpegs(2)
+        w = MJPEGWriter()
+        for f in frames:
+            w.write_frame(f)
+        assert w.frames_written == 2
+        assert w.bytes_written == sum(len(f) for f in frames)
+        assert w.getvalue() == b"".join(frames)
+
+    def test_file_target(self, tmp_path):
+        path = tmp_path / "out.mjpeg"
+        frames = jpegs(2)
+        with MJPEGWriter(path) as w:
+            for f in frames:
+                w.write_frame(f)
+        assert path.read_bytes() == b"".join(frames)
+
+    def test_existing_handle(self):
+        buf = io.BytesIO()
+        w = MJPEGWriter(buf)
+        w.write_frame(jpegs(1)[0])
+        assert buf.getvalue()
+
+    def test_rejects_incomplete_jpeg(self):
+        w = MJPEGWriter()
+        with pytest.raises(ValueError):
+            w.write_frame(b"\xff\xd8 no EOI")
+        with pytest.raises(ValueError):
+            w.write_frame(b"no SOI \xff\xd9")
+
+
+class TestReaderAndSplit:
+    def test_split_roundtrip(self):
+        frames = jpegs(4)
+        assert split_frames(b"".join(frames)) == frames
+
+    def test_reader_iterates(self):
+        frames = jpegs(3)
+        reader = MJPEGReader(b"".join(frames))
+        assert list(reader) == frames
+        assert reader.count() == 3
+
+    def test_reader_from_file(self, tmp_path):
+        path = tmp_path / "clip.mjpeg"
+        frames = jpegs(2)
+        path.write_bytes(b"".join(frames))
+        assert list(MJPEGReader(path)) == frames
+
+    def test_single_frame(self):
+        (f,) = jpegs(1)
+        assert split_frames(f) == [f]
+
+    def test_empty_stream(self):
+        assert split_frames(b"") == []
+
+    def test_truncated_stream_rejected(self):
+        (f,) = jpegs(1)
+        with pytest.raises(ValueError):
+            split_frames(f[:-2])  # EOI removed
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            split_frames(b"\x00\x01\x02\x03")

@@ -1,0 +1,81 @@
+"""Unit tests for JPEG quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.media.quant import (
+    STD_CHROMA_QTABLE,
+    STD_LUMA_QTABLE,
+    dequantize,
+    quantize,
+    scale_qtable,
+)
+
+
+class TestStandardTables:
+    def test_luma_known_corners(self):
+        assert STD_LUMA_QTABLE[0, 0] == 16
+        assert STD_LUMA_QTABLE[7, 7] == 99
+
+    def test_chroma_known_corners(self):
+        assert STD_CHROMA_QTABLE[0, 0] == 17
+        assert STD_CHROMA_QTABLE[7, 7] == 99
+
+    def test_in_baseline_range(self):
+        for t in (STD_LUMA_QTABLE, STD_CHROMA_QTABLE):
+            assert t.min() >= 1 and t.max() <= 255
+
+
+class TestQualityScaling:
+    def test_quality_50_is_identity(self):
+        assert np.array_equal(scale_qtable(STD_LUMA_QTABLE, 50),
+                              STD_LUMA_QTABLE)
+
+    def test_monotone_in_quality(self):
+        """Higher quality -> finer (smaller) steps, everywhere."""
+        prev = scale_qtable(STD_LUMA_QTABLE, 1)
+        for q in (10, 25, 50, 75, 95):
+            cur = scale_qtable(STD_LUMA_QTABLE, q)
+            assert (cur <= prev).all()
+            prev = cur
+
+    def test_quality_100_mostly_ones(self):
+        t = scale_qtable(STD_LUMA_QTABLE, 100)
+        assert t.max() <= 2  # (q*0 + 50)//100 rounding keeps some 1s/2s
+        assert t.min() >= 1
+
+    def test_clamped_to_255(self):
+        assert scale_qtable(STD_LUMA_QTABLE, 1).max() == 255
+
+    @pytest.mark.parametrize("q", [0, 101, -5])
+    def test_rejects_out_of_range(self, q):
+        with pytest.raises(ValueError):
+            scale_qtable(STD_LUMA_QTABLE, q)
+
+
+class TestQuantize:
+    def test_round_half_cases(self):
+        q = np.full((8, 8), 10)
+        coeffs = np.full((8, 8), 14.0)
+        assert quantize(coeffs, q)[0, 0] == 1
+        coeffs = np.full((8, 8), 16.0)
+        assert quantize(coeffs, q)[0, 0] == 2
+
+    def test_dtype_is_int32(self):
+        out = quantize(np.zeros((8, 8)), STD_LUMA_QTABLE)
+        assert out.dtype == np.int32
+
+    @given(hnp.arrays(np.float64, (8, 8),
+                      elements=st.floats(-1000, 1000, allow_nan=False)))
+    @settings(max_examples=30)
+    def test_dequantize_bounds_error(self, coeffs):
+        """|dequantize(quantize(x)) - x| <= q/2 elementwise."""
+        q = STD_LUMA_QTABLE
+        rec = dequantize(quantize(coeffs, q), q)
+        assert (np.abs(rec - coeffs) <= q / 2 + 1e-9).all()
+
+    def test_batch_shapes(self):
+        batch = np.zeros((3, 2, 8, 8))
+        assert quantize(batch, STD_LUMA_QTABLE).shape == (3, 2, 8, 8)

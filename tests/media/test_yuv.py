@@ -1,0 +1,118 @@
+"""Unit tests for YUV frames, synthetic sequence and file I/O."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.media.yuv import (
+    YUVFrame,
+    psnr,
+    read_yuv_file,
+    synthetic_sequence,
+    write_yuv_file,
+)
+
+
+class TestYUVFrame:
+    def test_shapes_validated(self):
+        y = np.zeros((16, 16), np.uint8)
+        with pytest.raises(ValueError):
+            YUVFrame(y, np.zeros((16, 16), np.uint8),
+                     np.zeros((8, 8), np.uint8))
+
+    def test_properties(self):
+        f = YUVFrame(
+            np.zeros((32, 48), np.uint8),
+            np.zeros((16, 24), np.uint8),
+            np.zeros((16, 24), np.uint8),
+        )
+        assert f.width == 48 and f.height == 32
+
+    def test_bytes_roundtrip(self):
+        f = synthetic_sequence(1, 32, 16)[0]
+        data = f.tobytes()
+        assert len(data) == YUVFrame.frame_size(32, 16)
+        g = YUVFrame.frombytes(data, 32, 16)
+        assert np.array_equal(f.y, g.y)
+        assert np.array_equal(f.u, g.u)
+        assert np.array_equal(f.v, g.v)
+
+    def test_truncated_frame_rejected(self):
+        with pytest.raises(ValueError):
+            YUVFrame.frombytes(b"\x00" * 10, 32, 16)
+
+
+class TestSyntheticSequence:
+    def test_deterministic(self):
+        a = synthetic_sequence(3, 64, 32, seed=5)
+        b = synthetic_sequence(3, 64, 32, seed=5)
+        for fa, fb in zip(a, b):
+            assert np.array_equal(fa.y, fb.y)
+
+    def test_seed_changes_content(self):
+        a = synthetic_sequence(1, 64, 32, seed=1)[0]
+        b = synthetic_sequence(1, 64, 32, seed=2)[0]
+        assert not np.array_equal(a.y, b.y)
+
+    def test_frames_differ_over_time(self):
+        frames = synthetic_sequence(2, 64, 32)
+        assert not np.array_equal(frames[0].y, frames[1].y)
+
+    def test_cif_default_geometry(self):
+        f = synthetic_sequence(1)[0]
+        assert (f.width, f.height) == (352, 288)
+        assert f.u.shape == (144, 176)
+
+    def test_has_texture(self):
+        """The clip must exercise AC coefficients (non-flat blocks)."""
+        f = synthetic_sequence(1, 64, 64)[0]
+        block = f.y[:8, :8].astype(float)
+        assert block.std() > 1.0
+
+    def test_zero_frames(self):
+        assert synthetic_sequence(0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_sequence(-1)
+
+
+class TestFileIO:
+    def test_write_read_roundtrip(self, tmp_path):
+        frames = synthetic_sequence(3, 32, 16)
+        path = tmp_path / "clip.yuv"
+        n = write_yuv_file(path, frames)
+        assert n == 3 * YUVFrame.frame_size(32, 16)
+        back = list(read_yuv_file(path, 32, 16))
+        assert len(back) == 3
+        for a, b in zip(frames, back):
+            assert np.array_equal(a.y, b.y)
+
+    def test_max_frames(self, tmp_path):
+        path = tmp_path / "clip.yuv"
+        write_yuv_file(path, synthetic_sequence(5, 32, 16))
+        assert len(list(read_yuv_file(path, 32, 16, max_frames=2))) == 2
+
+
+class TestPSNR:
+    def test_identical_is_inf(self):
+        a = np.full((8, 8), 100.0)
+        assert psnr(a, a) == math.inf
+
+    def test_known_value(self):
+        a = np.zeros((10, 10))
+        b = np.full((10, 10), 16.0)  # mse = 256 -> psnr = 10*log10(255^2/256)
+        assert psnr(a, b) == pytest.approx(
+            10 * math.log10(255**2 / 256), rel=1e-9
+        )
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        a = rng.uniform(0, 255, (16, 16))
+        b = rng.uniform(0, 255, (16, 16))
+        assert psnr(a, b) == pytest.approx(psnr(b, a))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            psnr(np.zeros((2, 2)), np.zeros((3, 3)))

@@ -1,0 +1,66 @@
+"""Unit + property tests for zig-zag ordering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.media.zigzag import (
+    INVERSE_ZIGZAG_ORDER,
+    ZIGZAG_ORDER,
+    inverse_zigzag,
+    zigzag,
+)
+
+
+class TestOrder:
+    def test_is_permutation(self):
+        assert sorted(ZIGZAG_ORDER.tolist()) == list(range(64))
+
+    def test_known_prefix(self):
+        """First entries of the standard JPEG scan (spec figure 5)."""
+        assert ZIGZAG_ORDER[:10].tolist() == [
+            0, 1, 8, 16, 9, 2, 3, 10, 17, 24,
+        ]
+
+    def test_last_is_bottom_right(self):
+        assert ZIGZAG_ORDER[-1] == 63
+
+    def test_inverse_is_argsort(self):
+        assert np.array_equal(
+            ZIGZAG_ORDER[INVERSE_ZIGZAG_ORDER], np.arange(64)
+        )
+
+    def test_adjacent_entries_are_grid_neighbours(self):
+        """The scan walks the grid one step at a time (diagonal moves
+        included)."""
+        for a, b in zip(ZIGZAG_ORDER[:-1], ZIGZAG_ORDER[1:]):
+            ra, ca = divmod(int(a), 8)
+            rb, cb = divmod(int(b), 8)
+            assert abs(ra - rb) <= 1 and abs(ca - cb) <= 1
+
+
+class TestRoundTrip:
+    @given(hnp.arrays(np.int64, (8, 8), elements=st.integers(-1000, 1000)))
+    @settings(max_examples=30)
+    def test_involution(self, block):
+        assert np.array_equal(inverse_zigzag(zigzag(block)), block)
+
+    def test_batch(self):
+        rng = np.random.default_rng(0)
+        batch = rng.integers(-100, 100, (5, 8, 8))
+        zz = zigzag(batch)
+        assert zz.shape == (5, 64)
+        assert np.array_equal(inverse_zigzag(zz), batch)
+
+    def test_frequency_ordering(self):
+        """Zig-zag position 0 is DC; neighbours of DC come right after."""
+        block = np.zeros((8, 8))
+        block[0, 0] = 99
+        assert zigzag(block)[0] == 99
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            zigzag(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            inverse_zigzag(np.zeros(32))

@@ -1,0 +1,96 @@
+"""Tests for the configuration advisor (section V-A's simulator use)."""
+
+import pytest
+
+from repro.sim import (
+    CORE_I7_860,
+    OPTERON_8218,
+    coarsen_model,
+    compare_machines,
+    granularity_what_if,
+    paper_kmeans_model,
+    paper_mjpeg_model,
+    recommend_workers,
+)
+
+
+class TestRecommendWorkers:
+    def test_kmeans_knee_near_4(self):
+        """The advisor must find figure 10's knee offline."""
+        rec = recommend_workers(paper_kmeans_model(), OPTERON_8218,
+                                max_workers=8)
+        assert 3 <= rec.knee <= 5
+        assert rec.analyzer_bound  # it also diagnoses *why*
+
+    def test_mjpeg_wants_all_cores(self):
+        rec = recommend_workers(paper_mjpeg_model(20), OPTERON_8218,
+                                max_workers=8)
+        assert rec.best_workers >= 7
+        assert not rec.analyzer_bound
+        assert rec.speedup() > 4.0
+
+    def test_series_covers_range(self):
+        rec = recommend_workers(paper_mjpeg_model(5), CORE_I7_860,
+                                max_workers=6)
+        assert [w for w, _t in rec.series] == list(range(1, 7))
+
+    def test_knee_never_exceeds_best(self):
+        rec = recommend_workers(paper_kmeans_model(), CORE_I7_860,
+                                max_workers=8)
+        assert rec.knee <= rec.best_workers
+
+
+class TestCompareMachines:
+    def test_ranks_machines(self):
+        recs = compare_machines(
+            paper_mjpeg_model(10),
+            {"i7": CORE_I7_860, "opteron": OPTERON_8218},
+            max_workers=8,
+        )
+        assert set(recs) == {"i7", "opteron"}
+        # with all 8 workers usable, the 8 real Opteron cores win MJPEG
+        assert (recs["opteron"].best_makespan
+                < recs["i7"].best_makespan * 1.1)
+
+
+class TestCoarsenModel:
+    def test_preserves_total_work(self):
+        model = paper_kmeans_model()
+        coarse = coarsen_model(model, "assign", 100)
+        assert coarse.total_kernel_seconds() == pytest.approx(
+            model.total_kernel_seconds(), rel=1e-9
+        )
+        assert coarse.stage("assign").instances_per_age == 2000
+        # dispatch load shrinks by the factor
+        assert coarse.total_dispatch_seconds() < (
+            model.total_dispatch_seconds() / 50
+        )
+
+    def test_unknown_stage(self):
+        with pytest.raises(KeyError):
+            coarsen_model(paper_kmeans_model(), "ghost", 2)
+
+    def test_bad_factor(self):
+        with pytest.raises(ValueError):
+            coarsen_model(paper_kmeans_model(), "assign", 0)
+
+    def test_factor_one_identity_counts(self):
+        model = paper_kmeans_model()
+        same = coarsen_model(model, "assign", 1)
+        assert (same.stage("assign").instances_per_age
+                == model.stage("assign").instances_per_age)
+
+
+class TestGranularityWhatIf:
+    def test_coarsening_fixes_the_kmeans_knee(self):
+        """The §VIII-B prediction, evaluated offline: coarsening assign
+        removes the analyzer bottleneck, so the recommended worker count
+        rises and the makespan falls."""
+        results = granularity_what_if(
+            paper_kmeans_model(), OPTERON_8218, "assign",
+            factors=(1, 64), max_workers=8,
+        )
+        fine, coarse = results[0].recommendation, results[1].recommendation
+        assert coarse.best_makespan < fine.best_makespan
+        assert coarse.knee > fine.knee
+        assert fine.analyzer_bound and not coarse.analyzer_bound

@@ -1,0 +1,79 @@
+"""Unit tests for the discrete-event simulation core."""
+
+import pytest
+
+from repro.sim import EventLoop
+
+
+class TestEventLoop:
+    def test_runs_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.at(2.0, lambda: order.append("b"))
+        loop.at(1.0, lambda: order.append("a"))
+        loop.at(3.0, lambda: order.append("c"))
+        end = loop.run()
+        assert order == ["a", "b", "c"]
+        assert end == 3.0
+
+    def test_ties_break_by_schedule_order(self):
+        loop = EventLoop()
+        order = []
+        loop.at(1.0, lambda: order.append(1))
+        loop.at(1.0, lambda: order.append(2))
+        loop.run()
+        assert order == [1, 2]
+
+    def test_callbacks_can_schedule(self):
+        loop = EventLoop()
+        seen = []
+
+        def first():
+            seen.append(loop.now)
+            loop.after(0.5, lambda: seen.append(loop.now))
+
+        loop.at(1.0, first)
+        loop.run()
+        assert seen == [1.0, 1.5]
+
+    def test_no_scheduling_into_past(self):
+        loop = EventLoop()
+        loop.at(5.0, lambda: None)
+        loop.run()
+        with pytest.raises(ValueError):
+            loop.at(1.0, lambda: None)
+        with pytest.raises(ValueError):
+            loop.after(-1.0, lambda: None)
+
+    def test_until_bound(self):
+        loop = EventLoop()
+        fired = []
+        loop.at(1.0, lambda: fired.append(1))
+        loop.at(10.0, lambda: fired.append(2))
+        end = loop.run(until=5.0)
+        assert fired == [1]
+        assert end == 5.0
+        assert len(loop) == 1  # unfired event remains
+
+    def test_max_events(self):
+        loop = EventLoop()
+        for i in range(10):
+            loop.at(float(i), lambda: None)
+        loop.run(max_events=3)
+        assert loop.events_processed == 3
+
+    def test_deterministic(self):
+        def build():
+            loop = EventLoop()
+            trace = []
+
+            def recurse(depth):
+                trace.append((round(loop.now, 6), depth))
+                if depth < 5:
+                    loop.after(0.1 * depth + 0.01, lambda: recurse(depth + 1))
+
+            loop.at(0.0, lambda: recurse(0))
+            loop.run()
+            return trace
+
+        assert build() == build()

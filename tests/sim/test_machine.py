@@ -1,0 +1,75 @@
+"""Unit tests for the table-I machine profiles."""
+
+import pytest
+
+from repro.sim import CORE_I7_860, MACHINES, OPTERON_8218, machine_table
+from repro.sim.machine import MachineProfile
+
+
+class TestCapacityModel:
+    def test_capacity_monotone_in_threads(self):
+        for m in (CORE_I7_860, OPTERON_8218):
+            caps = [m.capacity(t) for t in range(1, 12)]
+            for a, b in zip(caps[:-1], caps[1:]):
+                assert b >= a - 1e-12
+
+    def test_per_thread_speed_decreases(self):
+        for m in (CORE_I7_860, OPTERON_8218):
+            speeds = [m.per_thread_speed(t) for t in range(1, 12)]
+            for a, b in zip(speeds[:-1], speeds[1:]):
+                assert b <= a + 1e-12
+
+    def test_opteron_linear_to_8(self):
+        assert OPTERON_8218.capacity(8) == pytest.approx(
+            8 * OPTERON_8218.capacity(1), rel=1e-9
+        )
+
+    def test_opteron_saturates_past_cores(self):
+        assert OPTERON_8218.capacity(9) == OPTERON_8218.capacity(8)
+
+    def test_i7_turbo_single_core(self):
+        """One active core runs above base clock (paper: the i7 'is able
+        to increase the frequency of a single core')."""
+        assert CORE_I7_860.capacity(1) > CORE_I7_860.relative_speed
+
+    def test_i7_smt_adds_capacity(self):
+        assert CORE_I7_860.capacity(8) > CORE_I7_860.capacity(4)
+        # ... but far less than 2x (SMT, not real cores)
+        assert CORE_I7_860.capacity(8) < 1.5 * CORE_I7_860.capacity(4)
+
+    def test_i7_faster_per_core_than_opteron(self):
+        """Calibrated from the standalone encoder: 19 s vs 30 s."""
+        ratio = CORE_I7_860.capacity(1) / OPTERON_8218.capacity(1)
+        assert ratio == pytest.approx(30 / 19, rel=0.10)
+
+    def test_zero_threads(self):
+        assert CORE_I7_860.capacity(0) == 0.0
+        assert CORE_I7_860.per_thread_speed(0) == 0.0
+
+    def test_speedup_normalized(self):
+        assert OPTERON_8218.speedup(1) == pytest.approx(1.0)
+        assert OPTERON_8218.speedup(4) == pytest.approx(4.0)
+
+
+class TestTableI:
+    def test_registry(self):
+        assert MACHINES["core_i7"] is CORE_I7_860
+        assert MACHINES["opteron"] is OPTERON_8218
+
+    def test_table_contents(self):
+        text = machine_table()
+        assert "Intel Core i7 860 2,8 GHz" in text
+        assert "AMD Opteron 8218 2,6 GHz" in text
+        assert "Nehalem (Intel)" in text
+        assert "Santa Rosa (AMD)" in text
+
+    def test_core_counts_match_paper(self):
+        assert CORE_I7_860.physical_cores == 4
+        assert CORE_I7_860.logical_threads == 8
+        assert OPTERON_8218.physical_cores == 8
+        assert OPTERON_8218.logical_threads == 8
+
+    def test_custom_profile(self):
+        m = MachineProfile("x", "X", 2, 2, "arch", relative_speed=2.0)
+        assert m.capacity(2) == 4.0
+        assert m.per_thread_speed(4) == 1.0

@@ -1,0 +1,154 @@
+"""Tests for the multi-node cluster simulator and offline partition
+evaluation."""
+
+import pytest
+
+from repro.sim import (
+    CORE_I7_860,
+    NetworkModel,
+    OPTERON_8218,
+    SimCluster,
+    SimClusterNode,
+    SimExecutionNode,
+    StageSpec,
+    WorkloadModel,
+    best_assignment,
+    evaluate_assignment,
+    paper_mjpeg_model,
+)
+
+
+def two_nodes(workers=4):
+    return [
+        SimClusterNode("a", OPTERON_8218, workers),
+        SimClusterNode("b", OPTERON_8218, workers),
+    ]
+
+
+def pipeline_model(instances=64, stages=3, kernel_us=100.0):
+    specs = [StageSpec("s0", 1, 10.0, 5.0, ages=1)]
+    for i in range(1, stages + 1):
+        specs.append(
+            StageSpec(
+                f"s{i}", instances, kernel_us, 1.0,
+                deps=((f"s{i-1}", 0),),
+                ages=1,
+            )
+        )
+    return WorkloadModel("pipeline", 1, tuple(specs))
+
+
+def all_on(node: str, model: WorkloadModel) -> dict[str, str]:
+    return {s.name: node for s in model.stages}
+
+
+class TestMechanics:
+    def test_single_node_matches_simnode(self):
+        """A one-node cluster must agree with SimExecutionNode."""
+        model = paper_mjpeg_model(5)
+        single = SimExecutionNode(model, OPTERON_8218, 4).run()
+        cluster = SimCluster(
+            model, [SimClusterNode("only", OPTERON_8218, 4)],
+            all_on("only", model),
+        ).run()
+        assert cluster.makespan == pytest.approx(single.makespan, rel=0.05)
+        assert cluster.cross_node_transfers == 0
+
+    def test_validates_assignment(self):
+        model = pipeline_model()
+        with pytest.raises(ValueError, match="without a node"):
+            SimCluster(model, two_nodes(), {"s0": "a"})
+        with pytest.raises(ValueError, match="unknown nodes"):
+            SimCluster(model, two_nodes(),
+                       all_on("ghost", model))
+
+    def test_cross_node_traffic_counted(self):
+        model = pipeline_model(stages=2)
+        assignment = {"s0": "a", "s1": "a", "s2": "b"}
+        result = evaluate_assignment(model, two_nodes(), assignment)
+        assert result.cross_node_transfers >= 1
+        assert result.network_busy > 0
+
+    def test_network_cost_slows_split_pipelines(self):
+        """With a slow network, splitting a tight pipeline across nodes
+        must be worse than colocating it."""
+        model = pipeline_model(stages=3, instances=32)
+        slow_net = NetworkModel(latency_s=5e-3, bytes_per_s=1e6,
+                                event_bytes=4096)
+        together = evaluate_assignment(
+            model, two_nodes(), all_on("a", model), slow_net
+        )
+        split = evaluate_assignment(
+            model, two_nodes(),
+            {"s0": "a", "s1": "a", "s2": "b", "s3": "a"}, slow_net
+        )
+        assert split.makespan > together.makespan
+
+    def test_two_nodes_beat_one_for_parallel_stages(self):
+        """Independent heavy stages benefit from a second machine."""
+        model = WorkloadModel(
+            "fanout", 1,
+            (
+                StageSpec("src", 1, 10.0, 5.0, ages=1),
+                StageSpec("left", 64, 500.0, 1.0, deps=(("src", 0),),
+                          ages=1),
+                StageSpec("right", 64, 500.0, 1.0, deps=(("src", 0),),
+                          ages=1),
+            ),
+        )
+        nodes = [
+            SimClusterNode("a", OPTERON_8218, 2),
+            SimClusterNode("b", OPTERON_8218, 2),
+        ]
+        one = evaluate_assignment(model, nodes, all_on("a", model))
+        spread = evaluate_assignment(
+            model, nodes, {"src": "a", "left": "a", "right": "b"}
+        )
+        assert spread.makespan < one.makespan
+
+    def test_deterministic(self):
+        model = pipeline_model()
+        a = evaluate_assignment(model, two_nodes(),
+                                {"s0": "a", "s1": "a", "s2": "b",
+                                 "s3": "b"})
+        b = evaluate_assignment(model, two_nodes(),
+                                {"s0": "a", "s1": "a", "s2": "b",
+                                 "s3": "b"})
+        assert a.makespan == b.makespan
+
+
+class TestBestAssignment:
+    def test_ranks_candidates(self):
+        model = pipeline_model(stages=3, instances=32)
+        slow_net = NetworkModel(latency_s=5e-3, bytes_per_s=1e6,
+                                event_bytes=4096)
+        candidates = [
+            all_on("a", model),
+            {"s0": "a", "s1": "a", "s2": "b", "s3": "a"},
+            {"s0": "a", "s1": "b", "s2": "a", "s3": "b"},
+        ]
+        winner, result, results = best_assignment(
+            model, two_nodes(), candidates, slow_net
+        )
+        assert winner == all_on("a", model)  # tight pipeline, slow net
+        assert result.makespan == min(r.makespan for r in results)
+        assert len(results) == 3
+
+    def test_requires_candidates(self):
+        with pytest.raises(ValueError):
+            best_assignment(pipeline_model(), two_nodes(), [])
+
+    def test_heterogeneous_nodes(self):
+        """A faster machine should attract the heavy stage."""
+        model = pipeline_model(stages=1, instances=128, kernel_us=200.0)
+        nodes = [
+            SimClusterNode("fast", CORE_I7_860, 4),
+            SimClusterNode("slow", OPTERON_8218, 1),
+        ]
+        on_fast = evaluate_assignment(
+            model, nodes, {"s0": "fast", "s1": "fast"}
+        )
+        on_slow = evaluate_assignment(
+            model, nodes, {"s0": "fast", "s1": "slow"}
+        )
+        assert on_fast.makespan < on_slow.makespan

@@ -1,0 +1,91 @@
+"""Unit tests for the abstract workload models (tables II/III constants)."""
+
+import pytest
+
+from repro.sim import paper_kmeans_model, paper_mjpeg_model
+from repro.sim.workload import StageSpec, WorkloadModel
+
+
+class TestPaperMJPEGModel:
+    def test_table2_instance_counts(self):
+        m = paper_mjpeg_model(50)
+        assert m.stage("read").instances_per_age == 1
+        assert m.stage_ages(m.stage("read")) == 51  # paper: 51 instances
+        assert m.stage("ydct").instances_per_age == 1584
+        assert m.stage("udct").instances_per_age == 396
+        assert m.stage("vdct").instances_per_age == 396
+        assert m.stage("vlc").instances_per_age == 1
+
+    def test_table2_costs(self):
+        m = paper_mjpeg_model()
+        assert m.stage("ydct").kernel_time_us == pytest.approx(170.30)
+        assert m.stage("ydct").dispatch_time_us == pytest.approx(3.07)
+        assert m.stage("vlc").kernel_time_us == pytest.approx(2160.71)
+
+    def test_total_work_magnitude(self):
+        """Total kernel seconds ≈ the paper's ~19-21 s single-core i7
+        encode."""
+        total = paper_mjpeg_model(50).total_kernel_seconds()
+        assert 15 < total < 26
+
+    def test_dct_dominates(self):
+        m = paper_mjpeg_model(50)
+        dct = sum(
+            m.stage(s).instances_per_age * m.stage(s).kernel_time_us * 50
+            for s in ("ydct", "udct", "vdct")
+        )
+        assert dct / (m.total_kernel_seconds() * 1e6) > 0.9
+
+    def test_dependencies(self):
+        m = paper_mjpeg_model()
+        assert ("read", 0) in m.stage("ydct").deps
+        assert ("ydct", 0) in m.stage("vlc").deps
+        assert ("read", -1) in m.stage("read").deps  # source chain
+
+
+class TestPaperKMeansModel:
+    def test_table3_instance_counts(self):
+        m = paper_kmeans_model()
+        assert m.stage("assign").instances_per_age == 200_000
+        assert m.ages == 10  # -> 2,000,000 assigns total
+        assert m.stage("refine").instances_per_age == 100
+        assert m.stage_ages(m.stage("print")) == 11
+
+    def test_table3_costs(self):
+        m = paper_kmeans_model()
+        assert m.stage("assign").dispatch_time_us == pytest.approx(4.07)
+        assert m.stage("assign").kernel_time_us == pytest.approx(6.95)
+        assert m.stage("init").kernel_time_us == pytest.approx(9829.0)
+
+    def test_dispatch_heavy(self):
+        """The defining property behind figure 10: assign's dispatch cost
+        is a large fraction of its total cost."""
+        s = paper_kmeans_model().stage("assign")
+        ratio = s.dispatch_time_us / (s.dispatch_time_us + s.kernel_time_us)
+        assert ratio > 0.3
+
+    def test_loop_dependencies(self):
+        m = paper_kmeans_model()
+        assert ("refine", -1) in m.stage("assign").deps
+        assert ("assign", 0) in m.stage("refine").deps
+
+
+class TestModelHelpers:
+    def test_totals(self):
+        m = WorkloadModel(
+            "m", 2,
+            (StageSpec("a", 10, 100.0, 1.0),
+             StageSpec("b", 1, 50.0, 2.0, ages=1)),
+        )
+        assert m.total_instances() == 21
+        assert m.total_kernel_seconds() == pytest.approx(
+            (10 * 100.0 * 2 + 50.0) * 1e-6
+        )
+        assert m.total_dispatch_seconds() == pytest.approx(
+            (10 * 1.0 * 2 + 2.0) * 1e-6
+        )
+
+    def test_unknown_stage(self):
+        m = paper_kmeans_model()
+        with pytest.raises(KeyError):
+            m.stage("ghost")

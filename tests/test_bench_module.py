@@ -1,0 +1,85 @@
+"""Unit tests for the experiment harness and its renderers."""
+
+import pytest
+
+from repro.bench import ascii_chart, format_sweep
+from repro.bench.experiments import (
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    MicroBenchResult,
+    SweepResult,
+    fig9_mjpeg_scaling,
+    table1_machines,
+)
+
+
+class TestPlots:
+    SERIES = {
+        "machine-a": [(1, 10.0), (2, 5.0), (4, 2.5)],
+        "machine-b": [(1, 20.0), (2, 10.0), (4, 5.0)],
+    }
+
+    def test_format_sweep_alignment(self):
+        text = format_sweep(self.SERIES, "title", unit="s")
+        lines = text.splitlines()
+        assert lines[0] == "title"
+        assert "1" in lines[1] and "4" in lines[1]
+        assert "10.00" in lines[2]
+        assert "20.00" in lines[3]
+
+    def test_format_sweep_missing_points(self):
+        series = {"a": [(1, 1.0)], "b": [(1, 2.0), (2, 1.0)]}
+        text = format_sweep(series, "t")
+        assert "-" in text  # a has no point at x=2
+
+    def test_ascii_chart_contains_markers_and_legend(self):
+        text = ascii_chart(self.SERIES, "chart")
+        assert text.startswith("chart")
+        assert "* = machine-a" in text
+        assert "o = machine-b" in text
+        assert "└" in text
+
+    def test_ascii_chart_empty(self):
+        assert "(no data)" in ascii_chart({}, "empty")
+
+
+class TestResultTypes:
+    def test_micro_bench_render(self):
+        r = MicroBenchResult(
+            title="T",
+            rows=[("k", 10, 1.5, 2.5)],
+            paper={"k": (100, 1.0, 2.0)},
+        )
+        text = r.render()
+        assert "T" in text
+        assert "k" in text and "100" in text and "1.50" in text
+
+    def test_sweep_result_speedup(self):
+        r = SweepResult(
+            title="t",
+            series={"m": [(1, 10.0), (2, 5.0), (4, 2.0)]},
+        )
+        assert r.speedup("m") == [
+            pytest.approx(1.0), pytest.approx(2.0), pytest.approx(5.0)
+        ]
+
+    def test_sweep_render_has_baselines(self):
+        sweep = fig9_mjpeg_scaling(frames=5)
+        text = sweep.render()
+        assert "standalone encoder" in text
+        assert "Figure 9" in text
+
+
+class TestPaperConstants:
+    def test_table1_text(self):
+        assert "Physical cores" in table1_machines()
+
+    def test_table2_totals(self):
+        """Cross-check table II's internal arithmetic once more."""
+        assert PAPER_TABLE2["ydct"][0] == 4 * PAPER_TABLE2["udct"][0]
+        assert PAPER_TABLE2["read"][0] == PAPER_TABLE2["vlc"][0]
+
+    def test_table3_relationships(self):
+        n_assign = PAPER_TABLE3["assign"][0]
+        n_refine = PAPER_TABLE3["refine"][0]
+        assert n_assign / n_refine == pytest.approx(2024.251)

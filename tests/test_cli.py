@@ -1,0 +1,168 @@
+"""Tests for the ``python -m repro`` command-line driver."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.media import split_frames, synthetic_sequence, write_yuv_file
+
+MULSUM = """
+int64[] m_data age;
+int64[] p_data age;
+
+init:
+  local int64[] values;
+  %{
+    for i in range(5):
+        put(values, i + 10, i)
+  %}
+  store m_data(0) = values;
+
+mul2:
+  age a;
+  index x;
+  age_limit 2;
+  fetch value = m_data(a)[x];
+  %{ value *= 2 %}
+  store p_data(a)[x] = value;
+
+plus5:
+  age a;
+  index x;
+  age_limit 2;
+  fetch value = p_data(a)[x];
+  %{ value += 5 %}
+  store m_data(a+1)[x] = value;
+
+print:
+  age a;
+  age_limit 2;
+  fetch m = m_data(a);
+  fetch p = p_data(a);
+  %{ print("age", a, list(int(v) for v in p)) %}
+"""
+
+
+@pytest.fixture
+def mulsum_file(tmp_path):
+    path = tmp_path / "mulsum.p2g"
+    path.write_text(MULSUM)
+    return str(path)
+
+
+class TestRunCommand:
+    def test_runs_to_idle(self, mulsum_file, capsys):
+        rc = main(["run", mulsum_file, "-w", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "idle" in out
+        assert "age 0 [20, 22, 24, 26, 28]" in out
+        assert "mul2" in out  # instrumentation table
+
+    def test_max_age_flag(self, mulsum_file, capsys):
+        rc = main(["run", mulsum_file, "-a", "1", "-w", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "age 1" in out
+        assert "age 2" not in out
+
+
+class TestGraphCommand:
+    def test_final_ascii(self, mulsum_file, capsys):
+        assert main(["graph", mulsum_file]) == 0
+        out = capsys.readouterr().out
+        assert "(mul2) -> plus5" in out
+
+    def test_intermediate(self, mulsum_file, capsys):
+        assert main(["graph", mulsum_file, "--view", "intermediate"]) == 0
+        out = capsys.readouterr().out
+        assert "[m_data]" in out
+
+    def test_dcdag_dot(self, mulsum_file, capsys):
+        assert main(
+            ["graph", mulsum_file, "--view", "dcdag", "--dot",
+             "--max-age", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "mul2" in out
+
+
+class TestMJPEGCommand:
+    def test_synthetic_encode(self, tmp_path, capsys):
+        out_path = tmp_path / "clip.mjpeg"
+        rc = main([
+            "mjpeg", str(out_path), "--width", "64", "--height", "64",
+            "--frames", "2", "-w", "2",
+        ])
+        assert rc == 0
+        data = out_path.read_bytes()
+        assert len(split_frames(data)) == 2
+
+    def test_yuv_input(self, tmp_path, capsys):
+        clip = synthetic_sequence(3, 64, 64)
+        yuv = tmp_path / "in.yuv"
+        write_yuv_file(yuv, clip)
+        out_path = tmp_path / "out.mjpeg"
+        rc = main([
+            "mjpeg", str(out_path), "-i", str(yuv),
+            "--width", "64", "--height", "64", "--frames", "3",
+        ])
+        assert rc == 0
+        assert len(split_frames(out_path.read_bytes())) == 3
+
+
+class TestKMeansCommand:
+    def test_prints_centroids(self, capsys):
+        rc = main([
+            "kmeans", "-n", "40", "-k", "3", "--iterations", "2",
+            "--show", "3", "-w", "2",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "centroid 0:" in out
+        assert "assign" in out
+
+
+class TestAdviseCommand:
+    def test_kmeans_advice(self, capsys):
+        rc = main([
+            "advise", "kmeans", "--machines", "opteron",
+            "--max-workers", "6",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "provision" in out
+        assert "ANALYZER-BOUND" in out
+        assert "what-if" in out
+
+    def test_mjpeg_not_analyzer_bound(self, capsys):
+        rc = main([
+            "advise", "mjpeg", "--frames", "10",
+            "--machines", "core_i7", "--max-workers", "4",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "ANALYZER-BOUND" not in out
+
+
+class TestSimulateCommand:
+    def test_sweep_output(self, capsys):
+        rc = main([
+            "simulate", "mjpeg", "--frames", "10", "--max-workers", "4",
+            "--machines", "opteron",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "8-way AM" in out
+        assert "workers" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fly"])

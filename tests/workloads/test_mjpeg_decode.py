@@ -1,0 +1,85 @@
+"""Tests for the P2G MJPEG decoder workload (encode→decode round trip)."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_program
+from repro.media import decode_jpeg, psnr, split_frames, synthetic_sequence
+from repro.workloads import (
+    MJPEGConfig,
+    build_mjpeg,
+    build_mjpeg_decoder,
+    mjpeg_baseline,
+)
+
+CFG = MJPEGConfig(width=96, height=64, frames=3)
+
+
+@pytest.fixture(scope="module")
+def encoded():
+    clip = synthetic_sequence(CFG.frames, CFG.width, CFG.height, CFG.seed)
+    return clip, split_frames(mjpeg_baseline(clip, CFG))
+
+
+class TestRoundTrip:
+    def test_p2g_decoder_matches_reference_decoder(self, encoded):
+        _clip, jpegs = encoded
+        program, sink = build_mjpeg_decoder(jpegs, CFG)
+        result = run_program(program, workers=4, timeout=300)
+        assert result.reason == "idle"
+        assert len(sink.frames) == CFG.frames
+        for i, data in enumerate(jpegs):
+            ref = decode_jpeg(data).frame
+            got = sink.frames[i]
+            assert np.array_equal(got.y, ref.y)
+            assert np.array_equal(got.u, ref.u)
+            assert np.array_equal(got.v, ref.v)
+
+    def test_end_to_end_p2g_encode_then_p2g_decode(self, encoded):
+        clip, _ = encoded
+        enc_prog, enc_sink = build_mjpeg(clip, CFG)
+        run_program(enc_prog, workers=4, timeout=300)
+        dec_prog, dec_sink = build_mjpeg_decoder(
+            split_frames(enc_sink.stream()), CFG
+        )
+        run_program(dec_prog, workers=4, timeout=300)
+        for i, frame in enumerate(clip):
+            assert psnr(dec_sink.frames[i].y, frame.y) > 28.0
+
+    def test_instance_counts(self, encoded):
+        _clip, jpegs = encoded
+        program, _ = build_mjpeg_decoder(jpegs, CFG)
+        result = run_program(program, workers=4, timeout=300)
+        stats = result.stats
+        luma = (CFG.height // 8) * (CFG.width // 8)
+        chroma = (CFG.height // 16) * (CFG.width // 16)
+        assert stats["vld"].instances == CFG.frames + 1  # EOF age
+        assert stats["yidct"].instances == luma * CFG.frames
+        assert stats["uidct"].instances == chroma * CFG.frames
+        assert stats["vidct"].instances == chroma * CFG.frames
+        assert stats["write"].instances == CFG.frames
+
+    def test_deterministic_across_workers(self, encoded):
+        _clip, jpegs = encoded
+        outputs = []
+        for workers in (1, 6):
+            program, sink = build_mjpeg_decoder(jpegs, CFG)
+            run_program(program, workers=workers, timeout=300)
+            outputs.append(sink.frames)
+        for age in outputs[0]:
+            assert np.array_equal(outputs[0][age].y, outputs[1][age].y)
+
+
+class TestValidation:
+    def test_size_mismatch_detected(self, encoded):
+        _clip, jpegs = encoded
+        bad_cfg = MJPEGConfig(width=160, height=96, frames=3)
+        program, _ = build_mjpeg_decoder(jpegs, bad_cfg)
+        with pytest.raises(Exception, match="size"):
+            run_program(program, workers=2, timeout=300)
+
+    def test_empty_stream_is_quiescent(self):
+        program, sink = build_mjpeg_decoder([], CFG)
+        result = run_program(program, workers=2, timeout=60)
+        assert result.reason == "idle"
+        assert sink.frames == {}

@@ -1,0 +1,104 @@
+"""Tests for the MJPEG workload (figure 8, table II arithmetic)."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_program
+from repro.media import decode_jpeg, psnr, split_frames, synthetic_sequence
+from repro.workloads import MJPEGConfig, build_mjpeg, mjpeg_baseline
+
+CFG = MJPEGConfig(width=96, height=64, frames=3)
+
+
+def run_mjpeg(cfg=CFG, workers=4, frames=None, **kwargs):
+    program, sink = build_mjpeg(frames, cfg)
+    result = run_program(program, workers=workers, timeout=600, **kwargs)
+    return result, sink
+
+
+class TestOutputCorrectness:
+    def test_byte_identical_to_standalone_baseline(self):
+        frames = synthetic_sequence(CFG.frames, CFG.width, CFG.height,
+                                    CFG.seed)
+        _, sink = run_mjpeg(frames=frames)
+        assert sink.stream() == mjpeg_baseline(frames, CFG)
+
+    def test_every_frame_decodes(self):
+        frames = synthetic_sequence(CFG.frames, CFG.width, CFG.height,
+                                    CFG.seed)
+        _, sink = run_mjpeg(frames=frames)
+        jpegs = split_frames(sink.stream())
+        assert len(jpegs) == CFG.frames
+        for i, data in enumerate(jpegs):
+            dec = decode_jpeg(data)
+            assert psnr(dec.frame.y, frames[i].y) > 28.0
+
+    def test_frames_in_age_order_despite_parallelism(self):
+        frames = synthetic_sequence(CFG.frames, CFG.width, CFG.height,
+                                    CFG.seed)
+        reference = [  # per-frame baseline
+            mjpeg_baseline([f], MJPEGConfig(width=CFG.width,
+                                            height=CFG.height, frames=1))
+            for f in frames
+        ]
+        _, sink = run_mjpeg(frames=frames, workers=8)
+        assert split_frames(sink.stream()) == reference
+
+    def test_aan_dct_also_decodes(self):
+        cfg = MJPEGConfig(width=96, height=64, frames=2, dct_method="aan")
+        _, sink = run_mjpeg(cfg)
+        clip = synthetic_sequence(2, 96, 64, cfg.seed)
+        for i, data in enumerate(split_frames(sink.stream())):
+            assert psnr(decode_jpeg(data).frame.y, clip[i].y) > 28.0
+
+
+class TestInstanceArithmetic:
+    """Table II geometry: CIF -> 1584 luma + 396 + 396 chroma blocks per
+    frame; read runs frames+1 times (EOF)."""
+
+    def test_counts_small(self):
+        result, _ = run_mjpeg()
+        stats = result.stats
+        luma = (64 // 8) * (96 // 8)  # 96x64 -> 96 blocks
+        chroma = (32 // 8) * (48 // 8)  # 24 blocks
+        assert stats["read"].instances == CFG.frames + 1
+        assert stats["ydct"].instances == luma * CFG.frames
+        assert stats["udct"].instances == chroma * CFG.frames
+        assert stats["vdct"].instances == chroma * CFG.frames
+        assert stats["vlc"].instances == CFG.frames
+
+    def test_cif_block_geometry(self):
+        cfg = MJPEGConfig()  # CIF defaults
+        assert cfg.luma_blocks == 1584  # paper: 1584 macro-blocks of Y
+        assert cfg.chroma_blocks == 396  # paper: 396 U and V
+
+    def test_cif_single_frame_counts(self):
+        cfg = MJPEGConfig(frames=1)
+        program, sink = build_mjpeg(config=cfg)
+        result = run_program(program, workers=8, timeout=600)
+        stats = result.stats
+        assert stats["ydct"].instances == 1584
+        assert stats["udct"].instances == 396
+        assert stats["vdct"].instances == 396
+        assert stats["read"].instances == 2
+        assert sink.frame_count() == 1
+
+
+class TestConfig:
+    def test_rejects_non_mcu_dimensions(self):
+        with pytest.raises(ValueError):
+            MJPEGConfig(width=100, height=64)
+
+    def test_rejects_mismatched_frames(self):
+        frames = synthetic_sequence(1, 32, 32)
+        with pytest.raises(ValueError):
+            build_mjpeg(frames, MJPEGConfig(width=96, height=64, frames=1))
+
+    def test_sink_stream_ordering(self):
+        from repro.workloads.mjpeg import MJPEGSink
+
+        sink = MJPEGSink(CFG)
+        sink.frames[1] = b"\x01"
+        sink.frames[0] = b"\x00"
+        assert sink.stream() == b"\x00\x01"
+        assert sink.frame_count() == 2

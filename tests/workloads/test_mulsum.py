@@ -1,0 +1,60 @@
+"""Tests for the figure-5 workload (the paper's exact published values)."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_program
+from repro.workloads import build_mulsum, expected_series
+
+
+class TestPaperValues:
+    def test_published_series(self):
+        """The paper: "The print kernel writes {10, 11, 12, 13, 14},
+        {20, 22, 24, 26, 28} for the first age and {25, 27, 29, 31, 33},
+        {50, 54, 58, 62, 66} for the second." """
+        program, sink = build_mulsum()
+        run_program(program, workers=4, max_age=1, timeout=60)
+        assert sink[0][0].tolist() == [10, 11, 12, 13, 14]
+        assert sink[0][1].tolist() == [20, 22, 24, 26, 28]
+        assert sink[1][0].tolist() == [25, 27, 29, 31, 33]
+        assert sink[1][1].tolist() == [50, 54, 58, 62, 66]
+
+    def test_expected_series_matches_recurrence(self):
+        series = expected_series(3)
+        for age in range(2):
+            m, p = series[age]
+            assert np.array_equal(p, m * 2)
+            assert np.array_equal(series[age + 1][0], p + 5)
+
+    def test_custom_values(self):
+        program, sink = build_mulsum(values=(1, 2))
+        run_program(program, workers=2, max_age=1, timeout=60)
+        assert sink[0][0].tolist() == [1, 2]
+        assert sink[0][1].tolist() == [2, 4]
+        assert sink[1][0].tolist() == [7, 9]
+
+    def test_echo_receives_lines(self):
+        lines = []
+        program, _ = build_mulsum(echo=lines.append)
+        run_program(program, workers=1, max_age=0, timeout=60)
+        assert "10 11 12 13 14" in lines
+        assert "20 22 24 26 28" in lines
+
+    def test_external_sink(self):
+        sink = {}
+        program, returned = build_mulsum(sink=sink)
+        assert returned is sink
+
+    def test_modulo_wraps(self):
+        program, sink = build_mulsum(modulo=100)
+        run_program(program, workers=2, max_age=2, timeout=60)
+        expected = expected_series(3, modulo=100)
+        for age in expected:
+            assert np.array_equal(sink[age][0], expected[age][0])
+            assert np.array_equal(sink[age][1], expected[age][1])
+
+    @pytest.mark.parametrize("max_age", [0, 1, 5])
+    def test_runs_exactly_requested_ages(self, max_age):
+        program, sink = build_mulsum()
+        run_program(program, workers=2, max_age=max_age, timeout=60)
+        assert sorted(sink) == list(range(max_age + 1))
