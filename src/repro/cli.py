@@ -33,6 +33,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         workers=args.workers,
         max_age=args.max_age,
         timeout=args.timeout,
+        backend=args.backend,
     )
     print(f"program {program.name!r}: {result.reason} in "
           f"{result.wall_time:.3f}s")
@@ -79,7 +80,8 @@ def _cmd_mjpeg(args: argparse.Namespace) -> int:
     else:
         frames = synthetic_sequence(cfg.frames, cfg.width, cfg.height)
     program, sink = build_mjpeg(frames, cfg)
-    result = run_program(program, workers=args.workers, timeout=args.timeout)
+    result = run_program(program, workers=args.workers, timeout=args.timeout,
+                         backend=args.backend)
     if args.output.endswith(".avi"):
         from .media import split_frames, write_avi
 
@@ -106,7 +108,7 @@ def _cmd_kmeans(args: argparse.Namespace) -> int:
         granularity=args.granularity,
     )
     result = run_program(program, workers=args.workers,
-                         timeout=args.timeout)
+                         timeout=args.timeout, backend=args.backend)
     print(f"k-means n={args.n} K={args.k} x{args.iterations}: "
           f"{result.reason} in {result.wall_time:.2f}s")
     print(result.instrumentation.table(
@@ -202,6 +204,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-a", "--max-age", type=int, default=None,
                    help="age bound for non-terminating programs")
     p.add_argument("-t", "--timeout", type=float, default=300.0)
+    p.add_argument("--backend", choices=("threads", "processes"),
+                   default="threads",
+                   help="execution backend for kernel bodies")
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("graph", help="print a program's dependency graphs")
@@ -227,6 +232,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="frame rate stamped into .avi output")
     p.add_argument("-w", "--workers", type=int, default=4)
     p.add_argument("-t", "--timeout", type=float, default=1800.0)
+    p.add_argument("--backend", choices=("threads", "processes"),
+                   default="threads",
+                   help="execution backend for kernel bodies")
     p.set_defaults(fn=_cmd_mjpeg)
 
     p = sub.add_parser("kmeans", help="run the K-means workload")
@@ -239,6 +247,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-t", "--timeout", type=float, default=1800.0)
     p.add_argument("--show", type=int, default=5,
                    help="centroids to print")
+    p.add_argument("--backend", choices=("threads", "processes"),
+                   default="threads",
+                   help="execution backend for kernel bodies")
     p.set_defaults(fn=_cmd_kmeans)
 
     p = sub.add_parser("simulate",

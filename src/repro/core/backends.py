@@ -1,0 +1,465 @@
+"""Execution backends: how kernel instances actually run.
+
+The scheduler half of the runtime (ready queue, dependency analyzer,
+quiescence counter) is backend-agnostic; a *backend* decides where a
+popped kernel instance's body executes:
+
+* :class:`ThreadBackend` — the paper-faithful default.  Bodies run on
+  the node's worker threads.  Deterministic and zero-setup, but
+  CPU-bound kernels serialize on the GIL, so scaling curves are flat.
+* :class:`ProcessBackend` — true-parallel execution.  Each worker
+  thread becomes a *proxy* that forwards ``(kernel, age, index)``
+  tuples over a dedicated pipe to a long-lived worker process and
+  blocks on the reply (releasing the GIL).  Field payloads live in
+  ``multiprocessing.shared_memory`` segments
+  (:class:`~repro.core.fields.SharedFieldStore`), so fetches and stores
+  are zero-copy views of the same physical pages — only the tiny
+  instance descriptor and store report cross the pipe.
+
+The division of labour in the process backend keeps the P2G semantics
+exactly where they were:
+
+* the **parent** owns segment lifecycle (creates each age's segment at
+  dispatch time, before any worker could touch it; unlinks at GC and
+  teardown) and all write-once bookkeeping — a worker's store report is
+  applied via :meth:`~repro.core.fields.Field.mark_written`, so
+  violations raise in the parent just like on the threads backend;
+* **workers** only read and write payload bytes through views attached
+  by the deterministic :func:`~repro.core.fields.segment_name`, and
+  ship out-of-band ``ctx.output`` values back for parent-side delivery.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from typing import TYPE_CHECKING, Any, Callable
+
+import numpy as np
+
+from .errors import KernelBodyError, RuntimeStateError, WorkerProcessError
+from .events import InstanceDoneEvent, StoreEvent
+from .fields import FieldStore, SharedFieldStore, segment_name
+from .kernels import KernelContext, KernelInstance, coerce_store_value
+from .program import Program
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .runtime import ExecutionNode
+
+
+class ExecutionBackend:
+    """Interface a backend implements; the node drives the lifecycle."""
+
+    name = "abstract"
+
+    def create_fields(self, program: Program) -> FieldStore:
+        """Build the field store flavour this backend needs."""
+        raise NotImplementedError
+
+    def start(self, node: "ExecutionNode") -> None:
+        """Bind to the node and allocate execution resources.  Called
+        from :meth:`ExecutionNode.start` *before* any thread spawns (the
+        process backend must fork from a single-threaded parent)."""
+        raise NotImplementedError
+
+    def execute(self, inst: KernelInstance, worker_id: int) -> None:
+        """Run one instance on behalf of worker ``worker_id`` and post
+        its store/done events.  Called from the node's worker threads."""
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release execution resources (idempotent)."""
+
+
+class ThreadBackend(ExecutionBackend):
+    """Run kernel bodies directly on the node's worker threads."""
+
+    name = "threads"
+
+    def create_fields(self, program: Program) -> FieldStore:
+        return FieldStore(program.fields.values())
+
+    def start(self, node: "ExecutionNode") -> None:
+        self._node = node
+
+    def execute(self, inst: KernelInstance, worker_id: int) -> None:
+        self._node._execute(inst, worker_id)
+
+    def shutdown(self) -> None:
+        pass
+
+
+# ----------------------------------------------------------------------
+# Worker-process side
+# ----------------------------------------------------------------------
+class _SegmentCache:
+    """Per-worker cache of attached shared-memory views, keyed by
+    ``(field, age)``.
+
+    Ages retire monotonically, so eviction drops the lowest ages first.
+    A view the kernel body still references cannot be unmapped
+    (``close`` raises ``BufferError``); such entries are simply kept.
+    """
+
+    def __init__(
+        self, run_id: str, shared_tracker: bool, limit: int = 128
+    ) -> None:
+        self.run_id = run_id
+        self.shared_tracker = shared_tracker
+        self.limit = limit
+        self._entries: dict[tuple[str, int], tuple[Any, np.ndarray]] = {}
+
+    def view(
+        self,
+        field: str,
+        age: int,
+        extent: tuple[int, ...],
+        dtype: np.dtype,
+    ) -> np.ndarray:
+        entry = self._entries.get((field, age))
+        if entry is not None:
+            return entry[1]
+        from multiprocessing import resource_tracker, shared_memory
+
+        shm = shared_memory.SharedMemory(
+            name=segment_name(self.run_id, field, age)
+        )
+        # The parent owns the segment's lifetime.  With a fork-shared
+        # resource tracker the attach's register is a set-level no-op
+        # and the parent's unlink balances it; a worker with its *own*
+        # tracker (spawn/forkserver) must undo the register, or its
+        # tracker would unlink segments the parent still uses.
+        if not self.shared_tracker:
+            try:  # pragma: no cover - tracker internals
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:
+                pass
+        arr = np.ndarray(extent, dtype=dtype, buffer=shm.buf)
+        self._entries[(field, age)] = (shm, arr)
+        if len(self._entries) > self.limit:
+            self._evict()
+        return arr
+
+    def _evict(self) -> None:
+        for key in sorted(self._entries, key=lambda k: k[1]):
+            if len(self._entries) <= self.limit:
+                return
+            shm, _arr = self._entries[key]
+            try:
+                shm.close()
+            except BufferError:  # view still referenced; keep it
+                continue
+            del self._entries[key]
+
+    def close(self) -> None:
+        for shm, _arr in self._entries.values():
+            try:
+                shm.close()
+            except BufferError:
+                pass
+        self._entries.clear()
+
+
+def _worker_main(
+    conn, program_source, run_id: str, shared_tracker: bool
+) -> None:
+    """Entry point of a worker process.
+
+    Protocol: receive ``(kernel_name, age, index)`` tuples; reply
+    ``("ok", stores, outputs, t_dispatch, t_kernel)`` where *stores* is
+    ``[(field, age, ((start, stop), ...)), ...]``, or
+    ``("err", in_body, type_name, message, traceback_text)``.  ``None``
+    (or EOF) means shut down.
+    """
+    program = (
+        program_source() if callable(program_source) else program_source
+    )
+    cache = _SegmentCache(run_id, shared_tracker)
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except EOFError:
+                return
+            if msg is None:
+                return
+            kernel_name, age, index = msg
+            t0 = time.perf_counter()
+            in_body = False
+            try:
+                kernel = program.kernels[kernel_name]
+                imap = dict(zip(kernel.index_vars, index))
+                fetched: dict[str, Any] = {}
+                for f in kernel.fetches:
+                    fdef = program.fields[f.field]
+                    extent = fdef.shape
+                    assert extent is not None  # backend.start validated
+                    f_age = f.age.resolve(age)
+                    if f.whole_field():
+                        region = tuple(slice(0, n) for n in extent)
+                    else:
+                        region = f.region(imap, extent)
+                    if any(s.stop <= s.start for s in region):
+                        shape = tuple(
+                            max(0, s.stop - s.start) for s in region
+                        )
+                        value: Any = np.zeros(shape, dtype=fdef.np_dtype)
+                    else:
+                        view = cache.view(
+                            f.field, f_age, extent, fdef.np_dtype
+                        )
+                        value = view[region]
+                        value.flags.writeable = False
+                        if (
+                            not f.whole_field()
+                            and f.scalar
+                            and value.size == 1
+                        ):
+                            value = value.reshape(()).item()
+                    fetched[f.param] = value
+                ctx = KernelContext(age=age, index=imap, fetched=fetched)
+                t1 = time.perf_counter()
+                in_body = True
+                kernel.body(ctx)
+                in_body = False
+                t2 = time.perf_counter()
+                stores: list[tuple] = []
+                for s in kernel.stores:
+                    if s.emit_key not in ctx.emitted:
+                        continue
+                    fdef = program.fields[s.field]
+                    s_age = s.age.resolve(age)
+                    arr, spec = coerce_store_value(
+                        ctx.emitted[s.emit_key],
+                        fdef.np_dtype,
+                        fdef.ndim,
+                        s,
+                    )
+                    region = spec.region(imap, arr.shape)
+                    assert fdef.shape is not None
+                    view = cache.view(
+                        s.field, s_age, fdef.shape, fdef.np_dtype
+                    )
+                    view[region] = arr
+                    stores.append(
+                        (
+                            s.field,
+                            s_age,
+                            tuple((sl.start, sl.stop) for sl in region),
+                        )
+                    )
+                t3 = time.perf_counter()
+                conn.send(
+                    (
+                        "ok",
+                        stores,
+                        ctx.outputs,
+                        (t1 - t0) + (t3 - t2),
+                        t2 - t1,
+                    )
+                )
+            except Exception as exc:  # noqa: BLE001 - shipped to parent
+                conn.send(
+                    (
+                        "err",
+                        in_body,
+                        type(exc).__name__,
+                        str(exc),
+                        traceback.format_exc(),
+                    )
+                )
+    finally:
+        cache.close()
+        conn.close()
+
+
+class RemoteKernelError(Exception):
+    """Re-raised parent-side stand-in for a worker-side exception; the
+    message carries the remote type and traceback."""
+
+
+class ProcessBackend(ExecutionBackend):
+    """Run kernel bodies in a pool of long-lived worker processes.
+
+    Parameters
+    ----------
+    start_method:
+        ``multiprocessing`` start method.  Defaults to ``"fork"`` where
+        available (kernel bodies are usually closures, which only fork
+        can ship); ``"spawn"``/``"forkserver"`` require
+        ``program_factory``.
+    program_factory:
+        Picklable zero-argument callable rebuilding the program in the
+        worker (needed for non-fork start methods, where the program —
+        including kernel body closures — cannot be pickled).  The
+        factory must reproduce the same kernel names and field shapes.
+    """
+
+    name = "processes"
+
+    def __init__(
+        self,
+        start_method: str | None = None,
+        program_factory: Callable[[], Program] | None = None,
+    ) -> None:
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self.start_method = start_method
+        self.program_factory = program_factory
+        self._procs: list[multiprocessing.Process] = []
+        self._conns: list[Any] = []
+        self._node: "ExecutionNode | None" = None
+
+    def create_fields(self, program: Program) -> FieldStore:
+        return SharedFieldStore(program.fields.values())
+
+    # ------------------------------------------------------------------
+    def start(self, node: "ExecutionNode") -> None:
+        if not isinstance(node.fields, SharedFieldStore):
+            raise RuntimeStateError(
+                "the processes backend needs a SharedFieldStore; do not "
+                "pass a plain FieldStore to ExecutionNode"
+            )
+        if node.program.timers:
+            raise RuntimeStateError(
+                "the processes backend does not support program timers "
+                "(deadline clocks cannot cross process boundaries); use "
+                "the threads backend"
+            )
+        self._node = node
+        ctx = multiprocessing.get_context(self.start_method)
+        if self.start_method != "fork" and self.program_factory is None:
+            raise RuntimeStateError(
+                f"start method {self.start_method!r} pickles worker "
+                f"arguments; kernel bodies are closures, so a picklable "
+                f"program_factory is required"
+            )
+        source: Any = (
+            self.program_factory
+            if self.program_factory is not None
+            else node.program
+        )
+        run_id = node.fields.run_id
+        shared_tracker = self.start_method == "fork"
+        if shared_tracker:
+            # Start the resource tracker *before* forking, so every
+            # worker shares it and attach-side registers dedup against
+            # the parent's create-side register.
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        for i in range(node.workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, source, run_id, shared_tracker),
+                daemon=True,
+                name=f"{node.name}-proc{i}",
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+
+    # ------------------------------------------------------------------
+    def execute(self, inst: KernelInstance, worker_id: int) -> None:
+        node = self._node
+        assert node is not None
+        kernel = inst.kernel
+        conn = self._conns[worker_id]
+        proc = self._procs[worker_id]
+        t0 = time.perf_counter()
+        # Create every store target's segment now, so the worker's
+        # attach can never race segment creation.
+        for s in kernel.stores:
+            node.fields[s.field].ensure_age(s.age.resolve(inst.age))
+        t_send = time.perf_counter()
+        conn.send((kernel.name, inst.age, inst.index))
+        while not conn.poll(0.05):
+            if not proc.is_alive() and not conn.poll(0):
+                raise WorkerProcessError(
+                    worker_id,
+                    f"exited with code {proc.exitcode} while running "
+                    f"{kernel.name}(age={inst.age}, index={inst.index})",
+                )
+        try:
+            reply = conn.recv()
+        except EOFError:
+            raise WorkerProcessError(
+                worker_id,
+                f"connection lost while running {kernel.name}"
+                f"(age={inst.age}, index={inst.index})",
+            ) from None
+        t_recv = time.perf_counter()
+        if reply[0] == "err":
+            _tag, in_body, type_name, message, tb = reply
+            cause = RemoteKernelError(f"{type_name}: {message}\n{tb}")
+            if in_body:
+                raise KernelBodyError(
+                    kernel.name, inst.age, inst.index, cause
+                )
+            raise WorkerProcessError(worker_id, f"{type_name}: {message}")
+        _tag, stores, outputs, t_dispatch, t_kernel = reply
+        stored_any = False
+        for fname, s_age, bounds in stores:
+            region = tuple(slice(a, b) for a, b in bounds)
+            # Payload bytes are already in the segment; apply write-once
+            # enforcement + completeness metadata parent-side.
+            node.fields[fname].mark_written(s_age, region)
+            stored_any = True
+            node._post(StoreEvent(fname, s_age, region))
+        for key, value in outputs:
+            node._deliver_output(
+                kernel.name, inst.age, inst.index, key, value
+            )
+        t_done = time.perf_counter()
+        dispatch = t_dispatch + (t_send - t0) + (t_done - t_recv)
+        ipc = max(0.0, (t_recv - t_send) - t_dispatch - t_kernel)
+        node.instrumentation.record(kernel.name, dispatch, t_kernel, ipc)
+        node._post(
+            InstanceDoneEvent(
+                inst,
+                stored_any,
+                kernel_time=t_kernel,
+                dispatch_time=dispatch,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self._conns:
+            conn.close()
+        self._procs.clear()
+        self._conns.clear()
+
+
+#: Name -> backend factory, the ``--backend`` knob's domain.
+BACKENDS: dict[str, Callable[[], ExecutionBackend]] = {
+    "threads": ThreadBackend,
+    "processes": ProcessBackend,
+}
+
+
+def resolve_backend(spec: "str | ExecutionBackend") -> ExecutionBackend:
+    """Turn a backend name or instance into a backend instance."""
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    try:
+        return BACKENDS[spec]()
+    except KeyError:
+        raise RuntimeStateError(
+            f"unknown execution backend {spec!r}; "
+            f"expected one of {sorted(BACKENDS)}"
+        ) from None

@@ -85,6 +85,19 @@ class RuntimeStateError(P2GError):
     """The runtime was used in an invalid state (e.g. run() twice)."""
 
 
+class WorkerProcessError(RuntimeStateError):
+    """A worker process of the ``processes`` backend died unexpectedly.
+
+    Raised by the parent runtime when a worker exits without sending a
+    reply (segfault, ``os._exit``, OOM-kill, ...), so a crashed worker
+    surfaces as a clean runtime error instead of a hang.
+    """
+
+    def __init__(self, worker_id: int, message: str) -> None:
+        super().__init__(f"worker process {worker_id}: {message}")
+        self.worker_id = worker_id
+
+
 class SchedulerError(P2GError):
     """Low-level or high-level scheduler failure (invalid granularity,
     fusion of incompatible kernels, ...)."""

@@ -15,12 +15,27 @@ can dispatch the additional kernel instances the larger extent implies.
 The backing arrays are NumPy (the reproduction's stand-in for blitz++),
 with a parallel boolean *written* mask per age used both to enforce
 write-once semantics and to answer the analyzer's completeness queries.
+
+Two storage flavours exist:
+
+* :class:`Field` / :class:`FieldStore` — process-private NumPy arrays,
+  used by the default ``threads`` execution backend.
+* :class:`SharedField` / :class:`SharedFieldStore` — the per-age payload
+  lives in a POSIX ``multiprocessing.shared_memory`` segment, so worker
+  *processes* (the ``processes`` execution backend) fetch and store
+  zero-copy views of the same physical pages.  The parent process owns
+  the segment lifecycle (creation at dispatch, unlink at GC/shutdown)
+  and keeps the write-once masks and counters private; workers only
+  read/write payload bytes.  Shared fields require a declared shape —
+  implicit resizing would need cross-process reallocation.
 """
 
 from __future__ import annotations
 
+import secrets
 import threading
 from dataclasses import dataclass, field as dc_field
+from multiprocessing import shared_memory
 from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
@@ -196,18 +211,83 @@ class _AgeSlot:
         self.data = data
         self.written = written
 
+    def free(self) -> None:
+        """Release the slot's storage (GC); arrays become empty."""
+        self.data = np.zeros((0,) * self.data.ndim, dtype=self.data.dtype)
+        self.written = np.zeros((0,) * self.written.ndim, dtype=bool)
+
+
+def segment_name(run_id: str, field: str, age: int) -> str:
+    """Deterministic shared-memory segment name for ``field`` at ``age``.
+
+    Both sides of the process backend derive the same name independently:
+    the parent when it creates the segment at dispatch time, the worker
+    when it attaches for a fetch/store — no registry round-trip needed.
+    """
+    return f"p2g{run_id}_{field}_{age}"
+
+
+class _SharedAgeSlot(_AgeSlot):
+    """An age slot whose payload lives in a shared-memory segment.
+
+    The ``written`` mask and counters stay process-private (only the
+    owning runtime's analyzer consults them); only the payload bytes are
+    shared with worker processes.
+    """
+
+    __slots__ = ("shm",)
+
+    def __init__(
+        self, name: str, extent: tuple[int, ...], dtype: np.dtype
+    ) -> None:
+        nbytes = max(1, int(np.prod(extent)) * dtype.itemsize)
+        # POSIX shm is zero-filled on creation, matching np.zeros.
+        self.shm = shared_memory.SharedMemory(
+            name=name, create=True, size=nbytes
+        )
+        self.data = np.ndarray(extent, dtype=dtype, buffer=self.shm.buf)
+        self.written = np.zeros(extent, dtype=bool)
+        self.store_count = 0
+        self.collected = False
+
+    def grow(self, extent: tuple[int, ...]) -> None:
+        if extent == self.data.shape:
+            return
+        raise ExtentError(
+            "shared-memory fields cannot grow; declare the field shape"
+        )
+
+    def free(self) -> None:
+        self.data = np.zeros((0,) * self.data.ndim, dtype=self.data.dtype)
+        self.written = np.zeros((0,) * self.written.ndim, dtype=bool)
+        self.shm.close()
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+    def unlink(self) -> None:
+        """Remove the segment name but keep the mapping readable (used at
+        shutdown so ``RunResult.fields`` stays fetchable)."""
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:
+            pass
+
 
 class Field:
     """A live field instance: per-age NumPy storage plus write-once masks.
 
-    Thread safety: all mutating operations take the field's lock, so
-    worker threads may store concurrently while the analyzer thread polls
-    completeness.
+    Thread safety: metadata mutations (masks, counters, extent) take the
+    field's lock; bulk payload copies happen *outside* the critical
+    section wherever write-once semantics make that safe (a complete
+    region is immutable, and stores to a fixed-shape field touch disjoint
+    elements).  The lock is a plain ``Lock`` — no method re-enters.
     """
 
     def __init__(self, fdef: FieldDef) -> None:
         self.fdef = fdef
-        self._lock = threading.RLock()
+        self._lock = threading.Lock()
         self._extent: tuple[int, ...] = (
             fdef.shape if fdef.shape is not None else (0,) * fdef.ndim
         )
@@ -271,12 +351,16 @@ class Field:
                 f"(got {age})"
             )
 
+    def _new_slot(self, age: int) -> _AgeSlot:
+        """Allocate backing storage for one age (hook for shared memory)."""
+        return _AgeSlot(self._extent, self.fdef.np_dtype)
+
     def _slot(self, age: int, create: bool) -> _AgeSlot | None:
         slot = self._ages.get(age)
         if slot is None:
             if not create:
                 return None
-            slot = _AgeSlot(self._extent, self.fdef.np_dtype)
+            slot = self._new_slot(age)
             self._ages[age] = slot
         elif slot.collected:
             raise CollectedAgeError(self.name, age)
@@ -284,17 +368,44 @@ class Field:
             slot.grow(self._extent)
         return slot
 
+    def _raise_write_once(self, age: int, idx: IndexExpr, region) -> None:
+        flat = np.argwhere(region)[0]
+        offending = tuple(int(s.start + o) for s, o in zip(idx, flat))
+        raise WriteOnceViolation(self.name, age, offending)
+
+    def _commit_written(
+        self, age: int, slot: _AgeSlot, idx: IndexExpr, count: int
+    ) -> None:
+        """Publish a completed write: mask + counters (lock held)."""
+        if slot.collected:
+            raise CollectedAgeError(self.name, age)
+        region = slot.written[idx]
+        if region.any():
+            self._raise_write_once(age, idx, region)
+        slot.written[idx] = True
+        slot.store_count += count
+        self.elements_written += count
+        if age > self._max_stored_age:
+            self._max_stored_age = age
+
     def store(self, age: int, index: Any, value: Any) -> ResizeInfo | None:
         """Store ``value`` into ``self[age][index]``.
 
         Enforces write-once semantics; grows the field (implicit resize)
         when the index reaches past the current extent.  Returns a
         :class:`ResizeInfo` when a resize occurred, else ``None``.
+
+        For fixed-shape fields the payload copy happens outside the lock
+        (legal stores touch disjoint elements); completeness only becomes
+        visible once the mask commits, so a consumer can never observe a
+        half-copied region.  Growable fields copy under the lock because
+        a concurrent resize swaps the backing array.
         """
         self._check_age(age)
         idx = normalize_index(index, self.ndim)
         arr = np.asarray(value, dtype=self.fdef.np_dtype)
         shape = index_shape(idx)
+        count = int(np.prod(shape))
         # Allow scalar broadcast into a unit region; otherwise shapes must
         # match exactly (trailing unit dims tolerated for 1-element stores).
         if arr.shape != shape:
@@ -305,13 +416,14 @@ class Field:
                     f"field {self.name!r}: value shape {arr.shape} does not "
                     f"match store region {shape}"
                 ) from None
+        fixed = self.fdef.shape is not None
         with self._lock:
             resize = None
             needed = tuple(
                 max(cur, s.stop) for cur, s in zip(self._extent, idx)
             )
             if needed != self._extent:
-                if self.fdef.shape is not None:
+                if fixed:
                     raise ExtentError(
                         f"field {self.name!r}: store region {idx} exceeds "
                         f"the declared shape {self.fdef.shape}"
@@ -323,18 +435,39 @@ class Field:
             assert slot is not None
             region = slot.written[idx]
             if region.any():
-                flat = np.argwhere(region)[0]
-                offending = tuple(
-                    int(s.start + o) for s, o in zip(idx, flat)
-                )
-                raise WriteOnceViolation(self.name, age, offending)
+                self._raise_write_once(age, idx, region)
+            if not fixed:
+                # Growable: a concurrent resize may swap slot.data, so the
+                # copy must stay inside the critical section.
+                slot.data[idx] = arr
+        if fixed:
             slot.data[idx] = arr
-            slot.written[idx] = True
-            slot.store_count += int(np.prod(shape))
-            self.elements_written += int(np.prod(shape))
-            if age > self._max_stored_age:
-                self._max_stored_age = age
+        with self._lock:
+            self._commit_written(age, slot, idx, count)
             return resize
+
+    def mark_written(self, age: int, index: Any) -> None:
+        """Metadata-only store: record that a region was written without
+        copying any payload.
+
+        This is the parent-process half of the ``processes`` execution
+        backend's store protocol — the worker has already written the
+        payload bytes directly into the shared-memory segment; the parent
+        applies write-once enforcement, the completeness mask and the
+        counters when the worker's store report arrives.
+        """
+        self._check_age(age)
+        idx = normalize_index(index, self.ndim)
+        if any(s.stop > n for s, n in zip(idx, self._extent)):
+            raise ExtentError(
+                f"field {self.name!r}: store region {idx} exceeds "
+                f"extent {self._extent}"
+            )
+        count = int(np.prod(index_shape(idx)))
+        with self._lock:
+            slot = self._slot(age, create=True)
+            assert slot is not None
+            self._commit_written(age, slot, idx, count)
 
     # ------------------------------------------------------------------
     # Fetches and completeness
@@ -362,12 +495,19 @@ class Field:
                         f"field {self.name!r}: fetch region {idx} exceeds "
                         f"extent {self._extent}"
                     )
+            if slot is not None and slot.data.shape != self._extent:
+                slot.grow(self._extent)
             if slot is None or not slot.written[idx].all():
                 raise ExtentError(
                     f"field {self.name!r}: fetch of incomplete region "
                     f"age={age} index={idx}"
                 )
-            return slot.data[idx].copy()
+            data = slot.data
+        # The copy happens outside the lock: the region is complete, and
+        # write-once semantics make complete regions immutable (concurrent
+        # stores touch other elements; grow() swaps in a new array without
+        # mutating the one referenced here).
+        return data[idx].copy()
 
     def peek(self, age: int, index: Any | None = None) -> np.ndarray | None:
         """Like :meth:`fetch` but returns ``None`` for incomplete regions."""
@@ -421,6 +561,15 @@ class Field:
     # ------------------------------------------------------------------
     # Garbage collection (section IX: reuse buffers / collect old ages)
     # ------------------------------------------------------------------
+    def _collect_age_locked(self, age: int) -> int:
+        slot = self._ages.get(age)
+        if slot is None or slot.collected:
+            return 0
+        freed = slot.data.nbytes + slot.written.nbytes
+        slot.free()
+        slot.collected = True
+        return freed
+
     def collect_age(self, age: int) -> int:
         """Free the storage of ``age``; returns bytes reclaimed.
 
@@ -428,20 +577,13 @@ class Field:
         Idempotent; collecting an age with no storage is a no-op.
         """
         with self._lock:
-            slot = self._ages.get(age)
-            if slot is None or slot.collected:
-                return 0
-            freed = slot.data.nbytes + slot.written.nbytes
-            slot.data = np.zeros((0,) * self.ndim, dtype=self.fdef.np_dtype)
-            slot.written = np.zeros((0,) * self.ndim, dtype=bool)
-            slot.collected = True
-            return freed
+            return self._collect_age_locked(age)
 
     def collect_below(self, min_live_age: int) -> int:
         """Collect every age strictly below ``min_live_age``."""
         with self._lock:
             return sum(
-                self.collect_age(a)
+                self._collect_age_locked(a)
                 for a in list(self._ages)
                 if a < min_live_age
             )
@@ -515,11 +657,15 @@ class FieldStore:
         for fdef in defs:
             self.add(fdef)
 
+    def _make_field(self, fdef: FieldDef) -> Field:
+        """Field construction hook (overridden by the shared-memory store)."""
+        return Field(fdef)
+
     def add(self, fdef: FieldDef) -> Field:
         """Create and register a new field; rejects duplicates."""
         if fdef.name in self._fields:
             raise DefinitionError(f"duplicate field {fdef.name!r}")
-        f = Field(fdef)
+        f = self._make_field(fdef)
         self._fields[fdef.name] = f
         return f
 
@@ -550,3 +696,72 @@ class FieldStore:
             for f in self._fields.values()
             if f.fdef.aging
         )
+
+
+class SharedField(Field):
+    """A field whose per-age payload lives in shared-memory segments.
+
+    Used by the ``processes`` execution backend.  The parent runtime
+    creates every segment (at dispatch time, before a worker could touch
+    it) and owns unlink; workers attach by the deterministic
+    :func:`segment_name` and read/write zero-copy views.  Requires a
+    declared shape — shared payloads cannot grow.
+    """
+
+    def __init__(self, fdef: FieldDef, run_id: str) -> None:
+        if fdef.shape is None:
+            raise DefinitionError(
+                f"field {fdef.name!r}: shared-memory fields require a "
+                f"declared shape (implicit resizing cannot cross process "
+                f"boundaries); declare the extent or use the threads "
+                f"backend"
+            )
+        super().__init__(fdef)
+        self.run_id = run_id
+
+    def _new_slot(self, age: int) -> _AgeSlot:
+        return _SharedAgeSlot(
+            segment_name(self.run_id, self.name, age),
+            self._extent,
+            self.fdef.np_dtype,
+        )
+
+    def ensure_age(self, age: int) -> None:
+        """Create the segment for ``age`` if it does not exist yet (the
+        parent calls this before dispatching a storing instance, so the
+        worker's attach can never race segment creation)."""
+        self._check_age(age)
+        with self._lock:
+            self._slot(age, create=True)
+
+    def release_segments(self) -> None:
+        """Unlink every live segment (names freed, mappings kept so the
+        parent can still fetch results).  Idempotent; called at run
+        teardown."""
+        with self._lock:
+            for slot in self._ages.values():
+                if isinstance(slot, _SharedAgeSlot) and not slot.collected:
+                    slot.unlink()
+
+
+class SharedFieldStore(FieldStore):
+    """A :class:`FieldStore` backed by shared memory (process backend).
+
+    ``run_id`` namespaces the segment names so concurrent runs (or a
+    crashed predecessor's leftovers) can never collide.
+    """
+
+    def __init__(
+        self, defs: Iterable[FieldDef] = (), run_id: str | None = None
+    ) -> None:
+        self.run_id = run_id if run_id is not None else secrets.token_hex(4)
+        super().__init__(defs)
+
+    def _make_field(self, fdef: FieldDef) -> Field:
+        return SharedField(fdef, self.run_id)
+
+    def release(self) -> None:
+        """Unlink all segments (teardown; mappings stay readable)."""
+        for f in self:
+            if isinstance(f, SharedField):
+                f.release_segments()

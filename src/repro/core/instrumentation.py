@@ -27,6 +27,7 @@ class KernelStats:
     instances: int = 0
     dispatch_time: float = 0.0  #: total seconds of framework overhead
     kernel_time: float = 0.0  #: total seconds inside the native block
+    ipc_time: float = 0.0  #: total seconds of cross-process transfer
 
     @property
     def mean_dispatch_us(self) -> float:
@@ -37,6 +38,14 @@ class KernelStats:
     def mean_kernel_us(self) -> float:
         """Mean native-block time per instance, microseconds."""
         return 1e6 * self.kernel_time / self.instances if self.instances else 0.0
+
+    @property
+    def mean_ipc_us(self) -> float:
+        """Mean cross-process transfer time per instance, microseconds.
+
+        Zero on the ``threads`` backend, where no IPC happens.
+        """
+        return 1e6 * self.ipc_time / self.instances if self.instances else 0.0
 
     @property
     def dispatch_ratio(self) -> float:
@@ -50,6 +59,7 @@ class KernelStats:
             self.instances + other.instances,
             self.dispatch_time + other.dispatch_time,
             self.kernel_time + other.kernel_time,
+            self.ipc_time + other.ipc_time,
         )
 
 
@@ -74,7 +84,11 @@ class Instrumentation:
             self.wall_time = time.perf_counter() - self._t0
 
     def record(
-        self, kernel: str, dispatch_time: float, kernel_time: float
+        self,
+        kernel: str,
+        dispatch_time: float,
+        kernel_time: float,
+        ipc_time: float = 0.0,
     ) -> None:
         """Account one executed instance's dispatch and kernel seconds."""
         with self._lock:
@@ -82,6 +96,7 @@ class Instrumentation:
             st.instances += 1
             st.dispatch_time += dispatch_time
             st.kernel_time += kernel_time
+            st.ipc_time += ipc_time
 
     def add_analyzer_time(self, seconds: float) -> None:
         """Accumulate time spent inside the analyzer thread."""
@@ -93,7 +108,9 @@ class Instrumentation:
         """Snapshot of per-kernel stats."""
         with self._lock:
             return {
-                k: KernelStats(s.instances, s.dispatch_time, s.kernel_time)
+                k: KernelStats(
+                    s.instances, s.dispatch_time, s.kernel_time, s.ipc_time
+                )
                 for k, s in self._stats.items()
             }
 
@@ -133,20 +150,29 @@ class Instrumentation:
         """
         stats = self.stats()
         names = list(order) if order is not None else sorted(stats)
+        # The IPC column only appears when a process backend recorded
+        # transfer time, so thread-mode tables keep the paper's layout.
+        ipc = any(s.ipc_time > 0 for s in stats.values())
         lines = []
         if title:
             lines.append(title)
-        lines.append(
+        header = (
             f"{'Kernel':<16}{'Instances':>12}{'Dispatch Time':>16}"
             f"{'Kernel Time':>16}"
         )
+        if ipc:
+            header += f"{'IPC Time':>16}"
+        lines.append(header)
         for name in names:
             s = stats.get(name, KernelStats())
-            lines.append(
+            row = (
                 f"{name:<16}{s.instances:>12}"
                 f"{s.mean_dispatch_us:>13.2f} us"
                 f"{s.mean_kernel_us:>13.2f} us"
             )
+            if ipc:
+                row += f"{s.mean_ipc_us:>13.2f} us"
+            lines.append(row)
         return "\n".join(lines)
 
     def as_rows(

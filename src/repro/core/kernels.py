@@ -548,7 +548,9 @@ class KernelContext:
         empty when the program declares none.
     """
 
-    __slots__ = ("age", "index", "fetched", "timers", "_emitted", "node")
+    __slots__ = (
+        "age", "index", "fetched", "timers", "_emitted", "_outputs", "node",
+    )
 
     def __init__(
         self,
@@ -564,6 +566,7 @@ class KernelContext:
         self.timers = dict(timers or {})
         self.node = node
         self._emitted: dict[str, Any] = {}
+        self._outputs: list[tuple[str, Any]] = []
 
     def emit(self, key: str, value: Any) -> None:
         """Provide the value for the store spec whose ``emit_key`` is
@@ -580,12 +583,65 @@ class KernelContext:
         """Values the body emitted, by store key."""
         return self._emitted
 
+    def output(self, key: str, value: Any) -> None:
+        """Emit an *out-of-band* result (not a field store).
+
+        Sink-style kernels (MJPEG's ``vlc``, K-means' ``print``) produce
+        values that leave the field model — encoded frames, centroid
+        snapshots.  Routing them through ``output`` instead of mutating a
+        closure keeps kernel bodies location-transparent: the runtime
+        delivers each ``(key, value)`` pair to the program's registered
+        output handler *in the parent process*, whichever execution
+        backend ran the body.  Values must be picklable under the
+        ``processes`` backend.
+        """
+        self._outputs.append((key, value))
+
+    @property
+    def outputs(self) -> list[tuple[str, Any]]:
+        """Out-of-band results the body produced, in emission order."""
+        return self._outputs
+
     def local(self, dtype: str = "int32", ndim: int = 1) -> LocalField:
         """Create a kernel-local growable field (``local int32[] v;``)."""
         return LocalField(dtype, ndim)
 
     def __getitem__(self, param: str) -> Any:
         return self.fetched[param]
+
+
+def coerce_store_value(
+    value: Any, np_dtype: np.dtype, field_ndim: int, spec: StoreSpec
+) -> tuple[np.ndarray, StoreSpec]:
+    """Normalize an emitted value for a store spec.
+
+    Returns the value as an array aligned to the field's rank, plus the
+    effective spec (dimension-less specs become explicit whole-field
+    specs).  Shared by every execution backend so the threads and
+    processes paths store byte-identical payloads.
+    """
+    arr = np.asarray(value, dtype=np_dtype)
+    if arr.ndim == 0:
+        arr = arr.reshape((1,) * field_ndim)
+    elif arr.ndim < field_ndim and spec.dims:
+        # Align a lower-rank value to the store's dims: unit axes are
+        # inserted at block-1 variable dimensions (a row store
+        # ``f(a)[c][:] = row`` takes a 1-d row), trailing otherwise.
+        shape = list(arr.shape)
+        missing = field_ndim - arr.ndim
+        for axis, d in enumerate(spec.dims):
+            if missing and not d.is_all and d.block == 1:
+                shape.insert(axis, 1)
+                missing -= 1
+        shape.extend([1] * missing)
+        arr = arr.reshape(shape)
+    elif arr.ndim != field_ndim:
+        arr = arr.reshape(arr.shape + (1,) * (field_ndim - arr.ndim))
+    eff = spec if spec.dims else StoreSpec(
+        field=spec.field, age=spec.age, key=spec.key,
+        dims=tuple(Dim.all() for _ in range(field_ndim)),
+    )
+    return arr, eff
 
 
 def make_kernel(

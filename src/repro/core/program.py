@@ -8,11 +8,15 @@ dependency graphs, the LLS rewrites it, and the HLS partitions it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field as dc_field
-from typing import Iterable, Mapping
+from typing import Any, Callable, Iterable, Mapping
 
 from .errors import DefinitionError, SemanticError
 from .fields import FieldDef
 from .kernels import KernelDef
+
+#: Signature of a program output handler:
+#: ``handler(kernel_name, age, index, key, value)``.
+OutputHandler = Callable[[str, "int | None", tuple, str, Any], None]
 
 
 @dataclass
@@ -35,6 +39,16 @@ class Program:
     kernels: dict[str, KernelDef] = dc_field(default_factory=dict)
     timers: tuple[str, ...] = ()
     name: str = "program"
+    #: Receiver for kernel bodies' out-of-band ``ctx.output`` results
+    #: (``handler(kernel, age, index, key, value)``); always invoked in
+    #: the parent process, whichever execution backend ran the body.
+    output_handler: OutputHandler | None = dc_field(
+        default=None, repr=False, compare=False
+    )
+
+    def set_output_handler(self, handler: OutputHandler | None) -> None:
+        """Register the receiver for ``ctx.output`` results."""
+        self.output_handler = handler
 
     @classmethod
     def build(
@@ -125,19 +139,23 @@ class Program:
         """Kernels with no fetches (dispatch is not store-driven)."""
         return [k for k in self.kernels.values() if k.is_source]
 
+    def _rebuild(self, kernels: dict[str, KernelDef]) -> "Program":
+        out = Program.build(
+            self.fields.values(), kernels.values(), self.timers, self.name
+        )
+        out.output_handler = self.output_handler
+        return out
+
     def replace_kernel(self, kernel: KernelDef) -> "Program":
         """Functional update: new Program with one kernel replaced."""
         kernels = dict(self.kernels)
         kernels[kernel.name] = kernel
-        return Program.build(
-            self.fields.values(), kernels.values(), self.timers, self.name
-        )
+        return self._rebuild(kernels)
 
     def without_kernels(self, *names: str) -> "Program":
         """Functional update: a new Program without the named kernels."""
-        kernels = {n: k for n, k in self.kernels.items() if n not in names}
-        return Program.build(
-            self.fields.values(), kernels.values(), self.timers, self.name
+        return self._rebuild(
+            {n: k for n, k in self.kernels.items() if n not in names}
         )
 
     def with_kernel(self, kernel: KernelDef) -> "Program":
@@ -146,9 +164,7 @@ class Program:
             raise DefinitionError(f"kernel {kernel.name!r} already defined")
         kernels = dict(self.kernels)
         kernels[kernel.name] = kernel
-        return Program.build(
-            self.fields.values(), kernels.values(), self.timers, self.name
-        )
+        return self._rebuild(kernels)
 
     def describe(self) -> str:
         """Kernel-language-style rendering of the whole program."""

@@ -34,6 +34,7 @@ from typing import Any
 import numpy as np
 
 from .analyzer import DependencyAnalyzer
+from .backends import ExecutionBackend, resolve_backend
 from .deadlines import TimerSet
 from .errors import KernelBodyError, RuntimeStateError
 from .events import (
@@ -43,9 +44,9 @@ from .events import (
     ShutdownEvent,
     StoreEvent,
 )
-from .fields import FieldStore
+from .fields import FieldStore, SharedFieldStore
 from .instrumentation import Instrumentation
-from .kernels import Dim, KernelContext, KernelInstance, StoreSpec
+from .kernels import KernelContext, KernelInstance, coerce_store_value
 from .program import Program
 
 
@@ -204,6 +205,7 @@ class RunResult:
     fields: FieldStore
     ready_high_water: int = 0
     gc_bytes: int = 0
+    backend: str = "threads"  #: execution backend that ran the program
 
     @property
     def stats(self):
@@ -233,6 +235,11 @@ class ExecutionNode:
         is on.
     name:
         Node name (used by the distributed layer and in logs).
+    backend:
+        Execution backend: ``"threads"`` (default — deterministic,
+        GIL-bound), ``"processes"`` (true-parallel worker processes over
+        shared-memory fields), or an
+        :class:`~repro.core.backends.ExecutionBackend` instance.
     fields / counter / timers:
         Normally created internally; the distributed layer passes a
         shared :class:`~repro.core.fields.FieldStore`, a cluster-wide
@@ -255,6 +262,7 @@ class ExecutionNode:
         keep_ages: int = 1,
         name: str = "node0",
         clock=None,
+        backend: "str | ExecutionBackend" = "threads",
         fields: FieldStore | None = None,
         counter: "WorkCounter | None" = None,
         timers: TimerSet | None = None,
@@ -269,8 +277,9 @@ class ExecutionNode:
         self.max_age = max_age
         self.gc_fields = gc_fields
         self.keep_ages = keep_ages
-        self.fields = fields if fields is not None else FieldStore(
-            program.fields.values()
+        self.backend = resolve_backend(backend)
+        self.fields = fields if fields is not None else (
+            self.backend.create_fields(program)
         )
         self.timers = timers if timers is not None else TimerSet(
             program.timers, clock
@@ -358,27 +367,8 @@ class ExecutionNode:
             value = ctx.emitted[s.emit_key]
             field = self.fields[s.field]
             s_age = s.age.resolve(inst.age)
-            arr = np.asarray(value, dtype=field.fdef.np_dtype)
-            if arr.ndim == 0:
-                arr = arr.reshape((1,) * field.ndim)
-            elif arr.ndim < field.ndim and s.dims:
-                # Align a lower-rank value to the store's dims: unit axes
-                # are inserted at block-1 variable dimensions (a row
-                # store ``f(a)[c][:] = row`` takes a 1-d row), trailing
-                # otherwise.
-                shape = list(arr.shape)
-                missing = field.ndim - arr.ndim
-                for axis, d in enumerate(s.dims):
-                    if missing and not d.is_all and d.block == 1:
-                        shape.insert(axis, 1)
-                        missing -= 1
-                shape.extend([1] * missing)
-                arr = arr.reshape(shape)
-            elif arr.ndim != field.ndim:
-                arr = arr.reshape(arr.shape + (1,) * (field.ndim - arr.ndim))
-            spec = s if s.dims else StoreSpec(
-                field=s.field, age=s.age, key=s.key,
-                dims=tuple(Dim.all() for _ in range(field.ndim)),
+            arr, spec = coerce_store_value(
+                value, field.fdef.np_dtype, field.ndim, s
             )
             region = spec.region(imap, arr.shape)
             resize = field.store(s_age, region, arr)
@@ -387,6 +377,9 @@ class ExecutionNode:
                 self._post(ResizeEvent(s.field, resize.old_extent,
                                        resize.new_extent))
             self._post(StoreEvent(s.field, s_age, region))
+        for key, value in ctx.outputs:
+            self._deliver_output(kernel.name, inst.age, inst.index,
+                                 key, value)
         t3 = time.perf_counter()
         self.instrumentation.record(
             kernel.name, (t1 - t0) + (t3 - t2), t2 - t1
@@ -398,6 +391,20 @@ class ExecutionNode:
             )
         )
 
+    def _deliver_output(
+        self, kernel: str, age, index, key: str, value: Any
+    ) -> None:
+        """Hand an out-of-band ``ctx.output`` value to the program's
+        registered handler (always in the parent process)."""
+        handler = self.program.output_handler
+        if handler is None:
+            raise RuntimeStateError(
+                f"kernel {kernel!r} produced output {key!r} but the "
+                f"program has no output handler; call "
+                f"program.set_output_handler()"
+            )
+        handler(kernel, age, index, key, value)
+
     def _worker_loop(self, worker_id: int) -> None:
         while True:
             inst = self.ready.pop()
@@ -407,7 +414,7 @@ class ExecutionNode:
                 self._running_ages[worker_id] = inst.age
             try:
                 if not self._stop.is_set():
-                    self._execute(inst, worker_id)
+                    self.backend.execute(inst, worker_id)
             except BaseException as exc:  # noqa: BLE001
                 self._error = exc
                 self._stop.set()
@@ -487,6 +494,9 @@ class ExecutionNode:
                 "ExecutionNode may only run once; build a new node to re-run"
             )
         self._ran = True
+        # The backend allocates its resources (the process backend forks
+        # its workers) before any thread of this run exists.
+        self.backend.start(self)
         self.instrumentation.start()
         self._t0 = time.perf_counter()
         self._threads = [
@@ -527,6 +537,11 @@ class ExecutionNode:
             t.join()
         self._analyzer_thread.join()
         self.instrumentation.stop()
+        self.backend.shutdown()
+        if isinstance(self.fields, SharedFieldStore):
+            # Unlink segment names; mappings stay readable so the
+            # RunResult's fields can still be fetched.
+            self.fields.release()
         if self._error is not None:
             raise self._error
         return RunResult(
@@ -536,6 +551,7 @@ class ExecutionNode:
             fields=self.fields,
             ready_high_water=self.ready.max_depth,
             gc_bytes=self._gc_bytes,
+            backend=self.backend.name,
         )
 
     def run(self, timeout: float | None = None) -> RunResult:
@@ -559,6 +575,7 @@ def run_program(
     timeout: float | None = None,
     gc_fields: bool = False,
     keep_ages: int = 1,
+    backend: "str | ExecutionBackend" = "threads",
 ) -> RunResult:
     """One-shot convenience: build an :class:`ExecutionNode` and run it."""
     node = ExecutionNode(
@@ -567,5 +584,6 @@ def run_program(
         max_age=max_age,
         gc_fields=gc_fields,
         keep_ages=keep_ages,
+        backend=backend,
     )
     return node.run(timeout=timeout)

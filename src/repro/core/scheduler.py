@@ -390,9 +390,11 @@ def fuse(
             fields = {
                 n: f for n, f in out.fields.items() if n != pipe_field
             }
-            out = Program.build(
+            rebuilt = Program.build(
                 fields.values(), out.kernels.values(), out.timers, out.name
             )
+            rebuilt.output_handler = out.output_handler
+            out = rebuilt
     return out
 
 

@@ -121,12 +121,14 @@ class Cluster:
         kernels = [
             self.program.kernels[k] for k in assignment.kernels_for(node)
         ]
-        return Program.build(
+        sub = Program.build(
             self.program.fields.values(),
             kernels,
             self.program.timers,
             name=f"{self.program.name}@{node}",
         )
+        sub.output_handler = self.program.output_handler
+        return sub
 
     def run(
         self,

@@ -24,6 +24,7 @@ __all__ = [
     "STD_AC_CHROMA",
     "magnitude_category",
     "encode_block",
+    "encode_block_scalar",
     "decode_block",
 ]
 
@@ -51,6 +52,8 @@ class HuffmanTable:
             )
         self.bits = tuple(bits)
         self.values = tuple(values)
+        self._arrays: tuple[np.ndarray, np.ndarray] | None = None
+        self._lists: tuple[list[int], list[int]] | None = None
         # Canonical code assignment (spec C.2): codes of equal length are
         # consecutive; moving to the next length left-shifts.
         self._encode: dict[int, tuple[int, int]] = {}
@@ -84,6 +87,31 @@ class HuffmanTable:
         """Encode ``symbol`` into the bit stream."""
         code, length = self.encode(symbol)
         writer.write_bits(code, length)
+
+    def code_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(codes, lengths)`` indexed by symbol value (0..255).
+
+        A zero length marks a symbol absent from the table.  Cached —
+        this is the lookup structure the vectorized block encoder uses
+        instead of a per-symbol dict probe.
+        """
+        if self._arrays is None:
+            codes = np.zeros(256, dtype=np.int64)
+            lengths = np.zeros(256, dtype=np.int64)
+            for symbol, (code, length) in self._encode.items():
+                codes[symbol] = code
+                lengths[symbol] = length
+            self._arrays = (codes, lengths)
+        return self._arrays
+
+    def code_lists(self) -> tuple[list[int], list[int]]:
+        """:meth:`code_arrays` as plain lists — O(1) int indexing with
+        no per-element NumPy scalar boxing, which is what the block
+        encoder's hot loop wants."""
+        if self._lists is None:
+            codes, lengths = self.code_arrays()
+            self._lists = (codes.tolist(), lengths.tolist())
+        return self._lists
 
     def read_symbol(self, reader: BitReader) -> int:
         """Decode one symbol bit by bit (spec F.2.2.3 DECODE procedure)."""
@@ -193,15 +221,16 @@ def _extend(bits: int, category: int) -> int:
     return bits
 
 
-def encode_block(
+def encode_block_scalar(
     writer: BitWriter,
     zz: np.ndarray,
     prev_dc: int,
     dc_table: HuffmanTable,
     ac_table: HuffmanTable,
 ) -> int:
-    """Entropy-encode one zig-zag block; returns the block's DC value
-    (the caller threads it as the next block's predictor)."""
+    """Reference coefficient-at-a-time block encoder (spec F.1.2 read
+    literally).  Kept as the parity oracle and micro-benchmark baseline
+    for the vectorized :func:`encode_block`."""
     zz = np.asarray(zz, dtype=np.int64)
     if zz.shape != (64,):
         raise ValueError(f"expected 64 zig-zag coefficients, got {zz.shape}")
@@ -231,6 +260,74 @@ def encode_block(
         run = 0
     if run:
         ac_table.write_symbol(writer, 0x00)  # EOB
+    return dc
+
+
+def encode_block(
+    writer: BitWriter,
+    zz: np.ndarray,
+    prev_dc: int,
+    dc_table: HuffmanTable,
+    ac_table: HuffmanTable,
+) -> int:
+    """Entropy-encode one zig-zag block; returns the block's DC value
+    (the caller threads it as the next block's predictor).
+
+    Optimized, bit-identical to :func:`encode_block_scalar`: the block
+    converts to native ints in one batch, symbol codes/lengths come from
+    the table's precomputed flat lookup lists instead of per-symbol dict
+    probes, and the whole block's bits accumulate into one arbitrary-
+    precision integer emitted with a single ``write_bits`` call (one
+    byte-stuffing pass per block rather than two per coefficient).
+    """
+    zz = np.asarray(zz, dtype=np.int64)
+    if zz.shape != (64,):
+        raise ValueError(f"expected 64 zig-zag coefficients, got {zz.shape}")
+    vals = zz.tolist()
+    dc = vals[0]
+    diff = dc - prev_dc
+    cat = abs(diff).bit_length()
+    if cat > 11:
+        raise ValueError(f"DC difference {diff} out of baseline range")
+    acc, nbits = dc_table.encode(cat)
+    if cat:
+        acc = (acc << cat) | (
+            diff if diff >= 0 else (diff - 1) & ((1 << cat) - 1)
+        )
+        nbits += cat
+
+    ac_codes, ac_lens = ac_table.code_lists()
+    zrl_code, zrl_len = ac_table.encode(0xF0)
+    run = 0
+    for coef in vals[1:]:
+        if coef == 0:
+            run += 1
+            continue
+        while run > 15:
+            acc = (acc << zrl_len) | zrl_code  # ZRL: 16 zeros
+            nbits += zrl_len
+            run -= 16
+        cat = (coef if coef >= 0 else -coef).bit_length()
+        if cat > 10:
+            raise ValueError(
+                f"AC coefficient {coef} out of baseline range"
+            )
+        symbol = (run << 4) | cat
+        length = ac_lens[symbol]
+        if not length:
+            raise ValueError(f"symbol {symbol:#x} not in Huffman table")
+        acc = (
+            (acc << (length + cat))
+            | (ac_codes[symbol] << cat)
+            | (coef if coef >= 0 else (coef - 1) & ((1 << cat) - 1))
+        )
+        nbits += length + cat
+        run = 0
+    if run:
+        code, length = ac_table.encode(0x00)  # EOB
+        acc = (acc << length) | code
+        nbits += length
+    writer.write_bits(acc, nbits)
     return dc
 
 

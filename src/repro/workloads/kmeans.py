@@ -138,7 +138,10 @@ def build_kmeans(
         ctx.emit("centroids", init_centroids)
 
     def print_body(ctx: KernelContext) -> None:
-        result.history[ctx.age] = ctx["c"].copy()
+        # Out-of-band: the centroid snapshot is delivered to the result
+        # sink via the program's output handler in the parent process,
+        # so the trajectory records identically on every backend.
+        ctx.output("centroids", ctx["c"].copy())
 
     init = KernelDef(
         name="init",
@@ -292,6 +295,12 @@ def build_kmeans(
         kernels=[init, assign, refine, prnt],
         name=f"kmeans-{granularity}",
     )
+
+    def on_output(kernel, age, index, key, value) -> None:
+        if key == "centroids":
+            result.history[age] = value
+
+    program.set_output_handler(on_output)
     return program, result
 
 

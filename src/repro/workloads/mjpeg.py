@@ -151,8 +151,15 @@ def build_mjpeg(
         yq = plane_to_blocks(ctx["y"])
         uq = plane_to_blocks(ctx["u"])
         vq = plane_to_blocks(ctx["v"])
-        sink.frames[ctx.age] = encode_from_quantized(
-            yq, uq, vq, config.width, config.height, qy, qc
+        # Out-of-band: the encoded frame leaves the field model.  The
+        # runtime delivers it to the program's output handler in the
+        # parent process, so the sink fills identically on both the
+        # threads and the processes backend.
+        ctx.output(
+            "frame",
+            encode_from_quantized(
+                yq, uq, vq, config.width, config.height, qy, qc
+            ),
         )
 
     luma_shape = (config.height, config.width)
@@ -207,6 +214,12 @@ def build_mjpeg(
         ],
         name="mjpeg",
     )
+
+    def on_output(kernel, age, index, key, value) -> None:
+        if key == "frame":
+            sink.frames[age] = value
+
+    program.set_output_handler(on_output)
     return program, sink
 
 

@@ -1,0 +1,298 @@
+"""Execution-backend tests: threads/processes parity, fault isolation,
+shared-memory hygiene, and the backend plumbing itself."""
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AgeExpr,
+    Dim,
+    ExecutionNode,
+    FetchSpec,
+    FieldDef,
+    KernelBodyError,
+    KernelDef,
+    KernelInstance,
+    ProcessBackend,
+    Program,
+    ReadyQueue,
+    RuntimeStateError,
+    StoreSpec,
+    ThreadBackend,
+    WorkerProcessError,
+    resolve_backend,
+    run_program,
+)
+from repro.workloads import (
+    MJPEGConfig,
+    build_kmeans,
+    build_mjpeg,
+    kmeans_baseline,
+    mjpeg_baseline,
+)
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in __import__("multiprocessing").get_all_start_methods(),
+    reason="processes backend tests use the fork start method",
+)
+
+
+def _leaked_segments(run_id: str) -> list:
+    return glob.glob(f"/dev/shm/p2g{run_id}_*")
+
+
+# ----------------------------------------------------------------------
+# Plumbing
+# ----------------------------------------------------------------------
+class TestResolveBackend:
+    def test_names(self):
+        assert isinstance(resolve_backend("threads"), ThreadBackend)
+        assert isinstance(resolve_backend("processes"), ProcessBackend)
+
+    def test_instance_passthrough(self):
+        b = ProcessBackend()
+        assert resolve_backend(b) is b
+
+    def test_unknown_rejected(self):
+        with pytest.raises(RuntimeStateError, match="unknown execution"):
+            resolve_backend("gpu")
+
+    def test_result_records_backend(self):
+        program, _ = build_kmeans(n=20, k=2, iterations=2,
+                                  granularity="point")
+        result = run_program(program, workers=1, timeout=60)
+        assert result.backend == "threads"
+
+
+class TestProcessBackendValidation:
+    @needs_fork
+    def test_rejects_plain_field_store(self):
+        from repro.core import FieldStore
+
+        program, _ = build_kmeans(n=20, k=2, iterations=2,
+                                  granularity="point")
+        node = ExecutionNode(
+            program, workers=1,
+            fields=FieldStore(program.fields.values()),
+            backend="processes",
+        )
+        with pytest.raises(RuntimeStateError, match="SharedFieldStore"):
+            node.start()
+
+    def test_rejects_timers(self):
+        program = Program.build(
+            fields=[FieldDef("f", "int32", 1, shape=(4,))],
+            kernels=[KernelDef(
+                "init", lambda ctx: ctx.emit("f", np.arange(4)),
+                stores=(StoreSpec("f", age=AgeExpr.const(0)),),
+            )],
+            timers=["t"],
+        )
+        node = ExecutionNode(program, workers=1, backend="processes")
+        with pytest.raises(RuntimeStateError, match="timer"):
+            node.start()
+
+    def test_non_fork_requires_factory(self):
+        program, _ = build_kmeans(n=20, k=2, iterations=2,
+                                  granularity="point")
+        node = ExecutionNode(
+            program, workers=1,
+            backend=ProcessBackend(start_method="spawn"),
+        )
+        with pytest.raises(RuntimeStateError, match="program_factory"):
+            node.start()
+
+
+# ----------------------------------------------------------------------
+# Workload parity: the acceptance bar for the backend layer
+# ----------------------------------------------------------------------
+@needs_fork
+class TestWorkloadParity:
+    CFG = MJPEGConfig(width=64, height=32, frames=3)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_mjpeg_bitstream_identical(self, workers):
+        reference = mjpeg_baseline(config=self.CFG)
+        streams = {}
+        for backend in ("threads", "processes"):
+            program, sink = build_mjpeg(config=self.CFG)
+            result = run_program(
+                program, workers=workers, timeout=120, backend=backend
+            )
+            assert result.reason == "idle"
+            assert result.backend == backend
+            streams[backend] = sink.stream()
+        assert streams["threads"] == reference
+        assert streams["processes"] == reference
+
+    @pytest.mark.parametrize("granularity", ["point", "pair"])
+    def test_kmeans_centroids_identical(self, granularity):
+        expected = kmeans_baseline(n=60, k=5, iterations=4)
+        for backend in ("threads", "processes"):
+            program, sink = build_kmeans(
+                n=60, k=5, iterations=4, granularity=granularity
+            )
+            result = run_program(
+                program, workers=2, timeout=120, backend=backend
+            )
+            assert result.reason == "idle"
+            assert sink.history.keys() == expected.history.keys()
+            for age, centroids in expected.history.items():
+                assert np.array_equal(sink.history[age], centroids), (
+                    f"{backend}: centroid divergence at age {age}"
+                )
+
+    def test_instrumentation_counts_match(self):
+        counts = {}
+        for backend in ("threads", "processes"):
+            program, _ = build_mjpeg(config=self.CFG)
+            result = run_program(
+                program, workers=2, timeout=120, backend=backend
+            )
+            stats = result.instrumentation.stats()
+            counts[backend] = {k: s.instances for k, s in stats.items()}
+            if backend == "processes":
+                assert any(s.ipc_time > 0 for s in stats.values())
+        assert counts["threads"] == counts["processes"]
+
+
+# ----------------------------------------------------------------------
+# Fault isolation
+# ----------------------------------------------------------------------
+@needs_fork
+class TestWorkerFaults:
+    def _program(self, body):
+        k = KernelDef(
+            "boom", body, has_age=True,
+            fetches=(FetchSpec("v", "f"),),
+            age_limit=1,
+        )
+        init = KernelDef(
+            "init", lambda ctx: ctx.emit("f", np.arange(4)),
+            stores=(StoreSpec("f", age=AgeExpr.const(0)),),
+        )
+        return Program.build(
+            fields=[FieldDef("f", "int64", 1, shape=(4,))],
+            kernels=[init, k],
+        )
+
+    def test_body_exception_is_kernel_body_error(self):
+        def body(ctx):
+            raise ValueError("intentional")
+
+        program = self._program(body)
+        with pytest.raises(KernelBodyError) as ei:
+            run_program(program, workers=1, timeout=60,
+                        backend="processes")
+        # the remote type, message and traceback all survive the hop
+        assert "ValueError: intentional" in str(ei.value)
+        assert "Traceback" in str(ei.value)
+
+    def test_worker_crash_raises_not_hangs(self):
+        def body(ctx):
+            os._exit(3)  # hard-kill the worker mid-instance
+
+        program = self._program(body)
+        # depending on timing the proxy sees the dead process or the
+        # closed pipe first; both must surface as WorkerProcessError
+        with pytest.raises(WorkerProcessError,
+                           match="exited with code|connection lost"):
+            run_program(program, workers=1, timeout=60,
+                        backend="processes")
+
+    def test_crash_leaves_no_segments(self):
+        def body(ctx):
+            os._exit(3)
+
+        program = self._program(body)
+        node = ExecutionNode(program, workers=1, backend="processes")
+        run_id = node.fields.run_id
+        node.start()
+        with pytest.raises(WorkerProcessError):
+            node.join()
+        assert _leaked_segments(run_id) == []
+
+
+# ----------------------------------------------------------------------
+# Shared-memory hygiene
+# ----------------------------------------------------------------------
+@needs_fork
+class TestSegmentLifecycle:
+    def test_run_unlinks_every_segment(self):
+        program, sink = build_kmeans(n=40, k=4, iterations=3,
+                                     granularity="point")
+        node = ExecutionNode(program, workers=2, backend="processes")
+        run_id = node.fields.run_id
+        node.start()
+        node.join()
+        assert sink.final_centroids() is not None
+        assert _leaked_segments(run_id) == []
+
+    def test_gc_unlinks_retired_ages(self):
+        # After a run, even intermediate ages' segments must be gone;
+        # sample a mid-run age of the aging centroids field.
+        program, _ = build_kmeans(n=40, k=4, iterations=4,
+                                  granularity="point")
+        node = ExecutionNode(program, workers=1, backend="processes")
+        run_id = node.fields.run_id
+        node.start()
+        node.join()
+        assert not os.path.exists(
+            f"/dev/shm/p2g{run_id}_centroids_1"
+        )
+
+
+# ----------------------------------------------------------------------
+# Ready-queue boundedness (regression for the age-bucket map)
+# ----------------------------------------------------------------------
+class TestReadyQueueAgeCounts:
+    def test_zeroed_buckets_are_dropped(self):
+        q = ReadyQueue()
+        k = KernelDef("k", lambda ctx: None, has_age=True)
+        for age in range(100):
+            q.push(KernelInstance(k, age))
+        for _ in range(100):
+            q.pop()
+        # the bucket map must not grow with retired ages
+        assert q._age_counts == {}
+        assert q.min_age() is None
+
+    def test_partial_drain_keeps_live_buckets(self):
+        q = ReadyQueue()
+        k = KernelDef("k", lambda ctx: None, has_age=True)
+        for age in (0, 0, 1):
+            q.push(KernelInstance(k, age))
+        q.pop()
+        assert q._age_counts == {0: 1, 1: 1}
+        assert q.min_age() == 0
+        q.pop()
+        assert q._age_counts == {1: 1}
+        assert q.min_age() == 1
+
+
+# ----------------------------------------------------------------------
+# Output-handler plumbing shared by both backends
+# ----------------------------------------------------------------------
+class TestOutputHandler:
+    def test_missing_handler_raises(self):
+        def body(ctx):
+            ctx.output("x", 1)
+
+        program = Program.build(
+            fields=[],
+            kernels=[KernelDef("k", body)],
+        )
+        with pytest.raises(RuntimeStateError, match="output handler"):
+            run_program(program, workers=1, timeout=60)
+
+    def test_handler_survives_functional_updates(self):
+        program, _ = build_kmeans(n=20, k=2, iterations=2,
+                                  granularity="point")
+        assert program.output_handler is not None
+        updated = program.replace_kernel(program.kernels["print"])
+        assert updated.output_handler is program.output_handler
+        dropped = program.without_kernels("print")
+        assert dropped.output_handler is program.output_handler
