@@ -119,6 +119,74 @@ def _cmd_kmeans(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from .dist import Cluster, FaultInjector, FaultSchedule, FaultSpec
+    from .dist.recovery import RecoveryConfig
+
+    if args.workload == "mjpeg":
+        from .media import synthetic_sequence
+        from .workloads import MJPEGConfig, build_mjpeg
+
+        cfg = MJPEGConfig(width=args.width, height=args.height,
+                          frames=args.frames)
+        clip = synthetic_sequence(cfg.frames, cfg.width, cfg.height,
+                                  cfg.seed)
+        program, sink = build_mjpeg(clip, cfg)
+        max_age = None
+        summarize = lambda: f"{sink.frame_count()} frames, " \
+                            f"{len(sink.stream())} bytes"
+    elif args.workload == "kmeans":
+        from .workloads import build_kmeans
+
+        program, sink = build_kmeans(n=args.n, k=args.k,
+                                     iterations=args.iterations)
+        max_age = None
+        summarize = lambda: f"{len(sink.final_centroids())} centroids"
+    else:
+        from .workloads import build_mulsum
+
+        program, sink = build_mulsum()
+        max_age = args.max_age if args.max_age is not None else 3
+        summarize = lambda: f"{len(sink)} ages"
+
+    nodes = {f"node{i}": args.workers for i in range(args.nodes)}
+    specs = [FaultSpec.parse(s) for s in args.fail_node]
+    if args.chaos_seed is not None and not specs:
+        schedule = FaultSchedule.random(
+            sorted(nodes), args.chaos_seed, kinds=("kill",),
+            n_faults=args.chaos_faults,
+        )
+    else:
+        schedule = FaultSchedule(specs)
+    faults = FaultInjector(schedule) if len(schedule) else None
+    recovery = None
+    if faults is not None or args.recover:
+        recovery = RecoveryConfig(
+            heartbeat_interval=args.heartbeat_interval,
+            heartbeat_timeout=args.heartbeat_timeout,
+            progress_timeout=args.progress_timeout,
+            max_restarts=args.max_restarts,
+        )
+    result = Cluster(program, nodes).run(
+        max_age=max_age, timeout=args.timeout,
+        stall_timeout=args.stall_timeout,
+        faults=faults, recovery=recovery,
+    )
+    print(f"cluster {args.workload} on {args.nodes} node(s): "
+          f"{result.reason} in {result.wall_time:.2f}s "
+          f"({result.transport.messages} cross-node messages)")
+    print(f"output: {summarize()}")
+    for rec in result.recoveries:
+        print(f"recovered {rec.failed} -> {rec.replacement} on {rec.host} "
+              f"(attempt {rec.attempt}, {rec.reenqueued} re-enqueued, "
+              f"{rec.replayed} replayed, {rec.recovery_s * 1e3:.0f} ms): "
+              f"{rec.reason}")
+    if faults is not None and not result.recoveries and schedule.specs:
+        print("no scheduled fault fired (triggers beyond the run's "
+              "instance counts)")
+    return 0 if result.reason == "idle" else 1
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from .bench.plots import ascii_chart, format_sweep
     from .sim import (
@@ -251,6 +319,52 @@ def build_parser() -> argparse.ArgumentParser:
                    default="threads",
                    help="execution backend for kernel bodies")
     p.set_defaults(fn=_cmd_kmeans)
+
+    p = sub.add_parser(
+        "cluster",
+        help="run a workload across in-process cluster nodes, optionally "
+             "with fault injection and recovery",
+    )
+    p.add_argument("workload", choices=("mulsum", "kmeans", "mjpeg"))
+    p.add_argument("--nodes", type=int, default=3,
+                   help="number of execution nodes")
+    p.add_argument("-w", "--workers", type=int, default=2,
+                   help="worker threads per node")
+    p.add_argument("--fail-node", action="append", default=[],
+                   metavar="NODE[:KIND[:AFTER]]",
+                   help="inject a fault: kind is kill|stall|drop, AFTER "
+                        "is the executed-instance trigger (repeatable), "
+                        "e.g. --fail-node node1:kill:5")
+    p.add_argument("--chaos-seed", type=int, default=None,
+                   help="generate a seeded random kill schedule instead "
+                        "of explicit --fail-node specs")
+    p.add_argument("--chaos-faults", type=int, default=1,
+                   help="fault count for --chaos-seed schedules")
+    p.add_argument("--recover", action="store_true",
+                   help="enable heartbeats/recovery even without faults")
+    p.add_argument("--heartbeat-interval", type=float, default=0.02,
+                   help="liveness beacon period, seconds")
+    p.add_argument("--heartbeat-timeout", type=float, default=0.25,
+                   help="silence before a node is declared dead, seconds")
+    p.add_argument("--max-restarts", type=int, default=2,
+                   help="per-node replacement budget")
+    p.add_argument("--progress-timeout", type=float, default=None,
+                   help="declare a node stalled when its heartbeats show "
+                        "no progress with work outstanding for this many "
+                        "seconds (needed to detect :stall faults)")
+    p.add_argument("--stall-timeout", type=float, default=None,
+                   help="raise StallError if no progress for this many "
+                        "seconds (default: wait forever)")
+    p.add_argument("-a", "--max-age", type=int, default=None,
+                   help="age bound (mulsum defaults to 3)")
+    p.add_argument("--frames", type=int, default=4)
+    p.add_argument("--width", type=int, default=64)
+    p.add_argument("--height", type=int, default=64)
+    p.add_argument("-n", type=int, default=120)
+    p.add_argument("-k", type=int, default=8)
+    p.add_argument("--iterations", type=int, default=4)
+    p.add_argument("-t", "--timeout", type=float, default=300.0)
+    p.set_defaults(fn=_cmd_cluster)
 
     p = sub.add_parser("simulate",
                        help="figure 9/10-style simulated worker sweep")

@@ -40,7 +40,7 @@ from typing import Iterable, Mapping
 
 from .events import InstanceDoneEvent, ResizeEvent, StoreEvent
 from .fields import FieldStore
-from .kernels import FetchSpec, KernelDef, KernelInstance
+from .kernels import FetchSpec, KernelDef, KernelInstance, StoreSpec
 from .program import Program
 
 
@@ -52,6 +52,7 @@ class DependencyAnalyzer:
         program: Program,
         fields: FieldStore,
         max_age: int | None = None,
+        producers: Iterable[KernelDef] | None = None,
     ) -> None:
         self.program = program
         self.fields = fields
@@ -68,6 +69,15 @@ class DependencyAnalyzer:
         for k in program.kernels.values():
             for f in k.fetches:
                 self._fetchers.setdefault(f.field, []).append((k, f))
+        #: field name -> [(kernel, store spec)] writing it.  Drawn from
+        #: ``producers`` when given — in a cluster each node's program
+        #: holds only its own kernels, but a field's writer may run on
+        #: another node, and whole-field completeness must account for it.
+        self._producers: dict[str, list[tuple[KernelDef, StoreSpec]]] = {}
+        src = producers if producers is not None else program.kernels.values()
+        for k in src:
+            for s in k.stores:
+                self._producers.setdefault(s.field, []).append((k, s))
         #: instrumentation: store events processed / candidates examined
         self.events_processed = 0
         self.candidates_examined = 0
@@ -212,6 +222,8 @@ class DependencyAnalyzer:
             f_age = f.age.resolve(age)
             if not self.fields[f.field].is_complete(f_age, None):
                 return []
+            if not self._covers_producers(f.field, f_age):
+                return []
         counts = kernel.index_counts(self._extent_of)
         ranges = []
         for v in kernel.index_vars:
@@ -259,6 +271,48 @@ class DependencyAnalyzer:
                 self._bump(kernel.name, age)
                 out.append(inst)
         return out
+
+    def _covers_producers(self, field: str, f_age: int | None) -> bool:
+        """Whether the field's current extent reaches every producer's
+        index domain at ``f_age``.
+
+        Guards whole-field fetches against *premature* completeness: a
+        field grows store by store, so a producer that has committed only
+        its first elements momentarily satisfies
+        ``store_count == prod(extent)`` at the partial extent.  Normal
+        runs win that race by timing; a node failure between producer
+        instances freezes the extent small for the whole detection
+        window and would fire the consumer on a fragment.
+
+        Only plain unit-block, zero-offset var dims constrain the extent
+        — blocked or stencil dims and whole-array emits size the field by
+        payload, and a conditional var-dim store (none exist in the
+        bundled workloads; the skip-the-emit idiom is how whole-array
+        sources signal EOF) would be indistinguishable from one still
+        outstanding.
+        """
+        extent = self._extent_of(field)
+        for kernel, spec in self._producers.get(field, ()):
+            if kernel.has_age and not spec.age.is_literal:
+                if f_age is None:
+                    continue
+                p_age = spec.age.solve(f_age)
+                if p_age is None or not self._age_ok(p_age, kernel):
+                    continue
+            else:
+                concrete = spec.age.literal if spec.age.is_literal else 0
+                if concrete != (f_age if f_age is not None else 0):
+                    continue
+            counts: dict[str, int] | None = None
+            for i, dim in enumerate(spec.dims):
+                if dim.is_all or dim.block != 1 or dim.offset != 0:
+                    continue
+                if counts is None:
+                    counts = kernel.index_counts(self._extent_of)
+                need = counts.get(dim.var, 0)
+                if need and i < len(extent) and extent[i] < need:
+                    return False
+        return True
 
     def _bump(self, kernel: str, age: int | None) -> None:
         self._count[(kernel, age)] = self._count.get((kernel, age), 0) + 1

@@ -139,6 +139,37 @@ class DeadlockError(P2GError):
     """The KPN baseline detected a deadlock (cycle in the wait-for graph)."""
 
 
+class StallError(RuntimeStateError):
+    """The quiescence counter made no progress for longer than the
+    configured stall watchdog.
+
+    Raised instead of hanging when a node (or the whole cluster) stops
+    draining its work: outstanding work stays positive but no unit is
+    retired.  Distinguishes a wedged run from a merely slow one — the
+    watchdog interval must exceed the longest single kernel body.
+    """
+
+    def __init__(self, message: str, outstanding: int = 0) -> None:
+        super().__init__(message)
+        self.outstanding = outstanding
+
+
+class NodeFailureError(P2GError):
+    """A distributed run lost an execution node and could not recover.
+
+    Raised by the cluster's recovery manager when the per-node restart
+    budget is exhausted or no surviving node remains to host the dead
+    node's kernels.  ``failures`` lists the (node, attempt) history so a
+    chaos harness can dump a reproducible failure schedule.
+    """
+
+    def __init__(
+        self, message: str, failures: list[tuple[str, int]] | None = None
+    ) -> None:
+        super().__init__(message)
+        self.failures = failures or []
+
+
 class TransportError(P2GError):
     """The distributed message transport failed to deliver a message."""
 

@@ -72,6 +72,13 @@ class Instrumentation:
         self.analyzer_time = 0.0  #: seconds spent in the analyzer thread
         self.wall_time = 0.0  #: wall-clock duration of the run
         self._t0: float | None = None
+        # Fault-tolerance counters (distributed runs): node failures
+        # detected, re-execution retries launched, and the total seconds
+        # spent in detection-to-replacement recovery.
+        self.node_failures = 0
+        self.recovery_retries = 0
+        self.recovery_time = 0.0
+        self.replayed_events = 0
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -102,6 +109,18 @@ class Instrumentation:
         """Accumulate time spent inside the analyzer thread."""
         with self._lock:
             self.analyzer_time += seconds
+
+    def record_failure(
+        self, retries: int, recovery_s: float, replayed: int = 0
+    ) -> None:
+        """Account one node failure: the retry attempt number it took,
+        the detection-to-replacement wall seconds, and the number of
+        store/resize events replayed from the transport log."""
+        with self._lock:
+            self.node_failures += 1
+            self.recovery_retries += retries
+            self.recovery_time += recovery_s
+            self.replayed_events += replayed
 
     # ------------------------------------------------------------------
     def stats(self) -> dict[str, KernelStats]:
@@ -137,6 +156,12 @@ class Instrumentation:
             out._stats[k] = s
         out.analyzer_time = self.analyzer_time + other.analyzer_time
         out.wall_time = max(self.wall_time, other.wall_time)
+        out.node_failures = self.node_failures + other.node_failures
+        out.recovery_retries = (
+            self.recovery_retries + other.recovery_retries
+        )
+        out.recovery_time = self.recovery_time + other.recovery_time
+        out.replayed_events = self.replayed_events + other.replayed_events
         return out
 
     # ------------------------------------------------------------------

@@ -36,7 +36,7 @@ import numpy as np
 from .analyzer import DependencyAnalyzer
 from .backends import ExecutionBackend, resolve_backend
 from .deadlines import TimerSet
-from .errors import KernelBodyError, RuntimeStateError
+from .errors import KernelBodyError, RuntimeStateError, StallError
 from .events import (
     Event,
     InstanceDoneEvent,
@@ -137,6 +137,23 @@ class ReadyQueue:
             real = [a for a, c in self._age_counts.items() if c and a >= 0]
             return min(real) if real else None
 
+    def drain(self) -> list:
+        """Remove and return every queued instance (sentinels dropped).
+
+        Used by the fail-stop wind-down of a distributed node: the
+        returned instances are the node's abandoned work, and the caller
+        retires their outstanding-work units so the cluster-wide counter
+        stays consistent after the node dies.
+        """
+        with self._cv:
+            items = [
+                item for _key, _seq, item in self._heap
+                if item is not self._SENTINEL
+            ]
+            self._heap.clear()
+            self._age_counts.clear()
+            return items
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._heap)
@@ -153,16 +170,19 @@ class WorkCounter:
         self._cv = threading.Condition(self._lock)
         self._count = 0
         self._poked = False
+        self._last_activity = time.monotonic()
 
     def inc(self, n: int = 1) -> None:
         """Add outstanding work units."""
         with self._cv:
             self._count += n
+            self._last_activity = time.monotonic()
 
     def dec(self, n: int = 1) -> None:
         """Retire work units; reaching zero signals quiescence."""
         with self._cv:
             self._count -= n
+            self._last_activity = time.monotonic()
             if self._count <= 0:
                 self._cv.notify_all()
 
@@ -177,9 +197,26 @@ class WorkCounter:
         with self._lock:
             return self._count
 
-    def wait(self, timeout: float | None = None) -> str:
-        """Block until quiescent, poked, or timed out; returns
-        ``"idle"``, ``"poked"`` or ``"timeout"``."""
+    def idle_for(self) -> float:
+        """Seconds since the last inc/dec (stall-watchdog diagnostics)."""
+        with self._lock:
+            return time.monotonic() - self._last_activity
+
+    def wait(
+        self,
+        timeout: float | None = None,
+        stall_timeout: float | None = None,
+    ) -> str:
+        """Block until quiescent, poked, timed out, or stalled; returns
+        ``"idle"``, ``"poked"``, ``"timeout"`` or ``"stalled"``.
+
+        ``stall_timeout`` is the watchdog for a wedged run: with
+        outstanding work but no inc/dec activity for that many seconds,
+        the wait returns ``"stalled"`` instead of hanging forever (the
+        latent failure mode of a node that stops draining its queue).
+        Pick it larger than the longest single kernel body — a long
+        in-flight instance touches the counter only when it retires.
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cv:
             while True:
@@ -187,12 +224,19 @@ class WorkCounter:
                     return "poked"
                 if self._count == 0:
                     return "idle"
-                remaining = None
+                now = time.monotonic()
+                waits = []
                 if deadline is not None:
-                    remaining = deadline - time.monotonic()
+                    remaining = deadline - now
                     if remaining <= 0:
                         return "timeout"
-                self._cv.wait(remaining)
+                    waits.append(remaining)
+                if stall_timeout is not None:
+                    stall_at = self._last_activity + stall_timeout
+                    if now >= stall_at:
+                        return "stalled"
+                    waits.append(stall_at - now)
+                self._cv.wait(min(waits) if waits else None)
 
 
 @dataclass
@@ -250,7 +294,24 @@ class ExecutionNode:
         Optional tap invoked with every locally produced store/resize
         event — the hook the distributed transport uses to forward
         events to the other nodes' analyzers.
+    recover:
+        Recovery mode for replacement nodes in a fault-tolerant cluster
+        run: stores into already-complete regions are skipped (the dead
+        predecessor wrote identical bytes — write-once determinism)
+        instead of raising :class:`WriteOnceViolation`, and the store
+        event is still re-announced so nodes that missed the original
+        delivery catch up.
+    dependency_kernels:
+        Kernel definitions the dependency analyzer should treat as the
+        field producers (default: this program's kernels).  The
+        distributed layer passes the *full* program's kernels so a node
+        judging whole-field completeness accounts for writers partitioned
+        onto other nodes.
     """
+
+    #: Per-thread join bound during a stall/timeout teardown; threads
+    #: still alive afterwards are daemonic and abandoned.
+    _TEARDOWN_JOIN_TIMEOUT = 1.0
 
     def __init__(
         self,
@@ -268,6 +329,8 @@ class ExecutionNode:
         timers: TimerSet | None = None,
         on_event=None,
         scheduling: str = "age",
+        recover: bool = False,
+        dependency_kernels=None,
     ) -> None:
         if workers < 1:
             raise RuntimeStateError("need at least one worker thread")
@@ -284,7 +347,9 @@ class ExecutionNode:
         self.timers = timers if timers is not None else TimerSet(
             program.timers, clock
         )
-        self.analyzer = DependencyAnalyzer(program, self.fields, max_age)
+        self.analyzer = DependencyAnalyzer(
+            program, self.fields, max_age, producers=dependency_kernels
+        )
         self.instrumentation = Instrumentation()
         self.ready = ReadyQueue(scheduling)
         self.on_event = on_event
@@ -293,6 +358,15 @@ class ExecutionNode:
         self._stop = threading.Event()
         self._error: BaseException | None = None
         self._ran = False
+        #: Recovery mode (a replacement node re-executing a dead node's
+        #: kernels): a store whose region is already complete is skipped
+        #: instead of raising WriteOnceViolation — write-once determinism
+        #: guarantees the re-executed instance produced identical bytes.
+        self.recover = recover
+        self._dead = False
+        self._inject_lock = threading.Lock()
+        self._abandoned = 0  #: instances popped but never executed
+        self._teardown_hooks: list = []
         self._threads: list[threading.Thread] = []
         self._running_ages: dict[int, int] = {}  # worker id -> age
         self._gc_bytes = 0
@@ -317,9 +391,17 @@ class ExecutionNode:
 
     def inject(self, ev: Event) -> None:
         """Enqueue an externally produced event (distributed layer:
-        another node's store arriving over the transport)."""
-        self._inc()
-        self._events.put(ev)
+        another node's store arriving over the transport).
+
+        Dropped silently once the node has been wound down — a late
+        delivery racing the fail-stop teardown must not re-increment the
+        shared counter after the node's outstanding work was reclaimed.
+        """
+        with self._inject_lock:
+            if self._dead:
+                return
+            self._inc()
+            self._events.put(ev)
 
     # ------------------------------------------------------------------
     # Worker side
@@ -371,6 +453,14 @@ class ExecutionNode:
                 value, field.fdef.np_dtype, field.ndim, s
             )
             region = spec.region(imap, arr.shape)
+            if self.recover and field.is_complete(s_age, region):
+                # The dead predecessor already committed this region with
+                # identical bytes (write-once determinism); skip the
+                # payload write but re-announce the store so consumers
+                # that missed the original delivery become runnable.
+                stored_any = True
+                self._post(StoreEvent(s.field, s_age, region))
+                continue
             resize = field.store(s_age, region, arr)
             stored_any = True
             if resize is not None:
@@ -415,6 +505,8 @@ class ExecutionNode:
             try:
                 if not self._stop.is_set():
                     self.backend.execute(inst, worker_id)
+                else:
+                    self._abandoned += 1
             except BaseException as exc:  # noqa: BLE001
                 self._error = exc
                 self._stop.set()
@@ -517,25 +609,102 @@ class ExecutionNode:
         for t in self._threads:
             t.start()
 
-    def join(self, timeout: float | None = None) -> RunResult:
-        """Wait for quiescence (or timeout/stop), tear down the threads
-        and return the result.  Raises the wrapped exception if any
-        kernel body failed."""
+    def add_teardown_hook(self, hook) -> None:
+        """Register a callable invoked (once, exceptions swallowed) at
+        the start of teardown — before worker threads are joined.  The
+        fault-injection layer uses this to release workers it is holding
+        captive, so a stalled node can still be torn down cleanly."""
+        self._teardown_hooks.append(hook)
+
+    def _run_teardown_hooks(self) -> None:
+        hooks, self._teardown_hooks = self._teardown_hooks, []
+        for hook in hooks:
+            try:
+                hook()
+            except Exception:  # noqa: BLE001 - teardown must not fail
+                pass
+
+    def backlog(self) -> int:
+        """Queued events + ready instances (liveness heuristic for the
+        heartbeat monitor; approximate — both queues move concurrently)."""
+        return len(self.ready) + self._events.qsize()
+
+    def wind_down(self) -> int:
+        """Fail-stop this node and reclaim its outstanding work.
+
+        The distributed recovery path calls this on a node declared dead:
+        no further events are accepted (late transport deliveries are
+        dropped), queued instances are abandoned instead of executed, and
+        every abandoned unit retires its outstanding-work count so the
+        cluster-wide quiescence counter stays consistent.  Blocks until
+        the node's threads have exited; returns the number of abandoned
+        instances (the work a replacement node must re-execute).
+
+        Unlike :meth:`stop`, the shared counter is *not* poked — the
+        other nodes of a cluster keep running.
+        """
+        with self._inject_lock:
+            self._dead = True
+        self._stop.set()
+        self._run_teardown_hooks()
         if not self._ran:
-            raise RuntimeStateError("join() before start()")
-        outcome = self._counter.wait(timeout)
-        reason = "idle"
-        if outcome == "timeout":
-            reason = "timeout"
-            self._stop.set()
-        elif outcome == "poked" and self._error is None:
-            reason = "stopped"
-        # Tear down: workers exit on sentinel, analyzer on ShutdownEvent.
+            return 0
         self.ready.push_sentinel(self.workers)
         self._events.put(ShutdownEvent())
         for t in self._threads:
             t.join()
         self._analyzer_thread.join()
+        # The analyzer may have dispatched instances after the workers
+        # exited, and late events may sit behind the shutdown sentinel:
+        # retire both so the counter reflects the abandoned work.
+        leftovers = self.ready.drain()
+        if leftovers:
+            self._abandoned += len(leftovers)
+            self._dec(len(leftovers))
+        while True:
+            try:
+                ev = self._events.get_nowait()
+            except queue.Empty:
+                break
+            if not isinstance(ev, ShutdownEvent):
+                self._dec()
+        return self._abandoned
+
+    def join(
+        self,
+        timeout: float | None = None,
+        stall_timeout: float | None = None,
+    ) -> RunResult:
+        """Wait for quiescence (or timeout/stop/stall), tear down the
+        threads and return the result.  Raises the wrapped exception if
+        any kernel body failed, or :class:`StallError` when the stall
+        watchdog fired (outstanding work, no progress)."""
+        if not self._ran:
+            raise RuntimeStateError("join() before start()")
+        outcome = self._counter.wait(timeout, stall_timeout)
+        reason = "idle"
+        if outcome == "timeout":
+            reason = "timeout"
+            self._stop.set()
+        elif outcome == "stalled":
+            self._stop.set()
+        elif outcome == "poked" and self._error is None:
+            reason = "stopped"
+        # Tear down: workers exit on sentinel, analyzer on ShutdownEvent.
+        # On a stall or timeout a worker may be stuck *inside* a kernel
+        # body and never see its sentinel — bound the join so the
+        # watchdog raises instead of trading one hang for another (the
+        # stuck daemon thread is abandoned).
+        self._run_teardown_hooks()
+        self.ready.push_sentinel(self.workers)
+        self._events.put(ShutdownEvent())
+        limit = (
+            None if outcome in ("idle", "poked")
+            else self._TEARDOWN_JOIN_TIMEOUT
+        )
+        for t in self._threads:
+            t.join(limit)
+        self._analyzer_thread.join(limit)
         self.instrumentation.stop()
         self.backend.shutdown()
         if isinstance(self.fields, SharedFieldStore):
@@ -544,6 +713,14 @@ class ExecutionNode:
             self.fields.release()
         if self._error is not None:
             raise self._error
+        if outcome == "stalled":
+            raise StallError(
+                f"node {self.name!r}: no progress for {stall_timeout}s "
+                f"with {self._counter.value()} outstanding work unit(s) "
+                f"(backlog {self.backlog()}); a worker or the analyzer "
+                f"stopped draining its queue",
+                outstanding=self._counter.value(),
+            )
         return RunResult(
             reason=reason,
             wall_time=time.perf_counter() - self._t0,
@@ -554,11 +731,15 @@ class ExecutionNode:
             backend=self.backend.name,
         )
 
-    def run(self, timeout: float | None = None) -> RunResult:
+    def run(
+        self,
+        timeout: float | None = None,
+        stall_timeout: float | None = None,
+    ) -> RunResult:
         """Execute the program to quiescence (:meth:`start` +
         :meth:`join`)."""
         self.start()
-        return self.join(timeout)
+        return self.join(timeout, stall_timeout)
 
     def stop(self) -> None:
         """Ask a continuous program to stop; pending instances are
@@ -573,6 +754,7 @@ def run_program(
     *,
     max_age: int | None = None,
     timeout: float | None = None,
+    stall_timeout: float | None = None,
     gc_fields: bool = False,
     keep_ages: int = 1,
     backend: "str | ExecutionBackend" = "threads",
@@ -586,4 +768,4 @@ def run_program(
         keep_ages=keep_ages,
         backend=backend,
     )
-    return node.run(timeout=timeout)
+    return node.run(timeout=timeout, stall_timeout=stall_timeout)

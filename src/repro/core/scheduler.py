@@ -416,6 +416,31 @@ def fusable_pairs(program: Program) -> list[tuple[str, str]]:
 
 
 # ----------------------------------------------------------------------
+# Failure recovery: re-enqueueing in-flight instances
+# ----------------------------------------------------------------------
+def reenqueue(node, instances) -> int:
+    """Re-enqueue a failed node's in-flight kernel instances onto a
+    replacement node's ready queue; returns how many were enqueued.
+
+    ``instances`` are the units frozen or abandoned at the dead node's
+    fail-stop boundary (never started, so never stored).  Instances whose
+    kernel the replacement does not own are skipped.  Duplication with
+    the replacement's own analyzer-driven dispatch is harmless: dispatch
+    is keyed per (kernel, age, index) in the analyzer, and a recovery
+    node skip-stores already-complete regions, so a doubly enqueued
+    instance at worst re-runs an idempotent body.
+    """
+    n = 0
+    for inst in instances:
+        if inst.kernel.name not in node.program.kernels:
+            continue
+        node._inc()
+        node.ready.push(inst)
+        n += 1
+    return n
+
+
+# ----------------------------------------------------------------------
 # Adaptive policy
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)

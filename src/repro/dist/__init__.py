@@ -19,6 +19,13 @@ the transport, with per-edge traffic accounting the HLS minimizes.
 """
 
 from .cluster import Cluster, ClusterResult
+from .faults import FaultInjector, FaultSchedule, FaultSpec
+from .heartbeat import (
+    LIVENESS_TOPIC,
+    Heartbeat,
+    Heartbeater,
+    HeartbeatMonitor,
+)
 from .master import MasterNode, WorkloadAssignment
 from .partition import (
     Partition,
@@ -27,19 +34,30 @@ from .partition import (
     partition_graph,
     tabu_search,
 )
+from .recovery import RecoveryConfig, RecoveryManager, RecoveryRecord
 from .topology import GlobalTopology, LocalTopology, ProcessorSpec
 from .transport import InProcTransport, Message, TransportStats
 
 __all__ = [
     "Cluster",
     "ClusterResult",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultSpec",
     "GlobalTopology",
+    "Heartbeat",
+    "Heartbeater",
+    "HeartbeatMonitor",
     "InProcTransport",
+    "LIVENESS_TOPIC",
     "LocalTopology",
     "MasterNode",
     "Message",
     "Partition",
     "ProcessorSpec",
+    "RecoveryConfig",
+    "RecoveryManager",
+    "RecoveryRecord",
     "TransportStats",
     "WorkloadAssignment",
     "greedy_partition",

@@ -14,6 +14,14 @@ The transport's traffic statistics expose exactly what the HLS's
 partitioning objective minimizes: events crossing node boundaries.
 A partition that keeps a pipeline on one node moves almost nothing; a
 bad partition pays per store.
+
+Fault tolerance is opt-in: passing ``faults`` (a
+:class:`~repro.dist.faults.FaultInjector`) or ``recovery`` (a
+:class:`~repro.dist.recovery.RecoveryConfig`) to :meth:`Cluster.run`
+enables the transport event log, per-node heartbeats, a failure monitor
+and a :class:`~repro.dist.recovery.RecoveryManager` that replaces dead
+nodes mid-run.  Without them, nothing changes: no control traffic, no
+log, byte-for-byte the original execution path.
 """
 
 from __future__ import annotations
@@ -21,9 +29,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field as dc_field
-from typing import Mapping, Sequence
-
-import numpy as np
+from typing import Any, Mapping
 
 from ..core import (
     ExecutionNode,
@@ -36,8 +42,11 @@ from ..core.errors import PartitionError
 from ..core.events import ResizeEvent, StoreEvent
 from ..core.fields import FieldStore
 from ..core.instrumentation import Instrumentation
+from .faults import FaultInjector
+from .heartbeat import Heartbeater, HeartbeatMonitor
 from .master import MasterNode, WorkloadAssignment
-from .topology import GlobalTopology, LocalTopology, ProcessorSpec
+from .recovery import RecoveryConfig, RecoveryManager, RecoveryRecord
+from .topology import LocalTopology, ProcessorSpec
 from .transport import InProcTransport, TransportStats
 
 __all__ = ["Cluster", "ClusterResult"]
@@ -52,6 +61,7 @@ class ClusterResult:
     transport: TransportStats
     wall_time: float
     fields: FieldStore
+    recoveries: list[RecoveryRecord] = dc_field(default_factory=list)
 
     @property
     def instrumentation(self) -> Instrumentation:
@@ -72,6 +82,35 @@ class ClusterResult:
     def cross_node_messages(self) -> int:
         """Store/resize events that crossed node boundaries."""
         return self.transport.messages
+
+
+class _OutputDedup:
+    """Idempotent wrapper around a program's output handler.
+
+    A replacement node re-executes the victim's kernels; their stores
+    are skipped byte-identically (write-once), but out-of-band
+    ``ctx.output`` values would reach the handler a second time.  Keyed
+    by (kernel, age, index, key), only the first delivery goes through.
+    """
+
+    def __init__(self, handler) -> None:
+        self._handler = handler
+        self._lock = threading.Lock()
+        self._seen: set = set()
+
+    @staticmethod
+    def _freeze(index: Any) -> Any:
+        if isinstance(index, dict):
+            return tuple(sorted(index.items()))
+        return index
+
+    def __call__(self, kernel, age, index, key, value) -> None:
+        k = (kernel, age, self._freeze(index), key)
+        with self._lock:
+            if k in self._seen:
+                return
+            self._seen.add(k)
+        self._handler(kernel, age, index, key, value)
 
 
 class Cluster:
@@ -130,6 +169,19 @@ class Cluster:
         sub.output_handler = self.program.output_handler
         return sub
 
+    def _wire(self, node: ExecutionNode) -> None:
+        """Subscribe ``node`` to every field one of its kernels fetches."""
+        fetched = {
+            f.field
+            for k in node.program.kernels.values()
+            for f in k.fetches
+        }
+        for fname in sorted(fetched):
+            self.transport.subscribe(
+                fname, node.name,
+                lambda msg, node=node: node.inject(msg.payload),
+            )
+
     def run(
         self,
         assignment: WorkloadAssignment | None = None,
@@ -137,16 +189,35 @@ class Cluster:
         instrumentation: Instrumentation | None = None,
         max_age: int | None = None,
         timeout: float | None = None,
+        stall_timeout: float | None = None,
+        faults: FaultInjector | None = None,
+        recovery: RecoveryConfig | None = None,
     ) -> ClusterResult:
         """Plan (unless given an assignment) and execute the program.
 
         Returns after cluster-wide quiescence; raises the first node
         error if any kernel body failed.
+
+        ``stall_timeout`` arms the work counter's stall watchdog on
+        every node: a wedged run raises
+        :class:`~repro.core.errors.StallError` instead of hanging.  Pick
+        it larger than the longest kernel body — and, with fault
+        injection, larger than the heartbeat timeout (a killed node's
+        frozen window counts as global inactivity until detection).
+
+        ``faults`` and/or ``recovery`` switch on the fault-tolerant
+        path: heartbeat failure detection, the transport event log, and
+        automatic node replacement with bounded retries.  Exhausting the
+        restart budget (or losing every node) raises
+        :class:`~repro.core.errors.NodeFailureError`.
         """
         if assignment is None:
             assignment = self.master.plan(
                 self.program, instrumentation, method
             )
+        ft = faults is not None or recovery is not None
+        if ft and recovery is None:
+            recovery = RecoveryConfig()
         fields = FieldStore(self.program.fields.values())
         counter = WorkCounter()
         timers = TimerSet(self.program.timers)
@@ -165,11 +236,17 @@ class Cluster:
             elif isinstance(ev, ResizeEvent):
                 self.transport.publish(ev.field, node.name, ev, 0)
 
+        output_handler = self.program.output_handler
+        if ft and output_handler is not None:
+            output_handler = _OutputDedup(output_handler)
+
         exec_nodes: dict[str, ExecutionNode] = {}
         for name in assignment.nodes():
             sub = self._subprogram(assignment, name)
             if not sub.kernels:
                 continue
+            if ft:
+                sub.output_handler = output_handler
             exec_nodes[name] = ExecutionNode(
                 sub,
                 self._workers[name],
@@ -179,23 +256,15 @@ class Cluster:
                 counter=counter,
                 timers=timers,
                 on_event=tap,
+                dependency_kernels=list(self.program.kernels.values()),
             )
         if not exec_nodes:
             raise PartitionError("assignment left every node empty")
 
         # Wire subscriptions: a node receives events for every field one
         # of its kernels fetches.
-        for name, node in exec_nodes.items():
-            fetched = {
-                f.field
-                for k in node.program.kernels.values()
-                for f in k.fetches
-            }
-            for fname in sorted(fetched):
-                self.transport.subscribe(
-                    fname, name,
-                    lambda msg, node=node: node.inject(msg.payload),
-                )
+        for node in exec_nodes.values():
+            self._wire(node)
 
         # Startup token keeps the shared counter nonzero until every node
         # has dispatched its initial instances, so no node can observe a
@@ -207,7 +276,7 @@ class Cluster:
 
         def drive(name: str, node: ExecutionNode) -> None:
             try:
-                r = node.join(timeout=timeout)
+                r = node.join(timeout=timeout, stall_timeout=stall_timeout)
                 with lock:
                     results[name] = r
             except BaseException as exc:  # noqa: BLE001
@@ -215,9 +284,82 @@ class Cluster:
                     errors.append(exc)
                 counter.poke()
 
+        monitor: HeartbeatMonitor | None = None
+        manager: RecoveryManager | None = None
+        heartbeaters: dict[str, Heartbeater] = {}
+        extra_threads: list[threading.Thread] = []
+        extra_lock = threading.Lock()
+
+        def spawn(dead: ExecutionNode, repl_name: str) -> ExecutionNode:
+            """Build, wire and start a recovery replacement for ``dead``
+            (called from the recovery manager's thread)."""
+            repl = ExecutionNode(
+                dead.program,
+                dead.workers,
+                max_age=max_age,
+                name=repl_name,
+                fields=fields,
+                counter=counter,
+                timers=timers,
+                on_event=tap,
+                recover=True,
+                dependency_kernels=list(self.program.kernels.values()),
+            )
+            if faults is not None:
+                faults.wrap(repl)
+            self._wire(repl)
+            monitor.watch(repl_name)
+            repl.start()
+            hb = Heartbeater(
+                repl, self.transport, recovery.heartbeat_interval, faults
+            )
+            heartbeaters[repl_name] = hb
+            hb.start()
+            t = threading.Thread(
+                target=drive, args=(repl_name, repl), daemon=True,
+                name=f"cluster-{repl_name}",
+            )
+            with extra_lock:
+                extra_threads.append(t)
+            t.start()
+            return repl
+
+        if ft:
+            self.transport.enable_log()
+            if faults is not None:
+                faults.attach(self.transport, counter)
+                for node in exec_nodes.values():
+                    faults.wrap(node)
+            monitor = HeartbeatMonitor(
+                self.transport,
+                recovery.heartbeat_timeout,
+                recovery.progress_timeout,
+            )
+            manager = RecoveryManager(
+                master=self.master,
+                transport=self.transport,
+                counter=counter,
+                monitor=monitor,
+                config=recovery,
+                nodes=dict(exec_nodes),
+                heartbeaters=heartbeaters,
+                spawn=spawn,
+                injector=faults,
+            )
+
         t0 = time.perf_counter()
         for node in exec_nodes.values():
             node.start()
+        if ft:
+            for name, node in exec_nodes.items():
+                monitor.watch(name)
+                hb = Heartbeater(
+                    node, self.transport, recovery.heartbeat_interval,
+                    faults,
+                )
+                heartbeaters[name] = hb
+                hb.start()
+            manager.start()
         counter.dec()  # every node started: release the startup token
         threads = [
             threading.Thread(target=drive, args=(n, en), daemon=True,
@@ -228,7 +370,20 @@ class Cluster:
             t.start()
         for t in threads:
             t.join()
+        if ft:
+            manager.stop()
+            with extra_lock:
+                pending = list(extra_threads)
+            for t in pending:
+                t.join()
+            for hb in list(heartbeaters.values()):
+                hb.stop()
+            if faults is not None:
+                faults.release_all()
+            monitor.close()
         wall = time.perf_counter() - t0
+        if manager is not None and manager.error is not None:
+            raise manager.error
         if errors:
             raise errors[0]
         return ClusterResult(
@@ -237,4 +392,5 @@ class Cluster:
             transport=self.transport.stats,
             wall_time=wall,
             fields=fields,
+            recoveries=list(manager.records) if manager is not None else [],
         )

@@ -68,6 +68,25 @@ class MasterNode:
         """An execution node leaves the global topology."""
         self.topology.remove(node)
 
+    def on_failure(self, node: str) -> LocalTopology:
+        """The failure detector declared ``node`` dead: record it in the
+        failure history and drop it from the live topology.  Returns its
+        topology report so a replacement can inherit the capacity."""
+        return self.topology.mark_failed(node)
+
+    def select_host(self, exclude: tuple[str, ...] = ()) -> str | None:
+        """Surviving node with the highest CPU capacity (deterministic:
+        capacity, then name, breaks ties) — where the recovery manager
+        places a dead node's kernels.  ``None`` when nobody survives."""
+        caps = {
+            n: c
+            for n, c in self.topology.capacities().items()
+            if n not in exclude
+        }
+        if not caps:
+            return None
+        return max(caps.items(), key=lambda kv: (kv[1], kv[0]))[0]
+
     # -- HLS --------------------------------------------------------------
     def plan(
         self,

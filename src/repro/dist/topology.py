@@ -78,6 +78,7 @@ class GlobalTopology:
     def __init__(self, nodes: Iterable[LocalTopology] = ()) -> None:
         self._lock = threading.Lock()
         self._nodes: dict[str, LocalTopology] = {}
+        self._failed: list[str] = []
         self._epoch = 0
         for n in nodes:
             self.add(n)
@@ -99,6 +100,24 @@ class GlobalTopology:
                 raise TopologyError(f"unknown node {node!r}") from None
             self._epoch += 1
             return topo
+
+    def mark_failed(self, node: str) -> LocalTopology:
+        """A node died (as opposed to leaving gracefully): removed from
+        the live set, remembered in the failure history, epoch bumped.
+        Returns its last topology report (a replacement inherits it)."""
+        with self._lock:
+            try:
+                topo = self._nodes.pop(node)
+            except KeyError:
+                raise TopologyError(f"unknown node {node!r}") from None
+            self._failed.append(node)
+            self._epoch += 1
+            return topo
+
+    def failed_nodes(self) -> list[str]:
+        """Names of every node that was marked failed, in order."""
+        with self._lock:
+            return list(self._failed)
 
     def update(self, topo: LocalTopology) -> None:
         """Replace a node's report (its resources changed)."""

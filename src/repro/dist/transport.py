@@ -11,6 +11,22 @@ accounted (count + payload bytes per topic and per link) so experiments
 can measure the inter-node traffic the HLS's partitioning decisions
 produce.  An optional latency model charges simulated microseconds per
 message + per byte without sleeping, for offline what-if analysis.
+
+Fault-tolerance support (used by :mod:`repro.dist.recovery`):
+
+* a **durable event log** (``enable_log``) retains every non-control
+  message in publish order, so a replacement node can replay the store
+  history a dead node's analyzer would have seen;
+* **control messages** (``control=True`` — heartbeats, liveness) are
+  delivered but neither logged nor accounted, keeping
+  :attr:`TransportStats.messages` an exact count of the store/resize
+  events the HLS's partitioning objective minimizes;
+* a **drop filter** (``drop_from``) silences a sender — data *and*
+  control — modelling a network partition for fault injection;
+* delivery is **hardened**: a subscriber that raises does not corrupt
+  the traffic counts, starve later subscribers of the same message, or
+  propagate into the publisher (a storing worker thread); failures are
+  counted in :attr:`TransportStats.delivery_errors`.
 """
 
 from __future__ import annotations
@@ -43,11 +59,12 @@ class TransportStats:
     per_topic: dict[str, int] = dc_field(default_factory=dict)
     per_link: dict[tuple[str, str], int] = dc_field(default_factory=dict)
     simulated_latency_s: float = 0.0
+    delivery_errors: int = 0  #: subscriber callbacks that raised
 
     def record(
         self, msg: Message, receiver: str, latency_s: float
     ) -> None:
-        """Account one delivery (message count, bytes, per-topic/link)."""
+        """Account one successful delivery (count, bytes, per-topic/link)."""
         self.messages += 1
         self.bytes += msg.size
         self.per_topic[msg.topic] = self.per_topic.get(msg.topic, 0) + 1
@@ -64,6 +81,10 @@ class InProcTransport:
     its own events locally).
     """
 
+    #: Kept delivery-failure details (topic, receiver, repr(exc)); bounded
+    #: so a hot failing subscriber cannot grow memory without limit.
+    MAX_ERROR_DETAILS = 100
+
     def __init__(
         self,
         latency_per_message_us: float = 0.0,
@@ -75,7 +96,55 @@ class InProcTransport:
         self.latency_per_message_us = latency_per_message_us
         self.latency_per_byte_ns = latency_per_byte_ns
         self._closed = False
+        self._log: list[Message] | None = None
+        self._dropped: set[str] = set()
+        self.delivery_failures: list[tuple[str, str, str]] = []
 
+    # -- fault-tolerance hooks ------------------------------------------
+    def enable_log(self) -> None:
+        """Start retaining every non-control message for replay."""
+        with self._lock:
+            if self._log is None:
+                self._log = []
+
+    def log_size(self) -> int:
+        """Number of retained messages (0 when logging is off)."""
+        with self._lock:
+            return len(self._log) if self._log is not None else 0
+
+    def replay(self, topics: set[str] | None = None) -> list[Message]:
+        """Snapshot of the retained log, optionally filtered by topic.
+
+        Replaying into a fresh node's analyzer is idempotent: dispatch is
+        write-once per (kernel, age, index), so duplicate events only
+        cost a completeness re-check.
+        """
+        with self._lock:
+            if self._log is None:
+                return []
+            if topics is None:
+                return list(self._log)
+            return [m for m in self._log if m.topic in topics]
+
+    def drop_from(self, sender: str) -> None:
+        """Silence ``sender``: all of its messages (data and control) are
+        discarded in flight — a network partition, from the cluster's
+        point of view.  Logged messages are still retained (the log
+        models a durable broker, which is what recovery replays from)."""
+        with self._lock:
+            self._dropped.add(sender)
+
+    def undrop(self, sender: str) -> None:
+        """Lift a :meth:`drop_from` partition."""
+        with self._lock:
+            self._dropped.discard(sender)
+
+    def dropped_senders(self) -> set[str]:
+        """Senders currently partitioned away."""
+        with self._lock:
+            return set(self._dropped)
+
+    # -- pub-sub ---------------------------------------------------------
     def subscribe(
         self, topic: str, node: str, handler: Callable[[Message], None]
     ) -> Callable[[], None]:
@@ -95,29 +164,67 @@ class InProcTransport:
 
         return unsubscribe
 
+    def unsubscribe_node(self, node: str) -> int:
+        """Remove every subscription held by ``node`` (it left the
+        cluster); returns the number of subscriptions removed."""
+        removed = 0
+        with self._lock:
+            for topic, subs in self._subs.items():
+                kept = [(n, h) for n, h in subs if n != node]
+                removed += len(subs) - len(kept)
+                self._subs[topic] = kept
+        return removed
+
     def publish(
-        self, topic: str, sender: str, payload: Any, size: int = 0
+        self,
+        topic: str,
+        sender: str,
+        payload: Any,
+        size: int = 0,
+        control: bool = False,
     ) -> int:
         """Deliver to all subscribers except the sender; returns the
-        number of deliveries."""
+        number of successful deliveries.
+
+        ``control=True`` marks liveness/heartbeat traffic: delivered (and
+        subject to the drop filter) but neither logged nor counted in the
+        traffic statistics, which stay an exact census of store/resize
+        events.
+        """
+        msg = Message(topic, sender, payload, size)
         with self._lock:
             if self._closed:
                 raise TransportError("transport is closed")
+            if not control and self._log is not None:
+                self._log.append(msg)
+            if sender in self._dropped:
+                return 0
             targets = [
                 (node, handler)
                 for node, handler in self._subs.get(topic, ())
                 if node != sender
             ]
-        msg = Message(topic, sender, payload, size)
         latency = (
             self.latency_per_message_us * 1e-6
             + size * self.latency_per_byte_ns * 1e-9
         )
+        delivered = 0
         for node, handler in targets:
-            with self._lock:
-                self.stats.record(msg, node, latency)
-            handler(msg)
-        return len(targets)
+            try:
+                handler(msg)
+            except Exception as exc:  # noqa: BLE001 - isolate subscribers
+                with self._lock:
+                    self.stats.delivery_errors += 1
+                    if len(self.delivery_failures) < self.MAX_ERROR_DETAILS:
+                        self.delivery_failures.append(
+                            (topic, node, repr(exc))
+                        )
+                continue
+            delivered += 1
+            if not control:
+                with self._lock:
+                    self.stats.record(msg, node, latency)
+        return delivered
 
     def topics(self) -> list[str]:
         """Topics that currently have subscribers."""

@@ -260,3 +260,55 @@ class TestResize:
         assert an.dispatched_count("per") == 4
         assert an.dispatched_count() == 5  # + init
         assert an.events_processed == 1
+
+
+class TestProducerCoverage:
+    """Whole-field fetches must wait out the producer's full index
+    domain, not fire at a momentarily-consistent partial extent."""
+
+    def events_for(self, an, fields, name, age, index, value):
+        ev, resize = store_ev(fields, name, age, index, value)
+        out = []
+        if resize is not None:
+            out += an.on_resize(
+                ResizeEvent(name, resize.old_extent, resize.new_extent)
+            )
+        out += an.on_store(ev)
+        return out
+
+    def test_whole_field_fetch_waits_for_producer_domain(self):
+        prog = simple_program()
+        fields = FieldStore(prog.fields.values())
+        an = DependencyAnalyzer(prog, fields)
+        # init commits a(0) atomically: per x=0..4 become runnable.
+        assert len(self.events_for(an, fields, "a", 0, slice(0, 5),
+                                   [1, 2, 3, 4, 5])) == 5
+        # First per instance stores b[0] only: extent (1,), store_count 1
+        # — "complete" at the partial extent, but per's domain (from a's
+        # extent) promises five elements, so sink must not fire yet.
+        out = self.events_for(an, fields, "b", 0, 0, 10)
+        assert all(i.kernel.name != "sink" for i in out)
+        # The remaining stores complete the true domain: sink(0) fires
+        # exactly once.
+        for x in range(1, 5):
+            out += self.events_for(an, fields, "b", 0, x, 10 + x)
+        assert [(i.kernel.name, i.age) for i in out].count(("sink", 0)) == 1
+
+    def test_partitioned_analyzer_knows_remote_producers(self):
+        """A node hosting only the consumer is told the full program's
+        kernels (the cluster layer's ``dependency_kernels``) and applies
+        the same guard to a field written remotely."""
+        prog = simple_program()
+        sink_only = Program.build(
+            prog.fields.values(), [prog.kernels["sink"]]
+        )
+        fields = FieldStore(prog.fields.values())
+        an = DependencyAnalyzer(
+            sink_only, fields, producers=prog.kernels.values()
+        )
+        store_ev(fields, "a", 0, slice(0, 5), [1, 2, 3, 4, 5])
+        out = self.events_for(an, fields, "b", 0, 0, 10)
+        assert out == []
+        for x in range(1, 5):
+            out += self.events_for(an, fields, "b", 0, x, 10 + x)
+        assert [(i.kernel.name, i.age) for i in out] == [("sink", 0)]

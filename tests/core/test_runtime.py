@@ -267,3 +267,86 @@ class TestExecutionNode:
         assert result.instrumentation.analyzer_time > 0
         assert result.instrumentation.wall_time > 0
         assert result.ready_high_water >= 1
+
+
+class TestStallWatchdog:
+    """Regression: a node that stops draining work used to hang the
+    quiescence wait forever; ``stall_timeout`` must turn that into a
+    :class:`StallError` instead."""
+
+    def _stuck_program(self, release: threading.Event):
+        def stuck(ctx):
+            release.wait()  # a kernel body that never returns on its own
+
+        return Program.build(
+            [FieldDef("f", "int64", 1)],
+            [KernelDef("stuck", stuck,
+                       stores=(StoreSpec("f", AgeExpr.const(0), key="f"),))],
+        )
+
+    def test_stalled_run_raises_instead_of_hanging(self):
+        from repro.core import StallError
+
+        release = threading.Event()
+        program = self._stuck_program(release)
+        t0 = time.monotonic()
+        try:
+            with pytest.raises(StallError) as exc_info:
+                run_program(program, workers=1, stall_timeout=0.2, timeout=60)
+            assert exc_info.value.outstanding >= 1
+            # the watchdog fired, not the overall timeout
+            assert time.monotonic() - t0 < 30
+        finally:
+            release.set()  # unstick the abandoned daemon worker
+
+    def test_progressing_run_is_not_killed_by_watchdog(self):
+        """Steady progress slower than nothing-at-all must never trip the
+        stall watchdog, only genuine inactivity."""
+        program, sink = build_mulsum()
+        result = run_program(program, workers=2, max_age=3,
+                             stall_timeout=5.0, timeout=60)
+        assert result.reason == "idle"
+        expected = expected_series(4)
+        for age in expected:
+            assert np.array_equal(sink[age][1], expected[age][1])
+
+
+class TestWindDown:
+    def test_wind_down_reports_abandoned_and_keeps_counter_clean(self):
+        """Fencing a mid-flight node must return its unfinished work and
+        leave the shared counter balanced (no leaked tokens)."""
+        started = threading.Event()
+        release = threading.Event()
+
+        def first(ctx):
+            started.set()
+            release.wait()
+
+        program = Program.build(
+            [FieldDef("f", "int64", 1)],
+            [KernelDef("stuck", first,
+                       stores=(StoreSpec("f", AgeExpr.const(0), key="f"),))],
+        )
+        counter = WorkCounter()
+        node = ExecutionNode(program, 1, counter=counter)
+        counter.inc()  # startup token, as the cluster layer holds it
+        node.start()
+        assert started.wait(5)
+        release.set()
+        node.wind_down()
+        counter.dec()
+        assert counter.value() == 0
+
+    def test_inject_after_wind_down_is_ignored(self):
+        from repro.core import StoreEvent
+
+        program, _ = build_mulsum()
+        counter = WorkCounter()
+        node = ExecutionNode(program, 1, max_age=0, counter=counter)
+        counter.inc()
+        node.start()
+        node.wind_down()
+        counter.dec()
+        before = counter.value()
+        node.inject(StoreEvent("m_data", 0, (slice(0, 5),)))
+        assert counter.value() == before

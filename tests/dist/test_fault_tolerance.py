@@ -1,0 +1,328 @@
+"""Fault-tolerant cluster runtime: injection, detection, recovery.
+
+The executable form of the determinism-under-failure claim: a cluster
+run that loses a node mid-flight must — after heartbeat detection,
+fencing, event-log replay and re-execution — produce output
+bit-identical to the fault-free run.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import NodeFailureError, RuntimeStateError, WorkCounter
+from repro.dist import (
+    Cluster,
+    FaultInjector,
+    FaultSchedule,
+    FaultSpec,
+    Heartbeat,
+    HeartbeatMonitor,
+    InProcTransport,
+    LIVENESS_TOPIC,
+    MasterNode,
+    LocalTopology,
+    ProcessorSpec,
+    RecoveryConfig,
+)
+from repro.media import synthetic_sequence
+from repro.workloads import (
+    MJPEGConfig,
+    build_kmeans,
+    build_mjpeg,
+    build_mulsum,
+    expected_series,
+    kmeans_baseline,
+    mjpeg_baseline,
+)
+
+FAST = RecoveryConfig(heartbeat_interval=0.01, heartbeat_timeout=0.1)
+
+
+def injector(*specs: FaultSpec) -> FaultInjector:
+    return FaultInjector(FaultSchedule(specs))
+
+
+class TestFaultSchedule:
+    def test_spec_validation(self):
+        with pytest.raises(RuntimeStateError):
+            FaultSpec("a", "explode")
+        with pytest.raises(RuntimeStateError):
+            FaultSpec("a", "kill", -1)
+
+    def test_parse(self):
+        assert FaultSpec.parse("n1:kill:5") == FaultSpec("n1", "kill", 5)
+        assert FaultSpec.parse("n1:drop") == FaultSpec("n1", "drop", 0)
+        assert FaultSpec.parse("n1") == FaultSpec("n1", "kill", 0)
+
+    def test_json_round_trip(self):
+        sched = FaultSchedule(
+            [FaultSpec("a", "kill", 3), FaultSpec("b", "drop", 1)], seed=42
+        )
+        back = FaultSchedule.from_json(sched.to_json())
+        assert back.specs == sched.specs
+        assert back.seed == 42
+
+    def test_random_is_seed_deterministic(self):
+        nodes = ["a", "b", "c"]
+        s1 = FaultSchedule.random(nodes, 7, kinds=("kill", "drop"))
+        s2 = FaultSchedule.random(nodes, 7, kinds=("kill", "drop"))
+        assert s1.specs == s2.specs
+        assert FaultSchedule.random(nodes, 8).specs != () or True
+
+
+class TestHeartbeatDetection:
+    def test_silence_declares_dead(self):
+        t = InProcTransport()
+        mon = HeartbeatMonitor(t, timeout=0.05)
+        mon.watch("n1")
+        assert mon.check() == []
+        time.sleep(0.08)
+        assert mon.check() == ["n1"]
+        # one-shot: not reported twice
+        assert mon.check() == []
+        assert "no heartbeat" in mon.failures()["n1"]
+
+    def test_beats_keep_node_alive(self):
+        t = InProcTransport()
+        mon = HeartbeatMonitor(t, timeout=0.08)
+        mon.watch("n1")
+        for seq in range(4):
+            t.publish(LIVENESS_TOPIC, "n1",
+                      Heartbeat("n1", seq, seq, 0, 0), control=True)
+            time.sleep(0.03)
+            assert mon.check() == []
+
+    def test_frozen_progress_with_backlog_is_a_stall(self):
+        t = InProcTransport()
+        mon = HeartbeatMonitor(t, timeout=10.0, progress_timeout=0.05)
+        mon.watch("n1")
+        for seq in range(5):
+            t.publish(LIVENESS_TOPIC, "n1",
+                      Heartbeat("n1", seq, executed=3, busy=1, backlog=2),
+                      control=True)
+            time.sleep(0.02)
+        assert mon.check() == ["n1"]
+        assert "no progress" in mon.failures()["n1"]
+
+    def test_idle_node_is_not_a_stall(self):
+        t = InProcTransport()
+        mon = HeartbeatMonitor(t, timeout=10.0, progress_timeout=0.05)
+        mon.watch("n1")
+        for seq in range(5):
+            t.publish(LIVENESS_TOPIC, "n1",
+                      Heartbeat("n1", seq, executed=3, busy=0, backlog=0),
+                      control=True)
+            time.sleep(0.02)
+        assert mon.check() == []
+
+    def test_unwatched_node_never_reported(self):
+        t = InProcTransport()
+        mon = HeartbeatMonitor(t, timeout=0.02)
+        mon.watch("n1")
+        mon.unwatch("n1")
+        time.sleep(0.05)
+        assert mon.check() == []
+
+
+class TestInjectorUnit:
+    def test_trigger_counts_instances(self):
+        inj = injector(FaultSpec("n", "kill", 2))
+        assert inj._before_execute("n", "i0") is False
+        assert inj._before_execute("n", "i1") is False
+        assert inj._before_execute("n", "i2") is True  # fault fires
+        assert inj.is_down("n")
+        assert inj.heartbeats_suppressed("n")
+        assert inj.captive_instances("n") == ["i2"]
+        # subsequent workers are captured too
+        assert inj._before_execute("n", "i3") is True
+        assert inj.captive_count("n") == 2
+
+    def test_stall_keeps_heartbeats(self):
+        inj = injector(FaultSpec("n", "stall", 0))
+        assert inj._before_execute("n", "i") is True
+        assert inj.is_down("n")
+        assert not inj.heartbeats_suppressed("n")
+
+    def test_drop_partitions_transport(self):
+        t = InProcTransport()
+        c = WorkCounter()
+        inj = injector(FaultSpec("n", "drop", 1))
+        inj.attach(t, c)
+        assert inj._before_execute("n", "i0") is False
+        assert t.dropped_senders() == set()
+        assert inj._before_execute("n", "i1") is False  # runs, but cut off
+        assert t.dropped_senders() == {"n"}
+        assert not inj.is_down("n")
+        assert c.value() == 1  # fault token held
+        inj.release_token("n")
+        assert c.value() == 0
+
+    def test_exact_name_match_spares_replacement(self):
+        inj = injector(FaultSpec("n", "kill", 0))
+        assert inj._before_execute("n~1", "i") is False
+        assert inj._before_execute("n", "i") is True
+
+
+class TestKillRecovery:
+    def test_mulsum_bit_identical_after_kill(self):
+        program, sink = build_mulsum()
+        res = Cluster(program, {"a": 2, "b": 2}).run(
+            max_age=3, timeout=60,
+            faults=injector(FaultSpec("a", "kill", 3)), recovery=FAST,
+        )
+        assert res.reason == "idle"
+        assert len(res.recoveries) == 1
+        rec = res.recoveries[0]
+        assert rec.failed == "a"
+        assert rec.replacement == "a~1"
+        assert rec.replayed > 0
+        expected = expected_series(4)
+        for age in expected:
+            assert np.array_equal(sink[age][0], expected[age][0])
+            assert np.array_equal(sink[age][1], expected[age][1])
+
+    @pytest.mark.parametrize("victim", ["a", "b", "c"])
+    def test_mjpeg_kill_each_node_byte_identical(self, victim):
+        """One of three nodes dies mid-encode; the recovered stream must
+        equal the fault-free baseline byte for byte."""
+        cfg = MJPEGConfig(width=64, height=64, frames=3)
+        clip = synthetic_sequence(3, 64, 64, cfg.seed)
+        program, sink = build_mjpeg(clip, cfg)
+        res = Cluster(program, {"a": 2, "b": 1, "c": 1}).run(
+            timeout=300,
+            faults=injector(FaultSpec(victim, "kill", 1)), recovery=FAST,
+        )
+        assert res.reason == "idle"
+        assert len(res.recoveries) == 1
+        assert sink.stream() == mjpeg_baseline(clip, cfg)
+
+    def test_kmeans_centroids_identical_after_kill(self):
+        program, sink = build_kmeans(n=60, k=5, iterations=3,
+                                     granularity="point")
+        res = Cluster(program, {"a": 2, "b": 1, "c": 1}).run(
+            timeout=120,
+            faults=injector(FaultSpec("b", "kill", 2)), recovery=FAST,
+        )
+        assert res.reason == "idle"
+        base = kmeans_baseline(n=60, k=5, iterations=3)
+        for age in base.history:
+            assert np.allclose(sink.history[age], base.history[age])
+
+    def test_recovery_instrumentation_counters(self):
+        program, sink = build_mulsum()
+        res = Cluster(program, {"a": 2, "b": 2}).run(
+            max_age=3, timeout=60,
+            faults=injector(FaultSpec("a", "kill", 2)), recovery=FAST,
+        )
+        instr = res.instrumentation
+        assert instr.node_failures == 1
+        assert instr.recovery_retries == 1
+        assert instr.recovery_time > 0
+        assert instr.replayed_events > 0
+
+    def test_topology_records_failure(self):
+        program, sink = build_mulsum()
+        cluster = Cluster(program, {"a": 2, "b": 2})
+        cluster.run(
+            max_age=3, timeout=60,
+            faults=injector(FaultSpec("b", "kill", 2)), recovery=FAST,
+        )
+        assert cluster.master.topology.failed_nodes() == ["b"]
+        assert "b~1" in cluster.master.topology.node_names()
+
+
+class TestOtherFaultKinds:
+    def test_drop_partition_recovers(self):
+        """A partitioned node's events are lost in flight but retained in
+        the log; replay plus re-announcing skip-stores feeds the starved
+        consumers."""
+        program, sink = build_mulsum()
+        res = Cluster(program, {"a": 2, "b": 2}).run(
+            max_age=3, timeout=60,
+            faults=injector(FaultSpec("a", "drop", 2)), recovery=FAST,
+        )
+        assert res.reason == "idle"
+        assert len(res.recoveries) == 1
+        expected = expected_series(4)
+        for age in expected:
+            assert np.array_equal(sink[age][0], expected[age][0])
+
+    def test_stall_detected_by_progress_watchdog(self):
+        program, sink = build_mulsum()
+        cfg = RecoveryConfig(heartbeat_interval=0.01,
+                             heartbeat_timeout=2.0,
+                             progress_timeout=0.15)
+        res = Cluster(program, {"a": 2, "b": 2}).run(
+            max_age=3, timeout=60,
+            faults=injector(FaultSpec("a", "stall", 2)), recovery=cfg,
+        )
+        assert res.reason == "idle"
+        assert len(res.recoveries) == 1
+        assert "no progress" in res.recoveries[0].reason
+        expected = expected_series(4)
+        for age in expected:
+            assert np.array_equal(sink[age][0], expected[age][0])
+
+
+class TestUnrecoverable:
+    def test_restart_budget_exhausted(self):
+        program, _ = build_mulsum()
+        faults = injector(
+            FaultSpec("a", "kill", 2),
+            FaultSpec("a~1", "kill", 1),
+            FaultSpec("a~2", "kill", 1),
+        )
+        cfg = RecoveryConfig(heartbeat_interval=0.01,
+                             heartbeat_timeout=0.08, max_restarts=2)
+        with pytest.raises(NodeFailureError) as exc_info:
+            Cluster(program, {"a": 2, "b": 2}).run(
+                max_age=3, timeout=60, faults=faults, recovery=cfg,
+            )
+        assert exc_info.value.failures == [
+            ("a", 1), ("a~1", 2), ("a~2", 3)
+        ]
+
+    def test_no_surviving_node(self):
+        program, _ = build_mulsum()
+        with pytest.raises(NodeFailureError, match="no registered node"):
+            Cluster(program, {"solo": 2}).run(
+                max_age=3, timeout=60,
+                faults=injector(FaultSpec("solo", "kill", 2)),
+                recovery=FAST,
+            )
+
+
+class TestOptIn:
+    def test_default_run_has_no_control_traffic(self):
+        """Without faults/recovery nothing changes: no heartbeats, no
+        event log, stats identical to the pre-fault-tolerance layer."""
+        program, _ = build_mulsum()
+        transport = InProcTransport()
+        Cluster(program, {"solo": 2}, transport).run(max_age=1, timeout=60)
+        assert transport.stats.messages == 0
+        assert transport.log_size() == 0
+
+    def test_ft_single_node_still_zero_data_messages(self):
+        """Heartbeats are control traffic: invisible in the store/resize
+        accounting even with recovery armed."""
+        program, sink = build_mulsum()
+        transport = InProcTransport()
+        res = Cluster(program, {"solo": 2}, transport).run(
+            max_age=1, timeout=60, recovery=FAST,
+        )
+        assert res.reason == "idle"
+        assert transport.stats.messages == 0
+
+    def test_master_host_selection(self):
+        m = MasterNode()
+        m.register(LocalTopology("a", (ProcessorSpec("cpu", 2),)))
+        m.register(LocalTopology("b", (ProcessorSpec("cpu", 4),)))
+        assert m.select_host() == "b"
+        assert m.select_host(exclude=("b",)) == "a"
+        m.on_failure("b")
+        assert m.select_host() == "a"
+        assert m.topology.failed_nodes() == ["b"]
+        m.on_failure("a")
+        assert m.select_host() is None

@@ -76,3 +76,123 @@ class TestClose:
             t.subscribe("f", "n", lambda m: None)
         with pytest.raises(TransportError):
             t.publish("f", "n", None)
+
+
+class TestDeliveryErrors:
+    """A failing subscriber must not corrupt accounting or wedge the
+    publisher (satellite of the fault-tolerance work: a dying node's
+    handler raises mid-broadcast)."""
+
+    def test_failing_subscriber_does_not_stop_broadcast(self):
+        t = InProcTransport()
+        got = []
+
+        def bad(msg):
+            raise RuntimeError("subscriber died")
+
+        t.subscribe("f", "n1", bad)
+        t.subscribe("f", "n2", lambda m: got.append(m))
+        n = t.publish("f", "n0", payload=1, size=10)
+        assert n == 1  # only the successful delivery counts
+        assert len(got) == 1
+
+    def test_stats_count_only_successes(self):
+        t = InProcTransport()
+        t.subscribe("f", "n1", lambda m: (_ for _ in ()).throw(ValueError()))
+        t.subscribe("f", "n2", lambda m: None)
+        t.publish("f", "n0", payload=1, size=10)
+        t.publish("f", "n0", payload=2, size=10)
+        assert t.stats.messages == 2
+        assert t.stats.bytes == 20
+        assert t.stats.delivery_errors == 2
+        assert t.stats.per_link[("n0", "n2")] == 2
+        assert ("n0", "n1") not in t.stats.per_link
+
+    def test_failure_details_recorded_and_bounded(self):
+        t = InProcTransport()
+        t.subscribe("f", "n1", lambda m: (_ for _ in ()).throw(ValueError("x")))
+        for _ in range(InProcTransport.MAX_ERROR_DETAILS + 10):
+            t.publish("f", "n0", payload=0)
+        assert len(t.delivery_failures) == InProcTransport.MAX_ERROR_DETAILS
+        topic, node, detail = t.delivery_failures[0]
+        assert (topic, node) == ("f", "n1")
+        assert "ValueError" in detail
+        errors = t.stats.delivery_errors
+        assert errors == InProcTransport.MAX_ERROR_DETAILS + 10
+
+    def test_publisher_never_raises_on_subscriber_error(self):
+        t = InProcTransport()
+        t.subscribe("f", "n1", lambda m: (_ for _ in ()).throw(KeyError()))
+        assert t.publish("f", "n0", payload=1) == 0
+
+
+class TestControlTraffic:
+    def test_control_skips_stats_and_log(self):
+        t = InProcTransport()
+        t.enable_log()
+        got = []
+        t.subscribe("hb", "n1", lambda m: got.append(m))
+        n = t.publish("hb", "n0", payload="beat", control=True)
+        assert n == 1
+        assert len(got) == 1
+        assert t.stats.messages == 0
+        assert t.log_size() == 0
+
+
+class TestEventLog:
+    def test_replay_returns_logged_messages(self):
+        t = InProcTransport()
+        t.enable_log()
+        t.subscribe("f", "n1", lambda m: None)
+        t.publish("f", "n0", payload=1)
+        t.publish("g", "n0", payload=2)
+        assert t.log_size() == 2
+        assert [m.payload for m in t.replay()] == [1, 2]
+        assert [m.payload for m in t.replay({"g"})] == [2]
+
+    def test_log_disabled_by_default(self):
+        t = InProcTransport()
+        t.publish("f", "n0", payload=1)
+        assert t.log_size() == 0
+        assert t.replay() == []
+
+    def test_dropped_sender_still_logged(self):
+        """The log models a durable broker: a partitioned node's events
+        are retained for replay even though nobody received them."""
+        t = InProcTransport()
+        t.enable_log()
+        got = []
+        t.subscribe("f", "n1", lambda m: got.append(m))
+        t.drop_from("n0")
+        assert t.publish("f", "n0", payload=1) == 0
+        assert got == []
+        assert [m.payload for m in t.replay()] == [1]
+
+
+class TestPartition:
+    def test_drop_and_undrop(self):
+        t = InProcTransport()
+        got = []
+        t.subscribe("f", "n1", lambda m: got.append(m.payload))
+        t.drop_from("n0")
+        assert t.dropped_senders() == {"n0"}
+        t.publish("f", "n0", payload=1)
+        t.publish("f", "n2", payload=2)
+        t.undrop("n0")
+        t.publish("f", "n0", payload=3)
+        assert got == [2, 3]
+        assert t.dropped_senders() == set()
+
+
+class TestUnsubscribeNode:
+    def test_removes_every_subscription(self):
+        t = InProcTransport()
+        got = []
+        t.subscribe("f", "n1", lambda m: got.append(("f", m.payload)))
+        t.subscribe("g", "n1", lambda m: got.append(("g", m.payload)))
+        t.subscribe("f", "n2", lambda m: got.append(("n2", m.payload)))
+        assert t.unsubscribe_node("n1") == 2
+        t.publish("f", "n0", payload=1)
+        t.publish("g", "n0", payload=2)
+        assert got == [("n2", 1)]
+        assert t.unsubscribe_node("n1") == 0

@@ -111,3 +111,70 @@ class TestChaos:
         )
         run_program(program, workers=16, timeout=60)
         assert sorted(counts) == [0, 1, 2, 3]
+
+
+class TestNodeKillChaos:
+    """Cluster chaos: a randomly chosen node is killed at a randomly
+    chosen instant (seeded), and the recovered run must match the
+    fault-free output bit for bit.
+
+    On failure the fault schedule is dumped as JSON (to
+    ``$CHAOS_REPRO_DIR`` when set, else the cwd) so CI uploads an exact
+    repro artifact: ``FaultSchedule.from_json`` + ``--fail-node`` replay
+    the identical kill.
+    """
+
+    NODES = {"n0": 2, "n1": 2, "n2": 1}
+
+    def _run(self, faults):
+        from repro.dist import Cluster, RecoveryConfig
+
+        program, sink = build_mulsum()
+        result = Cluster(program, dict(self.NODES)).run(
+            max_age=3,
+            timeout=120,
+            faults=faults,
+            recovery=RecoveryConfig(
+                heartbeat_interval=0.01, heartbeat_timeout=0.1
+            ),
+        )
+        return result, sink
+
+    def _dump_repro(self, schedule, seed):
+        import json
+        import os
+        import pathlib
+
+        out_dir = pathlib.Path(os.environ.get("CHAOS_REPRO_DIR", "."))
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / f"chaos-repro-seed{seed}.json"
+        path.write_text(json.dumps(schedule.to_json(), indent=2) + "\n")
+        return path
+
+    @pytest.mark.parametrize("seed", [11, 23, 47])
+    def test_seeded_node_kill_bit_identical(self, seed):
+        from repro.dist import FaultInjector, FaultSchedule
+
+        schedule = FaultSchedule.random(
+            sorted(self.NODES), seed, kinds=("kill",), n_faults=1
+        )
+        try:
+            result, sink = self._run(FaultInjector(schedule))
+            assert result.reason == "idle"
+            expected = expected_series(4)
+            assert set(sink) == set(expected)
+            for age in expected:
+                assert np.array_equal(sink[age][0], expected[age][0])
+                assert np.array_equal(sink[age][1], expected[age][1])
+        except BaseException:
+            path = self._dump_repro(schedule, seed)
+            print(f"chaos repro schedule written to {path}")
+            raise
+
+    def test_schedule_replay_from_json(self):
+        """The dumped artifact reproduces the same fault decisions."""
+        from repro.dist import FaultSchedule
+
+        schedule = FaultSchedule.random(sorted(self.NODES), 99)
+        replayed = FaultSchedule.from_json(schedule.to_json())
+        assert replayed.specs == schedule.specs

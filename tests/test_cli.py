@@ -166,3 +166,56 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fly"])
+
+
+class TestClusterCommand:
+    def test_fault_free_run(self, capsys):
+        code = main(["cluster", "mulsum", "--nodes", "2", "-w", "2",
+                     "--max-age", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cluster mulsum on 2 node(s): idle" in out
+        assert "output: 3 ages" in out
+
+    def test_fail_node_kill_recovers(self, capsys):
+        code = main([
+            "cluster", "mulsum", "--nodes", "2", "-w", "2",
+            "--fail-node", "node0:kill:2",
+            "--heartbeat-interval", "0.01",
+            "--heartbeat-timeout", "0.1",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "idle" in out
+        assert "recovered node0 -> node0~1" in out
+
+    def test_chaos_seed_is_accepted(self, capsys):
+        code = main([
+            "cluster", "mulsum", "--nodes", "3", "-w", "2",
+            "--chaos-seed", "5",
+            "--heartbeat-interval", "0.01",
+            "--heartbeat-timeout", "0.1",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        # either the seeded fault fired and was recovered, or its trigger
+        # lay beyond the run's instance count — both are clean exits
+        assert ("recovered" in out) or ("no scheduled fault fired" in out)
+
+    def test_parser_rejects_bad_fault_spec(self):
+        from repro.core import RuntimeStateError
+
+        with pytest.raises(RuntimeStateError):
+            main(["cluster", "mulsum", "--fail-node", "node0:explode"])
+
+    def test_stall_fault_detected_via_progress_timeout(self, capsys):
+        code = main([
+            "cluster", "mulsum", "--nodes", "2", "-w", "2",
+            "--fail-node", "node0:stall:2",
+            "--heartbeat-interval", "0.01",
+            "--progress-timeout", "0.15",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recovered node0 -> node0~1" in out
+        assert "no progress" in out
