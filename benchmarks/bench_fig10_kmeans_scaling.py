@@ -25,12 +25,15 @@ import time
 
 
 def test_fig10_kmeans_scaling(benchmark):
-    from conftest import emit
+    from conftest import emit, write_bench_json
 
     from repro.bench import fig10_kmeans_scaling
 
+    t0 = time.perf_counter()
     sweep = benchmark.pedantic(fig10_kmeans_scaling, rounds=1, iterations=1)
+    wall = time.perf_counter() - t0
     emit("Figure 10: K-means execution time", sweep.render())
+    write_bench_json("fig10", sweep, wall, workload="kmeans")
     degradations = {}
     for machine, pts in sweep.series.items():
         times = dict(pts)

@@ -7,16 +7,21 @@ from the same model.  Shape assertions: near-linear scaling on both
 machines and the 8-worker kink where the analyzer thread shares a core.
 """
 
-from conftest import emit
+import time
+
+from conftest import emit, write_bench_json
 
 from repro.bench import fig9_mjpeg_scaling
 
 
 def test_fig9_mjpeg_scaling(benchmark):
+    t0 = time.perf_counter()
     sweep = benchmark.pedantic(
         fig9_mjpeg_scaling, kwargs={"frames": 50}, rounds=1, iterations=1
     )
+    wall = time.perf_counter() - t0
     emit("Figure 9: MJPEG execution time", sweep.render())
+    write_bench_json("fig9", sweep, wall, workload="mjpeg", frames=50)
     for machine, pts in sweep.series.items():
         times = dict(pts)
         for w, t in sorted(times.items()):

@@ -7,7 +7,12 @@ section on the terminal.  Numbers also land in each benchmark's
 ``extra_info`` for machine consumption.
 """
 
+import json
+import os
+import pathlib
+import subprocess
 import sys
+import time
 
 
 def emit(title: str, text: str) -> None:
@@ -15,3 +20,47 @@ def emit(title: str, text: str) -> None:
     --capture=no; still visible in benchmark logs otherwise)."""
     print(f"\n===== {title} =====", file=sys.stderr)
     print(text, file=sys.stderr)
+
+
+def commit_hash() -> str:
+    """The repo's HEAD commit, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=pathlib.Path(__file__).resolve().parent,
+        ).stdout.strip()
+        return out or "unknown"
+    except Exception:
+        return "unknown"
+
+
+def write_bench_json(figure: str, sweep, wall_time_s: float,
+                     **extra) -> pathlib.Path:
+    """Write ``BENCH_<figure>.json`` — per-worker times and speedups for
+    every machine, the sweep's wall time, and the commit hash — to
+    ``$BENCH_OUT_DIR`` (default: cwd) for trend tracking across commits.
+    """
+    series = {}
+    speedup = {}
+    for machine, pts in sweep.series.items():
+        series[machine] = {str(w): round(t, 4) for w, t in pts}
+        speedup[machine] = {
+            str(w): round(s, 3)
+            for (w, _), s in zip(pts, sweep.speedup(machine))
+        }
+    payload = {
+        "figure": figure,
+        "commit": commit_hash(),
+        "unix_time": round(time.time(), 3),
+        "wall_time_s": round(wall_time_s, 3),
+        "series": series,
+        "speedup": speedup,
+        **extra,
+    }
+    out_dir = pathlib.Path(os.environ.get("BENCH_OUT_DIR", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{figure}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    emit(f"BENCH_{figure}.json", f"written to {path}")
+    return path

@@ -18,6 +18,9 @@ Public API layout:
   Motion JPEG) and their baselines.
 * :mod:`repro.bench` — the experiment harness regenerating every table
   and figure.
+* :mod:`repro.obs` — observability: span tracing (Chrome trace-event
+  JSON for Perfetto), the metrics registry, and the failure flight
+  recorder.
 
 Quickstart::
 
@@ -44,6 +47,7 @@ from .core import (
     make_kernel,
     run_program,
 )
+from .obs import MetricsRegistry, Tracer
 
 __version__ = "1.0.0"
 
@@ -55,10 +59,12 @@ __all__ = [
     "FieldDef",
     "KernelContext",
     "KernelDef",
+    "MetricsRegistry",
     "P2GError",
     "Program",
     "RunResult",
     "StoreSpec",
+    "Tracer",
     "__version__",
     "make_kernel",
     "run_program",

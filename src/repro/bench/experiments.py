@@ -77,7 +77,7 @@ class MicroBenchResult:
             f"{'Kernel us':>12}   |{'paper N':>9}{'paper D':>9}"
             f"{'paper K':>10}"
         )
-        for name, n, d, k in self.rows:
+        for name, n, d, k, *_ in self.rows:
             pn, pd, pk = self.paper.get(name, (0, 0.0, 0.0))
             lines.append(
                 f"{name:<10}{n:>11}{d:>13.2f}{k:>12.2f}   |"

@@ -23,18 +23,68 @@ import sys
 from pathlib import Path
 
 
+class _Obs:
+    """The CLI's observability surface (``--trace``/``--metrics``/
+    ``--metrics-json``), shared by every execute-style subcommand.
+
+    ``finish()`` runs in a ``finally`` so a failing run still writes its
+    trace — the timeline of a failure is worth more than a success's.
+    """
+
+    def __init__(self, args: argparse.Namespace) -> None:
+        from .obs import MetricsRegistry, Tracer
+
+        self.trace_path: str | None = args.trace
+        self.show_metrics: bool = args.metrics
+        self.metrics_path: str | None = args.metrics_json
+        self.tracer = Tracer(mode="full") if self.trace_path else None
+        self.metrics = MetricsRegistry()
+
+    def finish(self) -> None:
+        from .obs import render
+
+        if self.tracer is not None and self.trace_path:
+            n = self.tracer.write(self.trace_path)
+            print(f"trace: {n} events -> {self.trace_path} "
+                  f"(open in https://ui.perfetto.dev)")
+        if self.metrics_path:
+            Path(self.metrics_path).write_text(
+                self.metrics.to_json() + "\n"
+            )
+            print(f"metrics -> {self.metrics_path}")
+        if self.show_metrics:
+            print(render(self.metrics.snapshot(), title="metrics"))
+
+
+def _add_obs_args(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group("observability")
+    g.add_argument("--trace", metavar="PATH", default=None,
+                   help="write a Chrome trace-event JSON timeline "
+                        "(view in Perfetto: https://ui.perfetto.dev)")
+    g.add_argument("--metrics", action="store_true",
+                   help="print the metrics-registry snapshot as a table")
+    g.add_argument("--metrics-json", metavar="PATH", default=None,
+                   help="write the metrics-registry snapshot as JSON")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from .core import run_program
     from .lang import compile_file
 
     program = compile_file(args.source)
-    result = run_program(
-        program,
-        workers=args.workers,
-        max_age=args.max_age,
-        timeout=args.timeout,
-        backend=args.backend,
-    )
+    obs = _Obs(args)
+    try:
+        result = run_program(
+            program,
+            workers=args.workers,
+            max_age=args.max_age,
+            timeout=args.timeout,
+            backend=args.backend,
+            tracer=obs.tracer,
+            metrics=obs.metrics,
+        )
+    finally:
+        obs.finish()
     print(f"program {program.name!r}: {result.reason} in "
           f"{result.wall_time:.3f}s")
     order = list(program.kernels)
@@ -80,8 +130,13 @@ def _cmd_mjpeg(args: argparse.Namespace) -> int:
     else:
         frames = synthetic_sequence(cfg.frames, cfg.width, cfg.height)
     program, sink = build_mjpeg(frames, cfg)
-    result = run_program(program, workers=args.workers, timeout=args.timeout,
-                         backend=args.backend)
+    obs = _Obs(args)
+    try:
+        result = run_program(program, workers=args.workers,
+                             timeout=args.timeout, backend=args.backend,
+                             tracer=obs.tracer, metrics=obs.metrics)
+    finally:
+        obs.finish()
     if args.output.endswith(".avi"):
         from .media import split_frames, write_avi
 
@@ -107,8 +162,13 @@ def _cmd_kmeans(args: argparse.Namespace) -> int:
         n=args.n, k=args.k, iterations=args.iterations,
         granularity=args.granularity,
     )
-    result = run_program(program, workers=args.workers,
-                         timeout=args.timeout, backend=args.backend)
+    obs = _Obs(args)
+    try:
+        result = run_program(program, workers=args.workers,
+                             timeout=args.timeout, backend=args.backend,
+                             tracer=obs.tracer, metrics=obs.metrics)
+    finally:
+        obs.finish()
     print(f"k-means n={args.n} K={args.k} x{args.iterations}: "
           f"{result.reason} in {result.wall_time:.2f}s")
     print(result.instrumentation.table(
@@ -167,11 +227,21 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             progress_timeout=args.progress_timeout,
             max_restarts=args.max_restarts,
         )
-    result = Cluster(program, nodes).run(
-        max_age=max_age, timeout=args.timeout,
-        stall_timeout=args.stall_timeout,
-        faults=faults, recovery=recovery,
-    )
+    obs = _Obs(args)
+    try:
+        result = Cluster(program, nodes).run(
+            max_age=max_age, timeout=args.timeout,
+            stall_timeout=args.stall_timeout,
+            faults=faults, recovery=recovery,
+            tracer=obs.tracer, metrics=obs.metrics,
+        )
+    except BaseException as exc:
+        flight = getattr(exc, "flight_path", None)
+        if flight is not None:
+            print(f"flight recording -> {flight}", file=sys.stderr)
+        raise
+    finally:
+        obs.finish()
     print(f"cluster {args.workload} on {args.nodes} node(s): "
           f"{result.reason} in {result.wall_time:.2f}s "
           f"({result.transport.messages} cross-node messages)")
@@ -275,6 +345,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", choices=("threads", "processes"),
                    default="threads",
                    help="execution backend for kernel bodies")
+    _add_obs_args(p)
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("graph", help="print a program's dependency graphs")
@@ -303,6 +374,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", choices=("threads", "processes"),
                    default="threads",
                    help="execution backend for kernel bodies")
+    _add_obs_args(p)
     p.set_defaults(fn=_cmd_mjpeg)
 
     p = sub.add_parser("kmeans", help="run the K-means workload")
@@ -318,6 +390,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", choices=("threads", "processes"),
                    default="threads",
                    help="execution backend for kernel bodies")
+    _add_obs_args(p)
     p.set_defaults(fn=_cmd_kmeans)
 
     p = sub.add_parser(
@@ -364,6 +437,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-k", type=int, default=8)
     p.add_argument("--iterations", type=int, default=4)
     p.add_argument("-t", "--timeout", type=float, default=300.0)
+    _add_obs_args(p)
     p.set_defaults(fn=_cmd_cluster)
 
     p = sub.add_parser("simulate",

@@ -418,6 +418,29 @@ class ProcessBackend(ExecutionBackend):
         dispatch = t_dispatch + (t_send - t0) + (t_done - t_recv)
         ipc = max(0.0, (t_recv - t_send) - t_dispatch - t_kernel)
         node.instrumentation.record(kernel.name, dispatch, t_kernel, ipc)
+        node._account_instance(len(kernel.fetches), len(stores))
+        tr = node.tracer
+        if tr.enabled:
+            # The fetch/native/store phases ran in the worker process on
+            # its own clock, so the parent emits the enclosing kernel
+            # span with the remote durations as arguments, plus the IPC
+            # round-trip it *can* time (send -> reply, minus the remote
+            # work) as a child span.
+            thread = f"worker{worker_id}"
+            wait = node._queue_wait_by_worker.get(worker_id, 0.0)
+            tr.complete(
+                kernel.name, "kernel", node.name, thread, t0, t_done,
+                {
+                    "age": inst.age,
+                    "index": list(inst.index),
+                    "queue_wait_us": round(wait * 1e6, 1),
+                    "remote_dispatch_us": round(t_dispatch * 1e6, 1),
+                    "remote_kernel_us": round(t_kernel * 1e6, 1),
+                    "ipc_us": round(ipc * 1e6, 1),
+                },
+            )
+            tr.complete("ipc", "phase", node.name, thread, t_send, t_recv,
+                        {"ipc_us": round(ipc * 1e6, 1)})
         node._post(
             InstanceDoneEvent(
                 inst,

@@ -32,6 +32,11 @@ class Timer:
         self._clock: ClockFn = clock if clock is not None else time.monotonic
         self._lock = threading.Lock()
         self._mark = self._clock()
+        #: Deadline checks that observed expiry (each ``expired`` poll
+        #: returning True counts one miss — a kernel that keeps polling
+        #: a blown deadline keeps steering down its fallback branch, and
+        #: the count reflects every such steering decision).
+        self.misses = 0
 
     def now(self) -> float:
         """Current clock value in seconds (whatever the clock defines)."""
@@ -49,7 +54,11 @@ class Timer:
 
     def expired(self, deadline_ms: float) -> bool:
         """``t1 + <deadline_ms>`` — True when the deadline has passed."""
-        return self.elapsed_ms() > deadline_ms
+        missed = self.elapsed_ms() > deadline_ms
+        if missed:
+            with self._lock:
+                self.misses += 1
+        return missed
 
     def remaining_ms(self, deadline_ms: float) -> float:
         """Milliseconds until the deadline (negative when missed)."""
@@ -82,3 +91,7 @@ class TimerSet:
         """Restart every timer (``t = now`` across the program)."""
         for t in self._timers.values():
             t.reset()
+
+    def total_misses(self) -> int:
+        """Deadline misses observed across every timer."""
+        return sum(t.misses for t in self._timers.values())

@@ -147,21 +147,39 @@ class Instrumentation:
         with self._lock:
             return sum(s.kernel_time for s in self._stats.values())
 
+    def _scalars(self) -> tuple[float, float, int, int, float, int]:
+        """Locked snapshot of the non-per-kernel accumulators."""
+        with self._lock:
+            return (
+                self.analyzer_time,
+                self.wall_time,
+                self.node_failures,
+                self.recovery_retries,
+                self.recovery_time,
+                self.replayed_events,
+            )
+
     def merged(self, other: "Instrumentation") -> "Instrumentation":
-        """A new collector holding the sum of both runs."""
+        """A new collector holding the sum of both runs.
+
+        Thread-safe against concurrent :meth:`record` /
+        :meth:`add_analyzer_time` / :meth:`record_failure` on either
+        operand: both per-kernel stats and the scalar accumulators are
+        read as locked snapshots, so a merge taken mid-run is a
+        consistent point-in-time view (the result itself is a fresh,
+        unshared collector)."""
         out = Instrumentation()
         mine, theirs = self.stats(), other.stats()
         for k in set(mine) | set(theirs):
             s = mine.get(k, KernelStats()).merged(theirs.get(k, KernelStats()))
             out._stats[k] = s
-        out.analyzer_time = self.analyzer_time + other.analyzer_time
-        out.wall_time = max(self.wall_time, other.wall_time)
-        out.node_failures = self.node_failures + other.node_failures
-        out.recovery_retries = (
-            self.recovery_retries + other.recovery_retries
-        )
-        out.recovery_time = self.recovery_time + other.recovery_time
-        out.replayed_events = self.replayed_events + other.replayed_events
+        a, b = self._scalars(), other._scalars()
+        out.analyzer_time = a[0] + b[0]
+        out.wall_time = max(a[1], b[1])
+        out.node_failures = a[2] + b[2]
+        out.recovery_retries = a[3] + b[3]
+        out.recovery_time = a[4] + b[4]
+        out.replayed_events = a[5] + b[5]
         return out
 
     # ------------------------------------------------------------------
@@ -202,16 +220,17 @@ class Instrumentation:
 
     def as_rows(
         self, order: Iterable[str] | None = None
-    ) -> list[tuple[str, int, float, float]]:
-        """(kernel, instances, mean dispatch µs, mean kernel µs) rows."""
+    ) -> list[tuple[str, int, float, float, float]]:
+        """(kernel, instances, mean dispatch µs, mean kernel µs, mean
+        IPC µs) rows.  The IPC column is 0.0 on the threads backend;
+        consumers that predate it unpack with ``name, n, d, k, *_``."""
         stats = self.stats()
         names = list(order) if order is not None else sorted(stats)
-        return [
-            (
-                n,
-                stats.get(n, KernelStats()).instances,
-                stats.get(n, KernelStats()).mean_dispatch_us,
-                stats.get(n, KernelStats()).mean_kernel_us,
+        rows = []
+        for n in names:
+            s = stats.get(n, KernelStats())
+            rows.append(
+                (n, s.instances, s.mean_dispatch_us, s.mean_kernel_us,
+                 s.mean_ipc_us)
             )
-            for n in names
-        ]
+        return rows

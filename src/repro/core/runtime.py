@@ -33,6 +33,7 @@ from typing import Any
 
 import numpy as np
 
+from ..obs import MetricsRegistry, NULL_TRACER, Tracer, dump_flight
 from .analyzer import DependencyAnalyzer
 from .backends import ExecutionBackend, resolve_backend
 from .deadlines import TimerSet
@@ -81,13 +82,20 @@ class ReadyQueue:
                 f"unknown scheduling policy {scheduling!r}; "
                 f"expected one of {self._POLICIES}"
             )
-        self._heap: list[tuple[int, int, Any]] = []
+        self._heap: list[tuple[Any, int, Any, float]] = []
         self._lock = threading.Lock()
         self._cv = threading.Condition(self._lock)
         self._seq = itertools.count()
         self._age_counts: dict[int, int] = {}
         self.scheduling = scheduling
         self.max_depth = 0  #: high-water mark (instrumentation)
+        # Queue-wait accounting (enqueue -> dequeue seconds), aggregated
+        # under the queue's own lock so the hot path pays no extra
+        # synchronization; exported to the metrics registry at join().
+        self.pushes = 0
+        self.pops = 0
+        self.wait_total = 0.0
+        self.wait_max = 0.0
 
     def _heap_key(self, inst: KernelInstance) -> tuple[int, int]:
         seq = next(self._seq)
@@ -102,9 +110,12 @@ class ReadyQueue:
         """Enqueue a runnable instance (wakes one waiting worker)."""
         with self._cv:
             key, seq = self._heap_key(inst)
-            heapq.heappush(self._heap, (key, seq, inst))
+            heapq.heappush(
+                self._heap, (key, seq, inst, time.perf_counter())
+            )
             real = -1 if inst.age is None else inst.age
             self._age_counts[real] = self._age_counts.get(real, 0) + 1
+            self.pushes += 1
             self.max_depth = max(self.max_depth, len(self._heap))
             self._cv.notify()
 
@@ -113,23 +124,34 @@ class ReadyQueue:
         with self._cv:
             for _ in range(n):
                 heapq.heappush(
-                    self._heap, (2**62, next(self._seq), self._SENTINEL)
+                    self._heap,
+                    (2**62, next(self._seq), self._SENTINEL, 0.0),
                 )
             self._cv.notify_all()
 
     def pop(self) -> KernelInstance | None:
         """Blocking pop; ``None`` means shut down."""
+        return self.pop_timed()[0]
+
+    def pop_timed(self) -> tuple[KernelInstance | None, float]:
+        """Blocking pop returning ``(instance, queue_wait_seconds)``;
+        ``(None, 0.0)`` means shut down."""
         with self._cv:
             while not self._heap:
                 self._cv.wait()
-            _key, _seq, item = heapq.heappop(self._heap)
+            _key, _seq, item, pushed = heapq.heappop(self._heap)
             if item is self._SENTINEL:
-                return None
+                return None, 0.0
             real = -1 if item.age is None else item.age
             self._age_counts[real] -= 1
             if not self._age_counts[real]:
                 del self._age_counts[real]
-            return item
+            wait = time.perf_counter() - pushed
+            self.pops += 1
+            self.wait_total += wait
+            if wait > self.wait_max:
+                self.wait_max = wait
+            return item, wait
 
     def min_age(self) -> int | None:
         """Lowest age currently queued (for the GC live-age bound)."""
@@ -147,7 +169,7 @@ class ReadyQueue:
         """
         with self._cv:
             items = [
-                item for _key, _seq, item in self._heap
+                item for _key, _seq, item, _t in self._heap
                 if item is not self._SENTINEL
             ]
             self._heap.clear()
@@ -250,6 +272,8 @@ class RunResult:
     ready_high_water: int = 0
     gc_bytes: int = 0
     backend: str = "threads"  #: execution backend that ran the program
+    metrics: "MetricsRegistry | None" = None  #: the node's registry
+    tracer: "Tracer | None" = None  #: the tracer the run recorded into
 
     @property
     def stats(self):
@@ -307,6 +331,16 @@ class ExecutionNode:
         distributed layer passes the *full* program's kernels so a node
         judging whole-field completeness accounts for writers partitioned
         onto other nodes.
+    tracer:
+        Optional :class:`~repro.obs.Tracer` recording per-instance
+        lifecycle spans (queue wait, fetch, native block, store, IPC)
+        plus analyzer and scheduler events.  Defaults to the shared
+        disabled tracer; every instrumentation point is guarded by its
+        ``enabled`` flag, so tracing off costs one attribute test.
+    metrics:
+        Optional shared :class:`~repro.obs.MetricsRegistry` (a cluster
+        passes one registry to all of its nodes so counters aggregate
+        cluster-wide); the node creates its own when omitted.
     """
 
     #: Per-thread join bound during a stall/timeout teardown; threads
@@ -331,6 +365,8 @@ class ExecutionNode:
         scheduling: str = "age",
         recover: bool = False,
         dependency_kernels=None,
+        tracer: "Tracer | None" = None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         if workers < 1:
             raise RuntimeStateError("need at least one worker thread")
@@ -351,6 +387,13 @@ class ExecutionNode:
             program, self.fields, max_age, producers=dependency_kernels
         )
         self.instrumentation = Instrumentation()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._m_instances = self.metrics.counter("instances.executed")
+        self._m_fetches = self.metrics.counter("fields.fetches")
+        self._m_stores = self.metrics.counter("fields.stores")
+        self._m_ready_wait = self.metrics.histogram("ready.wait_s")
+        self._queue_wait_by_worker: dict[int, float] = {}
         self.ready = ReadyQueue(scheduling)
         self.on_event = on_event
         self._events: queue.SimpleQueue = queue.SimpleQueue()
@@ -474,12 +517,51 @@ class ExecutionNode:
         self.instrumentation.record(
             kernel.name, (t1 - t0) + (t3 - t2), t2 - t1
         )
+        self._account_instance(len(kernel.fetches), len(kernel.stores))
+        tr = self.tracer
+        if tr.enabled:
+            self._trace_instance(inst, worker_id, t0, t1, t2, t3)
         self._post(
             InstanceDoneEvent(
                 inst, stored_any, kernel_time=t2 - t1,
                 dispatch_time=(t1 - t0) + (t3 - t2),
             )
         )
+
+    def _account_instance(self, n_fetches: int, n_stores: int) -> None:
+        """Per-instance metric counters (both execution backends)."""
+        self._m_instances.inc()
+        if n_fetches:
+            self._m_fetches.inc(n_fetches)
+        if n_stores:
+            self._m_stores.inc(n_stores)
+
+    def _trace_instance(
+        self,
+        inst: KernelInstance,
+        worker_id: int,
+        t0: float,
+        t1: float,
+        t2: float,
+        t3: float,
+    ) -> None:
+        """Emit one instance's lifecycle spans: the enclosing kernel
+        span plus fetch / native-block / store child phases, in the
+        worker's lane.  Queue wait is attached as an argument (the
+        instance sat in the ready queue, not on this worker's lane)."""
+        tr = self.tracer
+        thread = f"worker{worker_id}"
+        wait = self._queue_wait_by_worker.get(worker_id, 0.0)
+        args = {
+            "age": inst.age,
+            "index": list(inst.index),
+            "queue_wait_us": round(wait * 1e6, 1),
+        }
+        tr.complete(inst.kernel.name, "kernel", self.name, thread,
+                    t0, t3, args)
+        tr.complete("fetch", "phase", self.name, thread, t0, t1)
+        tr.complete("native", "phase", self.name, thread, t1, t2)
+        tr.complete("store", "phase", self.name, thread, t2, t3)
 
     def _deliver_output(
         self, kernel: str, age, index, key: str, value: Any
@@ -497,9 +579,11 @@ class ExecutionNode:
 
     def _worker_loop(self, worker_id: int) -> None:
         while True:
-            inst = self.ready.pop()
+            inst, wait = self.ready.pop_timed()
             if inst is None:
                 return
+            self._m_ready_wait.observe(wait)
+            self._queue_wait_by_worker[worker_id] = wait
             if inst.age is not None:
                 self._running_ages[worker_id] = inst.age
             try:
@@ -528,9 +612,16 @@ class ExecutionNode:
             self.on_event(self, ev)
 
     def _dispatch(self, instances) -> None:
+        n = 0
         for inst in instances:
             self._inc()
             self.ready.push(inst)
+            n += 1
+        if n and self.tracer.enabled:
+            self.tracer.instant(
+                "dispatch", "scheduler", self.name, "analyzer",
+                args={"count": n},
+            )
 
     def _analyzer_loop(self) -> None:
         while True:
@@ -553,9 +644,17 @@ class ExecutionNode:
                 self._counter.poke()
                 return
             finally:
-                self.instrumentation.add_analyzer_time(
-                    time.perf_counter() - t0
-                )
+                t1 = time.perf_counter()
+                self.instrumentation.add_analyzer_time(t1 - t0)
+                tr = self.tracer
+                if tr.enabled:
+                    args = None
+                    if isinstance(ev, StoreEvent):
+                        args = {"field": ev.field, "age": ev.age}
+                    elif isinstance(ev, ResizeEvent):
+                        args = {"field": ev.field}
+                    tr.complete(type(ev).__name__, "analyzer",
+                                self.name, "analyzer", t0, t1, args)
                 self._dec()
 
     def _collect_garbage(self) -> None:
@@ -711,16 +810,22 @@ class ExecutionNode:
             # Unlink segment names; mappings stay readable so the
             # RunResult's fields can still be fetched.
             self.fields.release()
+        self._export_metrics()
         if self._error is not None:
             raise self._error
         if outcome == "stalled":
-            raise StallError(
+            err = StallError(
                 f"node {self.name!r}: no progress for {stall_timeout}s "
                 f"with {self._counter.value()} outstanding work unit(s) "
                 f"(backlog {self.backlog()}); a worker or the analyzer "
                 f"stopped draining its queue",
                 outstanding=self._counter.value(),
             )
+            err.flight_path = dump_flight(
+                self.tracer, reason=str(err),
+                context={"node": self.name, "error": "StallError"},
+            )
+            raise err
         return RunResult(
             reason=reason,
             wall_time=time.perf_counter() - self._t0,
@@ -729,7 +834,28 @@ class ExecutionNode:
             ready_high_water=self.ready.max_depth,
             gc_bytes=self._gc_bytes,
             backend=self.backend.name,
+            metrics=self.metrics,
+            tracer=self.tracer if self.tracer.enabled else None,
         )
+
+    def _export_metrics(self) -> None:
+        """Export join-time aggregates into the metrics registry.
+
+        Runs once per node (a node runs once).  Gauges describing
+        *shared* resources (the cluster's field store, the shared timer
+        set) use ``set_max`` so several nodes reporting the same object
+        don't double-count it; per-node totals use counters, which sum
+        across a shared registry.
+        """
+        m = self.metrics
+        m.counter("ready.pushes").inc(self.ready.pushes)
+        m.counter("ready.pops").inc(self.ready.pops)
+        m.counter("instances.abandoned").inc(self._abandoned)
+        m.counter("fields.gc_bytes").inc(self._gc_bytes)
+        m.gauge("ready.depth.max").set_max(self.ready.max_depth)
+        m.gauge("fields.bytes_live").set_max(self.fields.live_bytes())
+        for name, timer in self.timers.as_mapping().items():
+            m.gauge(f"deadline.misses.{name}").set_max(timer.misses)
 
     def run(
         self,
@@ -758,6 +884,8 @@ def run_program(
     gc_fields: bool = False,
     keep_ages: int = 1,
     backend: "str | ExecutionBackend" = "threads",
+    tracer: "Tracer | None" = None,
+    metrics: "MetricsRegistry | None" = None,
 ) -> RunResult:
     """One-shot convenience: build an :class:`ExecutionNode` and run it."""
     node = ExecutionNode(
@@ -767,5 +895,7 @@ def run_program(
         gc_fields=gc_fields,
         keep_ages=keep_ages,
         backend=backend,
+        tracer=tracer,
+        metrics=metrics,
     )
     return node.run(timeout=timeout, stall_timeout=stall_timeout)

@@ -42,6 +42,7 @@ from ..core.errors import PartitionError
 from ..core.events import ResizeEvent, StoreEvent
 from ..core.fields import FieldStore
 from ..core.instrumentation import Instrumentation
+from ..obs import MetricsRegistry, NULL_TRACER, Tracer, dump_flight
 from .faults import FaultInjector
 from .heartbeat import Heartbeater, HeartbeatMonitor
 from .master import MasterNode, WorkloadAssignment
@@ -62,6 +63,8 @@ class ClusterResult:
     wall_time: float
     fields: FieldStore
     recoveries: list[RecoveryRecord] = dc_field(default_factory=list)
+    metrics: "MetricsRegistry | None" = None
+    tracer: "Tracer | None" = None  #: set when tracing was enabled
 
     @property
     def instrumentation(self) -> Instrumentation:
@@ -192,6 +195,8 @@ class Cluster:
         stall_timeout: float | None = None,
         faults: FaultInjector | None = None,
         recovery: RecoveryConfig | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> ClusterResult:
         """Plan (unless given an assignment) and execute the program.
 
@@ -210,6 +215,15 @@ class Cluster:
         automatic node replacement with bounded retries.  Exhausting the
         restart budget (or losing every node) raises
         :class:`~repro.core.errors.NodeFailureError`.
+
+        ``tracer`` records a cluster-wide timeline (one viewer lane per
+        node/worker plus ``master`` control-plane lanes).  Fault-tolerant
+        runs arm a ring-mode tracer (the flight recorder) by default; on
+        an unrecoverable failure the recent timeline — heartbeat-silence,
+        fencing, re-execution — is dumped next to the chaos repro
+        artifact and the path attached to the exception as
+        ``flight_path``.  ``metrics`` is shared by every node (and the
+        recovery manager), so counters aggregate cluster-wide.
         """
         if assignment is None:
             assignment = self.master.plan(
@@ -218,6 +232,13 @@ class Cluster:
         ft = faults is not None or recovery is not None
         if ft and recovery is None:
             recovery = RecoveryConfig()
+        if tracer is None:
+            # Flight recorder armed by default on fault-tolerant runs:
+            # ring mode is bounded-memory and cheap enough to always run.
+            tracer = Tracer(mode="ring") if ft else NULL_TRACER
+        if metrics is None:
+            metrics = MetricsRegistry()
+        self.transport.tracer = tracer
         fields = FieldStore(self.program.fields.values())
         counter = WorkCounter()
         timers = TimerSet(self.program.timers)
@@ -257,6 +278,8 @@ class Cluster:
                 timers=timers,
                 on_event=tap,
                 dependency_kernels=list(self.program.kernels.values()),
+                tracer=tracer,
+                metrics=metrics,
             )
         if not exec_nodes:
             raise PartitionError("assignment left every node empty")
@@ -304,6 +327,8 @@ class Cluster:
                 on_event=tap,
                 recover=True,
                 dependency_kernels=list(self.program.kernels.values()),
+                tracer=tracer,
+                metrics=metrics,
             )
             if faults is not None:
                 faults.wrap(repl)
@@ -334,6 +359,7 @@ class Cluster:
                 self.transport,
                 recovery.heartbeat_timeout,
                 recovery.progress_timeout,
+                tracer=tracer,
             )
             manager = RecoveryManager(
                 master=self.master,
@@ -345,6 +371,8 @@ class Cluster:
                 heartbeaters=heartbeaters,
                 spawn=spawn,
                 injector=faults,
+                tracer=tracer,
+                metrics=metrics,
             )
 
         t0 = time.perf_counter()
@@ -382,15 +410,33 @@ class Cluster:
                 faults.release_all()
             monitor.close()
         wall = time.perf_counter() - t0
-        if manager is not None and manager.error is not None:
-            raise manager.error
-        if errors:
-            raise errors[0]
+        stats = self.transport.stats
+        metrics.gauge("transport.messages").set_max(stats.messages)
+        metrics.gauge("transport.bytes").set_max(stats.bytes)
+        metrics.gauge("transport.delivery_errors").set_max(
+            stats.delivery_errors
+        )
+        metrics.gauge("transport.drops").set_max(stats.drops)
+        err = manager.error if manager is not None else None
+        if err is None and errors:
+            err = errors[0]
+        if err is not None:
+            path = dump_flight(
+                tracer,
+                reason=f"{type(err).__name__}: {err}",
+                context={"cluster": self.program.name,
+                         "nodes": sorted(self._workers)},
+            )
+            if path is not None:
+                err.flight_path = path  # type: ignore[attr-defined]
+            raise err
         return ClusterResult(
             assignment=assignment,
             node_results=results,
-            transport=self.transport.stats,
+            transport=stats,
             wall_time=wall,
             fields=fields,
             recoveries=list(manager.records) if manager is not None else [],
+            metrics=metrics,
+            tracer=tracer if tracer.enabled else None,
         )

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from ..core.errors import TransportError
+from ..obs import NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.runtime import ExecutionNode
@@ -109,6 +110,17 @@ class Heartbeater:
                 )
             except TransportError:
                 return  # transport closed: the run is over
+            tr = self.node.tracer
+            if tr.enabled:
+                tr.instant(
+                    "heartbeat", "heartbeat", name, "heartbeat",
+                    args={
+                        "seq": beat.seq,
+                        "executed": beat.executed,
+                        "busy": beat.busy,
+                        "backlog": beat.backlog,
+                    },
+                )
 
 
 class HeartbeatMonitor:
@@ -128,11 +140,13 @@ class HeartbeatMonitor:
         transport: "InProcTransport",
         timeout: float,
         progress_timeout: float | None = None,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         if timeout <= 0:
             raise ValueError("heartbeat timeout must be positive")
         self.timeout = timeout
         self.progress_timeout = progress_timeout
+        self.tracer = tracer
         self._lock = threading.Lock()
         self._health: dict[str, _Health] = {}
         self._failed: dict[str, str] = {}  # node -> failure reason
@@ -186,9 +200,11 @@ class HeartbeatMonitor:
         """
         now = time.monotonic()
         out: list[str] = []
+        detected: list[tuple[str, str, str]] = []  # (event, node, reason)
         with self._lock:
             for name, h in list(self._health.items()):
                 if now - h.last_seen > self.timeout:
+                    event = "heartbeat-silence"
                     reason = (
                         f"no heartbeat for {now - h.last_seen:.3f}s "
                         f"(timeout {self.timeout}s)"
@@ -198,6 +214,7 @@ class HeartbeatMonitor:
                     and (h.backlog > 0 or h.busy > 0)
                     and now - h.last_progress > self.progress_timeout
                 ):
+                    event = "progress-stall"
                     reason = (
                         f"no progress for {now - h.last_progress:.3f}s "
                         f"with backlog {h.backlog} and {h.busy} busy "
@@ -208,6 +225,13 @@ class HeartbeatMonitor:
                 del self._health[name]
                 self._failed[name] = reason
                 out.append(name)
+                detected.append((event, name, reason))
+        if self.tracer.enabled:
+            for event, name, reason in detected:
+                self.tracer.instant(
+                    event, "failure", "master", "monitor",
+                    args={"node": name, "reason": reason}, scope="g",
+                )
         return out
 
     def close(self) -> None:

@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING, Callable
 
 from ..core.errors import NodeFailureError
 from ..core.scheduler import reenqueue
+from ..obs import MetricsRegistry, NULL_TRACER, Tracer
 from .topology import LocalTopology
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -110,6 +111,8 @@ class RecoveryManager:
         heartbeaters: dict[str, "Heartbeater"],
         spawn: Callable[["ExecutionNode", str], "ExecutionNode"],
         injector: "FaultInjector | None" = None,
+        tracer: Tracer = NULL_TRACER,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         self._master = master
         self._transport = transport
@@ -120,6 +123,8 @@ class RecoveryManager:
         self._heartbeaters = heartbeaters
         self._spawn = spawn
         self._injector = injector
+        self.tracer = tracer
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._attempts: dict[str, int] = {}  # base name -> restarts used
         self._history: list[tuple[str, int]] = []  # (node, attempt)
         self.records: list[RecoveryRecord] = []
@@ -156,7 +161,9 @@ class RecoveryManager:
         if node is None:
             return
         t0 = time.monotonic()
+        tr_t0 = self.tracer.now()  # span times must use the tracer's clock
         reason = self._monitor.failures().get(name, "unknown")
+        self.metrics.counter("recovery.node_failures").inc()
         # Recovery token: keeps the shared counter nonzero for the whole
         # window in which the dead node's kernels have no owner.
         self._counter.inc()
@@ -172,6 +179,12 @@ class RecoveryManager:
             # it, outstanding work reclaimed.
             self._transport.unsubscribe_node(name)
             abandoned = node.wind_down()
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "fencing", "recovery", "master", "recovery",
+                    args={"node": name, "abandoned": abandoned,
+                          "reason": reason}, scope="g",
+                )
             captive = (
                 self._injector.captive_instances(name)
                 if self._injector is not None
@@ -219,6 +232,25 @@ class RecoveryManager:
             repl.instrumentation.record_failure(
                 attempt, recovery_s, replayed
             )
+            self.metrics.counter("recovery.reenqueued").inc(n_re)
+            self.metrics.counter("recovery.replayed").inc(replayed)
+            self.metrics.histogram("recovery.recovery_s").observe(recovery_s)
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "replay", "recovery", "master", "recovery",
+                    args={"replacement": repl_name, "replayed": replayed},
+                )
+                self.tracer.instant(
+                    "re-execution", "recovery", "master", "recovery",
+                    args={"failed": name, "replacement": repl_name,
+                          "host": host, "attempt": attempt,
+                          "reenqueued": n_re}, scope="g",
+                )
+                self.tracer.complete(
+                    f"recover:{name}", "recovery", "master", "recovery",
+                    tr_t0, self.tracer.now(),
+                    args={"replacement": repl_name, "reason": reason},
+                )
             self.records.append(
                 RecoveryRecord(
                     failed=name,

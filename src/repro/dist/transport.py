@@ -36,6 +36,7 @@ from dataclasses import dataclass, field as dc_field
 from typing import Any, Callable
 
 from ..core.errors import TransportError
+from ..obs import NULL_TRACER, Tracer
 
 __all__ = ["Message", "TransportStats", "InProcTransport"]
 
@@ -60,6 +61,7 @@ class TransportStats:
     per_link: dict[tuple[str, str], int] = dc_field(default_factory=dict)
     simulated_latency_s: float = 0.0
     delivery_errors: int = 0  #: subscriber callbacks that raised
+    drops: int = 0  #: messages discarded by the drop filter (partition)
 
     def record(
         self, msg: Message, receiver: str, latency_s: float
@@ -99,6 +101,9 @@ class InProcTransport:
         self._log: list[Message] | None = None
         self._dropped: set[str] = set()
         self.delivery_failures: list[tuple[str, str, str]] = []
+        #: Optional span tracer (set by the cluster); publishes record
+        #: instant events in the sender's transport lane when enabled.
+        self.tracer: Tracer = NULL_TRACER
 
     # -- fault-tolerance hooks ------------------------------------------
     def enable_log(self) -> None:
@@ -198,6 +203,12 @@ class InProcTransport:
             if not control and self._log is not None:
                 self._log.append(msg)
             if sender in self._dropped:
+                self.stats.drops += 1
+                if self.tracer.enabled and not control:
+                    self.tracer.instant(
+                        "drop", "transport", sender, "transport",
+                        args={"topic": topic},
+                    )
                 return 0
             targets = [
                 (node, handler)

@@ -1,0 +1,51 @@
+"""Observability: span tracing, metrics and the failure flight recorder.
+
+This subpackage is the measurement substrate the ROADMAP's performance
+work rests on.  It is deliberately dependency-free within the project
+(imports nothing from :mod:`repro.core` or :mod:`repro.dist`, which
+both build on it):
+
+* :mod:`repro.obs.tracing` — per-kernel-instance lifecycle spans and
+  scheduler/analyzer/transport/heartbeat/recovery events, exported as
+  Chrome trace-event JSON (``--trace out.json``, open in Perfetto);
+* :mod:`repro.obs.metrics` — counters, gauges and histograms with
+  snapshot/delta/merge semantics (``--metrics`` / ``--metrics-json``);
+* :mod:`repro.obs.flight` — a bounded ring of recent events dumped
+  automatically when a run dies, next to the chaos repro artifact.
+"""
+
+from .flight import FLIGHT_DIR_ENV, dump_flight, flight_dir
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    delta,
+    flatten,
+    merge,
+    render,
+)
+from .tracing import (
+    NULL_TRACER,
+    TraceSchemaError,
+    Tracer,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "FLIGHT_DIR_ENV",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "TraceSchemaError",
+    "Tracer",
+    "delta",
+    "dump_flight",
+    "flatten",
+    "flight_dir",
+    "merge",
+    "render",
+    "validate_chrome_trace",
+]

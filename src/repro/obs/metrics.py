@@ -1,0 +1,282 @@
+"""Metrics registry: counters, gauges and histograms with snapshots.
+
+Where :mod:`repro.obs.tracing` keeps the timeline, this module keeps the
+*state* a scheduler (the paper's LLS/HLS) or an operator would poll:
+ready-queue depth and wait time, live field bytes, transport traffic,
+deadline misses, recovery counts.  Three metric kinds:
+
+* :class:`Counter` — monotonically increasing total;
+* :class:`Gauge` — last-set value (with a ``set_max`` variant so
+  several nodes reporting the same shared resource don't regress it);
+* :class:`Histogram` — count/sum/min/max of observations (mean derived).
+
+A snapshot is a plain ``{name: {"type": ..., ...}}`` dict: JSON-ready,
+and the module-level :func:`delta`, :func:`merge`, :func:`flatten` and
+:func:`render` give it the algebra the CLI and the cluster need —
+deltas for rate windows, merges for cluster-wide aggregation, a flat
+``name -> number`` view for machine consumers and a human table for
+``--metrics``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Callable, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "delta",
+    "flatten",
+    "merge",
+    "render",
+]
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be >= 0) to the total."""
+        if n < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def set_max(self, value: float) -> None:
+        """Raise the gauge to ``value`` if higher (used when several
+        nodes report the same shared resource)."""
+        with self._lock:
+            if value > self._value:
+                self._value = value
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Count/sum/min/max summary of a stream of observations."""
+
+    __slots__ = ("_lock", "count", "total", "vmin", "vmax")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+        self.vmin = float("inf")
+        self.vmax = float("-inf")
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.vmin:
+                self.vmin = value
+            if value > self.vmax:
+                self.vmax = value
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            if not self.count:
+                return {
+                    "type": "histogram", "count": 0, "sum": 0.0,
+                    "min": 0.0, "max": 0.0, "mean": 0.0,
+                }
+            return {
+                "type": "histogram",
+                "count": self.count,
+                "sum": self.total,
+                "min": self.vmin,
+                "max": self.vmax,
+                "mean": self.total / self.count,
+            }
+
+
+class MetricsRegistry:
+    """Thread-safe name -> metric registry with get-or-create access.
+
+    Gauges may also be *computed*: :meth:`gauge_fn` registers a callback
+    evaluated at snapshot time (e.g. live field bytes), so idle-path
+    metrics cost nothing between snapshots.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._gauge_fns: dict[str, Callable[[], float]] = {}
+
+    def _get(self, name: str, cls):
+        with self._lock:
+            m = self._metrics.get(name)
+            if m is None:
+                m = cls()
+                self._metrics[name] = m
+            elif not isinstance(m, cls):
+                raise TypeError(
+                    f"metric {name!r} is {type(m).__name__}, "
+                    f"not {cls.__name__}"
+                )
+            return m
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def gauge_fn(self, name: str, fn: Callable[[], float]) -> None:
+        """Register (or replace) a computed gauge evaluated at snapshot
+        time."""
+        with self._lock:
+            self._gauge_fns[name] = fn
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(set(self._metrics) | set(self._gauge_fns))
+
+    def snapshot(self) -> dict[str, dict]:
+        """Typed snapshot of every metric (computed gauges evaluated
+        now; a callback that raises reports a 0.0 gauge rather than
+        poisoning the snapshot)."""
+        with self._lock:
+            metrics = dict(self._metrics)
+            fns = dict(self._gauge_fns)
+        out = {name: m.snapshot() for name, m in metrics.items()}
+        for name, fn in fns.items():
+            try:
+                value = float(fn())
+            except Exception:  # noqa: BLE001 - snapshots must not fail
+                value = 0.0
+            out[name] = {"type": "gauge", "value": value}
+        return dict(sorted(out.items()))
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The snapshot as a JSON document."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Snapshot algebra
+# ----------------------------------------------------------------------
+def delta(new: Mapping[str, dict], old: Mapping[str, dict]) -> dict:
+    """``new - old`` for rate windows: counters and histogram
+    count/sum subtract; gauges and histogram min/max keep ``new``'s
+    values.  Names only in ``new`` pass through unchanged."""
+    out: dict[str, dict] = {}
+    for name, s in new.items():
+        prev = old.get(name)
+        if prev is None or prev.get("type") != s.get("type"):
+            out[name] = dict(s)
+            continue
+        if s["type"] == "counter":
+            out[name] = {"type": "counter",
+                         "value": s["value"] - prev["value"]}
+        elif s["type"] == "histogram":
+            count = s["count"] - prev["count"]
+            total = s["sum"] - prev["sum"]
+            out[name] = {
+                "type": "histogram",
+                "count": count,
+                "sum": total,
+                "min": s["min"],
+                "max": s["max"],
+                "mean": total / count if count else 0.0,
+            }
+        else:
+            out[name] = dict(s)
+    return out
+
+
+def merge(*snapshots: Mapping[str, dict]) -> dict:
+    """Combine snapshots from several nodes: counters and histogram
+    count/sum add, histogram min/max widen, gauges take the max (nodes
+    reporting a shared resource must not double-count it)."""
+    out: dict[str, dict] = {}
+    for snap in snapshots:
+        for name, s in snap.items():
+            cur = out.get(name)
+            if cur is None or cur.get("type") != s.get("type"):
+                out[name] = dict(s)
+                continue
+            if s["type"] == "counter":
+                cur["value"] += s["value"]
+            elif s["type"] == "gauge":
+                cur["value"] = max(cur["value"], s["value"])
+            elif s["type"] == "histogram":
+                count = cur["count"] + s["count"]
+                total = cur["sum"] + s["sum"]
+                cur.update(
+                    count=count,
+                    sum=total,
+                    min=min(cur["min"], s["min"]) if count else 0.0,
+                    max=max(cur["max"], s["max"]) if count else 0.0,
+                    mean=total / count if count else 0.0,
+                )
+    return dict(sorted(out.items()))
+
+
+def flatten(snapshot: Mapping[str, dict]) -> dict[str, float]:
+    """Flat ``name -> number`` view: histograms expand to
+    ``name.count/.sum/.min/.max/.mean`` entries."""
+    out: dict[str, float] = {}
+    for name, s in snapshot.items():
+        if s["type"] == "histogram":
+            for key in ("count", "sum", "min", "max", "mean"):
+                out[f"{name}.{key}"] = s[key]
+        else:
+            out[name] = s["value"]
+    return dict(sorted(out.items()))
+
+
+def render(snapshot: Mapping[str, dict], title: str | None = None) -> str:
+    """Human-readable two-column table of a snapshot."""
+    flat = flatten(snapshot)
+    width = max((len(n) for n in flat), default=10)
+    lines = [title] if title else []
+    lines.append(f"{'metric':<{width}}  value")
+    for name, value in flat.items():
+        if isinstance(value, float) and not value.is_integer():
+            text = f"{value:.6g}"
+        else:
+            text = f"{int(value)}"
+        lines.append(f"{name:<{width}}  {text}")
+    return "\n".join(lines)

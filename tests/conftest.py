@@ -1,0 +1,20 @@
+"""Suite-wide fixtures.
+
+Several fault-tolerance tests intentionally drive runs into
+``NodeFailureError``/``StallError``, which now dump flight-recorder
+artifacts.  Unless a test (or CI) chose a destination explicitly, route
+the dumps into a per-test temporary directory so expected failures
+don't litter the working tree.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _flight_dir_default(tmp_path, monkeypatch):
+    import os
+
+    if not os.environ.get("P2G_FLIGHT_DIR") and not os.environ.get(
+        "CHAOS_REPRO_DIR"
+    ):
+        monkeypatch.setenv("P2G_FLIGHT_DIR", str(tmp_path / "flight"))

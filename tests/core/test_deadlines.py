@@ -75,3 +75,91 @@ class TestTimerSet:
         ts.reset_all()
         assert ts["a"].elapsed_ms() == 0.0
         assert ts["b"].elapsed_ms() == 0.0
+
+
+class TestDeadlineMisses:
+    def test_expired_polls_count_misses(self):
+        clock = FakeClock()
+        t = Timer("t1", clock)
+        assert t.misses == 0
+        assert not t.expired(100)
+        assert t.misses == 0  # an unexpired poll is not a miss
+        clock.advance(0.101)
+        assert t.expired(100)
+        assert t.expired(100)
+        assert t.misses == 2  # every expired poll steers the fallback
+
+    def test_boundary_poll_is_not_a_miss(self):
+        clock = FakeClock()
+        t = Timer("t1", clock)
+        clock.advance(0.100)
+        assert not t.expired(100)  # exactly at the deadline: not passed
+        assert t.misses == 0
+
+    def test_reset_clears_expiry_but_keeps_miss_history(self):
+        clock = FakeClock()
+        t = Timer("t1", clock)
+        clock.advance(0.2)
+        assert t.expired(100)
+        t.reset()
+        assert not t.expired(100)
+        assert t.misses == 1
+
+    def test_timerset_total_misses(self):
+        clock = FakeClock()
+        ts = TimerSet(("a", "b"), clock)
+        clock.advance(1.0)
+        assert ts["a"].expired(100)
+        assert ts["b"].expired(500)
+        assert ts["b"].expired(500)
+        assert ts.total_misses() == 3
+
+
+class TestDeadlineSteering:
+    """A blown deadline steers a kernel down its fallback branch —
+    storing to a *different* field (the paper's frame-skipping encoder,
+    section V-B) — and the miss surfaces in the run's metrics."""
+
+    def test_miss_steers_kernel_to_fallback_store(self):
+        from repro.core import (
+            ExecutionNode,
+            FieldDef,
+            KernelDef,
+            Program,
+            StoreSpec,
+        )
+
+        clock = FakeClock()
+        encoded, dropped = [], []
+
+        def encode(ctx):
+            if ctx.age >= 4:
+                return
+            t = ctx.timers["t1"]
+            if t.expired(100):
+                # Deadline blown: skip this frame, restart the deadline.
+                t.reset()
+                dropped.append(ctx.age)
+                ctx.emit("skipped", ctx.age)
+            else:
+                encoded.append(ctx.age)
+                ctx.emit("frame", ctx.age)
+            clock.advance(0.060)  # 60 ms of encoding work per frame
+
+        program = Program.build(
+            [FieldDef("frame", "int64", 1),
+             FieldDef("skipped", "int64", 1)],
+            [KernelDef("encode", encode, has_age=True,
+                       stores=(StoreSpec("frame", key="frame"),
+                               StoreSpec("skipped", key="skipped")))],
+            ("t1",),
+        )
+        node = ExecutionNode(program, 1, clock=clock)
+        result = node.run(timeout=60)
+        assert result.reason == "idle"
+        # 0 ms, 60 ms: on time; 120 ms: missed (reset); then 60 ms again.
+        assert encoded == [0, 1, 3]
+        assert dropped == [2]
+        assert node.timers["t1"].misses == 1
+        snap = result.metrics.snapshot()
+        assert snap["deadline.misses.t1"]["value"] == 1

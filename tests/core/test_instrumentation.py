@@ -78,7 +78,54 @@ class TestInstrumentation:
         instr = Instrumentation()
         instr.record("a", 2e-6, 4e-6)
         rows = instr.as_rows(order=["a"])
-        assert rows == [("a", 1, pytest.approx(2.0), pytest.approx(4.0))]
+        assert rows == [
+            ("a", 1, pytest.approx(2.0), pytest.approx(4.0), 0.0)
+        ]
+
+    def test_as_rows_reports_mean_ipc(self):
+        instr = Instrumentation()
+        instr.record("a", 2e-6, 4e-6, ipc_time=6e-6)
+        instr.record("a", 2e-6, 4e-6, ipc_time=2e-6)
+        (_, n, _, _, ipc), = instr.as_rows(order=["a"])
+        assert n == 2
+        assert ipc == pytest.approx(4.0)  # mean of 6 us and 2 us
+
+    def test_merged_is_thread_safe_against_concurrent_recording(self):
+        """Merging while both operands are being hammered from other
+        threads must neither crash nor produce an inconsistent row
+        (instances and times are snapshotted under the same lock)."""
+        import threading
+
+        a, b = Instrumentation(), Instrumentation()
+        stop = threading.Event()
+
+        def hammer(instr):
+            while not stop.is_set():
+                instr.record("k", 1e-6, 2e-6, ipc_time=3e-6)
+                instr.add_analyzer_time(1e-6)
+                instr.record_failure(1, 1e-3, replayed=2)
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,), daemon=True)
+            for i in (a, b)
+        ]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(200):
+                m = a.merged(b)
+                s = m["k"]
+                # Per-instance means must stay exact: every recorded
+                # instance carried the same (dispatch, kernel, ipc).
+                if s.instances:
+                    assert s.mean_dispatch_us == pytest.approx(1.0)
+                    assert s.mean_kernel_us == pytest.approx(2.0)
+                    assert s.mean_ipc_us == pytest.approx(3.0)
+                assert m.replayed_events == 2 * m.node_failures
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
 
     def test_start_stop_wall_time(self):
         instr = Instrumentation()

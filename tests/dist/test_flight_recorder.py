@@ -1,0 +1,122 @@
+"""Flight recorder + observability on the fault-tolerant cluster path.
+
+The acceptance scenario: a cluster chaos run where a killed node
+exhausts its restart budget must dump a flight-recorder timeline that
+shows the failure story — heartbeat silence, fencing, re-execution —
+as a schema-valid Chrome trace next to the chaos repro artifact.
+"""
+
+import json
+
+import pytest
+
+from repro.core.errors import NodeFailureError
+from repro.dist import Cluster, FaultInjector, FaultSchedule, RecoveryConfig
+from repro.dist.faults import FaultSpec
+from repro.obs import Tracer, flatten, validate_chrome_trace
+from repro.workloads import build_mulsum
+
+FAST = RecoveryConfig(heartbeat_interval=0.01, heartbeat_timeout=0.1,
+                      max_restarts=1)
+
+
+class TestFlightRecorderOnFailure:
+    def test_budget_exhaustion_dumps_failure_timeline(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("P2G_FLIGHT_DIR", str(tmp_path))
+        # Kill n0, then kill its replacement: with a budget of one
+        # restart the second failure is unrecoverable.
+        schedule = FaultSchedule([
+            FaultSpec("n0", "kill", after_instances=2),
+            FaultSpec("n0~1", "kill", after_instances=1),
+        ])
+        program, _sink = build_mulsum()
+        with pytest.raises(NodeFailureError) as info:
+            Cluster(program, {"n0": 2, "n1": 2}).run(
+                max_age=3, timeout=60,
+                faults=FaultInjector(schedule), recovery=FAST,
+            )
+        path = getattr(info.value, "flight_path", None)
+        assert path is not None, "no flight recording attached"
+        assert path.parent == tmp_path
+        doc = json.loads(path.read_text())
+        assert validate_chrome_trace(doc) > 0
+        names = {e["name"] for e in doc["traceEvents"]}
+        # The failure story, in events: silence detected, the victim
+        # fenced, and its work re-executed on a replacement.
+        assert "heartbeat-silence" in names
+        assert "fencing" in names
+        assert "re-execution" in names
+        assert "heartbeat" in names
+        assert "NodeFailureError" in doc["flight"]["reason"]
+
+
+class TestClusterObservability:
+    def test_ft_run_arms_ring_tracer_and_aggregates_metrics(self):
+        schedule = FaultSchedule([FaultSpec("n0", "kill",
+                                            after_instances=2)])
+        program, sink = build_mulsum()
+        result = Cluster(program, {"n0": 2, "n1": 2}).run(
+            max_age=3, timeout=60,
+            faults=FaultInjector(schedule), recovery=FAST,
+        )
+        assert result.reason == "idle"
+        assert len(sink) == 4
+        # Flight recorder was armed by default on the ft path.
+        assert result.tracer is not None
+        assert result.tracer.mode == "ring"
+        flat = flatten(result.metrics.snapshot())
+        if result.recoveries:  # the kill fired before quiescence
+            assert flat["recovery.node_failures"] >= 1
+            assert flat["recovery.recovery_s.count"] >= 1
+        assert flat["instances.executed"] > 0
+        assert flat["transport.messages"] == result.transport.messages
+        assert flat["transport.bytes"] == result.transport.bytes
+
+    def test_plain_run_has_no_tracer_but_keeps_metrics(self):
+        program, _sink = build_mulsum()
+        result = Cluster(program, {"n0": 2, "n1": 2}).run(
+            max_age=3, timeout=60,
+        )
+        assert result.tracer is None  # nothing armed without ft
+        flat = flatten(result.metrics.snapshot())
+        assert flat["instances.executed"] > 0
+
+    def test_full_tracer_sees_every_node_and_the_control_plane(self):
+        schedule = FaultSchedule([FaultSpec("n0", "kill",
+                                            after_instances=2)])
+        program, _sink = build_mulsum()
+        tr = Tracer(mode="full")
+        result = Cluster(program, {"n0": 2, "n1": 2}).run(
+            max_age=3, timeout=60,
+            faults=FaultInjector(schedule), recovery=FAST,
+            tracer=tr,
+        )
+        assert result.tracer is tr
+        events = tr.events()
+        assert validate_chrome_trace({"traceEvents": events}) > 0
+        processes = {e["args"]["name"] for e in events
+                     if e["ph"] == "M" and e["name"] == "process_name"}
+        assert {"n0", "n1"} <= processes
+        if result.recoveries:
+            # control-plane lanes: monitor + recovery under "master",
+            # and the replacement node's own lane
+            assert "master" in processes
+            assert "n0~1" in processes
+
+
+class TestTransportDrops:
+    def test_partitioned_sender_counts_drops(self):
+        from repro.dist.transport import InProcTransport
+
+        tr = InProcTransport()
+        got = []
+        tr.subscribe("f", "receiver", got.append)
+        tr.publish("f", "sender", "a")
+        tr.drop_from("sender")
+        tr.publish("f", "sender", "b")
+        tr.publish("f", "sender", "c")
+        assert [m.payload for m in got] == ["a"]
+        assert tr.stats.drops == 2
+        assert tr.stats.messages == 1

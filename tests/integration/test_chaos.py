@@ -154,10 +154,12 @@ class TestNodeKillChaos:
     @pytest.mark.parametrize("seed", [11, 23, 47])
     def test_seeded_node_kill_bit_identical(self, seed):
         from repro.dist import FaultInjector, FaultSchedule
+        from repro.obs import dump_flight
 
         schedule = FaultSchedule.random(
             sorted(self.NODES), seed, kinds=("kill",), n_faults=1
         )
+        result = None
         try:
             result, sink = self._run(FaultInjector(schedule))
             assert result.reason == "idle"
@@ -166,9 +168,22 @@ class TestNodeKillChaos:
             for age in expected:
                 assert np.array_equal(sink[age][0], expected[age][0])
                 assert np.array_equal(sink[age][1], expected[age][1])
-        except BaseException:
+        except BaseException as exc:
             path = self._dump_repro(schedule, seed)
             print(f"chaos repro schedule written to {path}")
+            # Flight recording next to the repro JSON: either the run
+            # already dumped one (errors raised inside Cluster.run), or
+            # the run "succeeded" with wrong output and we dump the ring
+            # the fault-tolerant run kept armed.
+            flight = getattr(exc, "flight_path", None)
+            if flight is None and result is not None and result.tracer:
+                flight = dump_flight(
+                    result.tracer,
+                    reason=f"chaos seed {seed}: {type(exc).__name__}",
+                    directory=path.parent,
+                )
+            if flight is not None:
+                print(f"flight recording written to {flight}")
             raise
 
     def test_schedule_replay_from_json(self):

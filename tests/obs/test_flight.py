@@ -1,0 +1,57 @@
+"""Unit tests for the failure flight recorder."""
+
+import json
+
+from repro.obs import (
+    NULL_TRACER,
+    Tracer,
+    dump_flight,
+    flight_dir,
+    validate_chrome_trace,
+)
+
+
+class TestFlightDir:
+    def test_env_priority(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("P2G_FLIGHT_DIR", raising=False)
+        monkeypatch.delenv("CHAOS_REPRO_DIR", raising=False)
+        assert str(flight_dir()) == "."
+        monkeypatch.setenv("CHAOS_REPRO_DIR", str(tmp_path / "chaos"))
+        assert flight_dir() == tmp_path / "chaos"
+        monkeypatch.setenv("P2G_FLIGHT_DIR", str(tmp_path / "flight"))
+        assert flight_dir() == tmp_path / "flight"  # P2G_FLIGHT_DIR wins
+
+
+class TestDumpFlight:
+    def test_disabled_tracer_dumps_nothing(self, tmp_path):
+        assert dump_flight(NULL_TRACER, "boom", directory=tmp_path) is None
+
+    def test_empty_ring_dumps_nothing(self, tmp_path):
+        assert dump_flight(Tracer(), "boom", directory=tmp_path) is None
+
+    def test_dump_is_a_valid_trace_with_flight_envelope(self, tmp_path):
+        tr = Tracer(mode="ring", ring=8)
+        for i in range(12):
+            tr.instant(f"e{i}", "test", "node0", "worker0")
+        path = dump_flight(tr, "NodeFailureError: node died",
+                           context={"node": "node0"}, directory=tmp_path)
+        assert path is not None and path.parent == tmp_path
+        doc = json.loads(path.read_text())
+        assert validate_chrome_trace(doc) == 8  # the ring window
+        assert doc["flight"]["reason"].startswith("NodeFailureError")
+        assert doc["flight"]["context"] == {"node": "node0"}
+        assert doc["flight"]["ring_dropped"] == 4
+
+    def test_consecutive_dumps_get_distinct_paths(self, tmp_path):
+        tr = Tracer(mode="ring")
+        tr.instant("e", "test", "p", "t")
+        a = dump_flight(tr, "first", directory=tmp_path)
+        b = dump_flight(tr, "second", directory=tmp_path)
+        assert a != b
+
+    def test_unwritable_directory_returns_none(self, tmp_path):
+        target = tmp_path / "file"
+        target.write_text("")  # mkdir(parents=True) will fail on a file
+        tr = Tracer(mode="ring")
+        tr.instant("e", "test", "p", "t")
+        assert dump_flight(tr, "boom", directory=target / "sub") is None

@@ -158,6 +158,60 @@ class TestSimulateCommand:
         assert "workers" in out
 
 
+class TestObservabilityFlags:
+    """--trace / --metrics / --metrics-json across the subcommands."""
+
+    def test_mjpeg_trace_is_schema_valid(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        trace = tmp_path / "out.json"
+        rc = main([
+            "mjpeg", str(tmp_path / "clip.mjpeg"),
+            "--width", "32", "--height", "32", "--frames", "2",
+            "-w", "2", "--trace", str(trace),
+        ])
+        assert rc == 0
+        doc = json.loads(trace.read_text())
+        assert validate_chrome_trace(doc) > 0
+        meta = {(e["name"], e["args"]["name"])
+                for e in doc["traceEvents"] if e["ph"] == "M"}
+        assert ("thread_name", "worker0") in meta  # per-worker lanes
+        assert ("thread_name", "analyzer") in meta
+        out = capsys.readouterr().out
+        assert "perfetto" in out.lower()
+
+    def test_run_metrics_table_and_json(self, mulsum_file, tmp_path,
+                                        capsys):
+        import json
+
+        mpath = tmp_path / "metrics.json"
+        rc = main(["run", mulsum_file, "-w", "2", "--metrics",
+                   "--metrics-json", str(mpath)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "instances.executed" in out  # the --metrics table
+        doc = json.loads(mpath.read_text())
+        assert doc["instances.executed"]["value"] > 0
+        assert doc["ready.wait_s"]["type"] == "histogram"
+
+    def test_cluster_trace_has_per_node_lanes(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        trace = tmp_path / "cluster.json"
+        rc = main(["cluster", "mulsum", "--nodes", "2", "-w", "2",
+                   "--max-age", "2", "--trace", str(trace)])
+        assert rc == 0
+        doc = json.loads(trace.read_text())
+        assert validate_chrome_trace(doc) > 0
+        processes = {e["args"]["name"] for e in doc["traceEvents"]
+                     if e["ph"] == "M" and e["name"] == "process_name"}
+        assert {"node0", "node1"} <= processes
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
