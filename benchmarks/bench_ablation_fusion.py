@@ -7,13 +7,15 @@ intermediate-store elision is measured by dropping the print consumer.
 
 import numpy as np
 import pytest
-from conftest import emit
+from conftest import emit, write_variants_json
 
 from repro.core import coarsen, fuse, run_program
 from repro.workloads import build_mulsum, expected_series
 
 AGES = 60
 EXPECTED = expected_series(AGES + 1, modulo=2**40)
+VARIANTS = ["baseline", "fused", "fused+coarse", "fused+elided"]
+_RESULTS: dict[str, dict] = {}
 
 
 def _variant(name):
@@ -29,9 +31,7 @@ def _variant(name):
     return program, sink
 
 
-@pytest.mark.parametrize(
-    "variant", ["baseline", "fused", "fused+coarse", "fused+elided"]
-)
+@pytest.mark.parametrize("variant", VARIANTS)
 def test_fusion(benchmark, variant):
     def run():
         program, sink = _variant(variant)
@@ -55,3 +55,14 @@ def test_fusion(benchmark, variant):
         f"total instances: {total}, wall: {result.wall_time:.3f}s, "
         f"analyzer: {result.instrumentation.analyzer_time:.4f}s",
     )
+    _RESULTS[variant] = {
+        "wall_time_s": round(result.wall_time, 4),
+        "total_instances": total,
+        "analyzer_s": round(result.instrumentation.analyzer_time, 4),
+    }
+    if len(_RESULTS) == len(VARIANTS):
+        write_variants_json(
+            "ablation_fusion", _RESULTS,
+            sum(v["wall_time_s"] for v in _RESULTS.values()),
+            baseline="baseline", workload="mulsum", ages=AGES,
+        )

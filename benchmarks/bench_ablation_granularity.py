@@ -12,13 +12,15 @@ coarse-by-construction (point) decompositions of the same K-means run.
 
 import numpy as np
 import pytest
-from conftest import emit
+from conftest import emit, write_variants_json
 
 from repro.core import coarsen, run_program
 from repro.workloads import build_kmeans, kmeans_baseline
 
 N, K, ITERS = 150, 10, 4
 BASE = kmeans_baseline(n=N, k=K, iterations=ITERS)
+VARIANTS = ["fine", "coarsened", "point"]
+_RESULTS: dict[str, dict] = {}
 
 
 def _check(sink):
@@ -26,7 +28,7 @@ def _check(sink):
         assert np.allclose(sink.history[age], BASE.history[age])
 
 
-@pytest.mark.parametrize("variant", ["fine", "coarsened", "point"])
+@pytest.mark.parametrize("variant", VARIANTS)
 def test_granularity(benchmark, variant):
     def run():
         program, sink = build_kmeans(
@@ -53,3 +55,16 @@ def test_granularity(benchmark, variant):
         f"{result.instrumentation.analyzer_time:.3f}s, wall: "
         f"{result.wall_time:.3f}s",
     )
+    _RESULTS[variant] = {
+        "wall_time_s": round(result.wall_time, 4),
+        "assign_instances": assign.instances,
+        "dispatch_ratio": round(assign.dispatch_ratio, 3),
+        "analyzer_s": round(result.instrumentation.analyzer_time, 4),
+    }
+    if len(_RESULTS) == len(VARIANTS):
+        write_variants_json(
+            "ablation_granularity", _RESULTS,
+            sum(v["wall_time_s"] for v in _RESULTS.values()),
+            baseline="fine", workload="kmeans", n=N, k=K,
+            iterations=ITERS,
+        )

@@ -3,8 +3,10 @@
 initially configure a workload, given various global topology
 configurations")."""
 
+import time
+
 import pytest
-from conftest import emit
+from conftest import emit, write_variants_json
 
 from repro.sim import (
     CORE_I7_860,
@@ -14,6 +16,9 @@ from repro.sim import (
     paper_mjpeg_model,
     recommend_workers,
 )
+
+_CASES = 4  # the recommend_workers parameter grid below
+_RESULTS: dict[str, dict] = {}
 
 
 @pytest.mark.parametrize(
@@ -29,10 +34,12 @@ from repro.sim import (
 def test_recommend_workers(benchmark, workload, machine):
     model = (paper_mjpeg_model(20) if workload == "mjpeg"
              else paper_kmeans_model())
+    t0 = time.perf_counter()
     rec = benchmark.pedantic(
         recommend_workers, args=(model, machine),
         kwargs={"max_workers": 8}, rounds=1, iterations=1,
     )
+    wall = time.perf_counter() - t0
     emit(
         f"advisor [{workload} on {machine.name}]",
         f"provision {rec.knee} workers (best {rec.best_workers} at "
@@ -41,6 +48,19 @@ def test_recommend_workers(benchmark, workload, machine):
     )
     benchmark.extra_info["knee"] = rec.knee
     benchmark.extra_info["best_makespan"] = round(rec.best_makespan, 2)
+    _RESULTS[f"{workload}/{machine.name}"] = {
+        "wall_time_s": round(wall, 4),
+        "knee": rec.knee,
+        "best_workers": rec.best_workers,
+        "best_makespan_s": round(rec.best_makespan, 2),
+        "model_speedup": round(rec.speedup(), 3),
+        "analyzer_bound": rec.analyzer_bound,
+    }
+    if len(_RESULTS) == _CASES:
+        write_variants_json(
+            "advisor", _RESULTS,
+            sum(v["wall_time_s"] for v in _RESULTS.values()),
+        )
     if workload == "kmeans":
         assert rec.analyzer_bound
         assert rec.knee <= 5
@@ -49,13 +69,16 @@ def test_recommend_workers(benchmark, workload, machine):
 
 
 def test_granularity_what_if(benchmark):
+    t0 = time.perf_counter()
     results = benchmark.pedantic(
         granularity_what_if,
         args=(paper_kmeans_model(), OPTERON_8218, "assign"),
         kwargs={"factors": (1, 8, 64, 512), "max_workers": 8},
         rounds=1, iterations=1,
     )
+    wall = time.perf_counter() - t0
     lines = []
+    variants = {}
     for r in results:
         rec = r.recommendation
         lines.append(
@@ -66,6 +89,16 @@ def test_granularity_what_if(benchmark):
         benchmark.extra_info[f"x{r.factor}_makespan"] = round(
             rec.best_makespan, 2
         )
+        variants[f"x{r.factor}"] = {
+            "best_makespan_s": round(rec.best_makespan, 2),
+            "best_workers": rec.best_workers,
+            "knee": rec.knee,
+            "analyzer_bound": rec.analyzer_bound,
+        }
+    write_variants_json(
+        "advisor_whatif", variants, wall,
+        workload="kmeans", machine=OPTERON_8218.name, kernel="assign",
+    )
     emit("granularity what-if (K-means assign, Opteron)", "\n".join(lines))
     # coarsening must remove the analyzer bottleneck and improve makespan
     assert (results[-1].recommendation.best_makespan

@@ -35,6 +35,15 @@ def commit_hash() -> str:
         return "unknown"
 
 
+def _write_payload(figure: str, payload: dict) -> pathlib.Path:
+    out_dir = pathlib.Path(os.environ.get("BENCH_OUT_DIR", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{figure}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    emit(f"BENCH_{figure}.json", f"written to {path}")
+    return path
+
+
 def write_bench_json(figure: str, sweep, wall_time_s: float,
                      **extra) -> pathlib.Path:
     """Write ``BENCH_<figure>.json`` — per-worker times and speedups for
@@ -58,9 +67,32 @@ def write_bench_json(figure: str, sweep, wall_time_s: float,
         "speedup": speedup,
         **extra,
     }
-    out_dir = pathlib.Path(os.environ.get("BENCH_OUT_DIR", "."))
-    out_dir.mkdir(parents=True, exist_ok=True)
-    path = out_dir / f"BENCH_{figure}.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    emit(f"BENCH_{figure}.json", f"written to {path}")
-    return path
+    return _write_payload(figure, payload)
+
+
+def write_variants_json(figure: str, variants: dict, wall_time_s: float,
+                        baseline: str | None = None,
+                        **extra) -> pathlib.Path:
+    """The :func:`write_bench_json` counterpart for *variant* sweeps
+    (ablations/advisor runs compare named configurations rather than
+    worker counts).  ``variants`` maps name -> numbers dict; when
+    ``baseline`` names a variant with a ``wall_time_s`` entry, each
+    variant gains a ``speedup`` relative to it.  Same envelope as the
+    fig9/fig10 artifacts: figure id, commit hash, sweep wall time.
+    """
+    variants = {name: dict(data) for name, data in variants.items()}
+    ref = (variants.get(baseline) or {}).get("wall_time_s")
+    if ref:
+        for data in variants.values():
+            w = data.get("wall_time_s")
+            if w:
+                data.setdefault("speedup", round(ref / w, 3))
+    payload = {
+        "figure": figure,
+        "commit": commit_hash(),
+        "unix_time": round(time.time(), 3),
+        "wall_time_s": round(wall_time_s, 3),
+        "variants": variants,
+        **extra,
+    }
+    return _write_payload(figure, payload)

@@ -67,6 +67,39 @@ def _add_obs_args(p: argparse.ArgumentParser) -> None:
                    help="write the metrics-registry snapshot as JSON")
 
 
+def _add_adapt_args(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group("online adaptation")
+    g.add_argument("--adapt", action="store_true",
+                   help="let the LLS coarsen/fuse kernels mid-run when "
+                        "dispatch overhead dominates (output stays "
+                        "byte-identical)")
+    g.add_argument("--adapt-ratio", type=float, default=0.25,
+                   metavar="R",
+                   help="dispatch/(dispatch+kernel) ratio above which a "
+                        "kernel is re-granularized (default 0.25)")
+
+
+def _adapt_config(args: argparse.Namespace):
+    if not getattr(args, "adapt", False):
+        return None
+    from .core.adaptation import AdaptationConfig
+
+    return AdaptationConfig(ratio_target=args.adapt_ratio)
+
+
+def _print_replans(replans) -> None:
+    for rec in replans:
+        if rec.remote:
+            continue
+        parts = []
+        for d in rec.decisions:
+            if hasattr(d, "factor"):
+                parts.append(f"coarsen {d.kernel}.{d.var} x{d.factor}")
+            else:
+                parts.append(f"fuse {d.first}+{d.second}")
+        print(f"adapted at age {rec.epoch}: " + "; ".join(parts))
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from .core import run_program
     from .lang import compile_file
@@ -82,9 +115,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             backend=args.backend,
             tracer=obs.tracer,
             metrics=obs.metrics,
+            adapt=_adapt_config(args),
         )
     finally:
         obs.finish()
+    _print_replans(result.replans)
     print(f"program {program.name!r}: {result.reason} in "
           f"{result.wall_time:.3f}s")
     order = list(program.kernels)
@@ -134,9 +169,11 @@ def _cmd_mjpeg(args: argparse.Namespace) -> int:
     try:
         result = run_program(program, workers=args.workers,
                              timeout=args.timeout, backend=args.backend,
-                             tracer=obs.tracer, metrics=obs.metrics)
+                             tracer=obs.tracer, metrics=obs.metrics,
+                             adapt=_adapt_config(args))
     finally:
         obs.finish()
+    _print_replans(result.replans)
     if args.output.endswith(".avi"):
         from .media import split_frames, write_avi
 
@@ -166,9 +203,11 @@ def _cmd_kmeans(args: argparse.Namespace) -> int:
     try:
         result = run_program(program, workers=args.workers,
                              timeout=args.timeout, backend=args.backend,
-                             tracer=obs.tracer, metrics=obs.metrics)
+                             tracer=obs.tracer, metrics=obs.metrics,
+                             adapt=_adapt_config(args))
     finally:
         obs.finish()
+    _print_replans(result.replans)
     print(f"k-means n={args.n} K={args.k} x{args.iterations}: "
           f"{result.reason} in {result.wall_time:.2f}s")
     print(result.instrumentation.table(
@@ -234,6 +273,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             stall_timeout=args.stall_timeout,
             faults=faults, recovery=recovery,
             tracer=obs.tracer, metrics=obs.metrics,
+            adapt=_adapt_config(args),
         )
     except BaseException as exc:
         flight = getattr(exc, "flight_path", None)
@@ -242,6 +282,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         raise
     finally:
         obs.finish()
+    _print_replans(result.replans)
     print(f"cluster {args.workload} on {args.nodes} node(s): "
           f"{result.reason} in {result.wall_time:.2f}s "
           f"({result.transport.messages} cross-node messages)")
@@ -345,6 +386,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", choices=("threads", "processes"),
                    default="threads",
                    help="execution backend for kernel bodies")
+    _add_adapt_args(p)
     _add_obs_args(p)
     p.set_defaults(fn=_cmd_run)
 
@@ -374,6 +416,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", choices=("threads", "processes"),
                    default="threads",
                    help="execution backend for kernel bodies")
+    _add_adapt_args(p)
     _add_obs_args(p)
     p.set_defaults(fn=_cmd_mjpeg)
 
@@ -390,6 +433,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", choices=("threads", "processes"),
                    default="threads",
                    help="execution backend for kernel bodies")
+    _add_adapt_args(p)
     _add_obs_args(p)
     p.set_defaults(fn=_cmd_kmeans)
 
@@ -437,6 +481,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-k", type=int, default=8)
     p.add_argument("--iterations", type=int, default=4)
     p.add_argument("-t", "--timeout", type=float, default=300.0)
+    _add_adapt_args(p)
     _add_obs_args(p)
     p.set_defaults(fn=_cmd_cluster)
 

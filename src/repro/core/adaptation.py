@@ -1,0 +1,175 @@
+"""Online LLS adaptation: the policy-driver loop.
+
+The paper's low-level scheduler changes data and task granularity *at
+runtime* (section IV): the instrumentation data each execution node
+gathers feeds back into the scheduler, which combines kernel instances
+when dispatch overhead dominates.  The offline pieces already exist —
+:func:`~repro.core.scheduler.coarsen` / :func:`~repro.core.scheduler.fuse`
+rewrites and the :class:`~repro.core.scheduler.AdaptivePolicy` that
+recommends them.  This module closes the loop while a program is
+running:
+
+* an :class:`AdaptationDriver` thread periodically snapshots the node's
+  :class:`~repro.core.instrumentation.Instrumentation`;
+* the *interval delta* of those stats (not whole-run averages — see
+  :func:`~repro.core.instrumentation.delta_stats`) goes through the
+  policy, which may recommend coarsen/fuse decisions;
+* decisions are handed to
+  :meth:`~repro.core.runtime.ExecutionNode.request_replan`, which makes
+  the analyzer re-bind to the rewritten program at a safe age boundary
+  (the swap epoch — see :mod:`.analyzer`).
+
+The driver is deliberately dumb about *where* it runs: a single node
+passes itself, while the distributed master composes one from three
+callables (merged cluster stats, the master's tracked program, and a
+broadcast apply), so the same loop drives both paths.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from .instrumentation import KernelStats, delta_stats
+from .scheduler import AdaptivePolicy, decision_kernels
+
+
+@dataclass
+class AdaptationConfig:
+    """Tuning for the online adaptation loop.
+
+    ``interval`` is how often the driver polls the instrumentation;
+    ``ratio_target`` / ``min_instances`` / ``max_factor`` parameterize
+    the underlying :class:`~repro.core.scheduler.AdaptivePolicy`;
+    ``fuse`` allows fusion decisions alongside coarsening; ``max_rounds``
+    bounds how many swaps the driver may request in one run (adaptation
+    should converge, not oscillate).
+    """
+
+    interval: float = 0.2
+    ratio_target: float = 0.25
+    min_instances: int = 64
+    max_factor: int = 4096
+    fuse: bool = True
+    max_rounds: int = 4
+
+
+class AdaptationDriver:
+    """Background loop feeding instrumentation into the LLS policy.
+
+    Parameters
+    ----------
+    config:
+        The :class:`AdaptationConfig` thresholds.
+    node:
+        An :class:`~repro.core.runtime.ExecutionNode`; shorthand for
+        ``stats_fn=node.instrumentation.stats``,
+        ``program_fn=lambda: node.handle.current`` and
+        ``apply_fn=node.request_replan``.
+    stats_fn / program_fn / apply_fn:
+        Explicit callables for composed setups (the cluster master).
+        ``stats_fn()`` returns a ``{kernel: KernelStats}`` snapshot,
+        ``program_fn()`` the current program version, and
+        ``apply_fn(decisions)`` submits a batch (returning falsy when the
+        target already shut down).
+
+    :meth:`poll_once` is the whole decision step and is public so tests
+    can drive adaptation deterministically without the timer thread.
+    """
+
+    def __init__(
+        self,
+        config: AdaptationConfig | None = None,
+        *,
+        node=None,
+        stats_fn=None,
+        program_fn=None,
+        apply_fn=None,
+        name: str = "adapt",
+    ) -> None:
+        self.config = config if config is not None else AdaptationConfig()
+        if node is not None:
+            stats_fn = stats_fn or node.instrumentation.stats
+            program_fn = program_fn or (lambda: node.handle.current)
+            apply_fn = apply_fn or node.request_replan
+        if stats_fn is None or program_fn is None or apply_fn is None:
+            raise TypeError(
+                "AdaptationDriver needs a node or explicit "
+                "stats_fn/program_fn/apply_fn"
+            )
+        self._stats_fn = stats_fn
+        self._program_fn = program_fn
+        self._apply_fn = apply_fn
+        self.policy = AdaptivePolicy(
+            ratio_target=self.config.ratio_target,
+            min_instances=self.config.min_instances,
+            max_factor=self.config.max_factor,
+        )
+        self.name = name
+        self.rounds = 0  #: swap batches submitted so far
+        self.decisions: list = []  #: every decision ever submitted
+        self._last: dict[str, KernelStats] | None = None
+        self._touched: set[str] = set()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    def poll_once(self) -> list:
+        """One decision step: snapshot stats, diff against the previous
+        snapshot, run the policy on the interval delta, submit anything
+        new.  Returns the decisions submitted (empty most polls).
+
+        Kernels already rewritten this run are left alone: the policy
+        sees only post-swap deltas for them, but a second rewrite of the
+        same kernel within a run adds little and risks oscillation —
+        ``max_rounds`` applies across distinct kernels instead.
+        """
+        if self.rounds >= self.config.max_rounds:
+            return []
+        cur = self._stats_fn()
+        delta = delta_stats(self._last, cur)
+        self._last = cur
+        if not delta:
+            return []
+        recs = self.policy.recommend(
+            self._program_fn(), delta, fuse=self.config.fuse
+        )
+        fresh = [
+            d for d in recs
+            if not any(n in self._touched for n in decision_kernels(d))
+        ]
+        if not fresh:
+            return []
+        if not self._apply_fn(fresh):
+            return []
+        self.rounds += 1
+        self.decisions.extend(fresh)
+        for d in fresh:
+            self._touched.update(decision_kernels(d))
+        return fresh
+
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while not self._stop.wait(self.config.interval):
+            try:
+                self.poll_once()
+            except Exception:  # noqa: BLE001 - advisory loop must not kill the run
+                return
+            if self.rounds >= self.config.max_rounds:
+                return
+
+    def start(self) -> None:
+        """Start the polling thread (idempotent)."""
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._loop, daemon=True, name=f"{self.name}-driver"
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the polling thread (idempotent; safe as a teardown hook)."""
+        self._stop.set()
+        t = self._thread
+        if t is not None:
+            t.join(timeout=2.0)

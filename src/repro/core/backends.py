@@ -43,6 +43,7 @@ from .events import InstanceDoneEvent, StoreEvent
 from .fields import FieldStore, SharedFieldStore, segment_name
 from .kernels import KernelContext, KernelInstance, coerce_store_value
 from .program import Program
+from .scheduler import apply_decisions
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .runtime import ExecutionNode
@@ -67,6 +68,14 @@ class ExecutionBackend:
         """Run one instance on behalf of worker ``worker_id`` and post
         its store/done events.  Called from the node's worker threads."""
         raise NotImplementedError
+
+    def on_replan(self, decisions, epoch: int) -> None:
+        """The node re-bound to a rewritten program at ``epoch`` (online
+        LLS adaptation).  Called on the analyzer thread *before* any
+        instance of the new version is dispatched.  Backends executing in
+        the parent process need nothing — the instance carries its own
+        kernel definition — so the default is a no-op; the process
+        backend forwards the decisions to its workers."""
 
     def shutdown(self) -> None:
         """Release execution resources (idempotent)."""
@@ -161,6 +170,17 @@ class _SegmentCache:
         self._entries.clear()
 
 
+def _worker_program_for(versions, age):
+    """The program version owning ``age`` in a worker's version list
+    (mirror of the parent's ProgramHandle resolution)."""
+    if age is None:
+        return versions[0][1]
+    for epoch, prog in reversed(versions):
+        if epoch <= age:
+            return prog
+    return versions[0][1]
+
+
 def _worker_main(
     conn, program_source, run_id: str, shared_tracker: bool
 ) -> None:
@@ -171,10 +191,20 @@ def _worker_main(
     ``[(field, age, ((start, stop), ...)), ...]``, or
     ``("err", in_body, type_name, message, traceback_text)``.  ``None``
     (or EOF) means shut down.
+
+    A ``("__replan__", epoch, decisions)`` message (no reply) announces a
+    live LLS swap: kernel bodies are closures and cannot cross the pipe,
+    so the parent ships the *decisions* and the worker re-applies them to
+    derive the identical rewritten program, versioned by epoch exactly
+    like the parent's :class:`~repro.core.runtime.ProgramHandle`.  A
+    failing re-apply kills the worker — the parent surfaces that as
+    :class:`~repro.core.errors.WorkerProcessError` rather than let the
+    pool silently diverge from the analyzer's program.
     """
     program = (
         program_source() if callable(program_source) else program_source
     )
+    versions: list[tuple] = [(0, program)]
     cache = _SegmentCache(run_id, shared_tracker)
     try:
         while True:
@@ -184,10 +214,17 @@ def _worker_main(
                 return
             if msg is None:
                 return
+            if msg[0] == "__replan__":
+                _tag, epoch, decisions = msg
+                versions.append(
+                    (epoch, apply_decisions(versions[-1][1], decisions))
+                )
+                continue
             kernel_name, age, index = msg
             t0 = time.perf_counter()
             in_body = False
             try:
+                program = _worker_program_for(versions, age)
                 kernel = program.kernels[kernel_name]
                 imap = dict(zip(kernel.index_vars, index))
                 fetched: dict[str, Any] = {}
@@ -311,6 +348,16 @@ class ProcessBackend(ExecutionBackend):
         self._procs: list[multiprocessing.Process] = []
         self._conns: list[Any] = []
         self._node: "ExecutionNode | None" = None
+        # Live-swap forwarding: an append-only list of (epoch, decisions)
+        # batches written by the analyzer thread (on_replan), plus a
+        # per-worker count of batches already sent down its pipe.  Each
+        # proxy thread forwards the unsent suffix on its *own* pipe right
+        # before its next instance send, so replan messages never
+        # interleave with another thread's traffic (pipes are not
+        # thread-safe) and always precede the first instance that needs
+        # the new version.
+        self._replans: list[tuple[int, tuple]] = []
+        self._sent: list[int] = []
 
     def create_fields(self, program: Program) -> FieldStore:
         return SharedFieldStore(program.fields.values())
@@ -362,6 +409,12 @@ class ProcessBackend(ExecutionBackend):
             child_conn.close()
             self._procs.append(proc)
             self._conns.append(parent_conn)
+            self._sent.append(0)
+
+    def on_replan(self, decisions, epoch: int) -> None:
+        """Record a swap batch for lazy per-worker forwarding (the
+        proxies drain it before their next instance send)."""
+        self._replans.append((epoch, tuple(decisions)))
 
     # ------------------------------------------------------------------
     def execute(self, inst: KernelInstance, worker_id: int) -> None:
@@ -370,6 +423,17 @@ class ProcessBackend(ExecutionBackend):
         kernel = inst.kernel
         conn = self._conns[worker_id]
         proc = self._procs[worker_id]
+        # Forward any swap batches this worker has not seen yet.  The
+        # list is append-only and CPython appends are atomic, so reading
+        # a suffix snapshot without the analyzer's lock is safe; a batch
+        # appended after the snapshot can only matter to instances
+        # dispatched after it, which a later execute() will precede.
+        sent = self._sent[worker_id]
+        pending = self._replans[sent:]
+        if pending:
+            for epoch, decisions in pending:
+                conn.send(("__replan__", epoch, decisions))
+            self._sent[worker_id] = sent + len(pending)
         t0 = time.perf_counter()
         # Create every store target's segment now, so the worker's
         # attach can never race segment creation.

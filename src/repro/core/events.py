@@ -61,6 +61,30 @@ class InstanceDoneEvent(Event):
 
 
 @dataclass(frozen=True)
+class ReplanEvent(Event):
+    """Ask the analyzer thread to re-bind the node to a rewritten
+    program (online LLS adaptation).
+
+    ``decisions`` is a tuple of LLS decisions
+    (:class:`~repro.core.scheduler.GranularityDecision` /
+    :class:`~repro.core.scheduler.FusionDecision`).  The analyzer applies
+    them at a safe age boundary — the *swap epoch* — of its own choosing,
+    unless ``epoch`` pins one (the distributed commit path, where the
+    kernel's owner already chose the epoch and the other nodes only
+    update their producer maps).  ``remote`` marks that producers-only
+    flavour.
+
+    Like every event, a queued replan counts as outstanding work on the
+    quiescence counter, so it doubles as the quiescence token that keeps
+    the run alive while a swap is in flight.
+    """
+
+    decisions: tuple
+    epoch: int | None = None
+    remote: bool = False
+
+
+@dataclass(frozen=True)
 class ShutdownEvent(Event):
     """Sentinel asking the analyzer thread to exit."""
 

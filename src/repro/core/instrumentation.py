@@ -63,6 +63,36 @@ class KernelStats:
         )
 
 
+def delta_stats(
+    prev: Mapping[str, KernelStats] | None,
+    cur: Mapping[str, KernelStats],
+) -> dict[str, KernelStats]:
+    """Per-kernel difference between two :meth:`Instrumentation.stats`
+    snapshots (``cur - prev``), keeping only kernels that executed new
+    instances in the interval.
+
+    The online adaptation driver feeds these *interval* stats — not the
+    whole-run averages — to :class:`~repro.core.scheduler.AdaptivePolicy`:
+    after a coarsen swap the cumulative dispatch ratio still reflects the
+    fine-grained prefix of the run, but the delta shows the rewritten
+    kernel's true post-swap behaviour.
+    """
+    prev = prev or {}
+    out: dict[str, KernelStats] = {}
+    for name, s in cur.items():
+        p = prev.get(name, KernelStats())
+        n = s.instances - p.instances
+        if n <= 0:
+            continue
+        out[name] = KernelStats(
+            n,
+            max(0.0, s.dispatch_time - p.dispatch_time),
+            max(0.0, s.kernel_time - p.kernel_time),
+            max(0.0, s.ipc_time - p.ipc_time),
+        )
+    return out
+
+
 class Instrumentation:
     """Thread-safe collector of per-kernel stats for one run."""
 

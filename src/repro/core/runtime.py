@@ -34,13 +34,14 @@ from typing import Any
 import numpy as np
 
 from ..obs import MetricsRegistry, NULL_TRACER, Tracer, dump_flight
-from .analyzer import DependencyAnalyzer
+from .analyzer import DependencyAnalyzer, ReplanRecord
 from .backends import ExecutionBackend, resolve_backend
 from .deadlines import TimerSet
 from .errors import KernelBodyError, RuntimeStateError, StallError
 from .events import (
     Event,
     InstanceDoneEvent,
+    ReplanEvent,
     ResizeEvent,
     ShutdownEvent,
     StoreEvent,
@@ -49,6 +50,70 @@ from .fields import FieldStore, SharedFieldStore
 from .instrumentation import Instrumentation
 from .kernels import KernelContext, KernelInstance, coerce_store_value
 from .program import Program
+from .scheduler import FusionDecision, GranularityDecision
+
+
+class ProgramHandle:
+    """Swappable indirection over the program a node is executing.
+
+    A node binds its analyzer, ready queue, and backend to this handle
+    instead of a fixed :class:`~repro.core.program.Program`.  Each online
+    re-binding (the LLS applying a coarsen/fuse decision mid-run)
+    registers a new *(epoch, program)* version; ages below the epoch keep
+    the previous version's decomposition, ages at or above it use the new
+    one.  Registration happens on the analyzer thread; readers (backends,
+    recovery, diagnostics) may be on any thread, so access is locked.
+    """
+
+    def __init__(self, program: Program) -> None:
+        self._lock = threading.Lock()
+        self._versions: list[tuple[int, Program]] = [(0, program)]
+
+    @property
+    def base(self) -> Program:
+        """The version the run started with (owns ages before any swap)."""
+        return self._versions[0][1]
+
+    @property
+    def current(self) -> Program:
+        """The newest version (owns all ages ≥ :attr:`epoch`)."""
+        with self._lock:
+            return self._versions[-1][1]
+
+    @property
+    def epoch(self) -> int:
+        """Epoch of the newest version (0 before any swap)."""
+        with self._lock:
+            return self._versions[-1][0]
+
+    def register(self, epoch: int, program: Program) -> None:
+        """Install a new version owning ages ≥ ``epoch`` (clamped to be
+        monotonic: a version can never own ages an earlier one already
+        claimed)."""
+        with self._lock:
+            epoch = max(epoch, self._versions[-1][0])
+            self._versions.append((epoch, program))
+
+    def versions(self) -> list[tuple[int, Program]]:
+        """Snapshot of every ``(epoch, program)`` version, oldest first."""
+        with self._lock:
+            return list(self._versions)
+
+    def version_for_age(self, age: int | None) -> Program:
+        """The program owning ``age`` (``None`` — run-once work — stays
+        on the base version)."""
+        with self._lock:
+            if age is None:
+                return self._versions[0][1]
+            for epoch, prog in reversed(self._versions):
+                if epoch <= age:
+                    return prog
+            return self._versions[0][1]
+
+    def kernel_for_age(self, name: str, age: int | None):
+        """Definition of ``name`` in the version owning ``age`` (or
+        ``None`` if that version no longer has the kernel)."""
+        return self.version_for_age(age).kernels.get(name)
 
 
 class ReadyQueue:
@@ -274,6 +339,8 @@ class RunResult:
     backend: str = "threads"  #: execution backend that ran the program
     metrics: "MetricsRegistry | None" = None  #: the node's registry
     tracer: "Tracer | None" = None  #: the tracer the run recorded into
+    #: Mid-run LLS re-bindings applied, in order (empty when static).
+    replans: list = dc_field(default_factory=list)
 
     @property
     def stats(self):
@@ -383,9 +450,20 @@ class ExecutionNode:
         self.timers = timers if timers is not None else TimerSet(
             program.timers, clock
         )
+        #: Swappable program indirection: the analyzer registers every
+        #: online re-binding here so backends/recovery/diagnostics can
+        #: resolve the program version owning any given age.
+        self.handle = ProgramHandle(program)
         self.analyzer = DependencyAnalyzer(
-            program, self.fields, max_age, producers=dependency_kernels
+            program, self.fields, max_age, producers=dependency_kernels,
+            handle=self.handle,
         )
+        #: Applied mid-run re-bindings, in order (see :meth:`request_replan`).
+        self.replans: list[ReplanRecord] = []
+        #: Optional callback ``(node, record)`` fired on the analyzer
+        #: thread after a *local* replan is applied — the distributed
+        #: layer uses it to broadcast the committed epoch to peer nodes.
+        self.on_replan = None
         self.instrumentation = Instrumentation()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -445,6 +523,38 @@ class ExecutionNode:
                 return
             self._inc()
             self._events.put(ev)
+
+    @property
+    def current_program(self) -> Program:
+        """The newest program version behind :attr:`handle`."""
+        return self.handle.current
+
+    def request_replan(
+        self, decisions, *, epoch: int | None = None, remote: bool = False
+    ) -> bool:
+        """Ask the analyzer thread to re-bind to a rewritten program.
+
+        Queues a :class:`ReplanEvent` carrying the LLS ``decisions``; the
+        analyzer applies them at a safe age boundary (see
+        :meth:`DependencyAnalyzer.apply_replan`).  The queued event holds
+        a quiescence token, so a run cannot be declared idle while a swap
+        is in flight.  Thread-safe; callable from the adaptation driver
+        or a transport handler.  Returns ``False`` when the node has
+        already wound down (or finished) and the request was dropped.
+
+        ``remote`` marks a producers-only update for kernels owned by
+        another node, pinned at that node's committed ``epoch``.
+        """
+        decisions = tuple(decisions)
+        if not decisions:
+            return False
+        with self._inject_lock:
+            if self._dead:
+                return False
+            self._inc()
+            self._events.put(ReplanEvent(decisions, epoch=epoch,
+                                         remote=remote))
+        return True
 
     # ------------------------------------------------------------------
     # Worker side
@@ -638,6 +748,8 @@ class ExecutionNode:
                     self._dispatch(self.analyzer.on_done(ev))
                     if self.gc_fields:
                         self._collect_garbage()
+                elif isinstance(ev, ReplanEvent):
+                    self._handle_replan(ev)
             except BaseException as exc:  # noqa: BLE001
                 self._error = exc
                 self._stop.set()
@@ -656,6 +768,49 @@ class ExecutionNode:
                     tr.complete(type(ev).__name__, "analyzer",
                                 self.name, "analyzer", t0, t1, args)
                 self._dec()
+
+    def _handle_replan(self, ev: ReplanEvent) -> None:
+        """Apply a queued re-binding on the analyzer thread.
+
+        Local replans rewrite this node's program (new version at the
+        analyzer-chosen safe epoch), notify the backend so worker
+        processes pick up the swap, and fire :attr:`on_replan`.  Remote
+        replans only advance the producer bookkeeping for kernels owned
+        by other nodes.  Either way the adaptation counters and a
+        ``replan`` span record what happened.
+        """
+        t0 = time.perf_counter()
+        if ev.remote:
+            rec = self.analyzer.apply_remote(ev.decisions, ev.epoch)
+        else:
+            rec = self.analyzer.apply_replan(ev.decisions)
+        if rec is None:
+            return
+        self.replans.append(rec)
+        m = self.metrics
+        m.counter("adapt.replans").inc()
+        for d in rec.decisions:
+            if isinstance(d, GranularityDecision):
+                m.counter("adapt.coarsen").inc()
+            elif isinstance(d, FusionDecision):
+                m.counter("adapt.fuse").inc()
+        m.gauge("adapt.epoch").set_max(rec.epoch)
+        if not rec.remote:
+            self.backend.on_replan(rec.decisions, rec.epoch)
+        tr = self.tracer
+        if tr.enabled:
+            tr.complete(
+                "replan", "adapt", self.name, "analyzer",
+                t0, time.perf_counter(),
+                args={
+                    "epoch": rec.epoch,
+                    "remote": rec.remote,
+                    "decisions": [repr(d) for d in rec.decisions],
+                    "skipped": [repr(d) for d in rec.skipped],
+                },
+            )
+        if not rec.remote and self.on_replan is not None:
+            self.on_replan(self, rec)
 
     def _collect_garbage(self) -> None:
         """Free field ages no pending/ready/running instance can reach."""
@@ -781,6 +936,12 @@ class ExecutionNode:
         if not self._ran:
             raise RuntimeStateError("join() before start()")
         outcome = self._counter.wait(timeout, stall_timeout)
+        # Close the injection window before tearing down: a replan or
+        # transport delivery landing after quiescence would enqueue
+        # behind the shutdown sentinel and leak its counter token
+        # (hanging any other waiter on a shared counter).
+        with self._inject_lock:
+            self._dead = True
         reason = "idle"
         if outcome == "timeout":
             reason = "timeout"
@@ -836,6 +997,7 @@ class ExecutionNode:
             backend=self.backend.name,
             metrics=self.metrics,
             tracer=self.tracer if self.tracer.enabled else None,
+            replans=list(self.replans),
         )
 
     def _export_metrics(self) -> None:
@@ -886,8 +1048,17 @@ def run_program(
     backend: "str | ExecutionBackend" = "threads",
     tracer: "Tracer | None" = None,
     metrics: "MetricsRegistry | None" = None,
+    adapt=None,
 ) -> RunResult:
-    """One-shot convenience: build an :class:`ExecutionNode` and run it."""
+    """One-shot convenience: build an :class:`ExecutionNode` and run it.
+
+    ``adapt`` turns on online LLS adaptation: ``True`` for the default
+    :class:`~repro.core.adaptation.AdaptationConfig`, or a config
+    instance to tune the policy thresholds.  An
+    :class:`~repro.core.adaptation.AdaptationDriver` then watches the
+    node's instrumentation in the background and applies coarsen/fuse
+    re-bindings mid-run (see :meth:`ExecutionNode.request_replan`).
+    """
     node = ExecutionNode(
         program,
         workers,
@@ -898,4 +1069,15 @@ def run_program(
         tracer=tracer,
         metrics=metrics,
     )
+    if adapt:
+        from .adaptation import AdaptationConfig, AdaptationDriver
+
+        cfg = adapt if isinstance(adapt, AdaptationConfig) else (
+            AdaptationConfig()
+        )
+        driver = AdaptationDriver(cfg, node=node)
+        node.add_teardown_hook(driver.stop)
+        node.start()
+        driver.start()
+        return node.join(timeout=timeout, stall_timeout=stall_timeout)
     return node.run(timeout=timeout, stall_timeout=stall_timeout)

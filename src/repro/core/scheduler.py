@@ -443,6 +443,12 @@ def reenqueue(node, instances) -> int:
 # ----------------------------------------------------------------------
 # Adaptive policy
 # ----------------------------------------------------------------------
+#: Largest factor :meth:`GranularityDecision.apply` accepts.  Decisions
+#: come from instrumentation arithmetic; a factor beyond this is a
+#: corrupted or nonsensical measurement, not a plausible plan.
+MAX_DECISION_FACTOR = 1 << 20
+
+
 @dataclass(frozen=True)
 class GranularityDecision:
     """One LLS decision: coarsen ``kernel``'s ``var`` by ``factor``."""
@@ -452,8 +458,99 @@ class GranularityDecision:
     factor: int
 
     def apply(self, program: Program) -> Program:
-        """Apply this decision to a program (returns the rewrite)."""
+        """Apply this decision to a program (returns the rewrite).
+
+        Validates the factor before rewriting: the policy only ever
+        produces power-of-two factors in ``[1, MAX_DECISION_FACTOR]``,
+        so anything else reaching apply means the decision was built by
+        hand (or corrupted in transit) and is rejected with a
+        :class:`SchedulerError` rather than silently producing an
+        unexpected decomposition.  Note :func:`coarsen` itself accepts
+        any factor ≥ 1 — the restriction is on *decisions*, the values
+        that flow through the online adaptation path.
+        """
+        f = self.factor
+        if (
+            not isinstance(f, int)
+            or isinstance(f, bool)
+            or f < 1
+            or f > MAX_DECISION_FACTOR
+        ):
+            raise SchedulerError(
+                f"GranularityDecision({self.kernel!r}, {self.var!r}): "
+                f"factor {f!r} out of range; expected an int in "
+                f"[1, {MAX_DECISION_FACTOR}]"
+            )
+        if f & (f - 1):
+            raise SchedulerError(
+                f"GranularityDecision({self.kernel!r}, {self.var!r}): "
+                f"factor {f} is not a power of two"
+            )
         return coarsen(program, self.kernel, self.var, self.factor)
+
+
+@dataclass(frozen=True)
+class FusionDecision:
+    """One LLS decision: fuse the ``first``→``second`` pipeline."""
+
+    first: str
+    second: str
+
+    def apply(self, program: Program) -> Program:
+        """Apply this decision to a program (returns the rewrite)."""
+        return fuse(program, self.first, self.second)
+
+
+def decision_kernels(decision) -> tuple[str, ...]:
+    """The kernel names a decision rewrites (removes/replaces)."""
+    if isinstance(decision, FusionDecision):
+        return (decision.first, decision.second)
+    return (decision.kernel,)
+
+
+def apply_decisions(program: Program, decisions: Sequence) -> Program:
+    """Apply a batch of LLS decisions in order.  Also runs inside worker
+    processes: a live swap ships the (picklable) decisions over the pipe
+    and each worker re-derives the identical rewritten program."""
+    for d in decisions:
+        program = d.apply(program)
+    return program
+
+
+def coarsenable_vars(kernel: KernelDef) -> list[str]:
+    """Index variables :func:`coarsen` can legally operate on.
+
+    A variable qualifies when it is actually bound by at least one fetch
+    or store dimension (a kernel whose only real parallel axis is the
+    age dimension has none — coarsening it would change nothing but the
+    loop wrapper), no fetch uses a stencil offset on it, and every
+    dimensioned store uses it (coarsen's own preconditions).
+    """
+    out: list[str] = []
+    for var in kernel.index_vars:
+        bound = False
+        ok = True
+        for f in kernel.fetches:
+            for d in f.dims:
+                if d.is_all or d.var != var:
+                    continue
+                bound = True
+                if d.offset:
+                    ok = False
+        for s in kernel.stores:
+            try:
+                axis = _var_axis(s.dims, var)
+            except SchedulerError:
+                ok = False
+                continue
+            if axis is None:
+                if s.dims:
+                    ok = False
+            else:
+                bound = True
+        if ok and bound:
+            out.append(var)
+    return out
 
 
 class AdaptivePolicy:
@@ -479,13 +576,58 @@ class AdaptivePolicy:
         self.max_factor = max_factor
 
     def recommend(
-        self, program: Program, instrumentation: Instrumentation
-    ) -> list[GranularityDecision]:
-        """Coarsening decisions for kernels whose dispatch ratio is too high."""
-        out = []
-        for name, st in sorted(instrumentation.stats().items()):
+        self,
+        program: Program,
+        instrumentation,
+        *,
+        fuse: bool = False,
+    ) -> list:
+        """LLS decisions for kernels whose dispatch ratio is too high.
+
+        ``instrumentation`` is either an :class:`Instrumentation`
+        collector or a plain ``{kernel: KernelStats}`` mapping (the
+        online driver passes interval deltas so decisions react to
+        *recent* behaviour, not the whole-run average).
+
+        With ``fuse=True`` the policy also recommends fusing
+        :func:`fusable_pairs` whose endpoints both pay high dispatch
+        overhead — fusing halves the per-item instance count, attacking
+        the same overhead coarsening does but across the task axis
+        (figure 4's Age 2 → Age 3 step).  A kernel recommended for
+        fusion is not simultaneously recommended for coarsening (the
+        fused kernel can be coarsened by a later round).
+        """
+        stats = (
+            instrumentation.stats()
+            if hasattr(instrumentation, "stats")
+            else dict(instrumentation)
+        )
+        out: list = []
+        fused: set[str] = set()
+        if fuse:
+            for u, v in fusable_pairs(program):
+                if u in fused or v in fused:
+                    continue
+                su, sv = stats.get(u), stats.get(v)
+                if su is None or sv is None:
+                    continue
+                if min(su.instances, sv.instances) < self.min_instances:
+                    continue
+                if max(su.dispatch_ratio,
+                       sv.dispatch_ratio) <= self.ratio_target:
+                    continue
+                if not program.kernels[u].has_age:
+                    continue
+                out.append(FusionDecision(u, v))
+                fused.update((u, v))
+        for name, st in sorted(stats.items()):
             k = program.kernels.get(name)
-            if k is None or not k.index_vars:
+            if k is None or name in fused:
+                continue
+            cvars = coarsenable_vars(k)
+            if not cvars:
+                # e.g. the age dimension is the kernel's only real
+                # parallel axis: nothing coarsen() could legally block.
                 continue
             if st.instances < self.min_instances:
                 continue
@@ -498,17 +640,13 @@ class AdaptivePolicy:
             while factor < needed and factor < self.max_factor:
                 factor *= 2
             if factor > 1:
-                out.append(
-                    GranularityDecision(name, k.index_vars[0], factor)
-                )
+                out.append(GranularityDecision(name, cvars[0], factor))
         return out
 
     def apply(
         self,
         program: Program,
-        decisions: Sequence[GranularityDecision],
+        decisions: Sequence,
     ) -> Program:
         """Apply a list of decisions in order; returns the rewritten program."""
-        for d in decisions:
-            program = d.apply(program)
-        return program
+        return apply_decisions(program, decisions)

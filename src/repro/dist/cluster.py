@@ -37,11 +37,13 @@ from ..core import (
     RunResult,
     WorkCounter,
 )
+from ..core.adaptation import AdaptationConfig, AdaptationDriver
 from ..core.deadlines import TimerSet
-from ..core.errors import PartitionError
+from ..core.errors import PartitionError, SchedulerError
 from ..core.events import ResizeEvent, StoreEvent
 from ..core.fields import FieldStore
-from ..core.instrumentation import Instrumentation
+from ..core.instrumentation import Instrumentation, KernelStats
+from ..core.scheduler import apply_decisions, decision_kernels
 from ..obs import MetricsRegistry, NULL_TRACER, Tracer, dump_flight
 from .faults import FaultInjector
 from .heartbeat import Heartbeater, HeartbeatMonitor
@@ -65,6 +67,24 @@ class ClusterResult:
     recoveries: list[RecoveryRecord] = dc_field(default_factory=list)
     metrics: "MetricsRegistry | None" = None
     tracer: "Tracer | None" = None  #: set when tracing was enabled
+
+    @property
+    def replans(self) -> list:
+        """Every node's applied mid-run re-bindings (local ones first,
+        then the producers-only remote mirrors)."""
+        out = [
+            rec
+            for r in self.node_results.values()
+            for rec in r.replans
+            if not rec.remote
+        ]
+        out += [
+            rec
+            for r in self.node_results.values()
+            for rec in r.replans
+            if rec.remote
+        ]
+        return out
 
     @property
     def instrumentation(self) -> Instrumentation:
@@ -197,6 +217,7 @@ class Cluster:
         recovery: RecoveryConfig | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        adapt: "AdaptationConfig | bool | None" = None,
     ) -> ClusterResult:
         """Plan (unless given an assignment) and execute the program.
 
@@ -215,6 +236,17 @@ class Cluster:
         automatic node replacement with bounded retries.  Exhausting the
         restart budget (or losing every node) raises
         :class:`~repro.core.errors.NodeFailureError`.
+
+        ``adapt`` switches on online LLS adaptation cluster-wide: a
+        driver on the master merges every node's instrumentation, runs
+        :class:`~repro.core.scheduler.AdaptivePolicy` on the interval
+        deltas, and broadcasts recommended decisions on the
+        ``adapt.plan`` control topic.  The node owning a decision's
+        kernels applies it at its locally safe epoch and commits that
+        epoch on ``adapt.commit``; the other nodes mirror the rewrite
+        into their producer bookkeeping at the committed epoch.  Fusion
+        decisions whose kernels live on different nodes are discarded
+        (fusing them would strand the pipe field across the boundary).
 
         ``tracer`` records a cluster-wide timeline (one viewer lane per
         node/worker plus ``master`` control-plane lanes).  Fault-tolerant
@@ -289,6 +321,94 @@ class Cluster:
         for node in exec_nodes.values():
             self._wire(node)
 
+        # ---- online adaptation (two-phase: plan broadcast -> owner
+        # applies at its safe epoch -> epoch commit to the others) ----
+        adapt_cfg: AdaptationConfig | None = None
+        if adapt:
+            adapt_cfg = (
+                adapt if isinstance(adapt, AdaptationConfig)
+                else AdaptationConfig()
+            )
+
+        def wire_adapt(node: ExecutionNode) -> None:
+            # The transport never delivers a message back to its sender,
+            # so the owner's own commit does not echo into it.
+            self.transport.subscribe(
+                "adapt.plan", node.name,
+                lambda msg, node=node: node.request_replan(
+                    msg.payload["decisions"]
+                ),
+            )
+            self.transport.subscribe(
+                "adapt.commit", node.name,
+                lambda msg, node=node: node.request_replan(
+                    msg.payload["decisions"],
+                    epoch=msg.payload["epoch"],
+                    remote=True,
+                ),
+            )
+
+            def commit(n: ExecutionNode, rec) -> None:
+                self.transport.publish(
+                    "adapt.commit", n.name,
+                    {
+                        "origin": n.name,
+                        "epoch": rec.epoch,
+                        "decisions": rec.decisions,
+                    },
+                    control=True,
+                )
+
+            node.on_replan = commit
+
+        driver: AdaptationDriver | None = None
+        if adapt_cfg is not None:
+            for node in exec_nodes.values():
+                wire_adapt(node)
+            owner = {
+                k: n
+                for n in assignment.nodes()
+                for k in assignment.kernels_for(n)
+            }
+            tracked = {"program": self.program}
+
+            def merged_stats() -> dict[str, KernelStats]:
+                out: dict[str, KernelStats] = {}
+                for node in list(exec_nodes.values()):
+                    for k, s in node.instrumentation.stats().items():
+                        out[k] = out[k].merged(s) if k in out else s
+                return out
+
+            def broadcast(decisions) -> bool:
+                ok = [
+                    d for d in decisions
+                    if len({owner.get(n)
+                            for n in decision_kernels(d)}) == 1
+                ]
+                if not ok:
+                    return False
+                self.transport.publish(
+                    "adapt.plan", "master",
+                    {"decisions": tuple(ok)}, control=True,
+                )
+                # Track the rewrite optimistically so the next policy
+                # round reasons about the post-swap program.
+                try:
+                    tracked["program"] = apply_decisions(
+                        tracked["program"], ok
+                    )
+                except SchedulerError:
+                    pass
+                return True
+
+            driver = AdaptationDriver(
+                adapt_cfg,
+                stats_fn=merged_stats,
+                program_fn=lambda: tracked["program"],
+                apply_fn=broadcast,
+                name="master-adapt",
+            )
+
         # Startup token keeps the shared counter nonzero until every node
         # has dispatched its initial instances, so no node can observe a
         # false global quiescence during startup.
@@ -333,6 +453,11 @@ class Cluster:
             if faults is not None:
                 faults.wrap(repl)
             self._wire(repl)
+            if adapt_cfg is not None:
+                # The replacement restarts from the node's base program
+                # (granularity reverts — byte-identical either way); it
+                # still hears future plan/commit traffic.
+                wire_adapt(repl)
             monitor.watch(repl_name)
             repl.start()
             hb = Heartbeater(
@@ -388,6 +513,8 @@ class Cluster:
                 heartbeaters[name] = hb
                 hb.start()
             manager.start()
+        if driver is not None:
+            driver.start()
         counter.dec()  # every node started: release the startup token
         threads = [
             threading.Thread(target=drive, args=(n, en), daemon=True,
@@ -398,6 +525,8 @@ class Cluster:
             t.start()
         for t in threads:
             t.join()
+        if driver is not None:
+            driver.stop()
         if ft:
             manager.stop()
             with extra_lock:

@@ -1,0 +1,329 @@
+"""Tests for online LLS adaptation: live replans and the policy driver.
+
+Covers the three layers of the online path separately so failures
+localize: the :class:`AdaptationDriver` decision step (pure, no
+threads), :meth:`ExecutionNode.request_replan` mid-run swaps (the
+epoch/age-boundary machinery), and the end-to-end ``adapt=`` loop on a
+real workload.  The hypothesis test is the determinism acceptance
+criterion: a swap injected at an *arbitrary* point in the run must
+leave the results byte-identical to the fine-grained run.
+"""
+
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    AdaptationConfig,
+    AdaptationDriver,
+    ExecutionNode,
+    FusionDecision,
+    GranularityDecision,
+    Instrumentation,
+    KernelStats,
+    ProgramHandle,
+    delta_stats,
+    run_program,
+)
+from repro.obs import MetricsRegistry, Tracer
+from repro.workloads import (
+    build_kmeans,
+    build_mulsum,
+    expected_series,
+    kmeans_baseline,
+)
+
+
+def _spin_until(predicate, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            return False
+        time.sleep(0)
+    return True
+
+
+def _assert_mulsum(sink, ages):
+    expected = expected_series(ages)
+    assert sorted(sink) == list(range(ages))
+    for age in expected:
+        assert np.array_equal(sink[age][0], expected[age][0])
+        assert np.array_equal(sink[age][1], expected[age][1])
+
+
+def _hot(instr, kernel, instances=200, dispatch_us=40.0, kernel_us=10.0):
+    for _ in range(instances):
+        instr.record(kernel, dispatch_us * 1e-6, kernel_us * 1e-6)
+
+
+class TestDeltaStats:
+    def test_none_prev_passes_through(self):
+        instr = Instrumentation()
+        _hot(instr, "assign", instances=10)
+        delta = delta_stats(None, instr.stats())
+        assert delta["assign"].instances == 10
+
+    def test_interval_delta(self):
+        instr = Instrumentation()
+        _hot(instr, "assign", instances=10, dispatch_us=40.0)
+        prev = instr.stats()
+        _hot(instr, "assign", instances=5, dispatch_us=2.0, kernel_us=98.0)
+        delta = delta_stats(prev, instr.stats())
+        assert delta["assign"].instances == 5
+        # the delta reflects only the (cheap-dispatch) second interval
+        assert delta["assign"].dispatch_ratio < 0.25
+
+    def test_idle_kernels_dropped(self):
+        instr = Instrumentation()
+        _hot(instr, "assign", instances=10)
+        snap = instr.stats()
+        assert delta_stats(snap, snap) == {}
+
+
+class TestAdaptationDriver:
+    """poll_once is the whole decision step — drive it synchronously."""
+
+    def _driver(self, program, instr, applied, **cfg):
+        config = AdaptationConfig(
+            ratio_target=0.25, min_instances=10, **cfg
+        )
+        return AdaptationDriver(
+            config,
+            stats_fn=instr.stats,
+            program_fn=lambda: program,
+            apply_fn=lambda ds: applied.append(list(ds)) or True,
+        )
+
+    def test_poll_submits_hot_kernel(self):
+        program, _ = build_kmeans(n=40, k=4, iterations=2,
+                                  granularity="pair")
+        instr = Instrumentation()
+        applied = []
+        driver = self._driver(program, instr, applied)
+        assert driver.poll_once() == []  # nothing executed yet
+        _hot(instr, "assign")
+        fresh = driver.poll_once()
+        assert [d.kernel for d in fresh] == ["assign"]
+        assert applied == [fresh]
+        assert driver.rounds == 1
+
+    def test_touched_kernels_left_alone(self):
+        program, _ = build_kmeans(n=40, k=4, iterations=2,
+                                  granularity="pair")
+        instr = Instrumentation()
+        applied = []
+        driver = self._driver(program, instr, applied)
+        _hot(instr, "assign")
+        driver.poll_once()
+        _hot(instr, "assign")  # still hot in the next interval
+        assert driver.poll_once() == []
+        assert driver.rounds == 1
+
+    def test_max_rounds_bounds_swaps(self):
+        program, _ = build_kmeans(n=40, k=4, iterations=2,
+                                  granularity="pair")
+        instr = Instrumentation()
+        applied = []
+        driver = self._driver(program, instr, applied, max_rounds=0)
+        _hot(instr, "assign")
+        assert driver.poll_once() == []
+        assert applied == []
+
+    def test_rejected_apply_not_counted(self):
+        program, _ = build_kmeans(n=40, k=4, iterations=2,
+                                  granularity="pair")
+        instr = Instrumentation()
+        config = AdaptationConfig(ratio_target=0.25, min_instances=10)
+        driver = AdaptationDriver(
+            config,
+            stats_fn=instr.stats,
+            program_fn=lambda: program,
+            apply_fn=lambda ds: False,  # node already wound down
+        )
+        _hot(instr, "assign")
+        assert driver.poll_once() == []
+        assert driver.rounds == 0 and driver.decisions == []
+
+    def test_needs_node_or_callables(self):
+        with pytest.raises(TypeError):
+            AdaptationDriver(AdaptationConfig())
+
+    def test_stop_idempotent_without_start(self):
+        program, _ = build_mulsum()
+        driver = AdaptationDriver(
+            node=None,
+            stats_fn=dict,
+            program_fn=lambda: program,
+            apply_fn=lambda ds: True,
+        )
+        driver.stop()
+        driver.stop()
+
+
+class TestLiveReplan:
+    """request_replan mid-run: the epoch swap machinery itself."""
+
+    AGES = 12
+
+    def _run_with_swap(self, decisions, trigger, backend="threads",
+                       workers=2, **node_kw):
+        program, sink = build_mulsum()
+        node = ExecutionNode(program, workers, max_age=self.AGES - 1,
+                             backend=backend, **node_kw)
+        node.start()
+        _spin_until(
+            lambda: node.instrumentation.total_instances() >= trigger
+        )
+        node.request_replan(decisions)
+        result = node.join(timeout=60)
+        return node, sink, result
+
+    def test_mid_run_coarsen_is_value_preserving(self):
+        node, sink, result = self._run_with_swap(
+            [GranularityDecision("mul2", "x", 4)], trigger=20
+        )
+        _assert_mulsum(sink, self.AGES)
+        assert len(result.replans) == 1
+        rec = result.replans[0]
+        assert rec.decisions == (GranularityDecision("mul2", "x", 4),)
+        assert rec.epoch >= 1 and not rec.remote
+        # the handle now resolves two program versions
+        assert len(node.handle.versions()) == 2
+        assert "mul2" in node.handle.version_for_age(0).kernels
+        assert "mul2" in node.handle.version_for_age(rec.epoch).kernels
+
+    def test_mid_run_fuse_is_value_preserving(self):
+        node, sink, result = self._run_with_swap(
+            [FusionDecision("mul2", "plus5")], trigger=20
+        )
+        _assert_mulsum(sink, self.AGES)
+        assert len(result.replans) == 1
+        rec = result.replans[0]
+        swapped = node.handle.version_for_age(rec.epoch)
+        assert "mul2+plus5" in swapped.kernels
+        assert "mul2" not in swapped.kernels
+
+    def test_source_kernel_decisions_skipped(self):
+        """Decisions touching a source kernel are skipped, not applied:
+        fusing the source away would halt self-advance."""
+        program, sink = build_mulsum()
+        node = ExecutionNode(program, 2, max_age=3)
+        node.start()
+        node.request_replan([FusionDecision("init", "mul2")])
+        result = node.join(timeout=60)
+        _assert_mulsum(sink, 4)
+        assert result.replans == []  # nothing applied -> no record
+        assert len(node.handle.versions()) == 1
+
+    def test_replan_after_join_rejected(self):
+        program, _ = build_mulsum()
+        node = ExecutionNode(program, 2, max_age=2)
+        node.start()
+        node.join(timeout=60)
+        ok = node.request_replan([GranularityDecision("mul2", "x", 2)])
+        assert ok is False
+
+    def test_replan_emits_metrics_and_span(self):
+        metrics = MetricsRegistry()
+        tracer = Tracer(mode="full")
+        node, sink, result = self._run_with_swap(
+            [GranularityDecision("mul2", "x", 4)], trigger=20,
+            metrics=metrics, tracer=tracer,
+        )
+        _assert_mulsum(sink, self.AGES)
+        assert metrics.counter("adapt.replans").value == 1
+        assert metrics.counter("adapt.coarsen").value == 1
+        assert metrics.gauge("adapt.epoch").value == result.replans[0].epoch
+        spans = [e for e in tracer.events()
+                 if e.get("name") == "replan" and e.get("cat") == "adapt"]
+        assert len(spans) == 1
+        assert spans[0]["args"]["epoch"] == result.replans[0].epoch
+
+    def test_mid_run_swap_on_process_backend(self):
+        """Worker processes rebuild the swapped program from shipped
+        decisions (mulsum lacks declared shapes, so use K-means)."""
+        program, sink = build_kmeans(n=200, k=10, iterations=4,
+                                     granularity="point")
+        node = ExecutionNode(program, 2, backend="processes")
+        node.start()
+        _spin_until(
+            lambda: node.instrumentation.total_instances() >= 50
+        )
+        node.request_replan([GranularityDecision("assign", "x", 8)])
+        result = node.join(timeout=120)
+        base = kmeans_baseline(n=200, k=10, iterations=4)
+        for age in base.history:
+            assert np.array_equal(sink.history[age], base.history[age])
+        assert len(result.replans) == 1
+
+    @given(
+        trigger=st.integers(min_value=1, max_value=100),
+        factor=st.sampled_from([2, 4, 8]),
+        fuse=st.booleans(),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_swap_at_arbitrary_age_boundary_is_deterministic(
+        self, trigger, factor, fuse
+    ):
+        """Acceptance: wherever in the run the swap lands (any age
+        boundary the analyzer picks for the epoch), results match the
+        fine-grained reference byte for byte."""
+        decisions = (
+            [FusionDecision("mul2", "plus5")] if fuse
+            else [GranularityDecision("mul2", "x", factor)]
+        )
+        _node, sink, result = self._run_with_swap(decisions, trigger)
+        _assert_mulsum(sink, self.AGES)
+        for rec in result.replans:
+            assert 0 <= rec.epoch <= self.AGES
+
+
+class TestProgramHandle:
+    def test_version_resolution(self):
+        program, _ = build_mulsum()
+        coarse = GranularityDecision("mul2", "x", 4).apply(program)
+        handle = ProgramHandle(program)
+        assert handle.epoch == 0 and handle.current is program
+        handle.register(3, coarse)
+        assert handle.current is coarse and handle.epoch == 3
+        assert handle.version_for_age(2) is program
+        assert handle.version_for_age(3) is coarse
+        assert handle.version_for_age(None) is program
+        assert handle.kernel_for_age("mul2", 2) is program.kernels["mul2"]
+        assert handle.kernel_for_age("mul2", 7) is coarse.kernels["mul2"]
+
+    def test_epoch_monotonic(self):
+        program, _ = build_mulsum()
+        coarse = GranularityDecision("mul2", "x", 2).apply(program)
+        handle = ProgramHandle(program)
+        handle.register(5, coarse)
+        later = GranularityDecision("plus5", "x", 2).apply(coarse)
+        handle.register(3, later)  # clamped up to 5
+        assert handle.epoch == 5
+        assert handle.version_for_age(5) is later
+
+
+class TestEndToEnd:
+    """The full loop: run_program(adapt=...) on a real workload."""
+
+    def test_adaptive_kmeans_matches_baseline(self):
+        program, sink = build_kmeans(n=400, k=20, iterations=6,
+                                     granularity="point")
+        cfg = AdaptationConfig(interval=0.02, min_instances=32)
+        result = run_program(program, workers=2, timeout=120, adapt=cfg)
+        base = kmeans_baseline(n=400, k=20, iterations=6)
+        assert sink.history.keys() == base.history.keys()
+        for age in base.history:
+            assert np.array_equal(sink.history[age], base.history[age])
+        for rec in result.replans:
+            assert rec.decisions and not rec.remote
+
+    def test_adaptive_mulsum_matches_reference(self):
+        program, sink = build_mulsum()
+        cfg = AdaptationConfig(interval=0.01, min_instances=8,
+                               ratio_target=0.01)
+        run_program(program, workers=2, max_age=19, timeout=120,
+                    adapt=cfg)
+        _assert_mulsum(sink, 20)

@@ -5,10 +5,12 @@ import pytest
 
 from repro.core import (
     AdaptivePolicy,
+    FusionDecision,
     GranularityDecision,
     Instrumentation,
     SchedulerError,
     coarsen,
+    coarsenable_vars,
     fusable_pairs,
     fuse,
     run_program,
@@ -184,3 +186,92 @@ class TestAdaptivePolicy:
     def test_invalid_target(self):
         with pytest.raises(SchedulerError):
             AdaptivePolicy(ratio_target=0.0)
+
+    def test_accepts_plain_stats_mapping(self):
+        """recommend takes either an Instrumentation or its stats dict
+        (the adaptation driver feeds per-interval deltas as a dict)."""
+        program, _ = build_kmeans(n=40, k=4, iterations=2,
+                                  granularity="pair")
+        policy = AdaptivePolicy(ratio_target=0.25)
+        stats = self._instr().stats()
+        decisions = policy.recommend(program, stats)
+        assert len(decisions) == 1 and decisions[0].kernel == "assign"
+
+    def test_age_only_kernel_never_coarsened(self):
+        """mulsum's print kernel has no index axis beyond the age
+        dimension; even with a terrible dispatch ratio the policy must
+        not recommend coarsening it."""
+        program, _ = build_mulsum()
+        assert coarsenable_vars(program.kernels["print"]) == []
+        assert coarsenable_vars(program.kernels["mul2"]) == ["x"]
+        policy = AdaptivePolicy(ratio_target=0.25, min_instances=10)
+        instr = self._instr(kernel="print", instances=100,
+                            dispatch_us=90.0, kernel_us=10.0)
+        assert policy.recommend(program, instr) == []
+
+    def test_recommends_fusion_for_hot_pipeline(self):
+        """With fuse=True a hot producer->consumer pair becomes one
+        FusionDecision, and the fused kernels are not also coarsened."""
+        program, _ = build_mulsum()
+        instr = Instrumentation()
+        for _ in range(200):
+            instr.record("mul2", 40e-6, 10e-6)
+            instr.record("plus5", 40e-6, 10e-6)
+        policy = AdaptivePolicy(ratio_target=0.25, min_instances=10)
+        decisions = policy.recommend(program, instr, fuse=True)
+        fusions = [d for d in decisions if isinstance(d, FusionDecision)]
+        assert fusions == [FusionDecision("mul2", "plus5")]
+        fused = {"mul2", "plus5"}
+        assert not any(
+            isinstance(d, GranularityDecision) and d.kernel in fused
+            for d in decisions
+        )
+
+    def test_fuse_disabled_by_default(self):
+        program, _ = build_mulsum()
+        instr = Instrumentation()
+        for _ in range(200):
+            instr.record("mul2", 40e-6, 10e-6)
+            instr.record("plus5", 40e-6, 10e-6)
+        policy = AdaptivePolicy(ratio_target=0.25, min_instances=10)
+        decisions = policy.recommend(program, instr)
+        assert not any(isinstance(d, FusionDecision) for d in decisions)
+
+
+class TestDecisionValidation:
+    """GranularityDecision.apply clamps the factor domain so a live
+    replan can never feed coarsen a degenerate factor."""
+
+    def _program(self):
+        program, _ = build_mulsum()
+        return program
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(SchedulerError, match="power of two"):
+            GranularityDecision("mul2", "x", 3).apply(self._program())
+
+    @pytest.mark.parametrize("factor", [0, -4, 1 << 21])
+    def test_out_of_range_rejected(self, factor):
+        with pytest.raises(SchedulerError, match="out of range"):
+            GranularityDecision("mul2", "x", factor).apply(self._program())
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(SchedulerError):
+            GranularityDecision("mul2", "x", 2.0).apply(self._program())
+
+    def test_bool_rejected(self):
+        with pytest.raises(SchedulerError):
+            GranularityDecision("mul2", "x", True).apply(self._program())
+
+    def test_valid_factor_applies_byte_identical(self):
+        program, sink = build_mulsum()
+        coarse = GranularityDecision("mul2", "x", 4).apply(program)
+        run_sink(coarse)
+        expected = expected_series(3)
+        for age in expected:
+            assert np.array_equal(sink[age][1], expected[age][1])
+
+    def test_fusion_decision_applies(self):
+        program, _ = build_mulsum()
+        fused = FusionDecision("mul2", "plus5").apply(program)
+        assert "mul2+plus5" in fused.kernels

@@ -1,0 +1,92 @@
+"""Property tests: coarsening with remainder blocks is value-preserving.
+
+The LLS may pick any factor; when it does not divide the field extent
+the last block is a remainder (smaller) block.  These tests drive
+:func:`repro.core.coarsen` directly with factors *chosen not to divide*
+the extent and assert the coarse run produces byte-identical results to
+the fine-grained run for all three paper workloads (figure 5 mulsum,
+K-means, figure 8 MJPEG).  ``GranularityDecision`` would reject most of
+these factors (the online path is restricted to powers of two), which
+is exactly why the underlying rewrite is exercised on its own here.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import coarsen, run_program
+from repro.workloads import (
+    build_kmeans,
+    build_mjpeg,
+    build_mulsum,
+    expected_series,
+)
+from repro.media.yuv import synthetic_sequence
+from repro.workloads.mjpeg import MJPEGConfig
+
+
+def _run(program, **kw):
+    kw.setdefault("workers", 2)
+    kw.setdefault("timeout", 60)
+    return run_program(program, **kw)
+
+
+class TestMulsumRemainder:
+    @given(
+        n=st.integers(min_value=5, max_value=12),
+        factor=st.integers(min_value=2, max_value=7),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_non_dividing_factor_byte_identical(self, n, factor):
+        if n % factor == 0:
+            factor += 1  # force a remainder block
+        values = list(range(10, 10 + n))
+        program, sink = build_mulsum(values=values)
+        coarse = coarsen(program, "mul2", "x", factor)
+        result = _run(coarse, max_age=2)
+        # ceil(n/factor) blocks per age, 3 ages (0..2)
+        assert result.stats["mul2"].instances == -(-n // factor) * 3
+        expected = expected_series(3, values=values)
+        for age in expected:
+            assert np.array_equal(sink[age][0], expected[age][0])
+            assert np.array_equal(sink[age][1], expected[age][1])
+
+
+class TestKMeansRemainder:
+    @given(
+        n=st.integers(min_value=10, max_value=40),
+        factor=st.integers(min_value=3, max_value=9),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_non_dividing_factor_byte_identical(self, n, factor):
+        if n % factor == 0:
+            factor += 1
+        program, sink = build_kmeans(
+            n=n, k=3, iterations=2, granularity="point"
+        )
+        _fine_prog, fine_sink = build_kmeans(
+            n=n, k=3, iterations=2, granularity="point"
+        )
+        _run(_fine_prog)
+        coarse = coarsen(program, "assign", "x", factor)
+        _run(coarse)
+        assert sink.history.keys() == fine_sink.history.keys()
+        for age in fine_sink.history:
+            assert np.array_equal(sink.history[age], fine_sink.history[age])
+
+
+class TestMJPEGRemainder:
+    @given(factor=st.integers(min_value=3, max_value=5))
+    @settings(max_examples=3, deadline=None)
+    def test_non_dividing_factor_byte_identical(self, factor):
+        # 32x16 luma -> 4x2 blocks; 3 and 5 never divide the 4-wide
+        # block row, so every coarse row ends in a remainder block.
+        cfg = MJPEGConfig(width=32, height=16, frames=2)
+        frames = synthetic_sequence(cfg.frames, cfg.width, cfg.height,
+                                    cfg.seed)
+        fine_prog, fine_sink = build_mjpeg(frames, cfg)
+        _run(fine_prog)
+        program, sink = build_mjpeg(frames, cfg)
+        coarse = coarsen(program, "ydct", "bx", factor)
+        _run(coarse)
+        assert sink.frame_count() == fine_sink.frame_count() == 2
+        assert sink.stream() == fine_sink.stream()
