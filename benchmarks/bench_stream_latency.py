@@ -1,0 +1,68 @@
+"""Streaming latency — end-to-end per-frame latency vs worker count.
+
+The real-time claim of the streaming runtime (DESIGN.md §11): an
+unpaced live MJPEG encode under a fixed lag window reports per-frame
+end-to-end latency (store → encoded frame delivered) as p50/p99, and
+the sustained frame rate is ``completed / duration``.  More workers
+drain the window faster, so sustained fps rises and tail latency falls
+until the pipeline saturates.
+
+Artifact: ``BENCH_stream_latency.json`` (one variant per worker
+count) via :func:`conftest.write_variants_json`.
+"""
+
+import pytest
+from conftest import emit, write_variants_json
+
+from repro.core import run_program
+from repro.stream import StreamConfig
+from repro.workloads import MJPEGConfig, build_mjpeg_stream, mjpeg_baseline
+
+CFG = MJPEGConfig(width=96, height=64, frames=120)
+STREAM = StreamConfig(fps=0, max_frames=CFG.frames, lag_window=8)
+REFERENCE = mjpeg_baseline(config=CFG)
+WORKERS = [1, 2, 4]
+_RESULTS: dict[str, dict] = {}
+
+
+@pytest.mark.parametrize("workers", WORKERS)
+def test_stream_latency(benchmark, workers):
+    def run():
+        program, sink, binding = build_mjpeg_stream(CFG, STREAM)
+        result = run_program(
+            program, workers=workers, timeout=600, stream=binding
+        )
+        return result.stream, sink
+
+    rep, sink = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert rep.completed == CFG.frames
+    assert sink.stream() == REFERENCE  # nothing shed: batch-identical
+    sustained_fps = rep.completed / rep.duration_s
+    benchmark.extra_info["latency_p50_ms"] = rep.latency_ms["p50"]
+    benchmark.extra_info["latency_p99_ms"] = rep.latency_ms["p99"]
+    benchmark.extra_info["sustained_fps"] = sustained_fps
+    _RESULTS[str(workers)] = {
+        "wall_time_s": round(rep.duration_s, 4),
+        "sustained_fps": round(sustained_fps, 2),
+        "latency_p50_ms": round(rep.latency_ms["p50"], 3),
+        "latency_p99_ms": round(rep.latency_ms["p99"], 3),
+        "latency_max_ms": round(rep.latency_ms["max"], 3),
+        "peak_live_bytes": rep.peak_live_bytes,
+        "freed_bytes": rep.freed_bytes,
+    }
+    emit(
+        f"stream latency [{workers}w]",
+        f"{CFG.frames} frames in {rep.duration_s:.2f}s "
+        f"({sustained_fps:.1f} fps sustained), latency "
+        f"p50 {rep.latency_ms['p50']:.1f}ms "
+        f"p99 {rep.latency_ms['p99']:.1f}ms, "
+        f"peak live {rep.peak_live_bytes} B",
+    )
+    if len(_RESULTS) == len(WORKERS):
+        write_variants_json(
+            "stream_latency", _RESULTS,
+            sum(v["wall_time_s"] for v in _RESULTS.values()),
+            baseline="1", workload="mjpeg-live",
+            width=CFG.width, height=CFG.height, frames=CFG.frames,
+            lag_window=STREAM.lag_window,
+        )

@@ -79,6 +79,55 @@ def _add_adapt_args(p: argparse.ArgumentParser) -> None:
                         "kernel is re-granularized (default 0.25)")
 
 
+def _add_stream_args(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group("live streaming")
+    g.add_argument("--live", action="store_true",
+                   help="run as a live encoder: a paced source injects "
+                        "frames into the running pipeline under "
+                        "credit-based backpressure and age retirement "
+                        "(--fps paces the source; --frames bounds it "
+                        "unless --duration is given)")
+    g.add_argument("--duration", type=float, default=None, metavar="S",
+                   help="stream seconds to run the live source for "
+                        "(overrides --frames as the bound)")
+    g.add_argument("--lag-window", type=int, default=8, metavar="N",
+                   help="backpressure credit window: admit frame a only "
+                        "once frame a-N has fully drained (default 8)")
+    g.add_argument("--deadline-ms", type=float, default=None, metavar="MS",
+                   help="per-frame end-to-end budget; frames already "
+                        "late on admission are shed or degraded "
+                        "(default: no shedding)")
+    g.add_argument("--degrade-ratio", type=float, default=0.5, metavar="R",
+                   help="fraction of late frames frozen (previous frame "
+                        "repeated) instead of dropped (default 0.5)")
+    g.add_argument("--shed-seed", type=int, default=0,
+                   help="seed of the deterministic shed/degrade split")
+    g.add_argument("--stream-json", metavar="PATH", default=None,
+                   help="write the stream report (latency histogram, "
+                        "shed ages, memory peaks) as JSON")
+
+
+def _print_stream_report(args: argparse.Namespace, rep) -> None:
+    if rep is None:
+        return
+    lat = rep.latency_ms
+    print(f"live stream: {rep.offered} offered, {rep.admitted} admitted, "
+          f"{rep.completed} completed, {rep.shed} shed, "
+          f"{rep.degraded} degraded in {rep.duration_s:.2f}s")
+    print(f"latency p50 {lat['p50']:.1f}ms p99 {lat['p99']:.1f}ms "
+          f"max {lat['max']:.1f}ms; deadline misses "
+          f"{rep.deadline_misses}; peak live {rep.peak_live_bytes} B "
+          f"(retired {rep.freed_bytes} B); "
+          f"source blocked {rep.blocked_s:.2f}s")
+    if args.stream_json:
+        import json
+
+        Path(args.stream_json).write_text(
+            json.dumps(rep.as_dict(), indent=2) + "\n"
+        )
+        print(f"stream report -> {args.stream_json}")
+
+
 def _adapt_config(args: argparse.Namespace):
     if not getattr(args, "adapt", False):
         return None
@@ -159,35 +208,59 @@ def _cmd_mjpeg(args: argparse.Namespace) -> int:
         width=args.width, height=args.height, frames=args.frames,
         quality=args.quality, dct_method=args.dct,
     )
-    if args.input:
-        frames = list(read_yuv_file(args.input, cfg.width, cfg.height,
-                                    max_frames=cfg.frames))
+    binding = None
+    if args.live:
+        from .stream import FileLoopSource, StreamConfig
+
+        from .workloads import build_mjpeg_stream
+
+        source = None
+        if args.input:
+            source = FileLoopSource(args.input, cfg.width, cfg.height)
+        scfg = StreamConfig(
+            fps=args.fps,
+            duration=args.duration,
+            max_frames=None if args.duration is not None else cfg.frames,
+            lag_window=args.lag_window,
+            deadline_ms=args.deadline_ms,
+            shed_seed=args.shed_seed,
+            degrade_ratio=args.degrade_ratio,
+        )
+        program, sink, binding = build_mjpeg_stream(cfg, scfg, source)
     else:
-        frames = synthetic_sequence(cfg.frames, cfg.width, cfg.height)
-    program, sink = build_mjpeg(frames, cfg)
+        if args.input:
+            frames = list(read_yuv_file(args.input, cfg.width, cfg.height,
+                                        max_frames=cfg.frames))
+        else:
+            frames = synthetic_sequence(cfg.frames, cfg.width, cfg.height)
+        program, sink = build_mjpeg(frames, cfg)
     obs = _Obs(args)
     try:
         result = run_program(program, workers=args.workers,
                              timeout=args.timeout, backend=args.backend,
                              tracer=obs.tracer, metrics=obs.metrics,
-                             adapt=_adapt_config(args))
+                             adapt=_adapt_config(args),
+                             stream=binding)
     finally:
         obs.finish()
     _print_replans(result.replans)
+    _print_stream_report(args, result.stream)
     if args.output.endswith(".avi"):
         from .media import split_frames, write_avi
 
         jpegs = split_frames(sink.stream())
         stream = write_avi(args.output, jpegs, cfg.width, cfg.height,
-                           fps=args.fps)
+                           fps=args.fps or 25.0)
     else:
         stream = sink.stream()
         Path(args.output).write_bytes(stream)
     print(f"encoded {sink.frame_count()} frames -> {args.output} "
           f"({len(stream)} bytes) in {result.wall_time:.2f}s "
           f"({args.workers} workers)")
-    print(result.instrumentation.table(
-        order=["read", "ydct", "udct", "vdct", "vlc"]))
+    order = ["ydct", "udct", "vdct", "vlc"]
+    if not args.live:
+        order.insert(0, "read")
+    print(result.instrumentation.table(order=order))
     return 0
 
 
@@ -410,12 +483,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dct", choices=("naive", "matrix", "aan"),
                    default="matrix")
     p.add_argument("--fps", type=float, default=25.0,
-                   help="frame rate stamped into .avi output")
+                   help="frame rate stamped into .avi output; with "
+                        "--live, also the source pacing rate (0 = "
+                        "unpaced)")
     p.add_argument("-w", "--workers", type=int, default=4)
     p.add_argument("-t", "--timeout", type=float, default=1800.0)
     p.add_argument("--backend", choices=("threads", "processes"),
                    default="threads",
                    help="execution backend for kernel bodies")
+    _add_stream_args(p)
     _add_adapt_args(p)
     _add_obs_args(p)
     p.set_defaults(fn=_cmd_mjpeg)

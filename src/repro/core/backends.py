@@ -77,6 +77,15 @@ class ExecutionBackend:
         kernel definition — so the default is a no-op; the process
         backend forwards the decisions to its workers."""
 
+    def on_retire(self, min_age: int) -> None:
+        """Every field age below ``min_age`` has been retired (streaming
+        age retirement — see :mod:`repro.stream`).  The parent has
+        already freed the backing storage; backends holding per-age
+        resources elsewhere release them here.  In-parent backends need
+        nothing (default no-op); the process backend tells its workers
+        to drop their cached shared-memory views so the unlinked
+        segments' pages actually return to the kernel."""
+
     def shutdown(self) -> None:
         """Release execution resources (idempotent)."""
 
@@ -161,6 +170,18 @@ class _SegmentCache:
                 continue
             del self._entries[key]
 
+    def retire(self, min_age: int) -> None:
+        """Drop every cached view below ``min_age`` (the parent retired
+        those ages and unlinked their segments; closing the worker-side
+        mapping releases the last reference to the pages)."""
+        for key in [k for k in self._entries if k[1] < min_age]:
+            shm, _arr = self._entries[key]
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - body still holds it
+                continue
+            del self._entries[key]
+
     def close(self) -> None:
         for shm, _arr in self._entries.values():
             try:
@@ -200,6 +221,11 @@ def _worker_main(
     failing re-apply kills the worker — the parent surfaces that as
     :class:`~repro.core.errors.WorkerProcessError` rather than let the
     pool silently diverge from the analyzer's program.
+
+    A ``("__retire__", min_age)`` message (no reply, streaming age
+    retirement) closes the worker's cached shared-memory views below
+    ``min_age``; the retirement invariant guarantees no later instance
+    will fetch those ages again.
     """
     program = (
         program_source() if callable(program_source) else program_source
@@ -219,6 +245,9 @@ def _worker_main(
                 versions.append(
                     (epoch, apply_decisions(versions[-1][1], decisions))
                 )
+                continue
+            if msg[0] == "__retire__":
+                cache.retire(msg[1])
                 continue
             kernel_name, age, index = msg
             t0 = time.perf_counter()
@@ -348,15 +377,16 @@ class ProcessBackend(ExecutionBackend):
         self._procs: list[multiprocessing.Process] = []
         self._conns: list[Any] = []
         self._node: "ExecutionNode | None" = None
-        # Live-swap forwarding: an append-only list of (epoch, decisions)
-        # batches written by the analyzer thread (on_replan), plus a
-        # per-worker count of batches already sent down its pipe.  Each
-        # proxy thread forwards the unsent suffix on its *own* pipe right
-        # before its next instance send, so replan messages never
+        # Control-message forwarding: an append-only list of ready-to-send
+        # tuples — ("__replan__", epoch, decisions) from the analyzer
+        # thread, ("__retire__", min_age) from the stream retirer — plus
+        # a per-worker count of messages already sent down its pipe.
+        # Each proxy thread forwards the unsent suffix on its *own* pipe
+        # right before its next instance send, so control messages never
         # interleave with another thread's traffic (pipes are not
         # thread-safe) and always precede the first instance that needs
-        # the new version.
-        self._replans: list[tuple[int, tuple]] = []
+        # them.
+        self._control: list[tuple] = []
         self._sent: list[int] = []
 
     def create_fields(self, program: Program) -> FieldStore:
@@ -414,7 +444,14 @@ class ProcessBackend(ExecutionBackend):
     def on_replan(self, decisions, epoch: int) -> None:
         """Record a swap batch for lazy per-worker forwarding (the
         proxies drain it before their next instance send)."""
-        self._replans.append((epoch, tuple(decisions)))
+        self._control.append(("__replan__", epoch, tuple(decisions)))
+
+    def on_retire(self, min_age: int) -> None:
+        """Record a retirement floor for lazy per-worker forwarding;
+        workers close their cached segment views below it.  A worker
+        that never executes again simply closes everything at shutdown
+        instead."""
+        self._control.append(("__retire__", min_age))
 
     # ------------------------------------------------------------------
     def execute(self, inst: KernelInstance, worker_id: int) -> None:
@@ -423,16 +460,16 @@ class ProcessBackend(ExecutionBackend):
         kernel = inst.kernel
         conn = self._conns[worker_id]
         proc = self._procs[worker_id]
-        # Forward any swap batches this worker has not seen yet.  The
-        # list is append-only and CPython appends are atomic, so reading
-        # a suffix snapshot without the analyzer's lock is safe; a batch
+        # Forward any control messages this worker has not seen yet.
+        # The list is append-only and CPython appends are atomic, so
+        # reading a suffix snapshot without a lock is safe; a message
         # appended after the snapshot can only matter to instances
         # dispatched after it, which a later execute() will precede.
         sent = self._sent[worker_id]
-        pending = self._replans[sent:]
+        pending = self._control[sent:]
         if pending:
-            for epoch, decisions in pending:
-                conn.send(("__replan__", epoch, decisions))
+            for msg in pending:
+                conn.send(msg)
             self._sent[worker_id] = sent + len(pending)
         t0 = time.perf_counter()
         # Create every store target's segment now, so the worker's

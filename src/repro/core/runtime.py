@@ -33,7 +33,13 @@ from typing import Any
 
 import numpy as np
 
-from ..obs import MetricsRegistry, NULL_TRACER, Tracer, dump_flight
+from ..obs import (
+    MetricsRegistry,
+    NULL_TRACER,
+    Tracer,
+    dump_flight,
+    peak_rss_bytes,
+)
 from .analyzer import DependencyAnalyzer, ReplanRecord
 from .backends import ExecutionBackend, resolve_backend
 from .deadlines import TimerSet
@@ -341,6 +347,9 @@ class RunResult:
     tracer: "Tracer | None" = None  #: the tracer the run recorded into
     #: Mid-run LLS re-bindings applied, in order (empty when static).
     replans: list = dc_field(default_factory=list)
+    #: :class:`~repro.stream.StreamReport` when the run was driven by a
+    #: live source (``run_program(stream=...)``); ``None`` for batch runs.
+    stream: Any = None
 
     @property
     def stats(self):
@@ -444,6 +453,7 @@ class ExecutionNode:
         self.gc_fields = gc_fields
         self.keep_ages = keep_ages
         self.backend = resolve_backend(backend)
+        self._owns_fields = fields is None
         self.fields = fields if fields is not None else (
             self.backend.create_fields(program)
         )
@@ -467,6 +477,13 @@ class ExecutionNode:
         self.instrumentation = Instrumentation()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Live memory observability: computed gauges evaluated at
+        # snapshot time, so a streaming run's boundedness can be watched
+        # without polling overhead on the hot path.  A cluster's nodes
+        # share one registry and one field store, so re-registration just
+        # rebinds the same callables.
+        self.metrics.gauge_fn("fields.live_bytes", self.fields.live_bytes)
+        self.metrics.gauge_fn("process.peak_rss_bytes", peak_rss_bytes)
         self._m_instances = self.metrics.counter("instances.executed")
         self._m_fetches = self.metrics.counter("fields.fetches")
         self._m_stores = self.metrics.counter("fields.stores")
@@ -922,6 +939,12 @@ class ExecutionNode:
                 break
             if not isinstance(ev, ShutdownEvent):
                 self._dec()
+        # Shm hygiene: a wound-down node that *owns* its shared store has
+        # no join() coming to unlink the segment names — release here or
+        # they outlive the process in /dev/shm.  Cluster nodes share an
+        # externally provided store; its owner releases it.
+        if self._owns_fields and isinstance(self.fields, SharedFieldStore):
+            self.fields.release()
         return self._abandoned
 
     def join(
@@ -1049,6 +1072,7 @@ def run_program(
     tracer: "Tracer | None" = None,
     metrics: "MetricsRegistry | None" = None,
     adapt=None,
+    stream=None,
 ) -> RunResult:
     """One-shot convenience: build an :class:`ExecutionNode` and run it.
 
@@ -1058,6 +1082,16 @@ def run_program(
     :class:`~repro.core.adaptation.AdaptationDriver` then watches the
     node's instrumentation in the background and applies coarsen/fuse
     re-bindings mid-run (see :meth:`ExecutionNode.request_replan`).
+
+    ``stream`` turns the run into a live, unbounded pipeline: pass a
+    :class:`~repro.stream.StreamBinding` (e.g. from
+    :func:`~repro.workloads.build_mjpeg_stream`) or a pre-built
+    :class:`~repro.stream.StreamDriver`.  A driver thread then paces
+    frames from the binding's source into the running node under
+    credit-based backpressure, retires drained ages so field memory
+    stays bounded, and applies the configured QoS policy to late frames;
+    the resulting :class:`~repro.stream.StreamReport` is attached to
+    ``RunResult.stream``.
     """
     node = ExecutionNode(
         program,
@@ -1069,15 +1103,30 @@ def run_program(
         tracer=tracer,
         metrics=metrics,
     )
+    drivers: list = []
     if adapt:
         from .adaptation import AdaptationConfig, AdaptationDriver
 
         cfg = adapt if isinstance(adapt, AdaptationConfig) else (
             AdaptationConfig()
         )
-        driver = AdaptationDriver(cfg, node=node)
-        node.add_teardown_hook(driver.stop)
-        node.start()
-        driver.start()
-        return node.join(timeout=timeout, stall_timeout=stall_timeout)
-    return node.run(timeout=timeout, stall_timeout=stall_timeout)
+        drivers.append(AdaptationDriver(cfg, node=node))
+    sdriver = None
+    if stream is not None:
+        from ..stream import StreamDriver
+
+        sdriver = stream if isinstance(stream, StreamDriver) else (
+            StreamDriver(stream, node=node)
+        )
+        drivers.append(sdriver)
+    if not drivers:
+        return node.run(timeout=timeout, stall_timeout=stall_timeout)
+    for drv in drivers:
+        node.add_teardown_hook(drv.stop)
+    node.start()
+    for drv in drivers:
+        drv.start()
+    result = node.join(timeout=timeout, stall_timeout=stall_timeout)
+    if sdriver is not None:
+        result.stream = sdriver.report()
+    return result

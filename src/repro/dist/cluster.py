@@ -67,6 +67,7 @@ class ClusterResult:
     recoveries: list[RecoveryRecord] = dc_field(default_factory=list)
     metrics: "MetricsRegistry | None" = None
     tracer: "Tracer | None" = None  #: set when tracing was enabled
+    stream: Any = None  #: StreamReport when the run was live
 
     @property
     def replans(self) -> list:
@@ -218,6 +219,7 @@ class Cluster:
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         adapt: "AdaptationConfig | bool | None" = None,
+        stream=None,
     ) -> ClusterResult:
         """Plan (unless given an assignment) and execute the program.
 
@@ -247,6 +249,18 @@ class Cluster:
         into their producer bookkeeping at the committed epoch.  Fusion
         decisions whose kernels live on different nodes are discarded
         (fusing them would strand the pipe field across the boundary).
+
+        ``stream`` (a :class:`~repro.stream.StreamBinding` or prebuilt
+        :class:`~repro.stream.StreamDriver`) runs the cluster live: the
+        stream driver publishes each admitted frame's store events on the
+        field topics (origin ``stream-source``), so exactly the nodes
+        whose kernels fetch the input fields receive them; backpressure
+        credits travel the other way on the ``stream.credit`` control
+        topic (granted by ``master`` as completions are observed,
+        consumed by ``stream-source``), so flow control crosses the same
+        transport as data.  The resulting
+        :class:`~repro.stream.StreamReport` is attached to
+        ``ClusterResult.stream``.
 
         ``tracer`` records a cluster-wide timeline (one viewer lane per
         node/worker plus ``master`` control-plane lanes).  Fault-tolerant
@@ -409,6 +423,55 @@ class Cluster:
                 name="master-adapt",
             )
 
+        # ---- live streaming (source -> field topics, credits back on
+        # the stream.credit control topic) ----
+        sdriver = None
+        if stream is not None:
+            from ..stream import StreamDriver
+
+            def stream_inject(ev) -> None:
+                size = 0
+                if isinstance(ev, StoreEvent):
+                    elems = 1
+                    for s in ev.region:
+                        elems *= s.stop - s.start
+                    size = elems * dtype_size.get(ev.field, 8)
+                self.transport.publish(ev.field, "stream-source", ev, size)
+
+            def grant(age: int) -> None:
+                self.transport.publish(
+                    "stream.credit", "master", {"age": age}, control=True
+                )
+
+            sdriver = (
+                stream if isinstance(stream, StreamDriver)
+                else StreamDriver(
+                    stream,
+                    nodes=list(exec_nodes.values()),
+                    fields=fields,
+                    counter=counter,
+                    metrics=metrics,
+                    tracer=tracer,
+                    program=self.program,
+                    inject=stream_inject,
+                    on_grant=grant,
+                )
+            )
+            self.transport.subscribe(
+                "stream.credit", "stream-source",
+                lambda msg: sdriver.gate.grant(msg.payload["age"]),
+            )
+            # The driver wrapped the *full* program's output handler for
+            # completion detection, but every subprogram copied the
+            # handler before that wrap — re-propagate it (dedup-wrapped
+            # on fault-tolerant runs) so completions are observed.
+            handler = self.program.output_handler
+            if ft and handler is not None:
+                handler = _OutputDedup(handler)
+            for node in exec_nodes.values():
+                node.program.set_output_handler(handler)
+                node.add_teardown_hook(sdriver.stop)
+
         # Startup token keeps the shared counter nonzero until every node
         # has dispatched its initial instances, so no node can observe a
         # false global quiescence during startup.
@@ -515,6 +578,8 @@ class Cluster:
             manager.start()
         if driver is not None:
             driver.start()
+        if sdriver is not None:
+            sdriver.start()
         counter.dec()  # every node started: release the startup token
         threads = [
             threading.Thread(target=drive, args=(n, en), daemon=True,
@@ -527,6 +592,8 @@ class Cluster:
             t.join()
         if driver is not None:
             driver.stop()
+        if sdriver is not None:
+            sdriver.stop()
         if ft:
             manager.stop()
             with extra_lock:
@@ -568,4 +635,5 @@ class Cluster:
             recoveries=list(manager.records) if manager is not None else [],
             metrics=metrics,
             tracer=tracer if tracer.enabled else None,
+            stream=sdriver.report() if sdriver is not None else None,
         )

@@ -21,6 +21,8 @@ import numpy as np
 
 __all__ = [
     "YUVFrame",
+    "synthetic_frame",
+    "synthetic_noise",
     "synthetic_sequence",
     "read_yuv_file",
     "write_yuv_file",
@@ -95,6 +97,57 @@ class YUVFrame:
         return width * height + 2 * (width // 2) * (height // 2)
 
 
+def synthetic_noise(
+    width: int = CIF_WIDTH, height: int = CIF_HEIGHT, seed: int = 1234
+) -> np.ndarray:
+    """The fixed-seed noise plane shared by every frame of the synthetic
+    clip (precompute once when generating many frames)."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 12, size=(height, width), dtype=np.int32)
+
+
+def synthetic_frame(
+    t: int,
+    width: int = CIF_WIDTH,
+    height: int = CIF_HEIGHT,
+    seed: int = 1234,
+    noise: np.ndarray | None = None,
+) -> YUVFrame:
+    """Frame ``t`` of the synthetic clip.
+
+    Byte-identical to ``synthetic_sequence(n, ...)[t]`` for any
+    ``n > t`` — a live source generating frames one at a time produces
+    exactly the clip a batch run pre-stores, which is what lets the
+    streaming tests assert byte-identical MJPEG output.  Pass a
+    precomputed ``noise`` plane (:func:`synthetic_noise`) to amortize
+    the RNG across frames.
+    """
+    if noise is None:
+        noise = synthetic_noise(width, height, seed)
+    yy, xx = np.mgrid[0:height, 0:width]
+    pan = 3 * t
+    grad = ((xx + pan) * 255 // (width + pan + 1)).astype(np.int32)
+    texture = (
+        40 * np.sin(2 * math.pi * (xx + 2 * t) / 16.0)
+        * np.sin(2 * math.pi * yy / 24.0)
+    ).astype(np.int32)
+    y = 64 + grad // 2 + texture // 2 + noise
+    sq = 32
+    sx = (17 * t) % max(1, width - sq)
+    sy = (11 * t) % max(1, height - sq)
+    y[sy : sy + sq, sx : sx + sq] += 80
+    y = np.clip(y, 0, 255).astype(np.uint8)
+    ch, cw = height // 2, width // 2
+    cyy, cxx = np.mgrid[0:ch, 0:cw]
+    u = np.clip(
+        128 + 30 * np.sin(2 * math.pi * (cxx + t) / 64.0), 0, 255
+    ).astype(np.uint8)
+    v = np.clip(
+        128 + 30 * np.cos(2 * math.pi * (cyy + 2 * t) / 48.0), 0, 255
+    ).astype(np.uint8)
+    return YUVFrame(y, u, v)
+
+
 def synthetic_sequence(
     frames: int,
     width: int = CIF_WIDTH,
@@ -103,7 +156,7 @@ def synthetic_sequence(
 ) -> list[YUVFrame]:
     """Deterministic foreman-like CIF clip.
 
-    Composition per frame ``t``:
+    Composition per frame ``t`` (see :func:`synthetic_frame`):
 
     * a slowly panning luma gradient (global motion, like the camera pan);
     * a sinusoidal texture band (high-frequency detail that stresses the
@@ -115,33 +168,11 @@ def synthetic_sequence(
     """
     if frames < 0:
         raise ValueError("frames must be >= 0")
-    rng = np.random.default_rng(seed)
-    noise = rng.integers(0, 12, size=(height, width), dtype=np.int32)
-    yy, xx = np.mgrid[0:height, 0:width]
-    out: list[YUVFrame] = []
-    for t in range(frames):
-        pan = 3 * t
-        grad = ((xx + pan) * 255 // (width + pan + 1)).astype(np.int32)
-        texture = (
-            40 * np.sin(2 * math.pi * (xx + 2 * t) / 16.0)
-            * np.sin(2 * math.pi * yy / 24.0)
-        ).astype(np.int32)
-        y = 64 + grad // 2 + texture // 2 + noise
-        sq = 32
-        sx = (17 * t) % max(1, width - sq)
-        sy = (11 * t) % max(1, height - sq)
-        y[sy : sy + sq, sx : sx + sq] += 80
-        y = np.clip(y, 0, 255).astype(np.uint8)
-        ch, cw = height // 2, width // 2
-        cyy, cxx = np.mgrid[0:ch, 0:cw]
-        u = np.clip(
-            128 + 30 * np.sin(2 * math.pi * (cxx + t) / 64.0), 0, 255
-        ).astype(np.uint8)
-        v = np.clip(
-            128 + 30 * np.cos(2 * math.pi * (cyy + 2 * t) / 48.0), 0, 255
-        ).astype(np.uint8)
-        out.append(YUVFrame(y, u, v))
-    return out
+    noise = synthetic_noise(width, height, seed)
+    return [
+        synthetic_frame(t, width, height, seed, noise)
+        for t in range(frames)
+    ]
 
 
 def write_yuv_file(

@@ -23,6 +23,7 @@ from .metrics import (
     delta,
     flatten,
     merge,
+    peak_rss_bytes,
     render,
 )
 from .tracing import (
@@ -46,6 +47,7 @@ __all__ = [
     "flatten",
     "flight_dir",
     "merge",
+    "peak_rss_bytes",
     "render",
     "validate_chrome_trace",
 ]

@@ -11,7 +11,9 @@ kinds:
 * :class:`Counter` — monotonically increasing total;
 * :class:`Gauge` — last-set value (with a ``set_max`` variant so
   several nodes reporting the same shared resource don't regress it);
-* :class:`Histogram` — count/sum/min/max of observations (mean derived).
+* :class:`Histogram` — count/sum/min/max of observations (mean derived)
+  plus p50/p99 estimates from a bounded, deterministically decimated
+  sample buffer (the streaming runtime's latency accounting).
 
 A snapshot is a plain ``{name: {"type": ..., ...}}`` dict: JSON-ready,
 and the module-level :func:`delta`, :func:`merge`, :func:`flatten` and
@@ -24,6 +26,8 @@ deltas for rate windows, merges for cluster-wide aggregation, a flat
 from __future__ import annotations
 
 import json
+import math
+import sys
 import threading
 from typing import Callable, Mapping
 
@@ -35,6 +39,7 @@ __all__ = [
     "delta",
     "flatten",
     "merge",
+    "peak_rss_bytes",
     "render",
 ]
 
@@ -94,9 +99,25 @@ class Gauge:
 
 
 class Histogram:
-    """Count/sum/min/max summary of a stream of observations."""
+    """Count/sum/min/max summary of a stream of observations, plus
+    percentile estimates.
 
-    __slots__ = ("_lock", "count", "total", "vmin", "vmax")
+    Percentiles come from a bounded sample buffer decimated
+    *deterministically*: every ``stride``-th observation is kept, and
+    whenever the buffer fills the stride doubles and every other kept
+    sample is dropped.  No randomness — two runs observing the same
+    sequence report identical percentiles (the streaming QoS tests rely
+    on this) — and memory stays O(:data:`_SAMPLE_CAP`) on unbounded
+    runs.
+    """
+
+    __slots__ = (
+        "_lock", "count", "total", "vmin", "vmax",
+        "_samples", "_stride",
+    )
+
+    #: Sample-buffer bound; decimation keeps at most this many values.
+    _SAMPLE_CAP = 4096
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -104,9 +125,16 @@ class Histogram:
         self.total = 0.0
         self.vmin = float("inf")
         self.vmax = float("-inf")
+        self._samples: list[float] = []
+        self._stride = 1
 
     def observe(self, value: float) -> None:
         with self._lock:
+            if self.count % self._stride == 0:
+                self._samples.append(value)
+                if len(self._samples) >= self._SAMPLE_CAP:
+                    self._samples = self._samples[::2]
+                    self._stride *= 2
             self.count += 1
             self.total += value
             if value < self.vmin:
@@ -114,14 +142,26 @@ class Histogram:
             if value > self.vmax:
                 self.vmax = value
 
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile estimate over the retained samples
+        (``q`` in 0–100; 0.0 with no observations)."""
+        with self._lock:
+            samples = list(self._samples)
+        if not samples:
+            return 0.0
+        ordered = sorted(samples)
+        rank = math.ceil(q / 100.0 * len(ordered))
+        return ordered[min(len(ordered) - 1, max(0, rank - 1))]
+
     def snapshot(self) -> dict:
         with self._lock:
             if not self.count:
                 return {
                     "type": "histogram", "count": 0, "sum": 0.0,
                     "min": 0.0, "max": 0.0, "mean": 0.0,
+                    "p50": 0.0, "p99": 0.0,
                 }
-            return {
+            out = {
                 "type": "histogram",
                 "count": self.count,
                 "sum": self.total,
@@ -129,6 +169,9 @@ class Histogram:
                 "max": self.vmax,
                 "mean": self.total / self.count,
             }
+        out["p50"] = self.percentile(50.0)
+        out["p99"] = self.percentile(99.0)
+        return out
 
 
 class MetricsRegistry:
@@ -224,6 +267,12 @@ def delta(new: Mapping[str, dict], old: Mapping[str, dict]) -> dict:
                 "max": s["max"],
                 "mean": total / count if count else 0.0,
             }
+            # Percentiles are not subtractable; the window keeps the
+            # new snapshot's estimates (absent in pre-percentile
+            # snapshots, so pass through conditionally).
+            for key in ("p50", "p99"):
+                if key in s:
+                    out[name][key] = s[key]
         else:
             out[name] = dict(s)
     return out
@@ -254,6 +303,14 @@ def merge(*snapshots: Mapping[str, dict]) -> dict:
                     max=max(cur["max"], s["max"]) if count else 0.0,
                     mean=total / count if count else 0.0,
                 )
+                # Exact percentiles cannot be merged from summaries;
+                # take the widest (max) estimate as a conservative
+                # upper bound across nodes.
+                for key in ("p50", "p99"):
+                    if key in cur and key in s:
+                        cur[key] = max(cur[key], s[key])
+                    elif key in s:
+                        cur[key] = s[key]
     return dict(sorted(out.items()))
 
 
@@ -263,11 +320,33 @@ def flatten(snapshot: Mapping[str, dict]) -> dict[str, float]:
     out: dict[str, float] = {}
     for name, s in snapshot.items():
         if s["type"] == "histogram":
-            for key in ("count", "sum", "min", "max", "mean"):
-                out[f"{name}.{key}"] = s[key]
+            for key in ("count", "sum", "min", "max", "mean",
+                        "p50", "p99"):
+                if key in s:  # pre-percentile snapshots lack p50/p99
+                    out[f"{name}.{key}"] = s[key]
         else:
             out[name] = s["value"]
     return dict(sorted(out.items()))
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident-set size of this process plus its reaped children,
+    in bytes (0 where the ``resource`` module is unavailable).
+
+    The children term covers a process-backend run's worker pool once
+    the workers have been joined — sample after shutdown (the metrics
+    registry's computed gauges evaluate at snapshot time, which is
+    late enough).
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return 0
+    # ru_maxrss is kilobytes on Linux, bytes on macOS.
+    scale = 1 if sys.platform == "darwin" else 1024
+    own = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    kids = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return int((own + kids) * scale)
 
 
 def render(snapshot: Mapping[str, dict], title: str | None = None) -> str:

@@ -1,0 +1,55 @@
+"""Streaming runtime: live sources, backpressure, retirement, QoS.
+
+This package turns the write-once/aging execution model into an
+*unbounded real-time* pipeline (the paper's titular use case — its
+batch-shaped evaluation encodes 50 frames; a live encoder never stops):
+
+* :mod:`~repro.stream.sources` — rate-paced frame producers
+  (:class:`FrameSource`: a synthetic clock, a looping YUV file, or any
+  finite sequence) that *inject* new ages into a running node instead of
+  pre-storing all input;
+* :mod:`~repro.stream.gate` — :class:`CreditGate`, credit-based
+  backpressure: source age *a* is admitted only once age *a − window*
+  has fully drained, bounding scheduler lag and in-flight field memory;
+* :mod:`~repro.stream.retire` — :class:`Retirer`, freeing drained ages
+  through the existing field-GC paths (and workers' shared-memory
+  views) so ``live_bytes`` stays bounded on unbounded runs;
+* :mod:`~repro.stream.qos` — :class:`QosPolicy`, deadline-driven load
+  shedding: deterministically (seeded) drop or degrade frames that are
+  already late on admission, recording end-to-end latency histograms;
+* :mod:`~repro.stream.driver` — :class:`StreamDriver`, the thread tying
+  the four together behind ``run_program(stream=...)`` and
+  ``Cluster.run(stream=...)``.
+"""
+
+from .driver import (
+    StreamBinding,
+    StreamConfig,
+    StreamDriver,
+    StreamReport,
+)
+from .gate import CreditGate
+from .qos import QosDecision, QosPolicy, shed_fraction
+from .retire import Retirer
+from .sources import (
+    FileLoopSource,
+    FrameSource,
+    SequenceSource,
+    SyntheticSource,
+)
+
+__all__ = [
+    "CreditGate",
+    "FileLoopSource",
+    "FrameSource",
+    "QosDecision",
+    "QosPolicy",
+    "Retirer",
+    "SequenceSource",
+    "StreamBinding",
+    "StreamConfig",
+    "StreamDriver",
+    "StreamReport",
+    "SyntheticSource",
+    "shed_fraction",
+]

@@ -1,0 +1,86 @@
+"""Credit-based backpressure for live sources.
+
+The shape follows credit-based flow control (cf. the rxbackpressure
+idiom and *Scaling Ordered Stream Processing on Shared-Memory
+Multicores*' bounded-lag admission): the consumer side *grants* one
+credit per fully drained age, and the source may only run ``window``
+ages ahead of the drained frontier.  A fast producer therefore blocks
+instead of burying a slow pipeline — scheduler lag and in-flight field
+memory are both bounded by the window.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["CreditGate"]
+
+
+class CreditGate:
+    """Admission control: age ``a`` may enter only when age
+    ``a − window`` has fully drained.
+
+    Grants arrive out of order (frames complete out of order under
+    parallel execution; shed frames are granted immediately), so the
+    gate tracks a *contiguous* drained frontier: ``completed_through()``
+    is the highest age ``f`` such that every age ``≤ f`` was granted.
+    Admission of age ``a`` requires ``completed_through() ≥ a − window``
+    — equivalently at most ``window`` ages are in flight past the
+    frontier.
+    """
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ValueError(f"lag window must be >= 1, got {window}")
+        self.window = window
+        self._lock = threading.Lock()
+        self._cv = threading.Condition(self._lock)
+        self._granted: set[int] = set()
+        self._frontier = -1
+        self._open = True
+        #: Total seconds admission blocked (backpressure observability).
+        self.blocked_s = 0.0
+
+    def completed_through(self) -> int:
+        """Highest age with every age at or below it drained (−1 if
+        none)."""
+        with self._lock:
+            return self._frontier
+
+    def admit(self, age: int, timeout: float | None = None) -> bool:
+        """Block until there is credit for ``age``; ``True`` when
+        admitted, ``False`` when the gate closed (or ``timeout`` hit)
+        while waiting."""
+        t0 = time.perf_counter()
+        deadline = None if timeout is None else t0 + timeout
+        with self._cv:
+            while self._open and self._frontier < age - self.window:
+                if deadline is None:
+                    self._cv.wait()
+                else:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0 or not self._cv.wait(remaining):
+                        break
+            admitted = self._open and (
+                self._frontier >= age - self.window
+            )
+            self.blocked_s += time.perf_counter() - t0
+            return admitted
+
+    def grant(self, age: int) -> None:
+        """Record that ``age`` has fully drained (its output was
+        delivered, or it was shed/degraded and will never run)."""
+        with self._cv:
+            self._granted.add(age)
+            while self._frontier + 1 in self._granted:
+                self._granted.discard(self._frontier + 1)
+                self._frontier += 1
+            self._cv.notify_all()
+
+    def close(self) -> None:
+        """Unblock every waiter; subsequent admits return ``False``
+        (shutdown path)."""
+        with self._cv:
+            self._open = False
+            self._cv.notify_all()

@@ -1,0 +1,125 @@
+"""QoS load shedding: deadline-driven, deterministic frame dropping.
+
+Nephele Streaming's lesson (PAPERS.md) is that QoS-constrained stream
+jobs need explicit latency accounting plus an adaptive output policy;
+the paper's own kernel language already has the primitive — the global
+``timer`` with ``t + 100ms`` expressions (section V-B).  This module
+phrases load shedding entirely through one such
+:class:`~repro.core.deadlines.Timer`: frame ``a`` of an ``fps``-paced
+stream is *late on admission* when the timer (reset at stream start) is
+past ``arrival(a) + deadline_ms``, i.e. the frame already spent its
+end-to-end budget queueing behind backpressure before the pipeline even
+saw it.  Running it would waste capacity on a frame nobody will watch —
+the policy sheds (drops) or degrades (freezes) it instead.
+
+The shed-vs-degrade split is a pure seeded hash of ``(seed, age)`` —
+no RNG state, no wall clock — so two runs experiencing the same
+lateness make *identical* decisions, which is what makes overload
+behaviour reproducible (and testable by property).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..core.deadlines import Timer
+
+__all__ = ["QosDecision", "QosPolicy", "shed_fraction"]
+
+
+def shed_fraction(seed: int, age: int) -> float:
+    """Deterministic uniform value in ``[0, 1)`` for ``(seed, age)``.
+
+    A keyed blake2b hash, not an RNG: stateless, order-independent, and
+    identical across processes and runs — the property the shedding
+    determinism tests pin down.
+    """
+    digest = hashlib.blake2b(
+        f"{seed}:{age}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class QosDecision:
+    """The policy's verdict for one offered frame."""
+
+    age: int
+    action: str  #: "run" | "shed" | "degrade"
+    lateness_ms: float  #: how far past arrival the frame was admitted
+
+    @property
+    def late(self) -> bool:
+        """Whether the frame had blown its deadline on admission."""
+        return self.action != "run"
+
+
+class QosPolicy:
+    """Decide, per offered frame, whether to run, shed or degrade it.
+
+    Parameters
+    ----------
+    deadline_ms:
+        Per-frame end-to-end latency budget.  A frame still waiting for
+        admission ``deadline_ms`` after its arrival time is late.
+    fps:
+        The stream's pacing rate; frame ``a`` arrives at
+        ``a * 1000 / fps`` ms on the stream timer.  With ``fps == 0``
+        (unpaced), arrival times are supplied by the driver.
+    seed:
+        Seed for the deterministic shed-vs-degrade split.
+    degrade_ratio:
+        Fraction of late frames to *degrade* (freeze: repeat the
+        previous frame, preserving timing) instead of *shed* (drop).
+    timer:
+        The stream clock; defaults to a fresh
+        :class:`~repro.core.deadlines.Timer` (injectable for the
+        deterministic tests).  Every late verdict polls
+        :meth:`~repro.core.deadlines.Timer.expired`, so ``timer.misses``
+        counts exactly the deadline misses of the run.
+    """
+
+    def __init__(
+        self,
+        deadline_ms: float,
+        fps: float,
+        *,
+        seed: int = 0,
+        degrade_ratio: float = 0.0,
+        timer: Timer | None = None,
+    ) -> None:
+        if deadline_ms <= 0:
+            raise ValueError(f"deadline_ms must be > 0, got {deadline_ms}")
+        if not 0.0 <= degrade_ratio <= 1.0:
+            raise ValueError(
+                f"degrade_ratio must be in [0, 1], got {degrade_ratio}"
+            )
+        self.deadline_ms = deadline_ms
+        self.fps = fps
+        self.seed = seed
+        self.degrade_ratio = degrade_ratio
+        self.timer = timer if timer is not None else Timer("stream.qos")
+
+    def arrival_ms(self, age: int) -> float:
+        """Scheduled arrival of frame ``age`` on the stream timer."""
+        return age * 1000.0 / self.fps if self.fps > 0 else 0.0
+
+    def decide(
+        self, age: int, arrival_ms: float | None = None
+    ) -> QosDecision:
+        """Verdict for frame ``age`` offered *now* (timer time).
+
+        ``arrival_ms`` overrides the fps-derived arrival (the driver
+        passes the actual offer time for unpaced streams, where frames
+        have no schedule and are never late).
+        """
+        if arrival_ms is None:
+            arrival_ms = self.arrival_ms(age)
+        late = self.timer.expired(arrival_ms + self.deadline_ms)
+        lateness = self.timer.elapsed_ms() - arrival_ms
+        if not late:
+            return QosDecision(age, "run", lateness)
+        if shed_fraction(self.seed, age) < self.degrade_ratio:
+            return QosDecision(age, "degrade", lateness)
+        return QosDecision(age, "shed", lateness)

@@ -1,0 +1,119 @@
+"""Age retirement: bounded field memory on unbounded runs.
+
+A batch run keeps every age alive until teardown; a live encoder would
+grow without bound.  The :class:`Retirer` frees drained ages through
+the existing GC paths (:meth:`Field.collect_age` → ``_AgeSlot.free()``,
+which for shared-memory slots closes *and unlinks* the segment) and
+tells each node's execution backend to drop its workers' cached views
+(:meth:`ExecutionBackend.on_retire`).
+
+Invariant (DESIGN.md §11): **an age may be freed iff no undispatched
+instance can fetch it.**  Two independent bounds enforce it:
+
+* the *completion frontier* — ages at or below the highest contiguous
+  completed age have delivered their output, and under the credit gate
+  no new source age enters below the frontier, so only instances at
+  ages above it can still be dispatched; backwards fetches reach at
+  most ``max_back`` ages below their instance, giving the floor
+  ``frontier + 1 − max_back − keep_ages``;
+* the nodes' *live minima* — the lowest age among pending analyzer
+  work, queued ready instances, and running instances, observed
+  directly.  Redundant with the frontier argument, but it keeps the
+  invariant true even for exotic bindings that complete ages out of
+  band.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["Retirer"]
+
+
+class Retirer:
+    """Watches per-age completion and frees everything below the safe
+    floor.
+
+    Thread-safe: completions arrive from worker/pump threads while the
+    driver thread sweeps.  The per-node probes read structures owned by
+    other threads (analyzer pending map, ready-queue age counts, running
+    ages); each is internally locked or read defensively — a probe that
+    races a mutation just skips this sweep, never over-frees.
+    """
+
+    def __init__(
+        self,
+        fields,
+        nodes,
+        *,
+        max_back: int = 0,
+        keep_ages: int = 1,
+    ) -> None:
+        self._fields = fields
+        self._nodes = list(nodes)
+        self._max_back = max_back
+        self._keep_ages = max(0, keep_ages)
+        self._lock = threading.Lock()
+        self._done: set[int] = set()
+        self._frontier = -1
+        #: Ages strictly below this have been freed.
+        self.retired_through = 0
+        #: Total field bytes reclaimed by sweeps.
+        self.freed_bytes = 0
+
+    def note_complete(self, age: int) -> None:
+        """Record that ``age`` drained (output delivered, or shed)."""
+        with self._lock:
+            self._done.add(age)
+            while self._frontier + 1 in self._done:
+                self._done.discard(self._frontier + 1)
+                self._frontier += 1
+
+    def completed_through(self) -> int:
+        """Highest contiguous completed age (−1 if none)."""
+        with self._lock:
+            return self._frontier
+
+    def _live_floor(self) -> int | None:
+        """Lowest age any node could still dispatch work for, or
+        ``None`` when a probe raced a concurrent mutation (skip the
+        sweep — the next completion retries)."""
+        with self._lock:
+            floor = self._frontier + 1
+        for node in self._nodes:
+            try:
+                pending = node.analyzer.min_pending_age()
+                queued = node.ready.min_age()
+                running = list(node._running_ages.values())
+            except RuntimeError:  # dict mutated during iteration
+                return None
+            for v in (pending, queued):
+                if v is not None and v < floor:
+                    floor = v
+            if running:
+                floor = min(floor, min(running))
+        return floor
+
+    def sweep(self) -> int:
+        """Free every age below the safe floor; returns bytes freed.
+
+        Cheap when there is nothing to do (one lock, a few probes), so
+        the driver calls it on every completion.
+        """
+        floor = self._live_floor()
+        if floor is None:
+            return 0
+        floor -= self._max_back + self._keep_ages
+        with self._lock:
+            if floor <= self.retired_through:
+                return 0
+            # Claim the range under the lock so concurrent sweeps
+            # (completions race) never double-free or interleave.
+            self.retired_through = floor
+        freed = self._fields.collect_below(floor)
+        for node in self._nodes:
+            node.backend.on_retire(floor)
+        if freed:
+            with self._lock:
+                self.freed_bytes += freed
+        return freed

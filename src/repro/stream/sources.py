@@ -1,0 +1,98 @@
+"""Live frame sources for the streaming runtime.
+
+A :class:`FrameSource` yields frames one at a time; the
+:class:`~repro.stream.driver.StreamDriver` paces those frames against a
+wall clock (``fps``) and injects each one as a new age into the running
+node.  Sources are *unbounded by design* — the driver's ``duration`` /
+``max_frames`` knobs decide when a live run ends, not the source.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterator, Sequence
+
+from ..media.yuv import (
+    YUVFrame,
+    read_yuv_file,
+    synthetic_frame,
+    synthetic_noise,
+)
+
+__all__ = [
+    "FrameSource",
+    "SyntheticSource",
+    "FileLoopSource",
+    "SequenceSource",
+]
+
+
+class FrameSource:
+    """A producer of frames for a live run.
+
+    Subclasses implement :meth:`frames`; an exhausted (finite) iterator
+    ends the stream naturally, an infinite one runs until the driver's
+    duration or frame bound cuts it off.
+    """
+
+    def frames(self) -> Iterator[Any]:
+        """Yield frames in presentation order (age 0, 1, 2, ...)."""
+        raise NotImplementedError
+
+
+class SyntheticSource(FrameSource):
+    """An infinite synthetic camera.
+
+    Generates the deterministic foreman-like clip one frame at a time —
+    frame ``t`` is byte-identical to ``synthetic_sequence(n)[t]``, so a
+    live run that sheds nothing encodes exactly the batch clip.
+    """
+
+    def __init__(
+        self, width: int, height: int, seed: int = 1234
+    ) -> None:
+        self.width = width
+        self.height = height
+        self.seed = seed
+        # The noise plane is shared by every frame; precompute it so the
+        # per-frame cost is pure arithmetic.
+        self._noise = synthetic_noise(width, height, seed)
+
+    def frames(self) -> Iterator[YUVFrame]:
+        t = 0
+        while True:
+            yield synthetic_frame(
+                t, self.width, self.height, self.seed, self._noise
+            )
+            t += 1
+
+
+class FileLoopSource(FrameSource):
+    """Loops a planar I420 ``.yuv`` file forever (a capture card stuck
+    on a test clip)."""
+
+    def __init__(self, path: str | Path, width: int, height: int) -> None:
+        self.path = Path(path)
+        self.width = width
+        self.height = height
+        fsize = YUVFrame.frame_size(width, height)
+        n = self.path.stat().st_size // fsize
+        if n < 1:
+            raise ValueError(
+                f"{self.path}: no complete {width}x{height} I420 frame"
+            )
+        self.clip_frames = n
+
+    def frames(self) -> Iterator[YUVFrame]:
+        while True:
+            yield from read_yuv_file(self.path, self.width, self.height)
+
+
+class SequenceSource(FrameSource):
+    """A finite, in-memory clip (tests and batch-equivalence checks)."""
+
+    def __init__(self, frames: Sequence[Any]) -> None:
+        self._frames = list(frames)
+
+    def frames(self) -> Iterator[Any]:
+        return iter(self._frames)

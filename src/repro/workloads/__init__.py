@@ -10,7 +10,13 @@
 
 from .intra import IntraConfig, IntraSink, build_intra, intra_baseline
 from .kmeans import KMeansResult, build_kmeans, generate_dataset, kmeans_baseline
-from .mjpeg import MJPEGConfig, MJPEGSink, build_mjpeg, mjpeg_baseline
+from .mjpeg import (
+    MJPEGConfig,
+    MJPEGSink,
+    build_mjpeg,
+    build_mjpeg_stream,
+    mjpeg_baseline,
+)
 from .mjpeg_decode import MJPEGDecodeSink, build_mjpeg_decoder
 from .mulsum import build_mulsum, expected_series
 
@@ -25,6 +31,7 @@ __all__ = [
     "build_kmeans",
     "build_mjpeg",
     "build_mjpeg_decoder",
+    "build_mjpeg_stream",
     "build_mulsum",
     "expected_series",
     "generate_dataset",

@@ -51,7 +51,13 @@ from ..media.dct import dct2_blocks
 from ..media.quant import quantize
 from ..media.yuv import YUVFrame, synthetic_sequence
 
-__all__ = ["MJPEGConfig", "MJPEGSink", "build_mjpeg", "mjpeg_baseline"]
+__all__ = [
+    "MJPEGConfig",
+    "MJPEGSink",
+    "build_mjpeg",
+    "build_mjpeg_stream",
+    "mjpeg_baseline",
+]
 
 
 @dataclass(frozen=True)
@@ -92,18 +98,45 @@ class MJPEGConfig:
 
 @dataclass
 class MJPEGSink:
-    """Collects per-age encoded frames and reassembles the stream."""
+    """Collects per-age encoded frames and reassembles the stream.
+
+    Live runs may *degrade* a late age to a frame-freeze instead of
+    encoding it (:meth:`mark_frozen`): the stream repeats the previous
+    encoded frame at that position, preserving frame timing.  A frozen
+    age with no predecessor (nothing encoded yet) is silently dropped.
+    With no frozen ages the output is exactly the batch encoder's
+    byte stream.
+    """
 
     config: MJPEGConfig
     frames: dict[int, bytes] = dc_field(default_factory=dict)
+    frozen: set[int] = dc_field(default_factory=set)
+
+    def mark_frozen(self, age: int) -> None:
+        """Record that ``age`` was degraded to a repeat of its
+        predecessor (the stream driver's QoS ``degrade`` action)."""
+        self.frozen.add(age)
+
+    def _ordered(self) -> list[bytes]:
+        out: list[bytes] = []
+        prev: bytes | None = None
+        for a in sorted(set(self.frames) | self.frozen):
+            data = self.frames.get(a, prev)
+            if data is None:
+                continue  # frozen before any frame was encoded
+            out.append(data)
+            prev = data
+        return out
 
     def stream(self) -> bytes:
-        """Concatenated JPEGs in age order (the MJPEG file)."""
-        return b"".join(self.frames[a] for a in sorted(self.frames))
+        """Concatenated JPEGs in age order (the MJPEG file), frozen
+        ages resolved to their predecessor's bytes."""
+        return b"".join(self._ordered())
 
     def frame_count(self) -> int:
-        """Frames encoded so far."""
-        return len(self.frames)
+        """Frames the stream will contain (encoded + resolvable
+        frozen)."""
+        return len(self._ordered())
 
 
 def build_mjpeg(
@@ -127,9 +160,6 @@ def build_mjpeg(
                 f"frame size {f.width}x{f.height} does not match config "
                 f"{config.width}x{config.height}"
             )
-    qy, qc = qtables_for_quality(config.quality)
-    sink = MJPEGSink(config)
-    method = config.dct_method
 
     def read_body(ctx: KernelContext) -> None:
         if ctx.age >= len(frames):
@@ -138,6 +168,33 @@ def build_mjpeg(
         ctx.emit("y_input", f.y)
         ctx.emit("u_input", f.u)
         ctx.emit("v_input", f.v)
+
+    read = KernelDef(
+        name="read",
+        body=read_body,
+        has_age=True,
+        stores=(
+            StoreSpec("y_input", key="y_input"),
+            StoreSpec("u_input", key="u_input"),
+            StoreSpec("v_input", key="v_input"),
+        ),
+    )
+    return _encode_program(config, read=read)
+
+
+def _encode_program(
+    config: MJPEGConfig, read: KernelDef | None
+) -> tuple[Program, MJPEGSink]:
+    """The DCT/quant/VLC pipeline shared by batch and live builds.
+
+    With ``read`` the program is self-driving (figure 8 exactly);
+    without it the input fields have no producer kernel and ages are
+    created by externally injected stores — the streaming runtime's
+    delivery path.
+    """
+    qy, qc = qtables_for_quality(config.quality)
+    sink = MJPEGSink(config)
+    method = config.dct_method
 
     def dct_body_for(qtable: np.ndarray):
         def dct_body(ctx: KernelContext) -> None:
@@ -176,16 +233,6 @@ def build_mjpeg(
             stores=(StoreSpec(dst, dims=block_dims, key="out"),),
         )
 
-    read = KernelDef(
-        name="read",
-        body=read_body,
-        has_age=True,
-        stores=(
-            StoreSpec("y_input", key="y_input"),
-            StoreSpec("u_input", key="u_input"),
-            StoreSpec("v_input", key="v_input"),
-        ),
-    )
     vlc = KernelDef(
         name="vlc",
         body=vlc_body,
@@ -196,6 +243,14 @@ def build_mjpeg(
             FetchSpec("v", "v_result"),
         ),
     )
+    kernels = [
+        dct_kernel("ydct", "y_input", "y_result", qy),
+        dct_kernel("udct", "u_input", "u_result", qc),
+        dct_kernel("vdct", "v_input", "v_result", qc),
+        vlc,
+    ]
+    if read is not None:
+        kernels.insert(0, read)
     program = Program.build(
         fields=[
             FieldDef("y_input", "uint8", 2, shape=luma_shape),
@@ -205,13 +260,7 @@ def build_mjpeg(
             FieldDef("u_result", "int32", 2, shape=chroma_shape),
             FieldDef("v_result", "int32", 2, shape=chroma_shape),
         ],
-        kernels=[
-            read,
-            dct_kernel("ydct", "y_input", "y_result", qy),
-            dct_kernel("udct", "u_input", "u_result", qc),
-            dct_kernel("vdct", "v_input", "v_result", qc),
-            vlc,
-        ],
+        kernels=kernels,
         name="mjpeg",
     )
 
@@ -221,6 +270,56 @@ def build_mjpeg(
 
     program.set_output_handler(on_output)
     return program, sink
+
+
+def _store_yuv_frame(fields, age: int, frame: YUVFrame) -> list:
+    """Store one frame's planes into the input fields; returns the
+    store events to inject (the :class:`StreamBinding` glue)."""
+    from ..core.events import StoreEvent
+
+    events = []
+    for name, plane in (
+        ("y_input", frame.y),
+        ("u_input", frame.u),
+        ("v_input", frame.v),
+    ):
+        region = tuple(slice(0, n) for n in plane.shape)
+        fields[name].store(age, region, plane)
+        events.append(StoreEvent(name, age, region))
+    return events
+
+
+def build_mjpeg_stream(
+    config: MJPEGConfig = MJPEGConfig(),
+    stream: "StreamConfig | None" = None,
+    source: "FrameSource | None" = None,
+):
+    """Build the live-encoder variant of the figure-8 MJPEG program.
+
+    The ``read`` kernel is replaced by a
+    :class:`~repro.stream.StreamBinding`: frames come from ``source``
+    (default: the infinite synthetic camera, frame-for-frame identical
+    to the batch clip) and are injected as new ages by the stream
+    driver, under the pacing/backpressure/QoS knobs in ``stream``.
+
+    Returns ``(program, sink, binding)``; run with
+    ``run_program(program, stream=binding)``.
+    """
+    from ..stream import StreamBinding, StreamConfig, SyntheticSource
+
+    if stream is None:
+        stream = StreamConfig()
+    if source is None:
+        source = SyntheticSource(config.width, config.height, config.seed)
+    program, sink = _encode_program(config, read=None)
+    binding = StreamBinding(
+        source=source,
+        store_frame=_store_yuv_frame,
+        completion_key="frame",
+        config=stream,
+        on_degrade=sink.mark_frozen,
+    )
+    return program, sink, binding
 
 
 def mjpeg_baseline(

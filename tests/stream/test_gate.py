@@ -1,0 +1,59 @@
+"""CreditGate unit tests: window admission, out-of-order grants,
+close/timeout unblocking."""
+
+import threading
+import time
+
+from repro.stream import CreditGate
+
+
+def test_admits_first_window_without_credit():
+    gate = CreditGate(4)
+    for age in range(4):  # frontier −1 covers ages 0..window−1
+        assert gate.admit(age, timeout=0.5)
+
+
+def test_blocks_past_window_until_grant():
+    gate = CreditGate(2)
+    assert gate.admit(0, timeout=0.5)
+    assert gate.admit(1, timeout=0.5)
+    assert not gate.admit(2, timeout=0.05)  # age 0 not drained yet
+    gate.grant(0)
+    assert gate.admit(2, timeout=0.5)
+
+
+def test_out_of_order_grants_advance_contiguously():
+    gate = CreditGate(2)
+    assert gate.admit(0, timeout=0.5)
+    assert gate.admit(1, timeout=0.5)
+    gate.grant(1)  # early: frontier must NOT jump over age 0
+    assert gate.completed_through() == -1
+    assert not gate.admit(2, timeout=0.05)
+    gate.grant(0)  # 0,1 now contiguous: frontier = 1
+    assert gate.completed_through() == 1
+    assert gate.admit(2, timeout=0.5)
+    assert gate.admit(3, timeout=0.5)
+
+
+def test_close_unblocks_waiter():
+    gate = CreditGate(1)
+    assert gate.admit(0, timeout=0.5)
+    out = {}
+
+    def waiter():
+        out["admitted"] = gate.admit(1, timeout=5.0)
+
+    t = threading.Thread(target=waiter)
+    t.start()
+    time.sleep(0.05)
+    gate.close()
+    t.join(timeout=2.0)
+    assert not t.is_alive()
+    assert out["admitted"] is False
+
+
+def test_blocked_seconds_accumulate():
+    gate = CreditGate(1)
+    assert gate.admit(0)
+    assert not gate.admit(1, timeout=0.05)
+    assert gate.blocked_s > 0.0

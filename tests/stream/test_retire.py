@@ -1,0 +1,127 @@
+"""Retirer unit tests against stub fields/nodes: the safe floor tracks
+both the completion frontier and the nodes' live minima, and sweeps
+never double-free."""
+
+from repro.stream import Retirer
+
+
+class StubFields:
+    def __init__(self) -> None:
+        self.calls: list[int] = []
+
+    def collect_below(self, age: int) -> int:
+        self.calls.append(age)
+        return 100  # pretend each sweep frees 100 bytes
+
+
+class StubAnalyzer:
+    def __init__(self) -> None:
+        self.pending = None
+
+    def min_pending_age(self):
+        return self.pending
+
+
+class StubReady:
+    def __init__(self) -> None:
+        self.queued = None
+
+    def min_age(self):
+        return self.queued
+
+
+class StubBackend:
+    def __init__(self) -> None:
+        self.retired: list[int] = []
+
+    def on_retire(self, min_age: int) -> None:
+        self.retired.append(min_age)
+
+
+class StubNode:
+    def __init__(self) -> None:
+        self.analyzer = StubAnalyzer()
+        self.ready = StubReady()
+        self.backend = StubBackend()
+        self._running_ages = {}
+
+
+def make(max_back=0, keep_ages=0):
+    fields, node = StubFields(), StubNode()
+    r = Retirer(fields, [node], max_back=max_back, keep_ages=keep_ages)
+    return r, fields, node
+
+
+def test_frontier_advances_contiguously():
+    r, _, _ = make()
+    r.note_complete(0)
+    r.note_complete(2)  # gap at 1
+    assert r.completed_through() == 0
+    r.note_complete(1)
+    assert r.completed_through() == 2
+
+
+def test_sweep_frees_below_frontier():
+    r, fields, node = make()
+    for age in range(5):
+        r.note_complete(age)
+    freed = r.sweep()
+    assert freed == 100
+    # frontier 4 -> floor 5: ages 0..4 freed
+    assert fields.calls == [5]
+    assert node.backend.retired == [5]
+    assert r.retired_through == 5
+    assert r.freed_bytes == 100
+
+
+def test_keep_ages_and_max_back_lower_the_floor():
+    r, fields, _ = make(max_back=2, keep_ages=1)
+    for age in range(10):
+        r.note_complete(age)
+    r.sweep()
+    assert fields.calls == [10 - 2 - 1]
+
+
+def test_live_node_work_holds_back_retirement():
+    r, fields, node = make()
+    for age in range(8):
+        r.note_complete(age)
+    node.analyzer.pending = 3  # a pending fetch at age 3: floor <= 3
+    r.sweep()
+    assert fields.calls == [3]
+    node.analyzer.pending = None
+    node.ready.queued = 5
+    r.sweep()
+    assert fields.calls == [3, 5]
+    node.ready.queued = None
+    node._running_ages = {0: 6}
+    r.sweep()
+    assert fields.calls == [3, 5, 6]
+
+
+def test_sweep_is_idempotent():
+    r, fields, _ = make()
+    for age in range(4):
+        r.note_complete(age)
+    assert r.sweep() == 100
+    assert r.sweep() == 0  # nothing new below the floor
+    assert fields.calls == [4]
+
+
+def test_racing_probe_skips_sweep():
+    class RacyNode(StubNode):
+        def __init__(self) -> None:
+            super().__init__()
+
+            class Racy:
+                def min_pending_age(self):
+                    raise RuntimeError("dict changed size during iteration")
+
+            self.analyzer = Racy()
+
+    fields = StubFields()
+    r = Retirer(fields, [RacyNode()])
+    for age in range(4):
+        r.note_complete(age)
+    assert r.sweep() == 0
+    assert fields.calls == []  # probe raced: sweep skipped, not forced

@@ -1,0 +1,57 @@
+"""Frame-source tests: the live synthetic camera matches the batch clip
+frame for frame, and the file source loops its clip."""
+
+import numpy as np
+import pytest
+
+from repro.media.yuv import synthetic_sequence, write_yuv_file
+from repro.stream import FileLoopSource, SequenceSource, SyntheticSource
+
+
+def take(source, n):
+    out = []
+    for frame in source.frames():
+        out.append(frame)
+        if len(out) == n:
+            break
+    return out
+
+
+def test_synthetic_source_matches_batch_clip():
+    batch = synthetic_sequence(10, 64, 48, seed=7)
+    live = take(SyntheticSource(64, 48, seed=7), 10)
+    for a, b in zip(batch, live):
+        assert np.array_equal(a.y, b.y)
+        assert np.array_equal(a.u, b.u)
+        assert np.array_equal(a.v, b.v)
+
+
+def test_synthetic_source_is_unbounded():
+    src = SyntheticSource(16, 16)
+    assert len(take(src, 100)) == 100
+
+
+def test_file_loop_source_loops(tmp_path):
+    clip = synthetic_sequence(3, 32, 32, seed=5)
+    path = tmp_path / "clip.yuv"
+    write_yuv_file(path, clip)
+    src = FileLoopSource(path, 32, 32)
+    assert src.clip_frames == 3
+    frames = take(src, 7)  # 2 full loops + 1
+    for i, f in enumerate(frames):
+        ref = clip[i % 3]
+        assert np.array_equal(f.y, ref.y)
+        assert np.array_equal(f.u, ref.u)
+        assert np.array_equal(f.v, ref.v)
+
+
+def test_file_loop_source_rejects_truncated(tmp_path):
+    path = tmp_path / "short.yuv"
+    path.write_bytes(b"\x00" * 10)
+    with pytest.raises(ValueError, match="no complete"):
+        FileLoopSource(path, 32, 32)
+
+
+def test_sequence_source_is_finite():
+    src = SequenceSource([1, 2, 3])
+    assert list(src.frames()) == [1, 2, 3]
