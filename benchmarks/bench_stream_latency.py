@@ -7,8 +7,15 @@ the sustained frame rate is ``completed / duration``.  More workers
 drain the window faster, so sustained fps rises and tail latency falls
 until the pipeline saturates.
 
-Artifact: ``BENCH_stream_latency.json`` (one variant per worker
-count) via :func:`conftest.write_variants_json`.
+The two 8-worker variants compare the scalar per-instance hot path
+against batched dispatch + the vectorized DCT (DESIGN.md §12): same
+frames, same lag window, byte-identical output — the batched variant
+should sustain a higher frame rate because each worker pop amortizes
+dispatch overhead over a run of block instances.
+
+Artifact: ``BENCH_stream_latency.json`` (one variant per
+worker-count/dispatch-mode combination) via
+:func:`conftest.write_variants_json`.
 """
 
 import pytest
@@ -21,16 +28,28 @@ from repro.workloads import MJPEGConfig, build_mjpeg_stream, mjpeg_baseline
 CFG = MJPEGConfig(width=96, height=64, frames=120)
 STREAM = StreamConfig(fps=0, max_frames=CFG.frames, lag_window=8)
 REFERENCE = mjpeg_baseline(config=CFG)
-WORKERS = [1, 2, 4]
+#: label -> (workers, batch, vectorize)
+VARIANTS = {
+    "1": (1, 1, False),
+    "2": (2, 1, False),
+    "4": (4, 1, False),
+    "8-scalar": (8, 1, False),
+    "8-batched": (8, 32, True),
+}
 _RESULTS: dict[str, dict] = {}
 
 
-@pytest.mark.parametrize("workers", WORKERS)
-def test_stream_latency(benchmark, workers):
+@pytest.mark.parametrize("label", list(VARIANTS))
+def test_stream_latency(benchmark, label):
+    workers, batch, vectorize = VARIANTS[label]
+
     def run():
-        program, sink, binding = build_mjpeg_stream(CFG, STREAM)
+        program, sink, binding = build_mjpeg_stream(
+            CFG, STREAM, vectorize=vectorize
+        )
         result = run_program(
-            program, workers=workers, timeout=600, stream=binding
+            program, workers=workers, timeout=600, stream=binding,
+            batch=batch,
         )
         return result.stream, sink
 
@@ -41,7 +60,10 @@ def test_stream_latency(benchmark, workers):
     benchmark.extra_info["latency_p50_ms"] = rep.latency_ms["p50"]
     benchmark.extra_info["latency_p99_ms"] = rep.latency_ms["p99"]
     benchmark.extra_info["sustained_fps"] = sustained_fps
-    _RESULTS[str(workers)] = {
+    _RESULTS[label] = {
+        "workers": workers,
+        "batch": batch,
+        "vectorize": vectorize,
         "wall_time_s": round(rep.duration_s, 4),
         "sustained_fps": round(sustained_fps, 2),
         "latency_p50_ms": round(rep.latency_ms["p50"], 3),
@@ -51,14 +73,23 @@ def test_stream_latency(benchmark, workers):
         "freed_bytes": rep.freed_bytes,
     }
     emit(
-        f"stream latency [{workers}w]",
+        f"stream latency [{label}w]",
         f"{CFG.frames} frames in {rep.duration_s:.2f}s "
         f"({sustained_fps:.1f} fps sustained), latency "
         f"p50 {rep.latency_ms['p50']:.1f}ms "
         f"p99 {rep.latency_ms['p99']:.1f}ms, "
         f"peak live {rep.peak_live_bytes} B",
     )
-    if len(_RESULTS) == len(WORKERS):
+    if len(_RESULTS) == len(VARIANTS):
+        scalar = _RESULTS.get("8-scalar")
+        batched = _RESULTS.get("8-batched")
+        if scalar and batched:
+            emit(
+                "stream latency [8w dispatch modes]",
+                f"scalar {scalar['sustained_fps']:.1f} fps vs batched "
+                f"{batched['sustained_fps']:.1f} fps "
+                f"({batched['sustained_fps'] / scalar['sustained_fps']:.2f}x)",
+            )
         write_variants_json(
             "stream_latency", _RESULTS,
             sum(v["wall_time_s"] for v in _RESULTS.values()),

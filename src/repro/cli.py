@@ -67,6 +67,19 @@ def _add_obs_args(p: argparse.ArgumentParser) -> None:
                    help="write the metrics-registry snapshot as JSON")
 
 
+def _add_batch_args(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group("batched dispatch")
+    g.add_argument("--batch", type=int, default=32, metavar="N",
+                   help="max ready instances of one kernel+age a worker "
+                        "drains per dispatch (default 32; 1 = the "
+                        "per-instance scalar path). Output is "
+                        "byte-identical at any batch size.")
+    g.add_argument("--no-vectorize", action="store_true",
+                   help="skip attaching vectorized batch kernels at "
+                        "program build (per-instance scalar bodies run "
+                        "inside each batch instead)")
+
+
 def _add_adapt_args(p: argparse.ArgumentParser) -> None:
     g = p.add_argument_group("online adaptation")
     g.add_argument("--adapt", action="store_true",
@@ -165,6 +178,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             tracer=obs.tracer,
             metrics=obs.metrics,
             adapt=_adapt_config(args),
+            batch=args.batch,
         )
     finally:
         obs.finish()
@@ -226,21 +240,24 @@ def _cmd_mjpeg(args: argparse.Namespace) -> int:
             shed_seed=args.shed_seed,
             degrade_ratio=args.degrade_ratio,
         )
-        program, sink, binding = build_mjpeg_stream(cfg, scfg, source)
+        program, sink, binding = build_mjpeg_stream(
+            cfg, scfg, source, vectorize=not args.no_vectorize
+        )
     else:
         if args.input:
             frames = list(read_yuv_file(args.input, cfg.width, cfg.height,
                                         max_frames=cfg.frames))
         else:
             frames = synthetic_sequence(cfg.frames, cfg.width, cfg.height)
-        program, sink = build_mjpeg(frames, cfg)
+        program, sink = build_mjpeg(frames, cfg,
+                                    vectorize=not args.no_vectorize)
     obs = _Obs(args)
     try:
         result = run_program(program, workers=args.workers,
                              timeout=args.timeout, backend=args.backend,
                              tracer=obs.tracer, metrics=obs.metrics,
                              adapt=_adapt_config(args),
-                             stream=binding)
+                             stream=binding, batch=args.batch)
     finally:
         obs.finish()
     _print_replans(result.replans)
@@ -271,13 +288,15 @@ def _cmd_kmeans(args: argparse.Namespace) -> int:
     program, sink = build_kmeans(
         n=args.n, k=args.k, iterations=args.iterations,
         granularity=args.granularity,
+        vectorize=not args.no_vectorize,
     )
     obs = _Obs(args)
     try:
         result = run_program(program, workers=args.workers,
                              timeout=args.timeout, backend=args.backend,
                              tracer=obs.tracer, metrics=obs.metrics,
-                             adapt=_adapt_config(args))
+                             adapt=_adapt_config(args),
+                             batch=args.batch)
     finally:
         obs.finish()
     _print_replans(result.replans)
@@ -303,7 +322,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                           frames=args.frames)
         clip = synthetic_sequence(cfg.frames, cfg.width, cfg.height,
                                   cfg.seed)
-        program, sink = build_mjpeg(clip, cfg)
+        program, sink = build_mjpeg(clip, cfg,
+                                    vectorize=not args.no_vectorize)
         max_age = None
         summarize = lambda: f"{sink.frame_count()} frames, " \
                             f"{len(sink.stream())} bytes"
@@ -311,13 +331,14 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         from .workloads import build_kmeans
 
         program, sink = build_kmeans(n=args.n, k=args.k,
-                                     iterations=args.iterations)
+                                     iterations=args.iterations,
+                                     vectorize=not args.no_vectorize)
         max_age = None
         summarize = lambda: f"{len(sink.final_centroids())} centroids"
     else:
         from .workloads import build_mulsum
 
-        program, sink = build_mulsum()
+        program, sink = build_mulsum(vectorize=not args.no_vectorize)
         max_age = args.max_age if args.max_age is not None else 3
         summarize = lambda: f"{len(sink)} ages"
 
@@ -347,6 +368,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             faults=faults, recovery=recovery,
             tracer=obs.tracer, metrics=obs.metrics,
             adapt=_adapt_config(args),
+            batch=args.batch,
         )
     except BaseException as exc:
         flight = getattr(exc, "flight_path", None)
@@ -459,6 +481,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", choices=("threads", "processes"),
                    default="threads",
                    help="execution backend for kernel bodies")
+    _add_batch_args(p)
     _add_adapt_args(p)
     _add_obs_args(p)
     p.set_defaults(fn=_cmd_run)
@@ -492,6 +515,7 @@ def build_parser() -> argparse.ArgumentParser:
                    default="threads",
                    help="execution backend for kernel bodies")
     _add_stream_args(p)
+    _add_batch_args(p)
     _add_adapt_args(p)
     _add_obs_args(p)
     p.set_defaults(fn=_cmd_mjpeg)
@@ -509,6 +533,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", choices=("threads", "processes"),
                    default="threads",
                    help="execution backend for kernel bodies")
+    _add_batch_args(p)
     _add_adapt_args(p)
     _add_obs_args(p)
     p.set_defaults(fn=_cmd_kmeans)
@@ -557,6 +582,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-k", type=int, default=8)
     p.add_argument("--iterations", type=int, default=4)
     p.add_argument("-t", "--timeout", type=float, default=300.0)
+    _add_batch_args(p)
     _add_adapt_args(p)
     _add_obs_args(p)
     p.set_defaults(fn=_cmd_cluster)

@@ -69,6 +69,18 @@ class ExecutionBackend:
         its store/done events.  Called from the node's worker threads."""
         raise NotImplementedError
 
+    def execute_batch(
+        self, batch: list[KernelInstance], worker_id: int
+    ) -> None:
+        """Run a batch of instances of the *same* kernel definition and
+        age (see :meth:`~repro.core.runtime.ReadyQueue.pop_batch`) on
+        behalf of one worker.  Backends override this to amortize
+        per-instance dispatch cost — one IPC round-trip, one trace
+        span, one metrics update per batch; the default preserves
+        semantics by degenerating to per-instance :meth:`execute`."""
+        for inst in batch:
+            self.execute(inst, worker_id)
+
     def on_replan(self, decisions, epoch: int) -> None:
         """The node re-bound to a rewritten program at ``epoch`` (online
         LLS adaptation).  Called on the analyzer thread *before* any
@@ -103,6 +115,11 @@ class ThreadBackend(ExecutionBackend):
 
     def execute(self, inst: KernelInstance, worker_id: int) -> None:
         self._node._execute(inst, worker_id)
+
+    def execute_batch(
+        self, batch: list[KernelInstance], worker_id: int
+    ) -> None:
+        self._node._execute_batch(batch, worker_id)
 
     def shutdown(self) -> None:
         pass
@@ -191,6 +208,155 @@ class _SegmentCache:
         self._entries.clear()
 
 
+class _WorkerBodyError(Exception):
+    """Worker-internal wrapper marking an exception as raised *inside*
+    a kernel body (vs. the fetch/store machinery), so the reply can
+    carry the ``in_body`` flag the parent uses to pick between
+    :class:`KernelBodyError` and :class:`WorkerProcessError`."""
+
+    def __init__(self, cause: BaseException) -> None:
+        super().__init__(str(cause))
+        self.cause = cause
+
+
+def _worker_run_instance(
+    program, kernel, age, index, cache: _SegmentCache, ctx=None
+):
+    """Fetch, run and store one instance worker-side; returns
+    ``(stores, outputs, dispatch_time, kernel_time)``.  ``ctx`` pools a
+    :class:`KernelContext` across a batch (reset per instance) instead
+    of allocating one per call."""
+    t0 = time.perf_counter()
+    imap = dict(zip(kernel.index_vars, index))
+    fetched: dict[str, Any] = {}
+    for f in kernel.fetches:
+        fdef = program.fields[f.field]
+        extent = fdef.shape
+        assert extent is not None  # backend.start validated
+        f_age = f.age.resolve(age)
+        if f.whole_field():
+            region = tuple(slice(0, n) for n in extent)
+        else:
+            region = f.region(imap, extent)
+        if any(s.stop <= s.start for s in region):
+            shape = tuple(max(0, s.stop - s.start) for s in region)
+            value: Any = np.zeros(shape, dtype=fdef.np_dtype)
+        else:
+            view = cache.view(f.field, f_age, extent, fdef.np_dtype)
+            value = view[region]
+            value.flags.writeable = False
+            if not f.whole_field() and f.scalar and value.size == 1:
+                value = value.reshape(()).item()
+        fetched[f.param] = value
+    if ctx is None:
+        ctx = KernelContext(age=age, index=imap, fetched=fetched)
+    else:
+        ctx.reset(age, imap, fetched)
+    t1 = time.perf_counter()
+    try:
+        kernel.body(ctx)
+    except Exception as exc:  # noqa: BLE001 - flagged for the parent
+        raise _WorkerBodyError(exc) from exc
+    t2 = time.perf_counter()
+    stores: list[tuple] = []
+    for s in kernel.stores:
+        if s.emit_key not in ctx.emitted:
+            continue
+        fdef = program.fields[s.field]
+        s_age = s.age.resolve(age)
+        arr, spec = coerce_store_value(
+            ctx.emitted[s.emit_key], fdef.np_dtype, fdef.ndim, s
+        )
+        region = spec.region(imap, arr.shape)
+        assert fdef.shape is not None
+        view = cache.view(s.field, s_age, fdef.shape, fdef.np_dtype)
+        view[region] = arr
+        stores.append(
+            (s.field, s_age,
+             tuple((sl.start, sl.stop) for sl in region))
+        )
+    t3 = time.perf_counter()
+    return stores, ctx.outputs, (t1 - t0) + (t3 - t2), t2 - t1
+
+
+def _worker_run_batch_vectorized(
+    program, kernel, age, indices, cache: _SegmentCache
+):
+    """One stacked ``batch_body`` call worker-side, writing stores
+    straight into the shared-memory views.  Returns
+    ``(results, dispatch_time, kernel_time)`` with ``results`` in the
+    parent protocol's per-instance shape, or ``None`` when this batch
+    must take the scalar path (no uniform fetch plan, or the body
+    raised :class:`~repro.core.vectorize.VectorizeFallback`)."""
+    from .vectorize import (
+        BatchKernelContext,
+        VectorizeFallback,
+        batch_fetch_plan,
+    )
+
+    t0 = time.perf_counter()
+    imaps = [dict(zip(kernel.index_vars, index)) for index in indices]
+    plan = batch_fetch_plan(
+        kernel, age, imaps, lambda name: program.fields[name].shape
+    )
+    if plan is None:
+        return None
+    n = len(indices)
+    fetched: dict[str, Any] = {}
+    shared: set[str] = set()
+    for f, f_age, regions in plan:
+        fdef = program.fields[f.field]
+        assert fdef.shape is not None
+        view = cache.view(f.field, f_age, fdef.shape, fdef.np_dtype)
+        if regions is None:
+            whole = view[tuple(slice(0, m) for m in fdef.shape)]
+            whole.flags.writeable = False
+            fetched[f.param] = whole
+            shared.add(f.param)
+            continue
+        shape = tuple(s.stop - s.start for s in regions[0])
+        stack = np.empty((n,) + shape, dtype=fdef.np_dtype)
+        for i, region in enumerate(regions):
+            stack[i] = view[region]
+        fetched[f.param] = stack
+    bctx = BatchKernelContext(age, imaps, fetched, frozenset(shared))
+    t1 = time.perf_counter()
+    try:
+        kernel.batch_body(bctx)
+    except VectorizeFallback:
+        return None
+    except Exception as exc:  # noqa: BLE001 - flagged for the parent
+        raise _WorkerBodyError(exc) from exc
+    t2 = time.perf_counter()
+    per_stores: list[list[tuple]] = [[] for _ in range(n)]
+    for s in kernel.stores:
+        if s.emit_key not in bctx.emitted:
+            continue
+        values = bctx.emitted[s.emit_key]
+        fdef = program.fields[s.field]
+        s_age = s.age.resolve(age)
+        assert fdef.shape is not None
+        view = cache.view(s.field, s_age, fdef.shape, fdef.np_dtype)
+        # The batch contract (BatchKernelContext.emit) guarantees a
+        # uniform leading batch axis, so dtype coercion and spec
+        # resolution happen once for the stack, not per instance.
+        first, spec = coerce_store_value(
+            values[0], fdef.np_dtype, fdef.ndim, s
+        )
+        shape = first.shape
+        stack = np.asarray(values, dtype=fdef.np_dtype)
+        for i, imap in enumerate(imaps):
+            region = spec.region(imap, shape)
+            view[region] = stack[i].reshape(shape)
+            per_stores[i].append(
+                (s.field, s_age,
+                 tuple((sl.start, sl.stop) for sl in region))
+            )
+    t3 = time.perf_counter()
+    results = [(stores, []) for stores in per_stores]
+    return results, (t1 - t0) + (t3 - t2), t2 - t1
+
+
 def _worker_program_for(versions, age):
     """The program version owning ``age`` in a worker's version list
     (mirror of the parent's ProgramHandle resolution)."""
@@ -212,6 +378,16 @@ def _worker_main(
     ``[(field, age, ((start, stop), ...)), ...]``, or
     ``("err", in_body, type_name, message, traceback_text)``.  ``None``
     (or EOF) means shut down.
+
+    A ``("__batch__", kernel_name, age, [index, ...])`` message carries
+    a whole run of same-kernel/same-age instances in ONE round-trip
+    (batched dispatch).  The worker runs the kernel's vectorized
+    ``batch_body`` when it has one (falling back to a scalar loop with
+    a pooled context otherwise) and replies
+    ``("bok", [(stores_i, outputs_i), ...], t_dispatch, t_kernel)``
+    with one entry per instance in batch order, or
+    ``("berr", idx, in_body, type_name, message, traceback_text)``
+    naming the first failing instance.
 
     A ``("__replan__", epoch, decisions)`` message (no reply) announces a
     live LLS swap: kernel bodies are closures and cannot cross the pipe,
@@ -249,91 +425,59 @@ def _worker_main(
             if msg[0] == "__retire__":
                 cache.retire(msg[1])
                 continue
+            if msg[0] == "__batch__":
+                _tag, kernel_name, age, indices = msg
+                idx = 0
+                try:
+                    program = _worker_program_for(versions, age)
+                    kernel = program.kernels[kernel_name]
+                    batched = None
+                    if kernel.batch_body is not None and len(indices) > 1:
+                        batched = _worker_run_batch_vectorized(
+                            program, kernel, age, indices, cache
+                        )
+                    if batched is not None:
+                        results, t_disp, t_kern = batched
+                    else:
+                        results = []
+                        t_disp = t_kern = 0.0
+                        ctx = KernelContext()
+                        for idx, index in enumerate(indices):
+                            stores, outputs, d, k = _worker_run_instance(
+                                program, kernel, age, index, cache, ctx
+                            )
+                            results.append((stores, outputs))
+                            t_disp += d
+                            t_kern += k
+                    conn.send(("bok", results, t_disp, t_kern))
+                except _WorkerBodyError as exc:
+                    conn.send(
+                        ("berr", idx, True, type(exc.cause).__name__,
+                         str(exc.cause), traceback.format_exc())
+                    )
+                except Exception as exc:  # noqa: BLE001 - to parent
+                    conn.send(
+                        ("berr", idx, False, type(exc).__name__,
+                         str(exc), traceback.format_exc())
+                    )
+                continue
             kernel_name, age, index = msg
-            t0 = time.perf_counter()
-            in_body = False
             try:
                 program = _worker_program_for(versions, age)
                 kernel = program.kernels[kernel_name]
-                imap = dict(zip(kernel.index_vars, index))
-                fetched: dict[str, Any] = {}
-                for f in kernel.fetches:
-                    fdef = program.fields[f.field]
-                    extent = fdef.shape
-                    assert extent is not None  # backend.start validated
-                    f_age = f.age.resolve(age)
-                    if f.whole_field():
-                        region = tuple(slice(0, n) for n in extent)
-                    else:
-                        region = f.region(imap, extent)
-                    if any(s.stop <= s.start for s in region):
-                        shape = tuple(
-                            max(0, s.stop - s.start) for s in region
-                        )
-                        value: Any = np.zeros(shape, dtype=fdef.np_dtype)
-                    else:
-                        view = cache.view(
-                            f.field, f_age, extent, fdef.np_dtype
-                        )
-                        value = view[region]
-                        value.flags.writeable = False
-                        if (
-                            not f.whole_field()
-                            and f.scalar
-                            and value.size == 1
-                        ):
-                            value = value.reshape(()).item()
-                    fetched[f.param] = value
-                ctx = KernelContext(age=age, index=imap, fetched=fetched)
-                t1 = time.perf_counter()
-                in_body = True
-                kernel.body(ctx)
-                in_body = False
-                t2 = time.perf_counter()
-                stores: list[tuple] = []
-                for s in kernel.stores:
-                    if s.emit_key not in ctx.emitted:
-                        continue
-                    fdef = program.fields[s.field]
-                    s_age = s.age.resolve(age)
-                    arr, spec = coerce_store_value(
-                        ctx.emitted[s.emit_key],
-                        fdef.np_dtype,
-                        fdef.ndim,
-                        s,
-                    )
-                    region = spec.region(imap, arr.shape)
-                    assert fdef.shape is not None
-                    view = cache.view(
-                        s.field, s_age, fdef.shape, fdef.np_dtype
-                    )
-                    view[region] = arr
-                    stores.append(
-                        (
-                            s.field,
-                            s_age,
-                            tuple((sl.start, sl.stop) for sl in region),
-                        )
-                    )
-                t3 = time.perf_counter()
+                stores, outputs, t_disp, t_kern = _worker_run_instance(
+                    program, kernel, age, index, cache
+                )
+                conn.send(("ok", stores, outputs, t_disp, t_kern))
+            except _WorkerBodyError as exc:
                 conn.send(
-                    (
-                        "ok",
-                        stores,
-                        ctx.outputs,
-                        (t1 - t0) + (t3 - t2),
-                        t2 - t1,
-                    )
+                    ("err", True, type(exc.cause).__name__,
+                     str(exc.cause), traceback.format_exc())
                 )
             except Exception as exc:  # noqa: BLE001 - shipped to parent
                 conn.send(
-                    (
-                        "err",
-                        in_body,
-                        type(exc).__name__,
-                        str(exc),
-                        traceback.format_exc(),
-                    )
+                    ("err", False, type(exc).__name__, str(exc),
+                     traceback.format_exc())
                 )
     finally:
         cache.close()
@@ -454,23 +598,45 @@ class ProcessBackend(ExecutionBackend):
         self._control.append(("__retire__", min_age))
 
     # ------------------------------------------------------------------
-    def execute(self, inst: KernelInstance, worker_id: int) -> None:
-        node = self._node
-        assert node is not None
-        kernel = inst.kernel
-        conn = self._conns[worker_id]
-        proc = self._procs[worker_id]
-        # Forward any control messages this worker has not seen yet.
-        # The list is append-only and CPython appends are atomic, so
-        # reading a suffix snapshot without a lock is safe; a message
-        # appended after the snapshot can only matter to instances
-        # dispatched after it, which a later execute() will precede.
+    def _forward_control(self, worker_id: int, conn) -> None:
+        """Forward any control messages this worker has not seen yet.
+
+        The list is append-only and CPython appends are atomic, so
+        reading a suffix snapshot without a lock is safe; a message
+        appended after the snapshot can only matter to instances
+        dispatched after it, which a later execute() will precede."""
         sent = self._sent[worker_id]
         pending = self._control[sent:]
         if pending:
             for msg in pending:
                 conn.send(msg)
             self._sent[worker_id] = sent + len(pending)
+
+    def _recv_reply(self, worker_id: int, conn, proc, describe: str):
+        """Block for a worker reply, surfacing worker death as
+        :class:`WorkerProcessError` instead of hanging forever."""
+        while not conn.poll(0.05):
+            if not proc.is_alive() and not conn.poll(0):
+                raise WorkerProcessError(
+                    worker_id,
+                    f"exited with code {proc.exitcode} while running "
+                    f"{describe}",
+                )
+        try:
+            return conn.recv()
+        except EOFError:
+            raise WorkerProcessError(
+                worker_id,
+                f"connection lost while running {describe}",
+            ) from None
+
+    def execute(self, inst: KernelInstance, worker_id: int) -> None:
+        node = self._node
+        assert node is not None
+        kernel = inst.kernel
+        conn = self._conns[worker_id]
+        proc = self._procs[worker_id]
+        self._forward_control(worker_id, conn)
         t0 = time.perf_counter()
         # Create every store target's segment now, so the worker's
         # attach can never race segment creation.
@@ -478,21 +644,10 @@ class ProcessBackend(ExecutionBackend):
             node.fields[s.field].ensure_age(s.age.resolve(inst.age))
         t_send = time.perf_counter()
         conn.send((kernel.name, inst.age, inst.index))
-        while not conn.poll(0.05):
-            if not proc.is_alive() and not conn.poll(0):
-                raise WorkerProcessError(
-                    worker_id,
-                    f"exited with code {proc.exitcode} while running "
-                    f"{kernel.name}(age={inst.age}, index={inst.index})",
-                )
-        try:
-            reply = conn.recv()
-        except EOFError:
-            raise WorkerProcessError(
-                worker_id,
-                f"connection lost while running {kernel.name}"
-                f"(age={inst.age}, index={inst.index})",
-            ) from None
+        reply = self._recv_reply(
+            worker_id, conn, proc,
+            f"{kernel.name}(age={inst.age}, index={inst.index})",
+        )
         t_recv = time.perf_counter()
         if reply[0] == "err":
             _tag, in_body, type_name, message, tb = reply
@@ -550,6 +705,113 @@ class ProcessBackend(ExecutionBackend):
                 dispatch_time=dispatch,
             )
         )
+
+    def execute_batch(
+        self, batch: list[KernelInstance], worker_id: int
+    ) -> None:
+        """Ship a same-kernel/same-age run as ONE pipe message and one
+        reply — the per-batch (not per-instance) IPC round-trip is the
+        whole point of batched dispatch on this backend.  The parent
+        still applies per-instance write-once bookkeeping and posts
+        per-instance store/done events, so analyzer semantics (stream
+        credits, age retirement, quiescence) are unchanged."""
+        if len(batch) == 1:
+            self.execute(batch[0], worker_id)
+            return
+        node = self._node
+        assert node is not None
+        kernel = batch[0].kernel
+        age = batch[0].age
+        n = len(batch)
+        conn = self._conns[worker_id]
+        proc = self._procs[worker_id]
+        self._forward_control(worker_id, conn)
+        t0 = time.perf_counter()
+        for s in kernel.stores:
+            node.fields[s.field].ensure_age(s.age.resolve(age))
+        t_send = time.perf_counter()
+        conn.send(
+            ("__batch__", kernel.name, age,
+             [inst.index for inst in batch])
+        )
+        reply = self._recv_reply(
+            worker_id, conn, proc,
+            f"{kernel.name}[x{n}](age={age})",
+        )
+        t_recv = time.perf_counter()
+        if reply[0] == "berr":
+            _tag, idx, in_body, type_name, message, tb = reply
+            inst = batch[idx]
+            cause = RemoteKernelError(f"{type_name}: {message}\n{tb}")
+            if in_body:
+                raise KernelBodyError(
+                    kernel.name, inst.age, inst.index, cause
+                )
+            raise WorkerProcessError(
+                worker_id, f"{type_name}: {message}"
+            )
+        _tag, results, t_dispatch, t_kernel = reply
+        # Commit write-once metadata in bulk — one lock acquisition per
+        # (field, age) instead of per store — *before* posting any
+        # StoreEvent, so the analyzer only ever observes completeness
+        # that is at least as advanced as the event it is handling.
+        grouped: dict[tuple[str, int], list[tuple]] = {}
+        events: list[StoreEvent] = []
+        stored_flags = []
+        n_stores = 0
+        for stores, _outputs in results:
+            stored_any = False
+            for fname, s_age, bounds in stores:
+                region = tuple(slice(a, b) for a, b in bounds)
+                grouped.setdefault((fname, s_age), []).append(region)
+                events.append(StoreEvent(fname, s_age, region))
+                stored_any = True
+            n_stores += len(stores)
+            stored_flags.append(stored_any)
+        for (fname, s_age), regions in grouped.items():
+            node.fields[fname].mark_written_many(s_age, regions)
+        for ev in events:
+            node._post(ev)
+        for inst, (_stores, outputs) in zip(batch, results):
+            for key, value in outputs:
+                node._deliver_output(
+                    kernel.name, inst.age, inst.index, key, value
+                )
+        t_done = time.perf_counter()
+        dispatch = t_dispatch + (t_send - t0) + (t_done - t_recv)
+        ipc = max(0.0, (t_recv - t_send) - t_dispatch - t_kernel)
+        node.instrumentation.record_batch(
+            kernel.name, n, dispatch, t_kernel, ipc
+        )
+        node._account_batch(n, n * len(kernel.fetches), n_stores)
+        if node._trace_on:
+            thread = f"worker{worker_id}"
+            wait = node._queue_wait_by_worker.get(worker_id, 0.0)
+            node.tracer.complete(
+                f"{kernel.name}[x{n}]", "kernel", node.name, thread,
+                t0, t_done,
+                {
+                    "age": age,
+                    "batch": n,
+                    "queue_wait_us": round(wait * 1e6, 1),
+                    "remote_dispatch_us": round(t_dispatch * 1e6, 1),
+                    "remote_kernel_us": round(t_kernel * 1e6, 1),
+                    "ipc_us": round(ipc * 1e6, 1),
+                },
+            )
+            node.tracer.complete(
+                "ipc", "phase", node.name, thread, t_send, t_recv,
+                {"ipc_us": round(ipc * 1e6, 1)},
+            )
+        for inst, stored_any in zip(batch, stored_flags):
+            node._post(
+                InstanceDoneEvent(
+                    inst,
+                    stored_any,
+                    kernel_time=t_kernel / n,
+                    dispatch_time=dispatch / n,
+                )
+            )
 
     # ------------------------------------------------------------------
     def shutdown(self) -> None:

@@ -32,6 +32,7 @@ Two storage flavours exist:
 
 from __future__ import annotations
 
+import math
 import secrets
 import threading
 from dataclasses import dataclass, field as dc_field
@@ -405,7 +406,7 @@ class Field:
         idx = normalize_index(index, self.ndim)
         arr = np.asarray(value, dtype=self.fdef.np_dtype)
         shape = index_shape(idx)
-        count = int(np.prod(shape))
+        count = math.prod(shape)
         # Allow scalar broadcast into a unit region; otherwise shapes must
         # match exactly (trailing unit dims tolerated for 1-element stores).
         if arr.shape != shape:
@@ -463,11 +464,38 @@ class Field:
                 f"field {self.name!r}: store region {idx} exceeds "
                 f"extent {self._extent}"
             )
-        count = int(np.prod(index_shape(idx)))
+        count = math.prod(index_shape(idx))
         with self._lock:
             slot = self._slot(age, create=True)
             assert slot is not None
             self._commit_written(age, slot, idx, count)
+
+    def mark_written_many(
+        self, age: int, regions: Sequence[Any]
+    ) -> None:
+        """Batched :meth:`mark_written` — one age check, one lock
+        acquisition and one slot resolution for a whole run of store
+        reports (the parent-side half of batched dispatch on the
+        ``processes`` backend, where one worker reply carries every
+        store of a same-kernel batch).  Write-once enforcement stays
+        per region."""
+        self._check_age(age)
+        idxs = []
+        for index in regions:
+            idx = normalize_index(index, self.ndim)
+            if any(s.stop > n for s, n in zip(idx, self._extent)):
+                raise ExtentError(
+                    f"field {self.name!r}: store region {idx} exceeds "
+                    f"extent {self._extent}"
+                )
+            idxs.append(idx)
+        with self._lock:
+            slot = self._slot(age, create=True)
+            assert slot is not None
+            for idx in idxs:
+                self._commit_written(
+                    age, slot, idx, math.prod(index_shape(idx))
+                )
 
     # ------------------------------------------------------------------
     # Fetches and completeness

@@ -135,6 +135,25 @@ class Instrumentation:
             st.kernel_time += kernel_time
             st.ipc_time += ipc_time
 
+    def record_batch(
+        self,
+        kernel: str,
+        n: int,
+        dispatch_time: float,
+        kernel_time: float,
+        ipc_time: float = 0.0,
+    ) -> None:
+        """Account one batched dispatch covering ``n`` instances: one
+        lock acquisition, the batch's total seconds (so per-instance
+        means like ``mean_dispatch_us`` stay comparable across batch
+        sizes)."""
+        with self._lock:
+            st = self._stats.setdefault(kernel, KernelStats())
+            st.instances += n
+            st.dispatch_time += dispatch_time
+            st.kernel_time += kernel_time
+            st.ipc_time += ipc_time
+
     def add_analyzer_time(self, seconds: float) -> None:
         """Accumulate time spent inside the analyzer thread."""
         with self._lock:

@@ -329,6 +329,7 @@ class StoreSpec:
 # Kernel definitions
 # ----------------------------------------------------------------------
 BodyFn = Callable[["KernelContext"], None]
+BatchBodyFn = Callable[[Any], None]  # receives a BatchKernelContext
 
 
 @dataclass
@@ -365,6 +366,15 @@ class KernelDef:
         age_limit`` is ever dispatched.  This is how a program expresses
         a fixed iteration count (the paper's K-means "is not run until
         convergence, but with 10 iterations").
+    batch_body:
+        Optional *vectorized* native block operating on a whole batch of
+        same-age instances in one call (see
+        :mod:`repro.core.vectorize`).  Attached by
+        :func:`~repro.core.vectorize.vectorize_program` at program-build
+        time; ``None`` means the runtime always falls back to calling
+        ``body`` per instance.  LLS rewrites (coarsen/fuse) construct
+        fresh definitions without it, so a re-granularized kernel
+        automatically reverts to the scalar path.
     """
 
     name: str
@@ -376,6 +386,7 @@ class KernelDef:
     domain: Mapping[str, int] | None = None
     cost_hint: float = 1.0
     age_limit: int | None = None
+    batch_body: BatchBodyFn | None = None
 
     def __post_init__(self) -> None:
         self.fetches = tuple(self.fetches)
@@ -567,6 +578,28 @@ class KernelContext:
         self.node = node
         self._emitted: dict[str, Any] = {}
         self._outputs: list[tuple[str, Any]] = []
+
+    def reset(
+        self,
+        age: int | None,
+        index: Mapping[str, int],
+        fetched: Mapping[str, Any],
+    ) -> "KernelContext":
+        """Rebind this context to another instance, clearing emissions.
+
+        The batched dispatch path pools one context per worker and
+        resets it between instances instead of allocating a fresh
+        object per call; ``timers`` and ``node`` are batch-invariant and
+        keep their bindings.
+        """
+        self.age = age
+        self.index = index if isinstance(index, dict) else dict(index)
+        self.fetched = fetched if isinstance(fetched, dict) else (
+            dict(fetched)
+        )
+        self._emitted = {}
+        self._outputs = []
+        return self
 
     def emit(self, key: str, value: Any) -> None:
         """Provide the value for the store spec whose ``emit_key`` is

@@ -43,7 +43,12 @@ from ..obs import (
 from .analyzer import DependencyAnalyzer, ReplanRecord
 from .backends import ExecutionBackend, resolve_backend
 from .deadlines import TimerSet
-from .errors import KernelBodyError, RuntimeStateError, StallError
+from .errors import (
+    KernelBodyError,
+    RuntimeStateError,
+    StallError,
+    WriteOnceViolation,
+)
 from .events import (
     Event,
     InstanceDoneEvent,
@@ -210,19 +215,62 @@ class ReadyQueue:
         with self._cv:
             while not self._heap:
                 self._cv.wait()
-            _key, _seq, item, pushed = heapq.heappop(self._heap)
-            if item is self._SENTINEL:
+            return self._pop_locked()
+
+    def _pop_locked(self) -> tuple[KernelInstance | None, float]:
+        """Pop the head with full accounting; caller holds the lock and
+        has checked the heap is non-empty."""
+        _key, _seq, item, pushed = heapq.heappop(self._heap)
+        if item is self._SENTINEL:
+            return None, 0.0
+        real = -1 if item.age is None else item.age
+        self._age_counts[real] -= 1
+        if not self._age_counts[real]:
+            del self._age_counts[real]
+        wait = time.perf_counter() - pushed
+        self.pops += 1
+        self.wait_total += wait
+        if wait > self.wait_max:
+            self.wait_max = wait
+        return item, wait
+
+    def pop_batch(
+        self, max_n: int
+    ) -> tuple[list[KernelInstance] | None, float]:
+        """Blocking pop of a *run*: up to ``max_n`` ready instances of
+        the same kernel definition and age, returning ``(batch,
+        total_queue_wait_seconds)``; ``(None, 0.0)`` means shut down.
+
+        The run is taken greedily from the head of the heap, so batch
+        formation respects the scheduling policy exactly — a batch is
+        simply the instances the policy would have handed out next,
+        whenever they happen to share a native block.  Matching is by
+        kernel-definition *identity* (``is``), which is strictly finer
+        than name equality: a replan installs fresh definitions for the
+        new epoch, so a batch can never mix pre- and post-swap
+        decompositions even for ties within one age.  Equal age keeps
+        the GC/retirement live-age bookkeeping exact (a worker runs one
+        age at a time).  Sentinels sort last and stop the run, so a
+        shutdown marker is never consumed mid-batch.
+        """
+        with self._cv:
+            while not self._heap:
+                self._cv.wait()
+            first, wait = self._pop_locked()
+            if first is None:
                 return None, 0.0
-            real = -1 if item.age is None else item.age
-            self._age_counts[real] -= 1
-            if not self._age_counts[real]:
-                del self._age_counts[real]
-            wait = time.perf_counter() - pushed
-            self.pops += 1
-            self.wait_total += wait
-            if wait > self.wait_max:
-                self.wait_max = wait
-            return item, wait
+            batch = [first]
+            while (
+                len(batch) < max_n
+                and self._heap
+                and self._heap[0][2] is not self._SENTINEL
+                and self._heap[0][2].kernel is first.kernel
+                and self._heap[0][2].age == first.age
+            ):
+                nxt, w = self._pop_locked()
+                batch.append(nxt)
+                wait += w
+            return batch, wait
 
     def min_age(self) -> int | None:
         """Lowest age currently queued (for the GC live-age bound)."""
@@ -417,6 +465,15 @@ class ExecutionNode:
         Optional shared :class:`~repro.obs.MetricsRegistry` (a cluster
         passes one registry to all of its nodes so counters aggregate
         cluster-wide); the node creates its own when omitted.
+    batch:
+        Maximum instances a worker claims per ready-queue pop (default
+        1 — the classic per-instance path).  Values > 1 enable batched
+        dispatch: runs of same-kernel/same-age instances execute as one
+        backend call (one IPC message on the processes backend, one
+        trace span, one metrics/instrumentation update), through the
+        kernel's vectorized ``batch_body`` when one is attached and a
+        pooled-context scalar loop otherwise.  Output is byte-identical
+        either way.
     """
 
     #: Per-thread join bound during a stall/timeout teardown; threads
@@ -443,11 +500,15 @@ class ExecutionNode:
         dependency_kernels=None,
         tracer: "Tracer | None" = None,
         metrics: "MetricsRegistry | None" = None,
+        batch: int = 1,
     ) -> None:
         if workers < 1:
             raise RuntimeStateError("need at least one worker thread")
+        if batch < 1:
+            raise RuntimeStateError("batch size must be >= 1")
         self.program = program
         self.workers = workers
+        self.batch = batch
         self.name = name
         self.max_age = max_age
         self.gc_fields = gc_fields
@@ -488,6 +549,11 @@ class ExecutionNode:
         self._m_fetches = self.metrics.counter("fields.fetches")
         self._m_stores = self.metrics.counter("fields.stores")
         self._m_ready_wait = self.metrics.histogram("ready.wait_s")
+        # Hot-path guards, read once: a disabled registry/tracer costs
+        # one cached attribute test per instance instead of a lock per
+        # counter bump (see obs/metrics.py and obs/tracing.py).
+        self._metrics_on = getattr(self.metrics, "enabled", True)
+        self._trace_on = self.tracer.enabled
         self._queue_wait_by_worker: dict[int, float] = {}
         self.ready = ReadyQueue(scheduling)
         self.on_event = on_event
@@ -576,7 +642,12 @@ class ExecutionNode:
     # ------------------------------------------------------------------
     # Worker side
     # ------------------------------------------------------------------
-    def _execute(self, inst: KernelInstance, worker_id: int) -> None:
+    def _execute(
+        self,
+        inst: KernelInstance,
+        worker_id: int,
+        ctx: KernelContext | None = None,
+    ) -> None:
         kernel = inst.kernel
         t0 = time.perf_counter()
         imap = inst.index_map()
@@ -599,13 +670,18 @@ class ExecutionNode:
                 if f.scalar and value.size == 1:
                     value = value.reshape(()).item()
             fetched[f.param] = value
-        ctx = KernelContext(
-            age=inst.age,
-            index=imap,
-            fetched=fetched,
-            timers=self.timers.as_mapping(),
-            node=self,
-        )
+        if ctx is None:
+            ctx = KernelContext(
+                age=inst.age,
+                index=imap,
+                fetched=fetched,
+                timers=self.timers.as_mapping(),
+                node=self,
+            )
+        else:
+            # Batched dispatch pools one context per worker and rebinds
+            # it between instances instead of allocating per call.
+            ctx.reset(inst.age, imap, fetched)
         t1 = time.perf_counter()
         try:
             kernel.body(ctx)
@@ -631,7 +707,20 @@ class ExecutionNode:
                 stored_any = True
                 self._post(StoreEvent(s.field, s_age, region))
                 continue
-            resize = field.store(s_age, region, arr)
+            try:
+                resize = field.store(s_age, region, arr)
+            except WriteOnceViolation:
+                if not self.recover:
+                    raise
+                # Recovery dispatches the dead node's in-flight work twice
+                # on purpose (direct re-enqueue + replay-driven analyzer
+                # rediscovery); when both copies run concurrently the
+                # completeness check above races the other copy's commit.
+                # Losing that race is the skip case arriving late: the
+                # winner wrote the same bytes.
+                stored_any = True
+                self._post(StoreEvent(s.field, s_age, region))
+                continue
             stored_any = True
             if resize is not None:
                 self._post(ResizeEvent(s.field, resize.old_extent,
@@ -657,11 +746,155 @@ class ExecutionNode:
 
     def _account_instance(self, n_fetches: int, n_stores: int) -> None:
         """Per-instance metric counters (both execution backends)."""
+        if not self._metrics_on:
+            return
         self._m_instances.inc()
         if n_fetches:
             self._m_fetches.inc(n_fetches)
         if n_stores:
             self._m_stores.inc(n_stores)
+
+    def _account_batch(
+        self, n: int, n_fetches: int, n_stores: int
+    ) -> None:
+        """One metrics update covering ``n`` batched instances."""
+        if not self._metrics_on:
+            return
+        self._m_instances.inc(n)
+        if n_fetches:
+            self._m_fetches.inc(n_fetches)
+        if n_stores:
+            self._m_stores.inc(n_stores)
+
+    def _execute_batch(self, batch: list, worker_id: int) -> None:
+        """Run a same-kernel/same-age batch in the parent process.
+
+        Tries the kernel's vectorized ``batch_body`` first (one NumPy
+        call over the stacked fetches); batches it cannot handle —
+        no ``batch_body``, ragged trailing regions, a runtime
+        :class:`~repro.core.vectorize.VectorizeFallback` — run through
+        the scalar body per instance with one pooled
+        :class:`KernelContext`.  Either way every instance still posts
+        its own store/done events, so the analyzer, stream credits and
+        age retirement observe exactly the per-instance event stream.
+        """
+        kernel = batch[0].kernel
+        if len(batch) > 1 and kernel.batch_body is not None:
+            if self._execute_batch_vectorized(batch, worker_id):
+                return
+        ctx = KernelContext(
+            timers=self.timers.as_mapping(), node=self
+        )
+        for inst in batch:
+            self._execute(inst, worker_id, ctx=ctx)
+
+    def _execute_batch_vectorized(
+        self, batch: list, worker_id: int
+    ) -> bool:
+        """One stacked ``batch_body`` call for the whole batch; returns
+        ``False`` when this batch must fall back to the scalar path."""
+        from .vectorize import (
+            BatchKernelContext,
+            VectorizeFallback,
+            batch_fetch_plan,
+        )
+
+        kernel = batch[0].kernel
+        age = batch[0].age
+        n = len(batch)
+        t0 = time.perf_counter()
+        imaps = [inst.index_map() for inst in batch]
+        plan = batch_fetch_plan(
+            kernel, age, imaps, lambda name: self.fields[name].extent
+        )
+        if plan is None:
+            return False
+        fetched: dict[str, Any] = {}
+        shared: set[str] = set()
+        for f, f_age, regions in plan:
+            field = self.fields[f.field]
+            if regions is None:
+                fetched[f.param] = field.fetch(f_age, None)
+                shared.add(f.param)
+                continue
+            shape = tuple(s.stop - s.start for s in regions[0])
+            stack = np.empty((n,) + shape, dtype=field.fdef.np_dtype)
+            for i, region in enumerate(regions):
+                stack[i] = field.fetch(f_age, region)
+            fetched[f.param] = stack
+        bctx = BatchKernelContext(age, imaps, fetched,
+                                  frozenset(shared))
+        t1 = time.perf_counter()
+        try:
+            kernel.batch_body(bctx)
+        except VectorizeFallback:
+            return False
+        except Exception as exc:  # noqa: BLE001 - rewrapped with context
+            raise KernelBodyError(
+                kernel.name, age, batch[0].index, exc
+            )
+        t2 = time.perf_counter()
+        stored = [False] * n
+        for s in kernel.stores:
+            if s.emit_key not in bctx.emitted:
+                continue
+            values = bctx.emitted[s.emit_key]
+            field = self.fields[s.field]
+            s_age = s.age.resolve(age)
+            for i, imap in enumerate(imaps):
+                arr, spec = coerce_store_value(
+                    values[i], field.fdef.np_dtype, field.ndim, s
+                )
+                region = spec.region(imap, arr.shape)
+                stored[i] = True
+                if self.recover and field.is_complete(s_age, region):
+                    self._post(StoreEvent(s.field, s_age, region))
+                    continue
+                try:
+                    resize = field.store(s_age, region, arr)
+                except WriteOnceViolation:
+                    if not self.recover:
+                        raise
+                    # Same race as the scalar path: the duplicate copy of
+                    # this instance committed between the completeness
+                    # check and our store — identical bytes, announce and
+                    # move on.
+                    self._post(StoreEvent(s.field, s_age, region))
+                    continue
+                if resize is not None:
+                    self._post(ResizeEvent(s.field, resize.old_extent,
+                                           resize.new_extent))
+                self._post(StoreEvent(s.field, s_age, region))
+        t3 = time.perf_counter()
+        dispatch = (t1 - t0) + (t3 - t2)
+        kernel_time = t2 - t1
+        self.instrumentation.record_batch(
+            kernel.name, n, dispatch, kernel_time
+        )
+        self._account_batch(
+            n, n * len(kernel.fetches), n * len(kernel.stores)
+        )
+        if self._trace_on:
+            thread = f"worker{worker_id}"
+            wait = self._queue_wait_by_worker.get(worker_id, 0.0)
+            self.tracer.complete(
+                f"{kernel.name}[x{n}]", "kernel", self.name, thread,
+                t0, t3,
+                {
+                    "age": age,
+                    "batch": n,
+                    "vectorized": True,
+                    "queue_wait_us": round(wait * 1e6, 1),
+                },
+            )
+        for i, inst in enumerate(batch):
+            self._post(
+                InstanceDoneEvent(
+                    inst, stored[i], kernel_time=kernel_time / n,
+                    dispatch_time=dispatch / n,
+                )
+            )
+        return True
 
     def _trace_instance(
         self,
@@ -705,12 +938,17 @@ class ExecutionNode:
         handler(kernel, age, index, key, value)
 
     def _worker_loop(self, worker_id: int) -> None:
+        if self.batch > 1:
+            self._worker_loop_batched(worker_id)
+            return
         while True:
             inst, wait = self.ready.pop_timed()
             if inst is None:
                 return
-            self._m_ready_wait.observe(wait)
-            self._queue_wait_by_worker[worker_id] = wait
+            if self._metrics_on:
+                self._m_ready_wait.observe(wait)
+            if self._trace_on:
+                self._queue_wait_by_worker[worker_id] = wait
             if inst.age is not None:
                 self._running_ages[worker_id] = inst.age
             try:
@@ -726,6 +964,36 @@ class ExecutionNode:
             finally:
                 self._running_ages.pop(worker_id, None)
                 self._dec()
+
+    def _worker_loop_batched(self, worker_id: int) -> None:
+        """Batched variant of the worker loop: drains same-kernel runs
+        from the ready queue and dispatches them as one backend call.
+        Ready-queue wait is observed once per batch (the sum over its
+        members), so ``ready.wait_s.count`` counts *dispatches*, not
+        instances, in batched mode."""
+        while True:
+            batch, wait = self.ready.pop_batch(self.batch)
+            if batch is None:
+                return
+            if self._metrics_on:
+                self._m_ready_wait.observe(wait)
+            if self._trace_on:
+                self._queue_wait_by_worker[worker_id] = wait
+            if batch[0].age is not None:
+                self._running_ages[worker_id] = batch[0].age
+            try:
+                if not self._stop.is_set():
+                    self.backend.execute_batch(batch, worker_id)
+                else:
+                    self._abandoned += len(batch)
+            except BaseException as exc:  # noqa: BLE001
+                self._error = exc
+                self._stop.set()
+                self._counter.poke()
+                return
+            finally:
+                self._running_ages.pop(worker_id, None)
+                self._dec(len(batch))
 
     # ------------------------------------------------------------------
     # Analyzer side
@@ -1033,6 +1301,8 @@ class ExecutionNode:
         across a shared registry.
         """
         m = self.metrics
+        if not getattr(m, "enabled", True):
+            return
         m.counter("ready.pushes").inc(self.ready.pushes)
         m.counter("ready.pops").inc(self.ready.pops)
         m.counter("instances.abandoned").inc(self._abandoned)
@@ -1073,6 +1343,7 @@ def run_program(
     metrics: "MetricsRegistry | None" = None,
     adapt=None,
     stream=None,
+    batch: int = 1,
 ) -> RunResult:
     """One-shot convenience: build an :class:`ExecutionNode` and run it.
 
@@ -1092,6 +1363,12 @@ def run_program(
     stays bounded, and applies the configured QoS policy to late frames;
     the resulting :class:`~repro.stream.StreamReport` is attached to
     ``RunResult.stream``.
+
+    ``batch`` > 1 turns on batched dispatch: workers drain runs of up
+    to ``batch`` ready instances of the same kernel and age and hand
+    them to the backend as one call (one IPC message on the process
+    backend, one vectorized NumPy call when the kernel carries a
+    ``batch_body``).  Results are byte-identical to ``batch=1``.
     """
     node = ExecutionNode(
         program,
@@ -1102,6 +1379,7 @@ def run_program(
         backend=backend,
         tracer=tracer,
         metrics=metrics,
+        batch=batch,
     )
     drivers: list = []
     if adapt:

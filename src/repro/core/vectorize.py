@@ -1,0 +1,329 @@
+"""Vectorized kernel backend: batch compilation of known native blocks.
+
+The paper's C++ runtime dispatches kernel instances at near-zero cost;
+this Python runtime pays a full scheduler->backend->callable round trip
+per instance — at CIF geometry that is 1584 Python calls per frame for
+the luma DCT alone.  Batched dispatch (the ready queue surfacing *runs*
+of same-kernel/same-age instances, see
+:meth:`~repro.core.runtime.ReadyQueue.pop_batch`) amortizes the
+per-call overhead; this module removes the per-instance *body* calls
+too, by compiling a kernel's native block into a NumPy implementation
+over a whole batch.
+
+The mechanism is pattern matching, not tracing: a workload tags its
+kernel body with :func:`tag_vectorizable` naming one of the known
+patterns (the DCT/quant macro-block pipeline, the K-means distance and
+assignment kernels, elementwise integer affine maps).  At program-build
+time :func:`vectorize_program` matches each tagged body against the
+pattern table and attaches a ``batch_body`` to the
+:class:`~repro.core.kernels.KernelDef`; kernels with no tag — or whose
+structure no longer matches (e.g. after an LLS coarsen rewrote the
+fetch dims) — keep ``batch_body=None`` and run the scalar path
+per instance.  The escape hatches:
+
+* ``--no-vectorize`` (or ``vectorize=False`` on a workload builder)
+  skips the compilation step entirely;
+* a ``batch_body`` may raise :class:`VectorizeFallback` at run time
+  (e.g. the batch's block shape is not the expected 8x8) and the
+  executing backend silently re-runs the batch through the scalar body;
+* LLS replan rewrites construct fresh :class:`KernelDef` objects with
+  the default ``batch_body=None``, so post-swap epochs revert to the
+  scalar path automatically — a batch never spans an epoch anyway
+  (batches are formed by kernel-definition *identity*).
+
+Byte-identity is a hard requirement, exactly as for the LLS rewrites:
+every pattern reproduces the scalar body's arithmetic bit for bit
+(:func:`repro.media.dct.dct2_blocks` deliberately keeps its per-block
+loop under ``method="matrix"`` for this reason), and the property tests
+in ``tests/core/test_batch.py`` enforce it across backends.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from .errors import DefinitionError
+from .kernels import BodyFn, KernelDef
+
+__all__ = [
+    "BatchKernelContext",
+    "VectorizeFallback",
+    "batch_fetch_plan",
+    "tag_vectorizable",
+    "vectorize_program",
+    "vectorizable_pattern",
+]
+
+#: Attribute carrying a body's ``(pattern_name, params)`` tag.
+_TAG_ATTR = "__p2g_vector__"
+
+
+class VectorizeFallback(Exception):
+    """Raised by a ``batch_body`` when this particular batch cannot be
+    handled (shape drift, unexpected dtype); the backend re-runs the
+    batch through the scalar body instead of failing the run."""
+
+
+class BatchKernelContext:
+    """Execution context handed to a vectorized ``batch_body``.
+
+    Attributes
+    ----------
+    age:
+        The batch's common age (batches never mix ages).
+    indices:
+        Per-instance index maps (``{var: value}``), batch order.
+    fetched:
+        Per-fetch-param values: a stacked ``(N, *region_shape)`` array
+        for region fetches (one leading axis over the batch), or the
+        single shared array for whole-field fetches (every instance of
+        the batch sees the same bytes; the param name is listed in
+        ``shared``).
+    shared:
+        The fetch params delivered un-stacked because they are
+        whole-field.
+    """
+
+    __slots__ = ("age", "indices", "fetched", "shared", "_emitted")
+
+    def __init__(
+        self,
+        age: int | None,
+        indices: Sequence[Mapping[str, int]],
+        fetched: Mapping[str, Any],
+        shared: frozenset[str] = frozenset(),
+    ) -> None:
+        self.age = age
+        self.indices = list(indices)
+        self.fetched = dict(fetched)
+        self.shared = shared
+        self._emitted: dict[str, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, param: str) -> Any:
+        return self.fetched[param]
+
+    def emit(self, key: str, values: Any) -> None:
+        """Provide the batch's values for the store spec whose
+        ``emit_key`` is ``key``: an array (or sequence) whose leading
+        axis runs over the batch — ``values[i]`` is what instance ``i``'s
+        scalar body would have emitted."""
+        if key in self._emitted:
+            raise DefinitionError(
+                f"batch body emitted {key!r} twice in one batch"
+            )
+        self._emitted[key] = values
+
+    @property
+    def emitted(self) -> dict[str, Any]:
+        """Per-key batch emissions."""
+        return self._emitted
+
+
+# ----------------------------------------------------------------------
+# Tagging and the pattern table
+# ----------------------------------------------------------------------
+def tag_vectorizable(body: BodyFn, pattern: str, **params: Any) -> BodyFn:
+    """Tag a kernel body as an instance of a known vectorizable pattern.
+
+    The tag is inert until :func:`vectorize_program` runs; an unknown
+    pattern name fails there, not here, so tagging never breaks a
+    program that skips vectorization.
+    """
+    setattr(body, _TAG_ATTR, (pattern, params))
+    return body
+
+
+#: pattern name -> builder(kernel, params) -> batch_body | None.
+_PATTERNS: dict[str, Callable[[KernelDef, dict], Any]] = {}
+
+
+def vectorizable_pattern(name: str):
+    """Register a pattern builder under ``name`` (decorator).
+
+    A builder receives the tagged :class:`KernelDef` and the tag's
+    params and returns a batch callable, or ``None`` when the kernel's
+    current structure does not match the pattern (wrong fetch/store
+    arity, store produces out-of-band outputs, ...).
+    """
+
+    def register(builder):
+        _PATTERNS[name] = builder
+        return builder
+
+    return register
+
+
+def vectorize_program(program) -> list[str]:
+    """Attach ``batch_body`` implementations to every tagged kernel of
+    ``program`` whose structure matches its pattern; returns the names
+    of the kernels vectorized.  Safe to call on untagged programs
+    (no-op) and idempotent."""
+    vectorized: list[str] = []
+    for kernel in program.kernels.values():
+        tag = getattr(kernel.body, _TAG_ATTR, None)
+        if tag is None:
+            continue
+        pattern, params = tag
+        builder = _PATTERNS.get(pattern)
+        if builder is None:
+            raise DefinitionError(
+                f"kernel {kernel.name!r} is tagged with unknown "
+                f"vectorization pattern {pattern!r}; known: "
+                f"{sorted(_PATTERNS)}"
+            )
+        batch_body = builder(kernel, params)
+        if batch_body is not None:
+            kernel.batch_body = batch_body
+            vectorized.append(kernel.name)
+    return vectorized
+
+
+# ----------------------------------------------------------------------
+# Batch assembly shared by the execution backends
+# ----------------------------------------------------------------------
+def batch_fetch_plan(
+    kernel: KernelDef,
+    age: int | None,
+    imaps: Sequence[Mapping[str, int]],
+    extent_of: Callable[[str], tuple[int, ...]],
+):
+    """Resolve every fetch of a uniform batch to concrete regions.
+
+    Returns ``[(spec, field_age, regions)]`` — ``regions`` is ``None``
+    for whole-field fetches and a per-instance region list otherwise —
+    or ``None`` when the batch is not vectorizable as one stacked call:
+    ragged regions (the trailing block of a non-divisible extent) or
+    empty shrink-boundary regions make per-instance shapes diverge, so
+    the caller must take the scalar path.
+    """
+    plan = []
+    for f in kernel.fetches:
+        extent = extent_of(f.field)
+        f_age = f.age.resolve(age)
+        if f.whole_field():
+            plan.append((f, f_age, None))
+            continue
+        regions = [f.region(imap, extent) for imap in imaps]
+        shape0 = tuple(s.stop - s.start for s in regions[0])
+        for r in regions:
+            shape = tuple(s.stop - s.start for s in r)
+            if shape != shape0 or any(n <= 0 for n in shape):
+                return None
+        plan.append((f, f_age, regions))
+    return plan
+
+
+# ----------------------------------------------------------------------
+# The pattern table
+# ----------------------------------------------------------------------
+@vectorizable_pattern("dct_quant_8x8")
+def _build_dct_quant(kernel: KernelDef, params: dict):
+    """The MJPEG macro-block pipeline: level-shift, 2-D DCT, quantize.
+
+    Scalar body (``repro.workloads.mjpeg``)::
+
+        block -> dct2_blocks(block - 128.0, method) -> quantize(qtable)
+
+    ``dct2_blocks`` already accepts ``(..., 8, 8)`` stacks and keeps its
+    arithmetic per-block-identical under every method, and ``quantize``
+    is elementwise, so one stacked call over ``(N, 8, 8)`` is byte-
+    identical to N scalar calls.
+    """
+    if len(kernel.fetches) != 1 or len(kernel.stores) != 1:
+        return None
+    fetch = kernel.fetches[0]
+    if fetch.whole_field():
+        return None
+    key = kernel.stores[0].emit_key
+    qtable = params["qtable"]
+    method = params["method"]
+
+    def batch_body(bctx: BatchKernelContext) -> None:
+        from ..media.dct import dct2_blocks
+        from ..media.quant import quantize
+
+        blocks = bctx.fetched[fetch.param]
+        if blocks.shape[-2:] != (8, 8):
+            raise VectorizeFallback  # block geometry drifted
+        coeffs = dct2_blocks(
+            blocks.astype(np.float64) - 128.0, method=method
+        )
+        bctx.emit(key, quantize(coeffs, qtable))
+
+    return batch_body
+
+
+@vectorizable_pattern("kmeans_pair_distance")
+def _build_kmeans_pair(kernel: KernelDef, params: dict):
+    """The pair-granularity K-means ``assign``: one Euclidean distance
+    per (point, centroid) instance, computed for the whole batch as a
+    row-wise reduction (NumPy reduces each row with the same pairwise
+    summation a 1-D sum uses, so the bits match the scalar body)."""
+    if len(kernel.fetches) != 2 or len(kernel.stores) != 1:
+        return None
+    point, centroid = kernel.fetches
+    if point.whole_field() or centroid.whole_field():
+        return None
+    key = kernel.stores[0].emit_key
+
+    def batch_body(bctx: BatchKernelContext) -> None:
+        n = len(bctx)
+        p = bctx.fetched[point.param].reshape(n, -1)
+        c = bctx.fetched[centroid.param].reshape(n, -1)
+        bctx.emit(key, np.sqrt(np.sum((p - c) ** 2, axis=1)))
+
+    return batch_body
+
+
+@vectorizable_pattern("kmeans_point_assign")
+def _build_kmeans_point(kernel: KernelDef, params: dict):
+    """The point-granularity K-means ``assign``: nearest centroid per
+    point.  The centroids fetch is whole-field (shared across the
+    batch); distances reduce over the trailing axis exactly as the
+    scalar ``np.linalg.norm(..., axis=1)`` does per point."""
+    if len(kernel.fetches) != 2 or len(kernel.stores) != 1:
+        return None
+    point, cents = kernel.fetches
+    if point.whole_field() or not cents.whole_field():
+        return None
+    key = kernel.stores[0].emit_key
+
+    def batch_body(bctx: BatchKernelContext) -> None:
+        n = len(bctx)
+        p = bctx.fetched[point.param].reshape(n, 1, -1)
+        c = bctx.fetched[cents.param]
+        d = np.linalg.norm(c[None, :, :] - p, axis=2)
+        bctx.emit(key, np.argmin(d, axis=1))
+
+    return batch_body
+
+
+@vectorizable_pattern("affine_int")
+def _build_affine_int(kernel: KernelDef, params: dict):
+    """Elementwise integer affine map ``v -> v*mul + add (% modulo)`` —
+    the figure-5 ``mul2``/``plus5`` kernels.  Exercises the smallest
+    possible native block, where dispatch overhead dominates by orders
+    of magnitude (table II's pattern)."""
+    if len(kernel.fetches) != 1 or len(kernel.stores) != 1:
+        return None
+    fetch = kernel.fetches[0]
+    if fetch.whole_field():
+        return None
+    key = kernel.stores[0].emit_key
+    mul = int(params.get("mul", 1))
+    add = int(params.get("add", 0))
+    modulo = params.get("modulo")
+
+    def batch_body(bctx: BatchKernelContext) -> None:
+        v = bctx.fetched[fetch.param].reshape(len(bctx))
+        v = v * mul + add
+        if modulo is not None:
+            v = v % modulo
+        bctx.emit(key, v)
+
+    return batch_body

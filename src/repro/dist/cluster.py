@@ -220,6 +220,7 @@ class Cluster:
         metrics: MetricsRegistry | None = None,
         adapt: "AdaptationConfig | bool | None" = None,
         stream=None,
+        batch: int = 1,
     ) -> ClusterResult:
         """Plan (unless given an assignment) and execute the program.
 
@@ -270,6 +271,9 @@ class Cluster:
         artifact and the path attached to the exception as
         ``flight_path``.  ``metrics`` is shared by every node (and the
         recovery manager), so counters aggregate cluster-wide.
+
+        ``batch`` > 1 turns on batched dispatch on every node (see
+        :func:`~repro.core.run_program`); results stay byte-identical.
         """
         if assignment is None:
             assignment = self.master.plan(
@@ -326,6 +330,7 @@ class Cluster:
                 dependency_kernels=list(self.program.kernels.values()),
                 tracer=tracer,
                 metrics=metrics,
+                batch=batch,
             )
         if not exec_nodes:
             raise PartitionError("assignment left every node empty")
@@ -512,6 +517,7 @@ class Cluster:
                 dependency_kernels=list(self.program.kernels.values()),
                 tracer=tracer,
                 metrics=metrics,
+                batch=dead.batch,
             )
             if faults is not None:
                 faults.wrap(repl)

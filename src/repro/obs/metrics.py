@@ -180,12 +180,20 @@ class MetricsRegistry:
     Gauges may also be *computed*: :meth:`gauge_fn` registers a callback
     evaluated at snapshot time (e.g. live field bytes), so idle-path
     metrics cost nothing between snapshots.
+
+    ``enabled=False`` marks the registry as a sink the runtime should
+    skip entirely: hot-path call sites check the flag once per run (not
+    per instance) and bypass their counter/histogram updates, so a
+    metrics-off run pays ~zero accounting overhead.  The registry
+    itself still works if written to directly — the flag is a contract
+    with the callers, not a lock.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, enabled: bool = True) -> None:
         self._lock = threading.Lock()
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
         self._gauge_fns: dict[str, Callable[[], float]] = {}
+        self.enabled = enabled
 
     def _get(self, name: str, cls):
         with self._lock:

@@ -44,6 +44,8 @@ from ..core import (
     KernelDef,
     Program,
     StoreSpec,
+    tag_vectorizable,
+    vectorize_program,
 )
 
 __all__ = ["build_kmeans", "kmeans_baseline", "KMeansResult", "generate_dataset"]
@@ -119,6 +121,7 @@ def build_kmeans(
     iterations: int = 10,
     seed: int = 42,
     granularity: Literal["pair", "point"] = "pair",
+    vectorize: bool = True,
 ) -> tuple[Program, KMeansResult]:
     """Build the K-means P2G program; returns (program, result sink).
 
@@ -126,6 +129,11 @@ def build_kmeans(
     baked in via per-kernel age limits, so no global ``max_age`` is
     needed.  ``result.history[a]`` holds the centroids of age ``a``
     (age 0 = initial means, age ``iterations`` = final means).
+
+    ``vectorize`` attaches a batched NumPy implementation to ``assign``
+    (distance pattern for ``pair``, nearest-centroid pattern for
+    ``point``) used by batched dispatch (``batch > 1``); byte-identical
+    to the scalar body, ``False`` to opt out.
     """
     if granularity not in ("pair", "point"):
         raise ValueError(f"unknown granularity {granularity!r}")
@@ -170,6 +178,8 @@ def build_kmeans(
             p = ctx["point"].reshape(-1)
             c = ctx["centroid"].reshape(-1)
             ctx.emit("distances", float(np.sqrt(np.sum((p - c) ** 2))))
+
+        tag_vectorizable(assign_body, "kmeans_pair_distance")
 
         def refine_body(ctx: KernelContext) -> None:
             d = ctx["distances"]  # (n, k)
@@ -237,6 +247,8 @@ def build_kmeans(
             d = np.linalg.norm(c - p[None, :], axis=1)
             ctx.emit("assignments", int(np.argmin(d)))
 
+        tag_vectorizable(assign_body, "kmeans_point_assign")
+
         def refine_body(ctx: KernelContext) -> None:
             owner = ctx["assignments"].reshape(-1)
             pts = ctx["points"]
@@ -295,6 +307,8 @@ def build_kmeans(
         kernels=[init, assign, refine, prnt],
         name=f"kmeans-{granularity}",
     )
+    if vectorize:
+        vectorize_program(program)
 
     def on_output(kernel, age, index, key, value) -> None:
         if key == "centroids":

@@ -39,6 +39,8 @@ from ..core import (
     KernelDef,
     Program,
     StoreSpec,
+    tag_vectorizable,
+    vectorize_program,
 )
 from ..media.jpeg import (
     encode_from_quantized,
@@ -142,12 +144,18 @@ class MJPEGSink:
 def build_mjpeg(
     frames: Sequence[YUVFrame] | None = None,
     config: MJPEGConfig = MJPEGConfig(),
+    vectorize: bool = True,
 ) -> tuple[Program, MJPEGSink]:
     """Build the figure-8 MJPEG program.
 
     ``frames`` defaults to the synthetic sequence of ``config.frames``
     frames.  Run with ``run_program(program, workers)``; termination is
     natural (the read kernel stops storing at end of input).
+
+    ``vectorize`` attaches a batched DCT/quant implementation to the
+    three dct kernels, used by batched dispatch (``batch > 1``) to
+    transform a whole run of macro-blocks in one NumPy call —
+    byte-identical output; ``False`` to opt out.
     """
     if frames is None:
         frames = synthetic_sequence(
@@ -179,11 +187,11 @@ def build_mjpeg(
             StoreSpec("v_input", key="v_input"),
         ),
     )
-    return _encode_program(config, read=read)
+    return _encode_program(config, read=read, vectorize=vectorize)
 
 
 def _encode_program(
-    config: MJPEGConfig, read: KernelDef | None
+    config: MJPEGConfig, read: KernelDef | None, vectorize: bool = True
 ) -> tuple[Program, MJPEGSink]:
     """The DCT/quant/VLC pipeline shared by batch and live builds.
 
@@ -202,7 +210,11 @@ def _encode_program(
             coeffs = dct2_blocks(block, method=method)
             ctx.emit("out", quantize(coeffs, qtable))
 
-        return dct_body
+        # Vectorizable: dct2_blocks already takes (..., 8, 8) stacks
+        # with per-block-identical arithmetic, quantize is elementwise.
+        return tag_vectorizable(
+            dct_body, "dct_quant_8x8", qtable=qtable, method=method
+        )
 
     def vlc_body(ctx: KernelContext) -> None:
         yq = plane_to_blocks(ctx["y"])
@@ -263,6 +275,8 @@ def _encode_program(
         kernels=kernels,
         name="mjpeg",
     )
+    if vectorize:
+        vectorize_program(program)
 
     def on_output(kernel, age, index, key, value) -> None:
         if key == "frame":
@@ -293,6 +307,7 @@ def build_mjpeg_stream(
     config: MJPEGConfig = MJPEGConfig(),
     stream: "StreamConfig | None" = None,
     source: "FrameSource | None" = None,
+    vectorize: bool = True,
 ):
     """Build the live-encoder variant of the figure-8 MJPEG program.
 
@@ -311,7 +326,8 @@ def build_mjpeg_stream(
         stream = StreamConfig()
     if source is None:
         source = SyntheticSource(config.width, config.height, config.seed)
-    program, sink = _encode_program(config, read=None)
+    program, sink = _encode_program(config, read=None,
+                                    vectorize=vectorize)
     binding = StreamBinding(
         source=source,
         store_frame=_store_yuv_frame,

@@ -1,0 +1,474 @@
+"""Batched dispatch + vectorized kernels: byte-identity and mechanics.
+
+The fast path has two levers — the ready queue surfacing *runs* of
+same-kernel/same-age instances (``ExecutionNode(batch=N)``) and the
+vectorizer replacing per-instance bodies with one stacked NumPy call
+(``vectorize_program``).  Both must be invisible in the results: every
+test here pins batched/vectorized output against the scalar ground
+truth (``expected_series``, ``mjpeg_baseline``, ``kmeans_baseline``)
+byte for byte, across backends, the cluster layer, and mid-run replans.
+"""
+
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    BatchKernelContext,
+    Dim,
+    ExecutionNode,
+    FetchSpec,
+    GranularityDecision,
+    KernelDef,
+    Program,
+    ReadyQueue,
+    StoreSpec,
+    VectorizeFallback,
+    run_program,
+    tag_vectorizable,
+    vectorize_program,
+)
+from repro.core.errors import (
+    DefinitionError,
+    RuntimeStateError,
+    WriteOnceViolation,
+)
+from repro.core.kernels import KernelContext, KernelInstance
+from repro.dist import Cluster
+from repro.obs import MetricsRegistry, flatten
+from repro.workloads import (
+    build_kmeans,
+    build_mjpeg,
+    build_mulsum,
+    expected_series,
+    kmeans_baseline,
+)
+from repro.workloads.mjpeg import MJPEGConfig, mjpeg_baseline
+
+
+def _spin_until(predicate, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            return False
+        time.sleep(0)
+    return True
+
+
+def _assert_mulsum(sink, ages, modulo=None):
+    expected = expected_series(ages, modulo=modulo)
+    assert sorted(sink) == list(range(ages))
+    for age in expected:
+        assert np.array_equal(sink[age][0], expected[age][0])
+        assert np.array_equal(sink[age][1], expected[age][1])
+
+
+def _noop(ctx):  # pragma: no cover - never dispatched
+    pass
+
+
+def _inst(kernel, age, index=()):
+    return KernelInstance(kernel, age=age, index=index)
+
+
+class TestPopBatch:
+    """Batch formation: same kernel definition, same age, heap order."""
+
+    def _kernels(self):
+        a = KernelDef(name="a", body=_noop, has_age=True,
+                      index_vars=("x",), domain={"x": 8})
+        b = KernelDef(name="b", body=_noop, has_age=True,
+                      index_vars=("x",), domain={"x": 8})
+        return a, b
+
+    def test_drains_same_kernel_same_age_run(self):
+        a, _ = self._kernels()
+        q = ReadyQueue()
+        for i in range(5):
+            q.push(_inst(a, 0, (i,)))
+        batch, _wait = q.pop_batch(8)
+        assert [i.index for i in batch] == [(0,), (1,), (2,), (3,), (4,)]
+        assert q.pops == 5
+
+    def test_respects_max_n(self):
+        a, _ = self._kernels()
+        q = ReadyQueue()
+        for i in range(5):
+            q.push(_inst(a, 0, (i,)))
+        batch, _ = q.pop_batch(2)
+        assert len(batch) == 2
+        batch2, _ = q.pop_batch(2)
+        assert len(batch2) == 2
+        assert batch2[0].index == (2,)
+
+    def test_stops_at_kernel_change(self):
+        a, b = self._kernels()
+        q = ReadyQueue()
+        q.push(_inst(a, 0, (0,)))
+        q.push(_inst(a, 0, (1,)))
+        q.push(_inst(b, 0, (0,)))
+        batch, _ = q.pop_batch(8)
+        assert len(batch) == 2 and all(i.kernel is a for i in batch)
+
+    def test_stops_at_age_change(self):
+        a, _ = self._kernels()
+        q = ReadyQueue()
+        q.push(_inst(a, 0, (0,)))
+        q.push(_inst(a, 1, (0,)))
+        batch, _ = q.pop_batch(8)
+        assert len(batch) == 1 and batch[0].age == 0
+
+    def test_never_consumes_sentinel(self):
+        a, _ = self._kernels()
+        q = ReadyQueue()
+        q.push(_inst(a, 0, (0,)))
+        q.push_sentinel()
+        batch, _ = q.pop_batch(8)
+        assert len(batch) == 1
+        batch2, _ = q.pop_batch(8)
+        assert batch2 is None  # sentinel -> worker exit signal
+
+    def test_identity_not_name_bounds_the_run(self):
+        """Two kernel *definitions* with the same name never batch
+        together — the epoch-safety property (post-replan versions are
+        fresh KernelDef objects)."""
+        a1 = KernelDef(name="a", body=_noop, has_age=True,
+                       index_vars=("x",), domain={"x": 8})
+        a2 = KernelDef(name="a", body=_noop, has_age=True,
+                       index_vars=("x",), domain={"x": 8})
+        q = ReadyQueue()
+        q.push(_inst(a1, 0, (0,)))
+        q.push(_inst(a2, 0, (1,)))
+        batch, _ = q.pop_batch(8)
+        assert len(batch) == 1 and batch[0].kernel is a1
+
+    def test_batch_size_validated(self):
+        program, _ = build_mulsum()
+        with pytest.raises(RuntimeStateError):
+            ExecutionNode(program, 1, max_age=1, batch=0)
+
+
+class TestVectorizer:
+    """The pattern table and build-time matching."""
+
+    def test_unknown_pattern_fails_at_build(self):
+        def body(ctx):
+            ctx.emit("out", 1)
+
+        tag_vectorizable(body, "no_such_pattern")
+        k = KernelDef(name="k", body=body, has_age=True,
+                      index_vars=("x",),
+                      fetches=(FetchSpec("v", "f", dims=(Dim.of("x"),)),),
+                      stores=(StoreSpec("f", dims=(Dim.of("x"),),
+                                        key="out"),))
+        from repro.core import FieldDef
+
+        program = Program.build(
+            fields=[FieldDef("f", "int64", 1, aging=True, shape=(4,))],
+            kernels=[k], name="p")
+        with pytest.raises(DefinitionError):
+            vectorize_program(program)
+
+    def test_untagged_program_is_noop(self):
+        def body(ctx):
+            ctx.emit("out", int(ctx.fetched["v"]) + 1)
+
+        from repro.core import FieldDef
+
+        k = KernelDef(name="k", body=body, has_age=True,
+                      index_vars=("x",),
+                      fetches=(FetchSpec("v", "f", dims=(Dim.of("x"),)),),
+                      stores=(StoreSpec("f", dims=(Dim.of("x"),),
+                                        key="out"),))
+        program = Program.build(
+            fields=[FieldDef("f", "int64", 1, aging=True, shape=(4,))],
+            kernels=[k], name="p")
+        assert vectorize_program(program) == []
+        assert all(kd.batch_body is None
+                   for kd in program.kernels.values())
+
+    def test_workload_builders_attach_batch_bodies(self):
+        program, _ = build_mulsum()
+        assert program.kernels["mul2"].batch_body is not None
+        assert program.kernels["plus5"].batch_body is not None
+        assert program.kernels["init"].batch_body is None
+        mj, _ = build_mjpeg(config=MJPEGConfig(96, 64, 2))
+        for name in ("ydct", "udct", "vdct"):
+            assert mj.kernels[name].batch_body is not None
+        km, _ = build_kmeans(n=50, k=4, iterations=2)
+        assert km.kernels["assign"].batch_body is not None
+
+    def test_vectorize_false_leaves_program_scalar(self):
+        program, _ = build_mjpeg(config=MJPEGConfig(96, 64, 2),
+                                 vectorize=False)
+        assert all(k.batch_body is None
+                   for k in program.kernels.values())
+
+    def test_batch_context_double_emit_rejected(self):
+        bctx = BatchKernelContext(0, [{"x": 0}], {"v": np.zeros(1)})
+        bctx.emit("out", np.zeros(1))
+        with pytest.raises(DefinitionError):
+            bctx.emit("out", np.zeros(1))
+
+    def test_fallback_reverts_batch_to_scalar_path(self):
+        """A batch_body raising VectorizeFallback re-runs through the
+        scalar body — results unchanged, run completes."""
+        program, sink = build_mulsum()
+
+        def always_fall_back(bctx):
+            raise VectorizeFallback
+
+        program.kernels["mul2"].batch_body = always_fall_back
+        run_program(program, workers=2, max_age=4, batch=8)
+        _assert_mulsum(sink, 5)
+
+
+class TestByteIdentityThreads:
+    """batched + vectorized ≡ per-instance scalar, threads backend."""
+
+    @given(batch=st.integers(min_value=1, max_value=64),
+           workers=st.integers(min_value=1, max_value=4),
+           vectorize=st.booleans())
+    @settings(max_examples=12, deadline=None)
+    def test_mulsum_series_any_batch_size(self, batch, workers,
+                                          vectorize):
+        program, sink = build_mulsum(vectorize=vectorize)
+        run_program(program, workers=workers, max_age=4, batch=batch)
+        _assert_mulsum(sink, 5)
+
+    @given(batch=st.sampled_from([2, 7, 16, 64]),
+           vectorize=st.booleans())
+    @settings(max_examples=6, deadline=None)
+    def test_mjpeg_stream_bytes(self, batch, vectorize):
+        cfg = MJPEGConfig(width=96, height=64, frames=4)
+        base = mjpeg_baseline(config=cfg)
+        program, sink = build_mjpeg(config=cfg, vectorize=vectorize)
+        run_program(program, workers=4, batch=batch)
+        assert sink.stream() == base
+
+    @pytest.mark.parametrize("granularity", ["pair", "point"])
+    def test_kmeans_trajectory(self, granularity):
+        base = kmeans_baseline(n=150, k=8, iterations=3)
+        program, sink = build_kmeans(n=150, k=8, iterations=3,
+                                     granularity=granularity)
+        run_program(program, workers=4, batch=16)
+        for age in base.history:
+            assert np.array_equal(sink.history[age], base.history[age])
+
+    def test_dct_pattern_guards_block_shape(self):
+        """The dct_quant_8x8 batch body refuses non-8x8 regions with
+        VectorizeFallback rather than producing wrong bytes."""
+        program, _ = build_mjpeg(config=MJPEGConfig(96, 64, 1))
+        batch_body = program.kernels["ydct"].batch_body
+        assert batch_body is not None
+        bctx = BatchKernelContext(
+            0, [{"by": 0, "bx": 0}],
+            {"block": np.zeros((1, 4, 4), dtype=np.uint8)})
+        with pytest.raises(VectorizeFallback):
+            batch_body(bctx)
+
+
+class TestByteIdentityProcesses:
+    """Same guarantees across the one-IPC-per-batch process path."""
+
+    def test_mjpeg_stream_bytes(self):
+        cfg = MJPEGConfig(width=96, height=64, frames=4)
+        base = mjpeg_baseline(config=cfg)
+        program, sink = build_mjpeg(config=cfg)
+        run_program(program, workers=2, backend="processes", batch=16)
+        assert sink.stream() == base
+
+    def test_mjpeg_scalar_fallback(self):
+        cfg = MJPEGConfig(width=96, height=64, frames=3)
+        base = mjpeg_baseline(config=cfg)
+        program, sink = build_mjpeg(config=cfg, vectorize=False)
+        run_program(program, workers=2, backend="processes", batch=16)
+        assert sink.stream() == base
+
+    @pytest.mark.parametrize("granularity", ["pair", "point"])
+    def test_kmeans_trajectory(self, granularity):
+        base = kmeans_baseline(n=150, k=8, iterations=3)
+        program, sink = build_kmeans(n=150, k=8, iterations=3,
+                                     granularity=granularity)
+        run_program(program, workers=2, backend="processes", batch=16)
+        for age in base.history:
+            assert np.array_equal(sink.history[age], base.history[age])
+
+    def test_worker_body_error_names_failing_instance(self):
+        from repro.core.errors import KernelBodyError
+
+        program, _ = build_kmeans(n=64, k=4, iterations=2,
+                                  vectorize=False)
+
+        def bomb(ctx):
+            if ctx.index.get("x") == 13 and ctx.age == 1:
+                raise ValueError("boom")
+            ctx.emit("distances", 0.0)
+
+        program.kernels["assign"].body = bomb
+        with pytest.raises(KernelBodyError):
+            run_program(program, workers=2, backend="processes",
+                        batch=16, timeout=60)
+
+
+class TestByteIdentityCluster:
+    """Batched dispatch through the distributed layer."""
+
+    def test_mulsum_on_two_nodes(self):
+        program, sink = build_mulsum()
+        result = Cluster(program, {"n0": 2, "n1": 2}).run(
+            max_age=4, batch=8, timeout=120
+        )
+        assert result.reason == "idle"
+        _assert_mulsum(sink, 5)
+
+    def test_kmeans_on_two_nodes(self):
+        base = kmeans_baseline(n=120, k=8, iterations=3)
+        program, sink = build_kmeans(n=120, k=8, iterations=3)
+        result = Cluster(program, {"n0": 2, "n1": 2}).run(
+            batch=16, timeout=120
+        )
+        assert result.reason == "idle"
+        for age in base.history:
+            assert np.array_equal(sink.history[age], base.history[age])
+
+
+class TestReplanInteraction:
+    """Epoch swaps land on batch boundaries; results stay identical."""
+
+    AGES = 12
+
+    def test_mid_run_coarsen_with_batching(self):
+        program, sink = build_mulsum()
+        node = ExecutionNode(program, 2, max_age=self.AGES - 1, batch=16)
+        node.start()
+        _spin_until(
+            lambda: node.instrumentation.total_instances() >= 20
+        )
+        node.request_replan([GranularityDecision("mul2", "x", 4)])
+        result = node.join(timeout=60)
+        _assert_mulsum(sink, self.AGES)
+        if result.replans:
+            # Post-swap kernel defs are fresh objects without a
+            # batch_body — the vectorizer reverts to scalar, and batch
+            # formation by definition identity keeps epochs unmixed.
+            epoch = result.replans[0].epoch
+            swapped = node.handle.version_for_age(epoch)
+            assert swapped.kernels["mul2"].batch_body is None
+
+    def test_mid_run_swap_on_process_backend_batched(self):
+        program, sink = build_kmeans(n=200, k=10, iterations=4,
+                                     granularity="point")
+        node = ExecutionNode(program, 2, backend="processes", batch=16)
+        node.start()
+        _spin_until(
+            lambda: node.instrumentation.total_instances() >= 50
+        )
+        node.request_replan([GranularityDecision("assign", "x", 8)])
+        result = node.join(timeout=120)
+        base = kmeans_baseline(n=200, k=10, iterations=4)
+        for age in base.history:
+            assert np.array_equal(sink.history[age], base.history[age])
+        assert len(result.replans) == 1
+
+    @given(trigger=st.integers(min_value=1, max_value=80),
+           batch=st.sampled_from([2, 8, 32]))
+    @settings(max_examples=8, deadline=None)
+    def test_swap_at_arbitrary_point_stays_identical(self, trigger,
+                                                     batch):
+        program, sink = build_mulsum()
+        node = ExecutionNode(program, 2, max_age=self.AGES - 1,
+                             batch=batch)
+        node.start()
+        _spin_until(
+            lambda: node.instrumentation.total_instances() >= trigger
+        )
+        node.request_replan([GranularityDecision("mul2", "x", 4)])
+        node.join(timeout=60)
+        _assert_mulsum(sink, self.AGES)
+
+
+class TestRecoverCommitRace:
+    """Recovery dispatches a dead node's in-flight work twice (direct
+    re-enqueue + replay-driven analyzer rediscovery).  When both copies
+    run concurrently, the loser passes the completeness pre-check and
+    then loses the write-once commit race — a recover node must treat
+    that exactly like the already-complete skip (the winner wrote the
+    same bytes), on both the scalar and the vectorized store path."""
+
+    @staticmethod
+    def _race_first_store(node, field_name):
+        """Make the first store to ``field_name`` lose the commit race:
+        a shadow commit of the same bytes lands between the caller's
+        completeness check and its own store."""
+        field = node.fields[field_name]
+        real_store = field.store
+        fired = []
+
+        def racing_store(age, index, value):
+            if not fired:
+                fired.append(True)
+                real_store(age, index, value)  # the duplicate's commit
+            return real_store(age, index, value)
+
+        field.store = racing_store
+        return fired
+
+    @pytest.mark.parametrize("batch", [1, 4])
+    def test_recover_node_tolerates_losing_the_race(self, batch):
+        sink = {}
+        program, _ = build_mulsum(sink=sink)
+        node = ExecutionNode(program, 2, max_age=2, recover=True,
+                             batch=batch)
+        fired = self._race_first_store(node, "p_data")
+        node.run(timeout=60)
+        assert fired  # the race actually happened
+        _assert_mulsum(sink, 3)
+
+    def test_non_recover_node_still_raises(self):
+        program, _ = build_mulsum()
+        node = ExecutionNode(program, 2, max_age=2)
+        fired = self._race_first_store(node, "p_data")
+        with pytest.raises(WriteOnceViolation):
+            node.run(timeout=60)
+        assert fired
+
+
+class TestHotPathGuards:
+    """Satellite: metrics/trace guards and pooled contexts."""
+
+    def test_disabled_registry_stays_empty(self):
+        reg = MetricsRegistry(enabled=False)
+        program, sink = build_mulsum()
+        run_program(program, workers=2, max_age=3, metrics=reg,
+                    batch=8)
+        _assert_mulsum(sink, 4)
+        flat = flatten(reg.snapshot())
+        # Guarded hot-path instruments must have recorded nothing.
+        assert flat["instances.executed"] == 0
+        assert flat.get("ready.pops", 0) == 0
+        assert flat.get("ready.wait_s.count", 0) == 0
+        assert flat.get("exec.kernel_s.count", 0) == 0
+
+    def test_default_registry_counts_instances_exactly(self):
+        reg = MetricsRegistry()
+        program, _ = build_mulsum()
+        result = run_program(program, workers=2, max_age=3,
+                             metrics=reg, batch=8)
+        flat = flatten(reg.snapshot())
+        executed = result.instrumentation.total_instances()
+        assert flat["instances.executed"] == executed
+        # Batched mode observes ready-wait once per *dispatch*.
+        assert flat["ready.pops"] == executed
+        assert 0 < flat["ready.wait_s.count"] <= executed
+
+    def test_context_reset_clears_state(self):
+        ctx = KernelContext(age=0, index={"x": 1}, fetched={"v": 1})
+        ctx.emit("k", 2)
+        ctx2 = ctx.reset(3, {"x": 9}, {"v": 5})
+        assert ctx2 is ctx
+        assert ctx.age == 3 and ctx.index == {"x": 9}
+        assert ctx.fetched == {"v": 5}
+        assert ctx.emitted == {} and ctx.outputs == []
