@@ -118,6 +118,16 @@ def _add_stream_args(p: argparse.ArgumentParser) -> None:
     g.add_argument("--stream-json", metavar="PATH", default=None,
                    help="write the stream report (latency histogram, "
                         "shed ages, memory peaks) as JSON")
+    g.add_argument("--sessions", type=int, default=1, metavar="N",
+                   help="with --live, run N independent sessions "
+                        "multiplexed over one runtime (namespaced "
+                        "pipelines, per-session backpressure/QoS, fair "
+                        "cross-tenant dispatch); each session writes "
+                        "OUTPUT with its name suffixed")
+    g.add_argument("--tier", default=None, metavar="gold:K",
+                   help="run K of the N sessions at the gold QoS tier "
+                        "(never shed under overload; the best-effort "
+                        "rest absorb it), e.g. --tier gold:2")
 
 
 def _print_stream_report(args: argparse.Namespace, rep) -> None:
@@ -132,6 +142,51 @@ def _print_stream_report(args: argparse.Namespace, rep) -> None:
           f"{rep.deadline_misses}; peak live {rep.peak_live_bytes} B "
           f"(retired {rep.freed_bytes} B); "
           f"source blocked {rep.blocked_s:.2f}s")
+    if args.stream_json:
+        import json
+
+        Path(args.stream_json).write_text(
+            json.dumps(rep.as_dict(), indent=2) + "\n"
+        )
+        print(f"stream report -> {args.stream_json}")
+
+
+def _parse_tier(spec: str | None, sessions: int) -> int:
+    """``gold:K`` -> K (clamped to the session count)."""
+    if not spec:
+        return 0
+    cls, _, k = spec.partition(":")
+    if cls != "gold" or not k:
+        raise SystemExit(
+            f"--tier must look like gold:K, got {spec!r}"
+        )
+    try:
+        n = int(k)
+    except ValueError:
+        raise SystemExit(f"--tier count must be an integer, got {k!r}")
+    return max(0, min(n, sessions))
+
+
+def _print_multitenant_report(args: argparse.Namespace, rep) -> None:
+    if rep is None:
+        return
+    print(f"multitenant: {len(rep.sessions)} sessions on "
+          f"{rep.workers} workers ({rep.backend}), capacity "
+          f"{rep.capacity}, {rep.duration_s:.2f}s")
+    for name, r in sorted(rep.sessions.items()):
+        tier = r.qos_class or "best-effort"
+        lat = r.latency_ms
+        p50, p99 = lat.get("p50"), lat.get("p99")
+        line = (f"  {name} [{tier}]: {r.offered} offered, "
+                f"{r.completed} completed, {r.shed} shed, "
+                f"{r.degraded} degraded")
+        if p50 is not None and p99 is not None:
+            line += f", p50 {p50:.1f}ms p99 {p99:.1f}ms"
+        print(line)
+    for tier, agg in sorted(rep.by_class().items()):
+        print(f"  tier {tier}: {agg['sessions']} session(s), "
+              f"{agg['offered']} offered, {agg['shed']} shed, "
+              f"worst p99 {agg['p99_ms']:.1f}ms")
     if args.stream_json:
         import json
 
@@ -213,11 +268,80 @@ def _cmd_graph(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_mjpeg_sessions(args: argparse.Namespace) -> int:
+    """``mjpeg --live --sessions N [--tier gold:K]``: N namespaced
+    encoder sessions multiplexed over one runtime, each writing its own
+    output file (the session name suffixes the output path)."""
+    from dataclasses import replace as dc_replace
+
+    from .stream import (
+        FileLoopSource,
+        SessionManager,
+        SessionSpec,
+        StreamConfig,
+    )
+    from .workloads import MJPEGConfig, build_mjpeg_stream
+
+    gold = _parse_tier(args.tier, args.sessions)
+    scfg = StreamConfig(
+        fps=args.fps,
+        duration=args.duration,
+        max_frames=None if args.duration is not None else args.frames,
+        lag_window=args.lag_window,
+        deadline_ms=args.deadline_ms,
+        shed_seed=args.shed_seed,
+        degrade_ratio=args.degrade_ratio,
+    )
+    specs, sinks = [], {}
+    for i in range(args.sessions):
+        name = f"s{i}"
+        cfg = MJPEGConfig(
+            width=args.width, height=args.height, frames=args.frames,
+            quality=args.quality, dct_method=args.dct, seed=1234 + i,
+        )
+        source = (
+            FileLoopSource(args.input, cfg.width, cfg.height)
+            if args.input else None
+        )
+        tier = "gold" if i < gold else "best-effort"
+        program, sink, binding = build_mjpeg_stream(
+            cfg, dc_replace(scfg, qos_class=tier), source,
+            vectorize=not args.no_vectorize,
+        )
+        specs.append(SessionSpec(name, program, binding))
+        sinks[name] = sink
+    obs = _Obs(args)
+    mgr = SessionManager(
+        specs, workers=args.workers, backend=args.backend,
+        batch=args.batch, admission="queue",
+        metrics=obs.metrics, tracer=obs.tracer,
+    )
+    try:
+        result = mgr.run(timeout=args.timeout)
+    finally:
+        obs.finish()
+    _print_multitenant_report(args, result.stream)
+    out = Path(args.output)
+    total = 0
+    for name, sink in sinks.items():
+        path = out.with_name(f"{out.stem}.{name}{out.suffix}")
+        data = sink.stream()
+        path.write_bytes(data)
+        total += len(data)
+        print(f"  {name}: {sink.frame_count()} frames -> {path} "
+              f"({len(data)} bytes)")
+    print(f"encoded {args.sessions} sessions ({total} bytes total) in "
+          f"{result.wall_time:.2f}s ({args.workers} workers)")
+    return 0
+
+
 def _cmd_mjpeg(args: argparse.Namespace) -> int:
     from .core import run_program
     from .media import read_yuv_file, synthetic_sequence
     from .workloads import MJPEGConfig, build_mjpeg
 
+    if args.live and args.sessions > 1:
+        return _cmd_mjpeg_sessions(args)
     cfg = MJPEGConfig(
         width=args.width, height=args.height, frames=args.frames,
         quality=args.quality, dct_method=args.dct,

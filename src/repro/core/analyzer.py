@@ -582,7 +582,22 @@ class DependencyAnalyzer:
             return len(self._dispatched)
         return sum(c for (k, _a), c in self._count.items() if k == kernel)
 
-    def min_pending_age(self) -> int | None:
-        """Lowest age any kernel still has pending (GC lower bound)."""
-        ages = [a for s in self._pending.values() for a in s]
+    def min_pending_age(self, kernels=None) -> int | None:
+        """Lowest age any kernel still has pending (GC lower bound).
+
+        ``kernels`` (an iterable of kernel names) scopes the probe to
+        one subgraph — the per-session retirement path passes a tenant's
+        namespaced kernel set so another session's frontier never pins
+        (or frees past) this one's ages.
+        """
+        if kernels is None:
+            ages = [a for s in self._pending.values() for a in s]
+        else:
+            names = set(kernels)
+            ages = [
+                a
+                for k, s in self._pending.items()
+                if k in names
+                for a in s
+            ]
         return min(ages) if ages else None

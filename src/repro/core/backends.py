@@ -89,14 +89,17 @@ class ExecutionBackend:
         kernel definition — so the default is a no-op; the process
         backend forwards the decisions to its workers."""
 
-    def on_retire(self, min_age: int) -> None:
+    def on_retire(self, min_age: int, fields=None) -> None:
         """Every field age below ``min_age`` has been retired (streaming
         age retirement — see :mod:`repro.stream`).  The parent has
         already freed the backing storage; backends holding per-age
         resources elsewhere release them here.  In-parent backends need
         nothing (default no-op); the process backend tells its workers
         to drop their cached shared-memory views so the unlinked
-        segments' pages actually return to the kernel."""
+        segments' pages actually return to the kernel.  ``fields`` (an
+        iterable of field names, or ``None`` for all) scopes the drop —
+        a multi-tenant retirer frees one session's ages while other
+        sessions' same-numbered ages stay mapped."""
 
     def shutdown(self) -> None:
         """Release execution resources (idempotent)."""
@@ -187,11 +190,19 @@ class _SegmentCache:
                 continue
             del self._entries[key]
 
-    def retire(self, min_age: int) -> None:
+    def retire(self, min_age: int, fields=None) -> None:
         """Drop every cached view below ``min_age`` (the parent retired
         those ages and unlinked their segments; closing the worker-side
-        mapping releases the last reference to the pages)."""
-        for key in [k for k in self._entries if k[1] < min_age]:
+        mapping releases the last reference to the pages).  ``fields``
+        scopes the drop to one session's field names (``None`` = all) —
+        sessions share the numeric age space, so an unscoped drop would
+        unmap co-resident tenants' live views."""
+        names = None if fields is None else set(fields)
+        for key in [
+            k
+            for k in self._entries
+            if k[1] < min_age and (names is None or k[0] in names)
+        ]:
             shm, _arr = self._entries[key]
             try:
                 shm.close()
@@ -423,7 +434,7 @@ def _worker_main(
                 )
                 continue
             if msg[0] == "__retire__":
-                cache.retire(msg[1])
+                cache.retire(msg[1], msg[2] if len(msg) > 2 else None)
                 continue
             if msg[0] == "__batch__":
                 _tag, kernel_name, age, indices = msg
@@ -590,12 +601,16 @@ class ProcessBackend(ExecutionBackend):
         proxies drain it before their next instance send)."""
         self._control.append(("__replan__", epoch, tuple(decisions)))
 
-    def on_retire(self, min_age: int) -> None:
+    def on_retire(self, min_age: int, fields=None) -> None:
         """Record a retirement floor for lazy per-worker forwarding;
-        workers close their cached segment views below it.  A worker
-        that never executes again simply closes everything at shutdown
-        instead."""
-        self._control.append(("__retire__", min_age))
+        workers close their cached segment views below it (scoped to
+        ``fields`` when a multi-tenant retirer frees one session).  A
+        worker that never executes again simply closes everything at
+        shutdown instead."""
+        self._control.append(
+            ("__retire__", min_age,
+             None if fields is None else tuple(sorted(fields)))
+        )
 
     # ------------------------------------------------------------------
     def _forward_control(self, worker_id: int, conn) -> None:

@@ -717,12 +717,18 @@ class FieldStore:
         """Bytes held by all fields' non-collected ages."""
         return sum(f.live_bytes() for f in self._fields.values())
 
-    def collect_below(self, min_live_age: int) -> int:
-        """GC every aging field below the given age; returns bytes freed."""
+    def collect_below(self, min_live_age: int, fields=None) -> int:
+        """GC every aging field below the given age; returns bytes freed.
+
+        ``fields`` (an iterable of field names) scopes the collection —
+        the per-session retirement path frees only one tenant's fields,
+        never a co-resident session's live ages.
+        """
+        names = None if fields is None else set(fields)
         return sum(
             f.collect_below(min_live_age)
             for f in self._fields.values()
-            if f.fdef.aging
+            if f.fdef.aging and (names is None or f.name in names)
         )
 
 

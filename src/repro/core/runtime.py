@@ -127,6 +127,15 @@ class ProgramHandle:
         return self.version_for_age(age).kernels.get(name)
 
 
+def _session_prefix(inst: KernelInstance) -> str:
+    """Default session extractor for ``"fair"`` scheduling: the
+    kernel-name prefix before the first ``"."`` (the multi-tenant
+    namespace separator), or ``""`` for un-namespaced kernels."""
+    name = inst.kernel.name
+    i = name.find(".")
+    return name[:i] if i > 0 else ""
+
+
 class ReadyQueue:
     """Age-priority ready queue shared by the worker threads.
 
@@ -146,23 +155,54 @@ class ReadyQueue:
     * ``"lifo"`` — newest first (a work-stack, as many schedulers use):
       self-advancing source kernels race ahead of their consumers,
       ballooning the live field footprint — the starvation the paper's
-      policy exists to prevent.
+      policy exists to prevent;
+    * ``"fair"`` — multi-tenant deficit round-robin: instances are
+      binned per *session* (``session_of(inst)``, by default the
+      kernel-name prefix before the first ``"."``) with age priority
+      *within* a session, and dispatch rotates across sessions so one
+      hot tenant cannot starve the others.  ``session_weights`` maps a
+      session to its quantum (pops per round-robin turn, default 1),
+      letting a gold tier draw more dispatch slots than best-effort.
+
+    Internally every policy runs on per-session heaps — the classic
+    policies simply bin everything into the single ``""`` session, which
+    degenerates to the original one-heap behaviour.  Sentinels live in a
+    counter, not the heaps, and are only consumed once every heap is
+    empty (the "sorts last" guarantee, now independent of session
+    structure).
     """
 
     _SENTINEL = object()
-    _POLICIES = ("age", "fifo", "lifo")
+    _POLICIES = ("age", "fifo", "lifo", "fair")
 
-    def __init__(self, scheduling: str = "age") -> None:
+    def __init__(
+        self,
+        scheduling: str = "age",
+        session_of=None,
+        session_weights: "dict[str, int] | None" = None,
+    ) -> None:
         if scheduling not in self._POLICIES:
             raise RuntimeStateError(
                 f"unknown scheduling policy {scheduling!r}; "
                 f"expected one of {self._POLICIES}"
             )
-        self._heap: list[tuple[Any, int, Any, float]] = []
+        if scheduling == "fair" and session_of is None:
+            session_of = _session_prefix
+        self._session_of = session_of if scheduling == "fair" else None
+        self._quantum = {
+            s: max(1, int(w)) for s, w in (session_weights or {}).items()
+        }
+        self._heaps: dict[str, list] = {}
+        self._order: list[str] = []  # round-robin rotation of sessions
+        self._rr = 0
+        self._deficit: dict[str, int] = {}
+        self._sentinels = 0
+        self._depth = 0
         self._lock = threading.Lock()
         self._cv = threading.Condition(self._lock)
         self._seq = itertools.count()
         self._age_counts: dict[int, int] = {}
+        self._session_ages: dict[str, dict[int, int]] = {}
         self.scheduling = scheduling
         self.max_depth = 0  #: high-water mark (instrumentation)
         # Queue-wait accounting (enqueue -> dequeue seconds), aggregated
@@ -182,27 +222,37 @@ class ReadyQueue:
         age = -1 if inst.age is None else inst.age
         return (age, seq)
 
+    def _heap_for(self, session: str) -> list:
+        heap = self._heaps.get(session)
+        if heap is None:
+            heap = self._heaps[session] = []
+            self._order.append(session)
+            self._deficit[session] = self._quantum.get(session, 1)
+            self._session_ages[session] = {}
+        return heap
+
     def push(self, inst: KernelInstance) -> None:
         """Enqueue a runnable instance (wakes one waiting worker)."""
         with self._cv:
             key, seq = self._heap_key(inst)
+            session = self._session_of(inst) if self._session_of else ""
             heapq.heappush(
-                self._heap, (key, seq, inst, time.perf_counter())
+                self._heap_for(session),
+                (key, seq, inst, time.perf_counter()),
             )
             real = -1 if inst.age is None else inst.age
             self._age_counts[real] = self._age_counts.get(real, 0) + 1
+            ages = self._session_ages[session]
+            ages[real] = ages.get(real, 0) + 1
+            self._depth += 1
             self.pushes += 1
-            self.max_depth = max(self.max_depth, len(self._heap))
+            self.max_depth = max(self.max_depth, self._depth)
             self._cv.notify()
 
     def push_sentinel(self, n: int = 1) -> None:
         """Wake ``n`` workers with an exit marker (always sorts last)."""
         with self._cv:
-            for _ in range(n):
-                heapq.heappush(
-                    self._heap,
-                    (2**62, next(self._seq), self._SENTINEL, 0.0),
-                )
+            self._sentinels += n
             self._cv.notify_all()
 
     def pop(self) -> KernelInstance | None:
@@ -213,20 +263,55 @@ class ReadyQueue:
         """Blocking pop returning ``(instance, queue_wait_seconds)``;
         ``(None, 0.0)`` means shut down."""
         with self._cv:
-            while not self._heap:
+            while not (self._depth or self._sentinels):
                 self._cv.wait()
-            return self._pop_locked()
+            if not self._depth:
+                self._sentinels -= 1
+                return None, 0.0
+            return self._pop_session_locked(self._pick_session_locked())
 
-    def _pop_locked(self) -> tuple[KernelInstance | None, float]:
-        """Pop the head with full accounting; caller holds the lock and
-        has checked the heap is non-empty."""
-        _key, _seq, item, pushed = heapq.heappop(self._heap)
-        if item is self._SENTINEL:
-            return None, 0.0
+    def _pick_session_locked(self) -> str:
+        """Choose the session to dispatch from (deficit round-robin).
+
+        Caller holds the lock and has checked ``self._depth > 0``.  A
+        session with remaining quantum and ready work wins; an exhausted
+        one refills its deficit and yields the turn.  Two passes bound
+        the scan: the first may only refill deficits, the second must
+        then find a ready session.
+        """
+        order = self._order
+        n = len(order)
+        for _ in range(2 * n):
+            s = order[self._rr % n]
+            if not self._heaps[s]:
+                self._rr += 1
+                continue
+            if self._deficit.get(s, 0) <= 0:
+                self._deficit[s] = self._quantum.get(s, 1)
+                self._rr += 1
+                continue
+            return s
+        for s in order:  # pragma: no cover - defensive
+            if self._heaps[s]:
+                return s
+        raise RuntimeStateError("ready queue depth/heap mismatch")
+
+    def _pop_session_locked(
+        self, session: str
+    ) -> tuple[KernelInstance, float]:
+        """Pop the head of one session's heap with full accounting;
+        caller holds the lock and has checked the heap is non-empty."""
+        _key, _seq, item, pushed = heapq.heappop(self._heaps[session])
+        self._depth -= 1
+        self._deficit[session] = self._deficit.get(session, 1) - 1
         real = -1 if item.age is None else item.age
         self._age_counts[real] -= 1
         if not self._age_counts[real]:
             del self._age_counts[real]
+        ages = self._session_ages[session]
+        ages[real] -= 1
+        if not ages[real]:
+            del ages[real]
         wait = time.perf_counter() - pushed
         self.pops += 1
         self.wait_total += wait
@@ -241,41 +326,55 @@ class ReadyQueue:
         the same kernel definition and age, returning ``(batch,
         total_queue_wait_seconds)``; ``(None, 0.0)`` means shut down.
 
-        The run is taken greedily from the head of the heap, so batch
-        formation respects the scheduling policy exactly — a batch is
-        simply the instances the policy would have handed out next,
-        whenever they happen to share a native block.  Matching is by
-        kernel-definition *identity* (``is``), which is strictly finer
-        than name equality: a replan installs fresh definitions for the
-        new epoch, so a batch can never mix pre- and post-swap
-        decompositions even for ties within one age.  Equal age keeps
-        the GC/retirement live-age bookkeeping exact (a worker runs one
-        age at a time).  Sentinels sort last and stop the run, so a
-        shutdown marker is never consumed mid-batch.
+        The run is taken greedily from the head of the chosen session's
+        heap, so batch formation respects the scheduling policy exactly
+        — a batch is simply the instances the policy would have handed
+        out next, whenever they happen to share a native block.  Under
+        ``"fair"`` a batch never spans sessions (each member charges the
+        session's deficit, so a large batch costs its tenant future
+        turns).  Matching is by kernel-definition *identity* (``is``),
+        which is strictly finer than name equality: a replan installs
+        fresh definitions for the new epoch, so a batch can never mix
+        pre- and post-swap decompositions even for ties within one age.
+        Equal age keeps the GC/retirement live-age bookkeeping exact (a
+        worker runs one age at a time).  Sentinels are consumed only
+        when every heap is empty, so a shutdown marker is never consumed
+        mid-batch.
         """
         with self._cv:
-            while not self._heap:
+            while not (self._depth or self._sentinels):
                 self._cv.wait()
-            first, wait = self._pop_locked()
-            if first is None:
+            if not self._depth:
+                self._sentinels -= 1
                 return None, 0.0
+            session = self._pick_session_locked()
+            first, wait = self._pop_session_locked(session)
             batch = [first]
+            heap = self._heaps[session]
             while (
                 len(batch) < max_n
-                and self._heap
-                and self._heap[0][2] is not self._SENTINEL
-                and self._heap[0][2].kernel is first.kernel
-                and self._heap[0][2].age == first.age
+                and heap
+                and heap[0][2].kernel is first.kernel
+                and heap[0][2].age == first.age
             ):
-                nxt, w = self._pop_locked()
+                nxt, w = self._pop_session_locked(session)
                 batch.append(nxt)
                 wait += w
             return batch, wait
 
-    def min_age(self) -> int | None:
-        """Lowest age currently queued (for the GC live-age bound)."""
+    def min_age(self, session: str | None = None) -> int | None:
+        """Lowest age currently queued (for the GC live-age bound).
+
+        With ``session`` the bound is scoped to that tenant's queued
+        instances — the per-session retirement path must not see another
+        session's frontier.
+        """
         with self._lock:
-            real = [a for a, c in self._age_counts.items() if c and a >= 0]
+            if session is None:
+                counts = self._age_counts
+            else:
+                counts = self._session_ages.get(session, {})
+            real = [a for a, c in counts.items() if c and a >= 0]
             return min(real) if real else None
 
     def drain(self) -> list:
@@ -288,16 +387,22 @@ class ReadyQueue:
         """
         with self._cv:
             items = [
-                item for _key, _seq, item, _t in self._heap
-                if item is not self._SENTINEL
+                item
+                for heap in self._heaps.values()
+                for _key, _seq, item, _t in heap
             ]
-            self._heap.clear()
+            for heap in self._heaps.values():
+                heap.clear()
+            for ages in self._session_ages.values():
+                ages.clear()
             self._age_counts.clear()
+            self._depth = 0
+            self._sentinels = 0
             return items
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._heap)
+            return self._depth + self._sentinels
 
 
 class WorkCounter:
@@ -496,6 +601,8 @@ class ExecutionNode:
         timers: TimerSet | None = None,
         on_event=None,
         scheduling: str = "age",
+        session_of=None,
+        session_weights: "dict[str, int] | None" = None,
         recover: bool = False,
         dependency_kernels=None,
         tracer: "Tracer | None" = None,
@@ -555,7 +662,11 @@ class ExecutionNode:
         self._metrics_on = getattr(self.metrics, "enabled", True)
         self._trace_on = self.tracer.enabled
         self._queue_wait_by_worker: dict[int, float] = {}
-        self.ready = ReadyQueue(scheduling)
+        self.ready = ReadyQueue(scheduling, session_of, session_weights)
+        #: The extractor the fair queue ended up with (None for classic
+        #: policies): the per-session retirement path reuses it to scope
+        #: the running-age probe to one tenant.
+        self.session_of = self.ready._session_of
         self.on_event = on_event
         self._events: queue.SimpleQueue = queue.SimpleQueue()
         self._counter = counter if counter is not None else WorkCounter()
@@ -573,6 +684,7 @@ class ExecutionNode:
         self._teardown_hooks: list = []
         self._threads: list[threading.Thread] = []
         self._running_ages: dict[int, int] = {}  # worker id -> age
+        self._running_sessions: dict[int, str] = {}  # worker id -> session
         self._gc_bytes = 0
         self._max_back = max(
             (0,)
@@ -951,6 +1063,8 @@ class ExecutionNode:
                 self._queue_wait_by_worker[worker_id] = wait
             if inst.age is not None:
                 self._running_ages[worker_id] = inst.age
+                if self.session_of is not None:
+                    self._running_sessions[worker_id] = self.session_of(inst)
             try:
                 if not self._stop.is_set():
                     self.backend.execute(inst, worker_id)
@@ -963,6 +1077,7 @@ class ExecutionNode:
                 return
             finally:
                 self._running_ages.pop(worker_id, None)
+                self._running_sessions.pop(worker_id, None)
                 self._dec()
 
     def _worker_loop_batched(self, worker_id: int) -> None:
@@ -981,6 +1096,10 @@ class ExecutionNode:
                 self._queue_wait_by_worker[worker_id] = wait
             if batch[0].age is not None:
                 self._running_ages[worker_id] = batch[0].age
+                if self.session_of is not None:
+                    self._running_sessions[worker_id] = self.session_of(
+                        batch[0]
+                    )
             try:
                 if not self._stop.is_set():
                     self.backend.execute_batch(batch, worker_id)
@@ -993,6 +1112,7 @@ class ExecutionNode:
                 return
             finally:
                 self._running_ages.pop(worker_id, None)
+                self._running_sessions.pop(worker_id, None)
                 self._dec(len(batch))
 
     # ------------------------------------------------------------------

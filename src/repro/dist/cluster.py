@@ -67,7 +67,9 @@ class ClusterResult:
     recoveries: list[RecoveryRecord] = dc_field(default_factory=list)
     metrics: "MetricsRegistry | None" = None
     tracer: "Tracer | None" = None  #: set when tracing was enabled
-    stream: Any = None  #: StreamReport when the run was live
+    #: StreamReport when the run was live (``stream=``), or a
+    #: MultitenantReport when it was multi-session (``sessions=``).
+    stream: Any = None
 
     @property
     def replans(self) -> list:
@@ -220,6 +222,7 @@ class Cluster:
         metrics: MetricsRegistry | None = None,
         adapt: "AdaptationConfig | bool | None" = None,
         stream=None,
+        sessions=None,
         batch: int = 1,
     ) -> ClusterResult:
         """Plan (unless given an assignment) and execute the program.
@@ -263,6 +266,20 @@ class Cluster:
         :class:`~repro.stream.StreamReport` is attached to
         ``ClusterResult.stream``.
 
+        ``sessions`` (an iterable of
+        :class:`~repro.stream.SessionSpec`) runs the cluster
+        multi-tenant: the cluster must have been constructed with the
+        merged program (:func:`~repro.stream.merge_sessions`), whose
+        namespaced fields partition across nodes like any others — a
+        session's frames travel only the field topics its subgraph
+        fetches, so transport-level isolation falls out of topic
+        routing.  Each session gets its own
+        :class:`~repro.stream.StreamDriver` (gate, QoS tier, scoped
+        retirer); credits return on ``stream.credit`` tagged with the
+        session name.  Every node schedules with the ``"fair"``
+        per-session deficit policy.  ``ClusterResult.stream`` becomes a
+        :class:`~repro.stream.MultitenantReport`.
+
         ``tracer`` records a cluster-wide timeline (one viewer lane per
         node/worker plus ``master`` control-plane lanes).  Fault-tolerant
         runs arm a ring-mode tracer (the flight recorder) by default; on
@@ -275,6 +292,29 @@ class Cluster:
         ``batch`` > 1 turns on batched dispatch on every node (see
         :func:`~repro.core.run_program`); results stay byte-identical.
         """
+        if stream is not None and sessions is not None:
+            raise ValueError(
+                "stream= and sessions= are mutually exclusive"
+            )
+        session_specs = list(sessions) if sessions is not None else None
+        session_weights: dict[str, int] | None = None
+        if session_specs is not None:
+            from ..stream.multitenant import SESSION_SEP
+
+            for spec in session_specs:
+                prefix = spec.name + SESSION_SEP
+                if not any(
+                    k.startswith(prefix) for k in self.program.kernels
+                ):
+                    raise ValueError(
+                        f"session {spec.name!r} has no kernels in the "
+                        f"cluster program — construct the Cluster with "
+                        f"merge_sessions(specs)"
+                    )
+            session_weights = {
+                spec.name: 2 if spec.qos_class == "gold" else 1
+                for spec in session_specs
+            }
         if assignment is None:
             assignment = self.master.plan(
                 self.program, instrumentation, method
@@ -327,6 +367,10 @@ class Cluster:
                 counter=counter,
                 timers=timers,
                 on_event=tap,
+                scheduling=(
+                    "fair" if session_specs is not None else "age"
+                ),
+                session_weights=session_weights,
                 dependency_kernels=list(self.program.kernels.values()),
                 tracer=tracer,
                 metrics=metrics,
@@ -431,7 +475,8 @@ class Cluster:
         # ---- live streaming (source -> field topics, credits back on
         # the stream.credit control topic) ----
         sdriver = None
-        if stream is not None:
+        session_drivers: dict[str, Any] = {}
+        if stream is not None or session_specs is not None:
             from ..stream import StreamDriver
 
             def stream_inject(ev) -> None:
@@ -443,6 +488,7 @@ class Cluster:
                     size = elems * dtype_size.get(ev.field, 8)
                 self.transport.publish(ev.field, "stream-source", ev, size)
 
+        if stream is not None:
             def grant(age: int) -> None:
                 self.transport.publish(
                     "stream.credit", "master", {"age": age}, control=True
@@ -466,16 +512,81 @@ class Cluster:
                 "stream.credit", "stream-source",
                 lambda msg: sdriver.gate.grant(msg.payload["age"]),
             )
-            # The driver wrapped the *full* program's output handler for
-            # completion detection, but every subprogram copied the
+        elif session_specs is not None:
+            from ..stream.multitenant import (
+                _namespace_binding,
+                namespace_program,
+            )
+
+            for spec in session_specs:
+                sub = namespace_program(spec.program, spec.name)
+
+                def grant(age: int, _name=spec.name) -> None:
+                    # Session-tagged credit: flow control per tenant
+                    # over the shared control topic.
+                    self.transport.publish(
+                        "stream.credit", "master",
+                        {"session": _name, "age": age}, control=True,
+                    )
+
+                session_drivers[spec.name] = StreamDriver(
+                    _namespace_binding(spec.binding, spec.name),
+                    nodes=list(exec_nodes.values()),
+                    fields=fields,
+                    counter=counter,
+                    metrics=metrics,
+                    tracer=tracer,
+                    program=self.program,
+                    inject=stream_inject,
+                    on_grant=grant,
+                    session=spec.name,
+                    kernel_filter=lambda k, _p=spec.name + SESSION_SEP: (
+                        k.startswith(_p)
+                    ),
+                    retire_fields=frozenset(sub.fields),
+                    retire_kernels=frozenset(sub.kernels),
+                )
+
+            def route_credit(msg) -> None:
+                drv = session_drivers.get(msg.payload.get("session"))
+                if drv is not None:
+                    drv.gate.grant(msg.payload["age"])
+
+            self.transport.subscribe(
+                "stream.credit", "stream-source", route_credit
+            )
+
+        if sdriver is not None or session_drivers:
+            # The driver(s) wrapped the *full* program's output handler
+            # for completion detection, but every subprogram copied the
             # handler before that wrap — re-propagate it (dedup-wrapped
-            # on fault-tolerant runs) so completions are observed.
+            # on fault-tolerant runs) so completions are observed.  With
+            # sessions the wraps chained: the final handler observes
+            # every session's completion key, each guarded by its
+            # kernel filter.
             handler = self.program.output_handler
             if ft and handler is not None:
                 handler = _OutputDedup(handler)
+            live_drivers = (
+                [sdriver] if sdriver is not None
+                else list(session_drivers.values())
+            )
             for node in exec_nodes.values():
                 node.program.set_output_handler(handler)
-                node.add_teardown_hook(sdriver.stop)
+                if not ft:
+                    # Driver stop on node teardown unwedges a failing
+                    # non-recoverable run.  Under fault tolerance the
+                    # hook would be wrong: wind_down() on a *recoverably*
+                    # killed node runs teardown hooks, and stopping a
+                    # driver there closes its credit gate and truncates
+                    # the stream the replacement is about to resume.
+                    # Terminal failures already poke the shared counter
+                    # (unblocking every join), and run() stops all live
+                    # drivers after the join loop.
+                    for drv in live_drivers:
+                        node.add_teardown_hook(drv.stop)
+        else:
+            live_drivers = []
 
         # Startup token keeps the shared counter nonzero until every node
         # has dispatched its initial instances, so no node can observe a
@@ -514,6 +625,8 @@ class Cluster:
                 timers=timers,
                 on_event=tap,
                 recover=True,
+                scheduling=dead.ready.scheduling,
+                session_weights=session_weights,
                 dependency_kernels=list(self.program.kernels.values()),
                 tracer=tracer,
                 metrics=metrics,
@@ -584,8 +697,8 @@ class Cluster:
             manager.start()
         if driver is not None:
             driver.start()
-        if sdriver is not None:
-            sdriver.start()
+        for drv in live_drivers:
+            drv.start()
         counter.dec()  # every node started: release the startup token
         threads = [
             threading.Thread(target=drive, args=(n, en), daemon=True,
@@ -598,8 +711,8 @@ class Cluster:
             t.join()
         if driver is not None:
             driver.stop()
-        if sdriver is not None:
-            sdriver.stop()
+        for drv in live_drivers:
+            drv.stop()
         if ft:
             manager.stop()
             with extra_lock:
@@ -619,6 +732,22 @@ class Cluster:
             stats.delivery_errors
         )
         metrics.gauge("transport.drops").set_max(stats.drops)
+        stream_report = None
+        if sdriver is not None:
+            stream_report = sdriver.report()
+        elif session_drivers:
+            from ..stream import MultitenantReport
+
+            stream_report = MultitenantReport(
+                sessions={
+                    name: drv.report()
+                    for name, drv in session_drivers.items()
+                },
+                workers=sum(self._workers.values()),
+                backend="threads",
+                capacity=len(session_drivers),
+                duration_s=wall,
+            )
         err = manager.error if manager is not None else None
         if err is None and errors:
             err = errors[0]
@@ -641,5 +770,5 @@ class Cluster:
             recoveries=list(manager.records) if manager is not None else [],
             metrics=metrics,
             tracer=tracer if tracer.enabled else None,
-            stream=sdriver.report() if sdriver is not None else None,
+            stream=stream_report,
         )

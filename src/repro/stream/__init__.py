@@ -19,7 +19,11 @@ batch-shaped evaluation encodes 50 frames; a live encoder never stops):
   already late on admission, recording end-to-end latency histograms;
 * :mod:`~repro.stream.driver` — :class:`StreamDriver`, the thread tying
   the four together behind ``run_program(stream=...)`` and
-  ``Cluster.run(stream=...)``.
+  ``Cluster.run(stream=...)``;
+* :mod:`~repro.stream.multitenant` — :class:`SessionManager`, N
+  concurrent sessions multiplexed over one runtime: namespaced
+  programs, per-session gates/retirers/QoS tiers, fair cross-tenant
+  dispatch, and admission control.
 """
 
 from .driver import (
@@ -29,7 +33,17 @@ from .driver import (
     StreamReport,
 )
 from .gate import CreditGate
-from .qos import QosDecision, QosPolicy, shed_fraction
+from .multitenant import (
+    SESSION_SEP,
+    AdmissionError,
+    MultitenantReport,
+    SessionManager,
+    SessionSpec,
+    merge_sessions,
+    namespace_program,
+    session_of_name,
+)
+from .qos import QOS_CLASSES, QosDecision, QosPolicy, shed_fraction
 from .retire import Retirer
 from .sources import (
     FileLoopSource,
@@ -39,17 +53,26 @@ from .sources import (
 )
 
 __all__ = [
+    "QOS_CLASSES",
+    "SESSION_SEP",
+    "AdmissionError",
     "CreditGate",
     "FileLoopSource",
     "FrameSource",
+    "MultitenantReport",
     "QosDecision",
     "QosPolicy",
     "Retirer",
     "SequenceSource",
+    "SessionManager",
+    "SessionSpec",
     "StreamBinding",
     "StreamConfig",
     "StreamDriver",
     "StreamReport",
     "SyntheticSource",
+    "merge_sessions",
+    "namespace_program",
+    "session_of_name",
     "shed_fraction",
 ]

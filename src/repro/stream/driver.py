@@ -28,7 +28,7 @@ from typing import Any, Callable
 
 from ..core.deadlines import Timer
 from .gate import CreditGate
-from .qos import QosPolicy
+from .qos import QOS_CLASSES, QosPolicy
 from .retire import Retirer
 from .sources import FrameSource
 
@@ -66,6 +66,12 @@ class StreamConfig:
         instead of dropped.
     keep_ages:
         Extra drained ages to retain behind the retirement floor.
+    qos_class:
+        Service tier of this stream (see
+        :data:`~repro.stream.qos.QOS_CLASSES`): ``"best-effort"``
+        (default) sheds late frames, ``"gold"`` never does.  Only
+        meaningful with a deadline; a multi-tenant runtime mixes tiers
+        so overload lands on the best-effort sessions first.
     """
 
     fps: float = 25.0
@@ -76,6 +82,7 @@ class StreamConfig:
     shed_seed: int = 0
     degrade_ratio: float = 0.0
     keep_ages: int = 1
+    qos_class: str = "best-effort"
 
     def __post_init__(self) -> None:
         if self.fps < 0:
@@ -86,6 +93,11 @@ class StreamConfig:
             )
         if self.duration is not None and self.duration <= 0:
             raise ValueError(f"duration must be > 0, got {self.duration}")
+        if self.qos_class not in QOS_CLASSES:
+            raise ValueError(
+                f"unknown qos_class {self.qos_class!r}; "
+                f"expected one of {QOS_CLASSES}"
+            )
 
 
 @dataclass
@@ -128,10 +140,16 @@ class StreamReport:
     latency_ms: dict  #: histogram snapshot: count/min/max/mean/p50/p99
     shed_ages: list[int] = dc_field(default_factory=list)
     degraded_ages: list[int] = dc_field(default_factory=list)
+    #: Multi-tenant identity: the session name and QoS tier this report
+    #: belongs to (``None`` for single-tenant runs — the PR 5 shape).
+    session: str | None = None
+    qos_class: str | None = None
 
     def as_dict(self) -> dict:
         """JSON-ready view (CI uploads this as the run artifact)."""
         return {
+            "session": self.session,
+            "qos_class": self.qos_class,
             "offered": self.offered,
             "admitted": self.admitted,
             "completed": self.completed,
@@ -182,6 +200,21 @@ class StreamDriver:
         transport as data (and are subject to its partitions).
     clock:
         Injectable stream clock (tests).
+    session:
+        Multi-tenant session name.  Namespaces the driver's metrics
+        (``stream.<session>.frames.*``), scopes retirement to this
+        session's fields/kernels/queued work, and stamps the report.
+        ``None`` (default) is the single-tenant PR 5 behaviour.
+    kernel_filter:
+        Predicate over the *kernel name* delivering an output: the
+        completion key marks an age done only when the filter accepts
+        the emitting kernel.  Needed whenever several sessions share one
+        merged program — every tenant's encoder emits the same
+        ``completion_key``, and without the filter each delivery would
+        credit every session's gate.
+    retire_fields / retire_kernels:
+        Field-name / kernel-name sets bounding what this driver's
+        retirer may free and probe (the session's namespaced subgraph).
     """
 
     def __init__(
@@ -198,6 +231,10 @@ class StreamDriver:
         inject: Callable[[Any], None] | None = None,
         on_grant: Callable[[int], None] | None = None,
         clock=None,
+        session: str | None = None,
+        kernel_filter: Callable[[str], bool] | None = None,
+        retire_fields=None,
+        retire_kernels=None,
     ) -> None:
         if node is not None:
             nodes = [node]
@@ -205,6 +242,7 @@ class StreamDriver:
             raise ValueError("StreamDriver needs node= or nodes=")
         self.binding = binding
         self.cfg = binding.config
+        self.session = session
         self._nodes = list(nodes)
         self._fields = fields if fields is not None else nodes[0].fields
         self._counter = (
@@ -223,13 +261,18 @@ class StreamDriver:
         self._on_grant = on_grant
         self._lane = nodes[0].name
 
-        self.timer = Timer("stream", clock)
+        self.timer = Timer(
+            "stream" if session is None else f"stream.{session}", clock
+        )
         self.gate = CreditGate(self.cfg.lag_window)
         self.retirer = Retirer(
             self._fields,
             self._nodes,
             max_back=max(n._max_back for n in self._nodes),
             keep_ages=self.cfg.keep_ages,
+            field_names=retire_fields,
+            kernel_names=retire_kernels,
+            session=session,
         )
         self.qos: QosPolicy | None = None
         if self.cfg.deadline_ms is not None:
@@ -239,17 +282,19 @@ class StreamDriver:
                 seed=self.cfg.shed_seed,
                 degrade_ratio=self.cfg.degrade_ratio,
                 timer=self.timer,
+                qos_class=self.cfg.qos_class,
             )
 
         m = self._metrics
-        self._m_offered = m.counter("stream.frames.offered")
-        self._m_admitted = m.counter("stream.frames.admitted")
-        self._m_completed = m.counter("stream.frames.completed")
-        self._m_shed = m.counter("stream.frames.shed")
-        self._m_degraded = m.counter("stream.frames.degraded")
-        self._m_retired = m.counter("stream.retired_bytes")
-        self._lat = m.histogram("stream.latency_ms")
-        self._g_peak = m.gauge("stream.live_bytes.peak")
+        pre = "stream" if session is None else f"stream.{session}"
+        self._m_offered = m.counter(f"{pre}.frames.offered")
+        self._m_admitted = m.counter(f"{pre}.frames.admitted")
+        self._m_completed = m.counter(f"{pre}.frames.completed")
+        self._m_shed = m.counter(f"{pre}.frames.shed")
+        self._m_degraded = m.counter(f"{pre}.frames.degraded")
+        self._m_retired = m.counter(f"{pre}.retired_bytes")
+        self._lat = m.histogram(f"{pre}.latency_ms")
+        self._g_peak = m.gauge(f"{pre}.live_bytes.peak")
 
         self._lock = threading.Lock()
         self._stop = threading.Event()
@@ -275,11 +320,16 @@ class StreamDriver:
         # runtime always delivers outputs in the parent process).
         orig = self._program.output_handler
         key = binding.completion_key
+        accept = kernel_filter
 
         def wrapped(kernel, age, index, k, value) -> None:
             if orig is not None:
                 orig(kernel, age, index, k, value)
-            if k == key and age is not None:
+            if (
+                k == key
+                and age is not None
+                and (accept is None or accept(kernel))
+            ):
                 self._on_complete(age)
 
         self._program.set_output_handler(wrapped)
@@ -291,8 +341,12 @@ class StreamDriver:
         """Reset the stream clock and start the driver thread (call
         after ``node.start()``)."""
         self.timer.reset()
+        name = (
+            "stream-driver" if self.session is None
+            else f"stream-driver-{self.session}"
+        )
         self._thread = threading.Thread(
-            target=self._run, daemon=True, name="stream-driver"
+            target=self._run, daemon=True, name=name
         )
         self._thread.start()
 
@@ -483,4 +537,6 @@ class StreamDriver:
             latency_ms=snap,
             shed_ages=list(self.shed_ages),
             degraded_ages=list(self.degraded_ages),
+            session=self.session,
+            qos_class=self.cfg.qos_class,
         )

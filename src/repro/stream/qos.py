@@ -25,7 +25,14 @@ from dataclasses import dataclass
 
 from ..core.deadlines import Timer
 
-__all__ = ["QosDecision", "QosPolicy", "shed_fraction"]
+__all__ = ["QOS_CLASSES", "QosDecision", "QosPolicy", "shed_fraction"]
+
+#: Service tiers, strongest first.  ``"gold"`` frames are never shed or
+#: degraded — a late gold frame still runs (the miss is *counted*, via
+#: the timer, but the tenant keeps every frame).  ``"best-effort"``
+#: frames absorb overload: they shed/degrade as soon as they are late,
+#: which is exactly what frees capacity for the gold tiers to catch up.
+QOS_CLASSES = ("gold", "best-effort")
 
 
 def shed_fraction(seed: int, age: int) -> float:
@@ -78,6 +85,12 @@ class QosPolicy:
         deterministic tests).  Every late verdict polls
         :meth:`~repro.core.deadlines.Timer.expired`, so ``timer.misses``
         counts exactly the deadline misses of the run.
+    qos_class:
+        Service tier (see :data:`QOS_CLASSES`).  ``"best-effort"`` (the
+        default — the PR 5 single-tenant behaviour) sheds/degrades late
+        frames; ``"gold"`` runs them anyway, so a gold session never
+        loses a frame and overload is absorbed by the best-effort tiers
+        sharing the runtime.
     """
 
     def __init__(
@@ -88,6 +101,7 @@ class QosPolicy:
         seed: int = 0,
         degrade_ratio: float = 0.0,
         timer: Timer | None = None,
+        qos_class: str = "best-effort",
     ) -> None:
         if deadline_ms <= 0:
             raise ValueError(f"deadline_ms must be > 0, got {deadline_ms}")
@@ -95,11 +109,17 @@ class QosPolicy:
             raise ValueError(
                 f"degrade_ratio must be in [0, 1], got {degrade_ratio}"
             )
+        if qos_class not in QOS_CLASSES:
+            raise ValueError(
+                f"unknown qos_class {qos_class!r}; "
+                f"expected one of {QOS_CLASSES}"
+            )
         self.deadline_ms = deadline_ms
         self.fps = fps
         self.seed = seed
         self.degrade_ratio = degrade_ratio
         self.timer = timer if timer is not None else Timer("stream.qos")
+        self.qos_class = qos_class
 
     def arrival_ms(self, age: int) -> float:
         """Scheduled arrival of frame ``age`` on the stream timer."""
@@ -118,7 +138,9 @@ class QosPolicy:
             arrival_ms = self.arrival_ms(age)
         late = self.timer.expired(arrival_ms + self.deadline_ms)
         lateness = self.timer.elapsed_ms() - arrival_ms
-        if not late:
+        if not late or self.qos_class == "gold":
+            # Gold still *polls* the timer above, so its deadline misses
+            # are counted; it just never gives the frame up.
             return QosDecision(age, "run", lateness)
         if shed_fraction(self.seed, age) < self.degrade_ratio:
             return QosDecision(age, "degrade", lateness)

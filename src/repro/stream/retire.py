@@ -48,11 +48,28 @@ class Retirer:
         *,
         max_back: int = 0,
         keep_ages: int = 1,
+        field_names=None,
+        kernel_names=None,
+        session: str | None = None,
     ) -> None:
         self._fields = fields
         self._nodes = list(nodes)
         self._max_back = max_back
         self._keep_ages = max(0, keep_ages)
+        #: Multi-tenant scoping: with several sessions sharing one field
+        #: store and numeric age space, a retirer frees only its own
+        #: session's fields and probes only its own session's live ages
+        #: (an unscoped probe would let a lagging co-tenant pin this
+        #: session's memory; an unscoped free would unmap a co-tenant's
+        #: live ages).  ``None`` everywhere = the single-tenant PR 5
+        #: behaviour.
+        self._field_names = (
+            None if field_names is None else frozenset(field_names)
+        )
+        self._kernel_names = (
+            None if kernel_names is None else frozenset(kernel_names)
+        )
+        self._session = session
         self._lock = threading.Lock()
         self._done: set[int] = set()
         self._frontier = -1
@@ -82,9 +99,21 @@ class Retirer:
             floor = self._frontier + 1
         for node in self._nodes:
             try:
-                pending = node.analyzer.min_pending_age()
-                queued = node.ready.min_age()
-                running = list(node._running_ages.values())
+                pending = node.analyzer.min_pending_age(self._kernel_names)
+                queued = node.ready.min_age(self._session)
+                if self._session is None:
+                    running = list(node._running_ages.values())
+                else:
+                    # A worker publishes age before session; an entry
+                    # whose session is not visible yet counts as ours
+                    # (conservative — never over-frees).
+                    sessions = dict(node._running_sessions)
+                    running = [
+                        age
+                        for wid, age in list(node._running_ages.items())
+                        if sessions.get(wid, self._session)
+                        == self._session
+                    ]
             except RuntimeError:  # dict mutated during iteration
                 return None
             for v in (pending, queued):
@@ -110,9 +139,12 @@ class Retirer:
             # Claim the range under the lock so concurrent sweeps
             # (completions race) never double-free or interleave.
             self.retired_through = floor
-        freed = self._fields.collect_below(floor)
+        if self._field_names is None:
+            freed = self._fields.collect_below(floor)
+        else:
+            freed = self._fields.collect_below(floor, self._field_names)
         for node in self._nodes:
-            node.backend.on_retire(floor)
+            node.backend.on_retire(floor, self._field_names)
         if freed:
             with self._lock:
                 self.freed_bytes += freed

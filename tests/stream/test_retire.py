@@ -18,7 +18,7 @@ class StubAnalyzer:
     def __init__(self) -> None:
         self.pending = None
 
-    def min_pending_age(self):
+    def min_pending_age(self, kernels=None):
         return self.pending
 
 
@@ -26,7 +26,7 @@ class StubReady:
     def __init__(self) -> None:
         self.queued = None
 
-    def min_age(self):
+    def min_age(self, session=None):
         return self.queued
 
 
@@ -34,7 +34,7 @@ class StubBackend:
     def __init__(self) -> None:
         self.retired: list[int] = []
 
-    def on_retire(self, min_age: int) -> None:
+    def on_retire(self, min_age: int, fields=None) -> None:
         self.retired.append(min_age)
 
 
@@ -114,7 +114,7 @@ def test_racing_probe_skips_sweep():
             super().__init__()
 
             class Racy:
-                def min_pending_age(self):
+                def min_pending_age(self, kernels=None):
                     raise RuntimeError("dict changed size during iteration")
 
             self.analyzer = Racy()
