@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Frame-rate regression gate over committed bench artifacts.
+
+Compares a freshly generated bench JSON (``BENCH_stream_latency.json``
+or ``BENCH_multitenant.json``, written by the benchmarks via
+``BENCH_OUT_DIR``) against the baseline committed at the repo root.
+Each variant's throughput metric — ``sustained_fps`` for the stream
+bench, ``aggregate_fps`` for the multitenant bench — must stay within
+``--tolerance`` percent of the baseline; variants without a throughput
+metric (e.g. the ``8s-2gold-overload`` scenario, which reports QoS
+counters instead) are checked for contract keys only and never gate on
+speed.
+
+The tolerance is deliberately a knob: on the quiet host that committed
+the baselines a few percent is meaningful, while shared CI runners need
+a wide band where only order-of-magnitude collapses (a serialized hot
+path, a lost worker pool) are actionable.
+
+Usage::
+
+    python scripts/bench_regress.py \
+        --baseline BENCH_stream_latency.json \
+        --candidate bench-out/BENCH_stream_latency.json \
+        --tolerance 60
+
+Exit status 0 when every comparable variant is within tolerance,
+1 on any regression, 2 on malformed/unreadable artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Throughput keys, in preference order, per variant.
+FPS_KEYS = ("sustained_fps", "aggregate_fps")
+
+#: Non-throughput contract keys checked for presence when a variant has
+#: no fps metric (the overload scenarios report QoS outcomes instead).
+CONTRACT_KEYS = ("gold_shed", "gold_completed")
+
+
+def _load(path: Path) -> dict:
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        sys.exit(f"bench-regress: cannot read {path}: {exc}")
+    if "variants" not in doc or not isinstance(doc["variants"], dict):
+        sys.exit(f"bench-regress: {path} has no variants table")
+    return doc
+
+
+def _fps(variant: dict) -> tuple[str, float] | None:
+    for key in FPS_KEYS:
+        if key in variant:
+            return key, float(variant[key])
+    return None
+
+
+def compare(baseline: dict, candidate: dict,
+            tolerance_pct: float) -> list[str]:
+    """Returns a list of regression messages (empty = pass); prints a
+    per-variant report as it goes."""
+    failures: list[str] = []
+    base_v = baseline["variants"]
+    cand_v = candidate["variants"]
+    floor = 1.0 - tolerance_pct / 100.0
+    for label in sorted(base_v):
+        base = base_v[label]
+        cand = cand_v.get(label)
+        if cand is None:
+            failures.append(f"{label}: variant missing from candidate")
+            continue
+        base_fps = _fps(base)
+        if base_fps is None:
+            # QoS-contract variant: no throughput to gate on, but the
+            # contract counters must still be reported.
+            missing = [k for k in CONTRACT_KEYS
+                       if k in base and k not in cand]
+            status = "MISSING " + ",".join(missing) if missing else "ok"
+            print(f"  {label:<24} (no fps metric)  {status}")
+            if missing:
+                failures.append(
+                    f"{label}: contract keys missing: {missing}"
+                )
+            continue
+        key, base_val = base_fps
+        cand_val = cand.get(key)
+        if cand_val is None:
+            failures.append(f"{label}: candidate lost its {key}")
+            continue
+        ratio = float(cand_val) / base_val if base_val else float("inf")
+        verdict = "ok" if ratio >= floor else "REGRESSED"
+        print(f"  {label:<24} {key} {base_val:9.2f} -> "
+              f"{float(cand_val):9.2f}  ({ratio:5.2f}x)  {verdict}")
+        if ratio < floor:
+            failures.append(
+                f"{label}: {key} {cand_val} is below "
+                f"{floor:.2f}x of baseline {base_val}"
+            )
+    extra = sorted(set(cand_v) - set(base_v))
+    if extra:
+        print(f"  (new variants, not gated: {', '.join(extra)})")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True, type=Path,
+                    help="committed bench JSON (the reference)")
+    ap.add_argument("--candidate", required=True, type=Path,
+                    help="freshly generated bench JSON to check")
+    ap.add_argument("--tolerance", type=float, default=50.0,
+                    metavar="PCT",
+                    help="allowed fps drop in percent (default 50: "
+                         "wide enough for shared CI runners)")
+    args = ap.parse_args(argv)
+
+    baseline = _load(args.baseline)
+    candidate = _load(args.candidate)
+    if baseline.get("figure") != candidate.get("figure"):
+        print(f"bench-regress: figure mismatch "
+              f"({baseline.get('figure')} vs {candidate.get('figure')})",
+              file=sys.stderr)
+        return 2
+    print(f"bench-regress: {baseline.get('figure')} "
+          f"(tolerance {args.tolerance:g}%)")
+    failures = compare(baseline, candidate, args.tolerance)
+    if failures:
+        print("bench-regress: FAIL", file=sys.stderr)
+        for msg in failures:
+            print(f"  - {msg}", file=sys.stderr)
+        return 1
+    print("bench-regress: pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

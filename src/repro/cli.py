@@ -39,6 +39,21 @@ class _Obs:
         self.metrics_path: str | None = args.metrics_json
         self.tracer = Tracer(mode="full") if self.trace_path else None
         self.metrics = MetricsRegistry()
+        self.slo_path: str | None = getattr(args, "slo_json", None)
+        self.telemetry = None
+        want_tel = (
+            getattr(args, "telemetry", False)
+            or getattr(args, "telemetry_port", None) is not None
+            or getattr(args, "telemetry_jsonl", None) is not None
+            or self.slo_path is not None
+        )
+        if want_tel:
+            from .obs import Telemetry, TelemetryConfig
+
+            self.telemetry = Telemetry(TelemetryConfig(
+                port=getattr(args, "telemetry_port", None),
+                jsonl_path=getattr(args, "telemetry_jsonl", None),
+            ))
 
     def finish(self) -> None:
         from .obs import render
@@ -54,6 +69,25 @@ class _Obs:
             print(f"metrics -> {self.metrics_path}")
         if self.show_metrics:
             print(render(self.metrics.snapshot(), title="metrics"))
+        tel = self.telemetry
+        if tel is not None:
+            tel.stop()  # idempotent; the runtime usually stopped it
+            if tel.exporter.http_port is not None:
+                print(f"telemetry: {tel.exporter.ticks} samples "
+                      f"(scraped on port {tel.exporter.http_port})")
+            else:
+                print(f"telemetry: {tel.exporter.ticks} samples")
+            if tel.config.jsonl_path:
+                print(f"telemetry samples -> {tel.config.jsonl_path}")
+            for path in tel.flight_paths:
+                print(f"SLO-breach flight recording -> {path}")
+            if self.slo_path:
+                import json
+
+                Path(self.slo_path).write_text(
+                    json.dumps(tel.slo.as_dict(), indent=2) + "\n"
+                )
+                print(f"slo report -> {self.slo_path}")
 
 
 def _add_obs_args(p: argparse.ArgumentParser) -> None:
@@ -65,6 +99,25 @@ def _add_obs_args(p: argparse.ArgumentParser) -> None:
                    help="print the metrics-registry snapshot as a table")
     g.add_argument("--metrics-json", metavar="PATH", default=None,
                    help="write the metrics-registry snapshot as JSON")
+    g.add_argument("--telemetry", action="store_true",
+                   help="arm frame-path telemetry: per-frame stage "
+                        "timelines (gate/queue/compute/ipc/transport/"
+                        "store latency attribution), the per-tenant SLO "
+                        "burn tracker, and the live metrics exporter")
+    g.add_argument("--telemetry-port", type=int, default=None,
+                   metavar="PORT",
+                   help="serve live telemetry over HTTP on 127.0.0.1 "
+                        "(Prometheus text at /metrics, JSON at "
+                        "/snapshot.json /slo.json /stages.json; 0 picks "
+                        "a free port; implies --telemetry)")
+    g.add_argument("--telemetry-jsonl", metavar="PATH", default=None,
+                   help="append one flattened metrics snapshot per "
+                        "sample tick as a JSONL line (implies "
+                        "--telemetry)")
+    g.add_argument("--slo-json", metavar="PATH", default=None,
+                   help="write the per-session SLO summary (tiers, "
+                        "misses, burn rates, alerts) as JSON (implies "
+                        "--telemetry)")
 
 
 def _add_batch_args(p: argparse.ArgumentParser) -> None:
@@ -142,6 +195,17 @@ def _print_stream_report(args: argparse.Namespace, rep) -> None:
           f"{rep.deadline_misses}; peak live {rep.peak_live_bytes} B "
           f"(retired {rep.freed_bytes} B); "
           f"source blocked {rep.blocked_s:.2f}s")
+    if rep.stages:
+        from .obs import stage_summary
+
+        print("stage breakdown (frame-path latency attribution):")
+        for line in stage_summary(rep.stages).splitlines():
+            print(f"  {line}")
+    if rep.slo:
+        print(f"slo [{rep.slo.get('tier')}]: {rep.slo.get('misses')} "
+              f"misses / {rep.slo.get('frames')} frames, burn "
+              f"{rep.slo.get('burn_rate', 0.0):.2f}x, "
+              f"{rep.slo.get('alerts', 0)} alert(s)")
     if args.stream_json:
         import json
 
@@ -182,7 +246,15 @@ def _print_multitenant_report(args: argparse.Namespace, rep) -> None:
                 f"{r.degraded} degraded")
         if p50 is not None and p99 is not None:
             line += f", p50 {p50:.1f}ms p99 {p99:.1f}ms"
+        if r.slo:
+            line += (f", slo burn {r.slo.get('burn_rate', 0.0):.2f}x "
+                     f"({r.slo.get('alerts', 0)} alert(s))")
         print(line)
+        if r.stages:
+            from .obs import stage_summary
+
+            for sline in stage_summary(r.stages).splitlines():
+                print(f"    {sline}")
     for tier, agg in sorted(rep.by_class().items()):
         print(f"  tier {tier}: {agg['sessions']} session(s), "
               f"{agg['offered']} offered, {agg['shed']} shed, "
@@ -234,6 +306,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             metrics=obs.metrics,
             adapt=_adapt_config(args),
             batch=args.batch,
+            telemetry=obs.telemetry,
         )
     finally:
         obs.finish()
@@ -315,6 +388,7 @@ def _cmd_mjpeg_sessions(args: argparse.Namespace) -> int:
         specs, workers=args.workers, backend=args.backend,
         batch=args.batch, admission="queue",
         metrics=obs.metrics, tracer=obs.tracer,
+        telemetry=obs.telemetry,
     )
     try:
         result = mgr.run(timeout=args.timeout)
@@ -381,7 +455,8 @@ def _cmd_mjpeg(args: argparse.Namespace) -> int:
                              timeout=args.timeout, backend=args.backend,
                              tracer=obs.tracer, metrics=obs.metrics,
                              adapt=_adapt_config(args),
-                             stream=binding, batch=args.batch)
+                             stream=binding, batch=args.batch,
+                             telemetry=obs.telemetry)
     finally:
         obs.finish()
     _print_replans(result.replans)
@@ -420,7 +495,8 @@ def _cmd_kmeans(args: argparse.Namespace) -> int:
                              timeout=args.timeout, backend=args.backend,
                              tracer=obs.tracer, metrics=obs.metrics,
                              adapt=_adapt_config(args),
-                             batch=args.batch)
+                             batch=args.batch,
+                             telemetry=obs.telemetry)
     finally:
         obs.finish()
     _print_replans(result.replans)
@@ -493,6 +569,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             tracer=obs.tracer, metrics=obs.metrics,
             adapt=_adapt_config(args),
             batch=args.batch,
+            telemetry=obs.telemetry,
         )
     except BaseException as exc:
         flight = getattr(exc, "flight_path", None)

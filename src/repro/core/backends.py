@@ -690,6 +690,18 @@ class ProcessBackend(ExecutionBackend):
         ipc = max(0.0, (t_recv - t_send) - t_dispatch - t_kernel)
         node.instrumentation.record(kernel.name, dispatch, t_kernel, ipc)
         node._account_instance(len(kernel.fetches), len(stores))
+        tl = node._timeline
+        if tl is not None and inst.age is not None:
+            sess = node.session_of(inst) if node.session_of else ""
+            # Worker-side clocks are not comparable across processes:
+            # the ipc span is the parent-observed round trip, with the
+            # remote kernel time carved out at its tail (the reply is
+            # sent right after the body finishes) and the parent-side
+            # store commit after it.
+            tl.span(sess, inst.age, "ipc", t_send, t_recv)
+            tl.span(sess, inst.age, "compute",
+                    max(t_send, t_recv - t_kernel), t_recv)
+            tl.span(sess, inst.age, "store", t_recv, t_done)
         tr = node.tracer
         if tr.enabled:
             # The fetch/native/store phases ran in the worker process on
@@ -799,6 +811,13 @@ class ProcessBackend(ExecutionBackend):
             kernel.name, n, dispatch, t_kernel, ipc
         )
         node._account_batch(n, n * len(kernel.fetches), n_stores)
+        tl = node._timeline
+        if tl is not None and age is not None:
+            sess = node.session_of(batch[0]) if node.session_of else ""
+            tl.span(sess, age, "ipc", t_send, t_recv)
+            tl.span(sess, age, "compute",
+                    max(t_send, t_recv - t_kernel), t_recv)
+            tl.span(sess, age, "store", t_recv, t_done)
         if node._trace_on:
             thread = f"worker{worker_id}"
             wait = node._queue_wait_by_worker.get(worker_id, 0.0)

@@ -503,6 +503,9 @@ class RunResult:
     #: :class:`~repro.stream.StreamReport` when the run was driven by a
     #: live source (``run_program(stream=...)``); ``None`` for batch runs.
     stream: Any = None
+    #: :class:`~repro.obs.Telemetry` bundle when the run was launched
+    #: with ``telemetry=...``; ``None`` otherwise.
+    telemetry: Any = None
 
     @property
     def stats(self):
@@ -608,6 +611,7 @@ class ExecutionNode:
         tracer: "Tracer | None" = None,
         metrics: "MetricsRegistry | None" = None,
         batch: int = 1,
+        timeline=None,
     ) -> None:
         if workers < 1:
             raise RuntimeStateError("need at least one worker thread")
@@ -661,6 +665,12 @@ class ExecutionNode:
         # counter bump (see obs/metrics.py and obs/tracing.py).
         self._metrics_on = getattr(self.metrics, "enabled", True)
         self._trace_on = self.tracer.enabled
+        # Frame timeline (telemetry): same guard shape — one cached
+        # reference, bound to None when telemetry is off, so every
+        # hot-path site pays a single ``is not None`` test.
+        self._timeline = (
+            timeline if timeline is not None and timeline.enabled else None
+        )
         self._queue_wait_by_worker: dict[int, float] = {}
         self.ready = ReadyQueue(scheduling, session_of, session_weights)
         #: The extractor the fair queue ended up with (None for classic
@@ -846,6 +856,12 @@ class ExecutionNode:
             kernel.name, (t1 - t0) + (t3 - t2), t2 - t1
         )
         self._account_instance(len(kernel.fetches), len(kernel.stores))
+        tl = self._timeline
+        if tl is not None and inst.age is not None:
+            sess = self.session_of(inst) if self.session_of else ""
+            tl.span(sess, inst.age, "store", t0, t1)
+            tl.span(sess, inst.age, "compute", t1, t2)
+            tl.span(sess, inst.age, "store", t2, t3)
         tr = self.tracer
         if tr.enabled:
             self._trace_instance(inst, worker_id, t0, t1, t2, t3)
@@ -986,6 +1002,12 @@ class ExecutionNode:
         self._account_batch(
             n, n * len(kernel.fetches), n * len(kernel.stores)
         )
+        tl = self._timeline
+        if tl is not None and age is not None:
+            sess = self.session_of(batch[0]) if self.session_of else ""
+            tl.span(sess, age, "store", t0, t1)
+            tl.span(sess, age, "compute", t1, t2)
+            tl.span(sess, age, "store", t2, t3)
         if self._trace_on:
             thread = f"worker{worker_id}"
             wait = self._queue_wait_by_worker.get(worker_id, 0.0)
@@ -1061,6 +1083,12 @@ class ExecutionNode:
                 self._m_ready_wait.observe(wait)
             if self._trace_on:
                 self._queue_wait_by_worker[worker_id] = wait
+            if self._timeline is not None and inst.age is not None:
+                now = time.perf_counter()
+                self._timeline.span(
+                    self.session_of(inst) if self.session_of else "",
+                    inst.age, "queue", now - wait, now,
+                )
             if inst.age is not None:
                 self._running_ages[worker_id] = inst.age
                 if self.session_of is not None:
@@ -1094,6 +1122,12 @@ class ExecutionNode:
                 self._m_ready_wait.observe(wait)
             if self._trace_on:
                 self._queue_wait_by_worker[worker_id] = wait
+            if self._timeline is not None and batch[0].age is not None:
+                now = time.perf_counter()
+                self._timeline.span(
+                    self.session_of(batch[0]) if self.session_of else "",
+                    batch[0].age, "queue", now - wait, now,
+                )
             if batch[0].age is not None:
                 self._running_ages[worker_id] = batch[0].age
                 if self.session_of is not None:
@@ -1464,6 +1498,7 @@ def run_program(
     adapt=None,
     stream=None,
     batch: int = 1,
+    telemetry=None,
 ) -> RunResult:
     """One-shot convenience: build an :class:`ExecutionNode` and run it.
 
@@ -1489,7 +1524,16 @@ def run_program(
     them to the backend as one call (one IPC message on the process
     backend, one vectorized NumPy call when the kernel carries a
     ``batch_body``).  Results are byte-identical to ``batch=1``.
+
+    ``telemetry`` turns on the live telemetry layer: ``True`` for the
+    default :class:`~repro.obs.TelemetryConfig`, a config instance, or
+    a pre-built :class:`~repro.obs.Telemetry` bundle.  The node then
+    records per-frame stage timelines, streams periodic metric
+    snapshots through the bundle's exporter (JSONL / Prometheus
+    endpoint), and tracks per-session SLO burn rate; the bundle is
+    attached to ``RunResult.telemetry``.
     """
+    tel = _resolve_telemetry(telemetry)
     node = ExecutionNode(
         program,
         workers,
@@ -1500,7 +1544,11 @@ def run_program(
         tracer=tracer,
         metrics=metrics,
         batch=batch,
+        timeline=tel.timeline if tel is not None else None,
     )
+    if tel is not None:
+        tel.attach_tracer(node.tracer)
+        tel.exporter.add_source(node.name, node.metrics.snapshot)
     drivers: list = []
     if adapt:
         from .adaptation import AdaptationConfig, AdaptationDriver
@@ -1514,17 +1562,38 @@ def run_program(
         from ..stream import StreamDriver
 
         sdriver = stream if isinstance(stream, StreamDriver) else (
-            StreamDriver(stream, node=node)
+            StreamDriver(stream, node=node, telemetry=tel)
         )
         drivers.append(sdriver)
-    if not drivers:
+    if not drivers and tel is None:
         return node.run(timeout=timeout, stall_timeout=stall_timeout)
     for drv in drivers:
         node.add_teardown_hook(drv.stop)
-    node.start()
-    for drv in drivers:
-        drv.start()
-    result = node.join(timeout=timeout, stall_timeout=stall_timeout)
+    if tel is not None:
+        tel.start()
+    try:
+        node.start()
+        for drv in drivers:
+            drv.start()
+        result = node.join(timeout=timeout, stall_timeout=stall_timeout)
+    finally:
+        if tel is not None:
+            tel.stop()
     if sdriver is not None:
         result.stream = sdriver.report()
+    result.telemetry = tel
     return result
+
+
+def _resolve_telemetry(telemetry):
+    """``None``/falsy -> None; ``True`` -> default bundle; a config ->
+    new bundle; a bundle -> itself (shared across cluster nodes)."""
+    if not telemetry:
+        return None
+    from ..obs.telemetry import Telemetry, TelemetryConfig
+
+    if isinstance(telemetry, Telemetry):
+        return telemetry
+    if isinstance(telemetry, TelemetryConfig):
+        return Telemetry(telemetry)
+    return Telemetry()

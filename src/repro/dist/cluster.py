@@ -43,6 +43,7 @@ from ..core.errors import PartitionError, SchedulerError
 from ..core.events import ResizeEvent, StoreEvent
 from ..core.fields import FieldStore
 from ..core.instrumentation import Instrumentation, KernelStats
+from ..core.runtime import _resolve_telemetry
 from ..core.scheduler import apply_decisions, decision_kernels
 from ..obs import MetricsRegistry, NULL_TRACER, Tracer, dump_flight
 from .faults import FaultInjector
@@ -70,6 +71,9 @@ class ClusterResult:
     #: StreamReport when the run was live (``stream=``), or a
     #: MultitenantReport when it was multi-session (``sessions=``).
     stream: Any = None
+    #: :class:`~repro.obs.Telemetry` facade when the run was launched
+    #: with ``telemetry=`` (frame timelines, SLO tracker, exporter).
+    telemetry: Any = None
 
     @property
     def replans(self) -> list:
@@ -224,6 +228,7 @@ class Cluster:
         stream=None,
         sessions=None,
         batch: int = 1,
+        telemetry=None,
     ) -> ClusterResult:
         """Plan (unless given an assignment) and execute the program.
 
@@ -291,6 +296,14 @@ class Cluster:
 
         ``batch`` > 1 turns on batched dispatch on every node (see
         :func:`~repro.core.run_program`); results stay byte-identical.
+
+        ``telemetry`` (``True``, a :class:`~repro.obs.TelemetryConfig`
+        or a prebuilt :class:`~repro.obs.Telemetry`) arms the frame
+        timeline on every node and on the transport (store-event hops
+        charge the ``transport`` bucket), the per-tenant SLO tracker,
+        and the live exporter sampling the shared cluster metrics
+        registry.  The facade is attached to
+        ``ClusterResult.telemetry``.
         """
         if stream is not None and sessions is not None:
             raise ValueError(
@@ -328,7 +341,14 @@ class Cluster:
             tracer = Tracer(mode="ring") if ft else NULL_TRACER
         if metrics is None:
             metrics = MetricsRegistry()
+        tel = _resolve_telemetry(telemetry)
+        if tel is not None:
+            tel.attach_tracer(tracer)
+            # One source only: the registry is shared by every node, so
+            # per-node sources would double-count on merge.
+            tel.exporter.add_source("cluster", metrics.snapshot)
         self.transport.tracer = tracer
+        self.transport.timeline = tel.timeline if tel is not None else None
         fields = FieldStore(self.program.fields.values())
         counter = WorkCounter()
         timers = TimerSet(self.program.timers)
@@ -375,6 +395,7 @@ class Cluster:
                 tracer=tracer,
                 metrics=metrics,
                 batch=batch,
+                timeline=tel.timeline if tel is not None else None,
             )
         if not exec_nodes:
             raise PartitionError("assignment left every node empty")
@@ -506,6 +527,7 @@ class Cluster:
                     program=self.program,
                     inject=stream_inject,
                     on_grant=grant,
+                    telemetry=tel,
                 )
             )
             self.transport.subscribe(
@@ -539,6 +561,7 @@ class Cluster:
                     program=self.program,
                     inject=stream_inject,
                     on_grant=grant,
+                    telemetry=tel,
                     session=spec.name,
                     kernel_filter=lambda k, _p=spec.name + SESSION_SEP: (
                         k.startswith(_p)
@@ -631,6 +654,7 @@ class Cluster:
                 tracer=tracer,
                 metrics=metrics,
                 batch=dead.batch,
+                timeline=tel.timeline if tel is not None else None,
             )
             if faults is not None:
                 faults.wrap(repl)
@@ -682,6 +706,8 @@ class Cluster:
                 metrics=metrics,
             )
 
+        if tel is not None:
+            tel.start()
         t0 = time.perf_counter()
         for node in exec_nodes.values():
             node.start()
@@ -725,6 +751,8 @@ class Cluster:
                 faults.release_all()
             monitor.close()
         wall = time.perf_counter() - t0
+        if tel is not None:
+            tel.stop()  # final sample lands before reports are built
         stats = self.transport.stats
         metrics.gauge("transport.messages").set_max(stats.messages)
         metrics.gauge("transport.bytes").set_max(stats.bytes)
@@ -771,4 +799,5 @@ class Cluster:
             metrics=metrics,
             tracer=tracer if tracer.enabled else None,
             stream=stream_report,
+            telemetry=tel,
         )

@@ -32,6 +32,7 @@ Fault-tolerance support (used by :mod:`repro.dist.recovery`):
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field as dc_field
 from typing import Any, Callable
 
@@ -104,6 +105,10 @@ class InProcTransport:
         #: Optional span tracer (set by the cluster); publishes record
         #: instant events in the sender's transport lane when enabled.
         self.tracer: Tracer = NULL_TRACER
+        #: Optional frame timeline (set by the cluster's telemetry
+        #: wiring): store-event deliveries record ``transport`` spans
+        #: for the frame they carry.  ``None`` keeps publish untouched.
+        self.timeline = None
 
     # -- fault-tolerance hooks ------------------------------------------
     def enable_log(self) -> None:
@@ -219,6 +224,13 @@ class InProcTransport:
             self.latency_per_message_us * 1e-6
             + size * self.latency_per_byte_ns * 1e-9
         )
+        # Frame-timeline hop accounting: a store event crossing the bus
+        # charges its frame's ``transport`` bucket for the delivery
+        # fan-out.  The session is the topic's namespace prefix (the
+        # multi-tenant separator), matching the stream drivers' keys.
+        tl = self.timeline
+        age = getattr(payload, "age", None) if tl is not None else None
+        t_hop = time.perf_counter() if age is not None else 0.0
         delivered = 0
         for node, handler in targets:
             try:
@@ -235,6 +247,11 @@ class InProcTransport:
             if not control:
                 with self._lock:
                     self.stats.record(msg, node, latency)
+        if age is not None and delivered:
+            i = topic.find(".")
+            session = topic[:i] if i > 0 else ""
+            tl.span(session, age, "transport",
+                    t_hop, time.perf_counter())
         return delivered
 
     def topics(self) -> list[str]:

@@ -16,6 +16,7 @@ both build on it):
 
 from .flight import FLIGHT_DIR_ENV, dump_flight, flight_dir
 from .metrics import (
+    DEFAULT_QUANTILES,
     Counter,
     Gauge,
     Histogram,
@@ -24,7 +25,24 @@ from .metrics import (
     flatten,
     merge,
     peak_rss_bytes,
+    percentile_keys,
+    quantile_key,
+    quantile_of_key,
     render,
+)
+from .slo import SloAlert, SloTracker
+from .telemetry import (
+    Telemetry,
+    TelemetryConfig,
+    TelemetryExporter,
+    render_prometheus,
+    validate_prometheus_text,
+)
+from .timeline import (
+    BUCKETS,
+    TimelineRecorder,
+    attribute_spans,
+    stage_summary,
 )
 from .tracing import (
     NULL_TRACER,
@@ -34,20 +52,35 @@ from .tracing import (
 )
 
 __all__ = [
+    "BUCKETS",
     "Counter",
+    "DEFAULT_QUANTILES",
     "FLIGHT_DIR_ENV",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_TRACER",
+    "SloAlert",
+    "SloTracker",
+    "Telemetry",
+    "TelemetryConfig",
+    "TelemetryExporter",
+    "TimelineRecorder",
     "TraceSchemaError",
     "Tracer",
+    "attribute_spans",
     "delta",
     "dump_flight",
     "flatten",
     "flight_dir",
     "merge",
     "peak_rss_bytes",
+    "percentile_keys",
+    "quantile_key",
+    "quantile_of_key",
     "render",
+    "render_prometheus",
+    "stage_summary",
     "validate_chrome_trace",
+    "validate_prometheus_text",
 ]

@@ -12,8 +12,9 @@ kinds:
 * :class:`Gauge` — last-set value (with a ``set_max`` variant so
   several nodes reporting the same shared resource don't regress it);
 * :class:`Histogram` — count/sum/min/max of observations (mean derived)
-  plus p50/p99 estimates from a bounded, deterministically decimated
-  sample buffer (the streaming runtime's latency accounting).
+  plus a configurable quantile set (p50/p90/p99/p999 by default)
+  estimated from a bounded, deterministically decimated sample buffer
+  (the streaming runtime's latency accounting).
 
 A snapshot is a plain ``{name: {"type": ..., ...}}`` dict: JSON-ready,
 and the module-level :func:`delta`, :func:`merge`, :func:`flatten` and
@@ -27,12 +28,14 @@ from __future__ import annotations
 
 import json
 import math
+import re
 import sys
 import threading
-from typing import Callable, Mapping
+from typing import Callable, Mapping, Sequence
 
 __all__ = [
     "Counter",
+    "DEFAULT_QUANTILES",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -40,8 +43,38 @@ __all__ = [
     "flatten",
     "merge",
     "peak_rss_bytes",
+    "percentile_keys",
+    "quantile_key",
+    "quantile_of_key",
     "render",
 ]
+
+#: Quantiles every histogram reports by default (per-cent values).
+DEFAULT_QUANTILES: tuple[float, ...] = (50.0, 90.0, 99.0, 99.9)
+
+#: Snapshot keys shaped like percentile estimates ("p50", "p999", ...).
+_PERCENTILE_KEY_RE = re.compile(r"^p\d+$")
+
+
+def quantile_key(q: float) -> str:
+    """Snapshot key for quantile ``q``: 50 -> ``p50``, 99.9 -> ``p999``."""
+    return "p" + f"{q:g}".replace(".", "")
+
+
+def quantile_of_key(key: str) -> float:
+    """Inverse of :func:`quantile_key` (``p999`` -> 99.9).  Digits past
+    the integer part are decimals: a quantile is at most 100."""
+    value = float(key[1:])
+    while value > 100.0:
+        value /= 10.0
+    return value
+
+
+def percentile_keys(snapshot_entry: Mapping[str, object]) -> list[str]:
+    """The percentile keys present in one histogram snapshot entry,
+    ordered by quantile (empty for pre-percentile snapshots)."""
+    keys = [k for k in snapshot_entry if _PERCENTILE_KEY_RE.match(k)]
+    return sorted(keys, key=quantile_of_key)
 
 
 class Counter:
@@ -113,13 +146,13 @@ class Histogram:
 
     __slots__ = (
         "_lock", "count", "total", "vmin", "vmax",
-        "_samples", "_stride",
+        "_samples", "_stride", "quantiles",
     )
 
     #: Sample-buffer bound; decimation keeps at most this many values.
     _SAMPLE_CAP = 4096
 
-    def __init__(self) -> None:
+    def __init__(self, quantiles: Sequence[float] | None = None) -> None:
         self._lock = threading.Lock()
         self.count = 0
         self.total = 0.0
@@ -127,6 +160,9 @@ class Histogram:
         self.vmax = float("-inf")
         self._samples: list[float] = []
         self._stride = 1
+        self.quantiles: tuple[float, ...] = tuple(
+            DEFAULT_QUANTILES if quantiles is None else quantiles
+        )
 
     def observe(self, value: float) -> None:
         with self._lock:
@@ -156,11 +192,13 @@ class Histogram:
     def snapshot(self) -> dict:
         with self._lock:
             if not self.count:
-                return {
+                out = {
                     "type": "histogram", "count": 0, "sum": 0.0,
                     "min": 0.0, "max": 0.0, "mean": 0.0,
-                    "p50": 0.0, "p99": 0.0,
                 }
+                for q in self.quantiles:
+                    out[quantile_key(q)] = 0.0
+                return out
             out = {
                 "type": "histogram",
                 "count": self.count,
@@ -169,8 +207,8 @@ class Histogram:
                 "max": self.vmax,
                 "mean": self.total / self.count,
             }
-        out["p50"] = self.percentile(50.0)
-        out["p99"] = self.percentile(99.0)
+        for q in self.quantiles:
+            out[quantile_key(q)] = self.percentile(q)
         return out
 
 
@@ -214,8 +252,22 @@ class MetricsRegistry:
     def gauge(self, name: str) -> Gauge:
         return self._get(name, Gauge)
 
-    def histogram(self, name: str) -> Histogram:
-        return self._get(name, Histogram)
+    def histogram(self, name: str,
+                  quantiles: Sequence[float] | None = None) -> Histogram:
+        """Get-or-create a histogram.  ``quantiles`` configures the
+        reported percentile set at creation time (an existing
+        histogram's set is left alone so concurrent callers agree)."""
+        with self._lock:
+            m = self._metrics.get(name)
+            if m is None:
+                m = Histogram(quantiles)
+                self._metrics[name] = m
+            elif not isinstance(m, Histogram):
+                raise TypeError(
+                    f"metric {name!r} is {type(m).__name__}, "
+                    f"not Histogram"
+                )
+            return m
 
     def gauge_fn(self, name: str, fn: Callable[[], float]) -> None:
         """Register (or replace) a computed gauge evaluated at snapshot
@@ -277,10 +329,9 @@ def delta(new: Mapping[str, dict], old: Mapping[str, dict]) -> dict:
             }
             # Percentiles are not subtractable; the window keeps the
             # new snapshot's estimates (absent in pre-percentile
-            # snapshots, so pass through conditionally).
-            for key in ("p50", "p99"):
-                if key in s:
-                    out[name][key] = s[key]
+            # snapshots, so pass through whatever set is present).
+            for key in percentile_keys(s):
+                out[name][key] = s[key]
         else:
             out[name] = dict(s)
     return out
@@ -313,11 +364,12 @@ def merge(*snapshots: Mapping[str, dict]) -> dict:
                 )
                 # Exact percentiles cannot be merged from summaries;
                 # take the widest (max) estimate as a conservative
-                # upper bound across nodes.
-                for key in ("p50", "p99"):
-                    if key in cur and key in s:
+                # upper bound across nodes.  Quantile sets may differ
+                # between nodes (old snapshots report fewer keys).
+                for key in percentile_keys(s):
+                    if key in cur:
                         cur[key] = max(cur[key], s[key])
-                    elif key in s:
+                    else:
                         cur[key] = s[key]
     return dict(sorted(out.items()))
 
@@ -328,9 +380,10 @@ def flatten(snapshot: Mapping[str, dict]) -> dict[str, float]:
     out: dict[str, float] = {}
     for name, s in snapshot.items():
         if s["type"] == "histogram":
-            for key in ("count", "sum", "min", "max", "mean",
-                        "p50", "p99"):
-                if key in s:  # pre-percentile snapshots lack p50/p99
+            keys = ["count", "sum", "min", "max", "mean"]
+            keys += percentile_keys(s)  # absent pre-percentile
+            for key in keys:
+                if key in s:
                     out[f"{name}.{key}"] = s[key]
         else:
             out[name] = s["value"]

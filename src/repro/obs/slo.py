@@ -1,0 +1,241 @@
+"""Per-tenant SLO tracking: deadline-miss burn rate over a live window.
+
+Each streaming session carries a ``deadline_ms`` budget and a QoS tier
+(gold / best-effort).  The driver already counts deadline misses; what
+an operator needs while the run is *alive* is whether a tenant's error
+budget is burning faster than it can afford — the SRE burn-rate
+formulation: if the SLO allows a ``target`` fraction of frames to miss
+(the error budget), then
+
+    ``burn_rate = (window miss fraction) / target``
+
+A burn rate of 1.0 spends the budget exactly; ``>= burn_alert``
+(default 2x) over a sliding window with enough samples fires the
+registered callbacks once per cooldown.  The default wiring (see
+:mod:`repro.obs.telemetry`) logs the alert, drops a tracer instant and
+dumps the flight-recorder ring annotated with the offending session so
+a post-mortem starts from the exact moment the tier degraded.
+
+The tracker is intentionally clock-agnostic: callers may pass their
+own timestamps (the stream driver passes its pacing timer) and tests
+drive it with synthetic time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = [
+    "SloAlert",
+    "SloTracker",
+]
+
+
+@dataclass
+class SloAlert:
+    """One burn-rate alert: the session, its tier, and the window
+    evidence that fired it."""
+
+    session: str
+    tier: str
+    burn_rate: float
+    window_misses: int
+    window_frames: int
+    deadline_ms: float
+    target: float
+    t: float
+
+    def as_dict(self) -> dict:
+        return {
+            "session": self.session,
+            "tier": self.tier,
+            "burn_rate": round(self.burn_rate, 3),
+            "window_misses": self.window_misses,
+            "window_frames": self.window_frames,
+            "deadline_ms": self.deadline_ms,
+            "target": self.target,
+            "t": round(self.t, 3),
+        }
+
+
+@dataclass
+class _SessionSlo:
+    tier: str
+    deadline_ms: float
+    target: float
+    window: list = field(default_factory=list)  # [(t, missed), ...]
+    frames: int = 0
+    misses: int = 0
+    last_alert_t: float = float("-inf")
+    alerts: list = field(default_factory=list)
+
+
+class SloTracker:
+    """Tracks per-session deadline misses and fires burn-rate alerts.
+
+    ``window_s`` bounds the sliding evidence window, ``burn_alert`` is
+    the burn-rate threshold, ``min_frames`` suppresses alerts until the
+    window holds enough samples to mean something, and ``cooldown_s``
+    rate-limits alerts per session.  ``observe``/``observe_shed`` are
+    the per-frame entry points (cheap: one lock, one append, one
+    prune); shed frames count as misses — a frame the policy dropped to
+    protect others still failed *this* tenant's SLO.
+    """
+
+    def __init__(
+        self,
+        *,
+        window_s: float = 5.0,
+        burn_alert: float = 2.0,
+        min_frames: int = 10,
+        cooldown_s: float = 5.0,
+        default_target: float = 0.05,
+    ) -> None:
+        self.window_s = window_s
+        self.burn_alert = burn_alert
+        self.min_frames = min_frames
+        self.cooldown_s = cooldown_s
+        self.default_target = default_target
+        self._lock = threading.Lock()
+        self._sessions: dict[str, _SessionSlo] = {}
+        self._callbacks: list[Callable[[SloAlert], None]] = []
+
+    def configure(
+        self,
+        session: str,
+        *,
+        deadline_ms: float,
+        tier: str = "best-effort",
+        target: float | None = None,
+    ) -> None:
+        """Declare a session's SLO: its frame deadline and the allowed
+        miss fraction (error budget, default ``default_target``)."""
+        with self._lock:
+            self._sessions[session] = _SessionSlo(
+                tier=tier,
+                deadline_ms=float(deadline_ms),
+                target=self.default_target if target is None else target,
+            )
+
+    def on_alert(self, callback: Callable[[SloAlert], None]) -> None:
+        with self._lock:
+            self._callbacks.append(callback)
+
+    # -- per-frame entry points ----------------------------------------
+    def observe(
+        self,
+        session: str,
+        latency_ms: float,
+        *,
+        missed: bool | None = None,
+        t: float | None = None,
+    ) -> SloAlert | None:
+        """Record one completed frame; returns the alert if this
+        observation fired one."""
+        state = self._sessions.get(session)
+        if state is None:
+            return None
+        if missed is None:
+            missed = (state.deadline_ms > 0
+                      and latency_ms > state.deadline_ms)
+        return self._record(session, state, bool(missed), t)
+
+    def observe_shed(self, session: str,
+                     t: float | None = None) -> SloAlert | None:
+        """Record a shed frame (always an SLO miss for this tenant)."""
+        state = self._sessions.get(session)
+        if state is None:
+            return None
+        return self._record(session, state, True, t)
+
+    def _record(self, session: str, state: _SessionSlo,
+                missed: bool, t: float | None) -> SloAlert | None:
+        now = time.monotonic() if t is None else t
+        alert = None
+        with self._lock:
+            state.frames += 1
+            state.misses += int(missed)
+            win = state.window
+            win.append((now, missed))
+            horizon = now - self.window_s
+            while win and win[0][0] < horizon:
+                win.pop(0)
+            n = len(win)
+            miss_n = sum(1 for _, m in win if m)
+            burn = ((miss_n / n) / state.target) if n else 0.0
+            if (
+                n >= self.min_frames
+                and burn >= self.burn_alert
+                and now - state.last_alert_t >= self.cooldown_s
+            ):
+                state.last_alert_t = now
+                alert = SloAlert(
+                    session=session, tier=state.tier, burn_rate=burn,
+                    window_misses=miss_n, window_frames=n,
+                    deadline_ms=state.deadline_ms, target=state.target,
+                    t=now,
+                )
+                state.alerts.append(alert)
+            callbacks = list(self._callbacks) if alert else []
+        for cb in callbacks:
+            try:
+                cb(alert)
+            except Exception:  # noqa: BLE001 - alerts must not kill a run
+                pass
+        return alert
+
+    # -- reporting ------------------------------------------------------
+    def burn_rate(self, session: str) -> float:
+        """Current window burn rate (0.0 for unknown sessions)."""
+        state = self._sessions.get(session)
+        if state is None:
+            return 0.0
+        with self._lock:
+            n = len(state.window)
+            if not n:
+                return 0.0
+            miss_n = sum(1 for _, m in state.window if m)
+            return (miss_n / n) / state.target
+
+    def alerts(self, session: str | None = None) -> list[SloAlert]:
+        with self._lock:
+            if session is not None:
+                state = self._sessions.get(session)
+                return list(state.alerts) if state else []
+            out: list[SloAlert] = []
+            for state in self._sessions.values():
+                out.extend(state.alerts)
+            out.sort(key=lambda a: a.t)
+            return out
+
+    def session_dict(self, session: str) -> dict | None:
+        """JSON-ready summary for one session (``None`` if unknown)."""
+        state = self._sessions.get(session)
+        if state is None:
+            return None
+        with self._lock:
+            return {
+                "tier": state.tier,
+                "deadline_ms": state.deadline_ms,
+                "target": state.target,
+                "frames": state.frames,
+                "misses": state.misses,
+                "alerts": len(state.alerts),
+            }
+
+    def as_dict(self) -> dict:
+        """All sessions: config, cumulative counts, burn rate, alerts."""
+        with self._lock:
+            names = sorted(self._sessions)
+        out: dict[str, dict] = {"sessions": {}, "alerts": []}
+        for name in names:
+            entry = self.session_dict(name)
+            if entry is None:
+                continue
+            entry["burn_rate"] = round(self.burn_rate(name), 3)
+            out["sessions"][name] = entry
+        out["alerts"] = [a.as_dict() for a in self.alerts()]
+        return out

@@ -144,6 +144,12 @@ class StreamReport:
     #: belongs to (``None`` for single-tenant runs — the PR 5 shape).
     session: str | None = None
     qos_class: str | None = None
+    #: Per-stage latency attribution (telemetry runs): bucket ->
+    #: histogram snapshot in ms; the buckets partition each frame's
+    #: end-to-end window, so their means sum to ``latency_ms`` mean.
+    stages: dict = dc_field(default_factory=dict)
+    #: SLO summary for this session (telemetry runs with a deadline).
+    slo: dict | None = None
 
     def as_dict(self) -> dict:
         """JSON-ready view (CI uploads this as the run artifact)."""
@@ -167,6 +173,8 @@ class StreamReport:
             "latency_ms": dict(self.latency_ms),
             "shed_ages": list(self.shed_ages),
             "degraded_ages": list(self.degraded_ages),
+            "stages": {b: dict(s) for b, s in self.stages.items()},
+            "slo": dict(self.slo) if self.slo is not None else None,
         }
 
 
@@ -235,6 +243,7 @@ class StreamDriver:
         kernel_filter: Callable[[str], bool] | None = None,
         retire_fields=None,
         retire_kernels=None,
+        telemetry=None,
     ) -> None:
         if node is not None:
             nodes = [node]
@@ -283,6 +292,24 @@ class StreamDriver:
                 degrade_ratio=self.cfg.degrade_ratio,
                 timer=self.timer,
                 qos_class=self.cfg.qos_class,
+            )
+
+        # Telemetry (optional): the frame timeline keyed by this
+        # session, and the SLO tracker fed from the completion path.
+        # Both references are bound once (None when off), so the frame
+        # paths pay a single ``is not None`` test each.
+        tel = (
+            telemetry
+            if telemetry is not None and telemetry.enabled else None
+        )
+        self._tl = tel.timeline if tel is not None else None
+        self._slo = tel.slo if tel is not None else None
+        self._tl_session = session or ""
+        if self._slo is not None and self.cfg.deadline_ms is not None:
+            self._slo.configure(
+                self._tl_session,
+                deadline_ms=self.cfg.deadline_ms,
+                tier=self.cfg.qos_class,
             )
 
         m = self._metrics
@@ -413,6 +440,21 @@ class StreamDriver:
                 if not self.gate.admit(age):
                     break
                 t0 = time.perf_counter()
+                if self._tl is not None:
+                    # The frame's end-to-end window opens at its
+                    # *scheduled* arrival, which is in the stream-timer
+                    # domain; back-date the perf-counter start by the
+                    # observed lateness so the timeline window matches
+                    # the latency the completion path will report.
+                    # Everything before admission — pacing slip plus
+                    # the credit-gate block — is gate wait.
+                    late_s = max(
+                        0.0, self.timer.elapsed_ms() - arrival_ms
+                    ) / 1000.0
+                    self._tl.begin(self._tl_session, age, t0 - late_s)
+                    self._tl.span(
+                        self._tl_session, age, "gate", t0 - late_s, t0
+                    )
                 with self._lock:
                     self._arrivals[age] = arrival_ms
                 events = self.binding.store_frame(
@@ -420,6 +462,10 @@ class StreamDriver:
                 )
                 for ev in events:
                     self._inject(ev)
+                t1 = time.perf_counter()
+                if self._tl is not None:
+                    # Source capture + input-field commit + injection.
+                    self._tl.span(self._tl_session, age, "store", t0, t1)
                 self.admitted += 1
                 self._m_admitted.inc()
                 self._sample_live_bytes()
@@ -427,7 +473,7 @@ class StreamDriver:
                 if tr.enabled:
                     tr.complete(
                         "admit", "stream", self._lane, "stream",
-                        t0, time.perf_counter(),
+                        t0, t1,
                         args={"age": age,
                               "arrival_ms": round(arrival_ms, 3)},
                     )
@@ -457,6 +503,9 @@ class StreamDriver:
                 args={"age": age,
                       "lateness_ms": round(decision.lateness_ms, 3)},
             )
+        if self._slo is not None:
+            # A frame the policy dropped still failed this tenant's SLO.
+            self._slo.observe_shed(self._tl_session)
         self._finish_age(age)
 
     # ------------------------------------------------------------------
@@ -475,6 +524,12 @@ class StreamDriver:
         )
         self._lat.observe(latency)
         self._m_completed.inc()
+        if self._tl is not None:
+            # Sink emit closes the frame's window; the recorder sweeps
+            # the collected spans into the per-stage attribution.
+            self._tl.finish(self._tl_session, age, time.perf_counter())
+        if self._slo is not None:
+            self._slo.observe(self._tl_session, latency)
         self._finish_age(age)
         self._sample_live_bytes()
 
@@ -539,4 +594,19 @@ class StreamDriver:
             degraded_ages=list(self.degraded_ages),
             session=self.session,
             qos_class=self.cfg.qos_class,
+            stages=(
+                self._tl.stages(self._tl_session)
+                if self._tl is not None else {}
+            ),
+            slo=self._slo_summary(),
         )
+
+    def _slo_summary(self) -> dict | None:
+        if self._slo is None:
+            return None
+        out = self._slo.session_dict(self._tl_session)
+        if out is not None:
+            out["burn_rate"] = round(
+                self._slo.burn_rate(self._tl_session), 3
+            )
+        return out

@@ -308,6 +308,7 @@ class SessionManager:
         session_weights: "dict[str, int] | None" = None,
         metrics=None,
         tracer=None,
+        telemetry=None,
     ) -> None:
         if admission not in ("reject", "queue"):
             raise ValueError(
@@ -325,6 +326,10 @@ class SessionManager:
         self._weights = session_weights
         self._metrics = metrics
         self._tracer = tracer
+        self._telemetry = (
+            telemetry
+            if telemetry is not None and telemetry.enabled else None
+        )
         self._specs: dict[str, SessionSpec] = {}
         self._queued: list[str] = []  # admitted-but-deferred sessions
         self.drivers: dict[str, StreamDriver] = {}
@@ -388,6 +393,7 @@ class SessionManager:
                 name: 2 if spec.qos_class == "gold" else 1
                 for name, spec in self._specs.items()
             }
+        tel = self._telemetry
         self.node = ExecutionNode(
             merged,
             self.workers,
@@ -399,7 +405,13 @@ class SessionManager:
             metrics=self._metrics,
             tracer=self._tracer,
             name="tenant0",
+            timeline=tel.timeline if tel is not None else None,
         )
+        if tel is not None:
+            tel.attach_tracer(self.node.tracer)
+            tel.exporter.add_source(
+                self.node.name, self.node.metrics.snapshot
+            )
         for name, spec in self._specs.items():
             prefix = name + SESSION_SEP
             sub = subs[name]
@@ -411,6 +423,7 @@ class SessionManager:
                 kernel_filter=lambda k, _p=prefix: k.startswith(_p),
                 retire_fields=frozenset(sub.fields),
                 retire_kernels=frozenset(sub.kernels),
+                telemetry=tel,
             )
             self.node.add_teardown_hook(self.drivers[name].stop)
 
@@ -425,6 +438,8 @@ class SessionManager:
             raise RuntimeError("SessionManager may only start once")
         self._started = True
         self._build()
+        if self._telemetry is not None:
+            self._telemetry.start()
         self.node.start()
         for name in self._specs:
             if name not in self._queued:
@@ -492,13 +507,18 @@ class SessionManager:
         # A queued session that never got a slot must not hold its
         # quiescence token forever: once every startable session has
         # finished, the watcher promotes it; join just waits.
-        result = self.node.join(
-            timeout=timeout, stall_timeout=stall_timeout
-        )
+        try:
+            result = self.node.join(
+                timeout=timeout, stall_timeout=stall_timeout
+            )
+        finally:
+            if self._telemetry is not None:
+                self._telemetry.stop()
         self._watch_stop.set()
         if self._watcher is not None:
             self._watcher.join(1.0)
         result.stream = self.report(duration_s=result.wall_time)
+        result.telemetry = self._telemetry
         self.result = result
         return result
 

@@ -472,3 +472,56 @@ class TestHotPathGuards:
         assert ctx.age == 3 and ctx.index == {"x": 9}
         assert ctx.fetched == {"v": 5}
         assert ctx.emitted == {} and ctx.outputs == []
+
+    def test_telemetry_off_binds_no_timeline(self):
+        # Zero-cost-off contract: with telemetry off (the default) the
+        # node holds no timeline reference at all, so the hot-path
+        # guards are a single ``is not None`` test.
+        from repro.obs import TimelineRecorder
+
+        program, sink = build_mulsum()
+        result = run_program(program, workers=2, max_age=3, batch=8)
+        assert result.telemetry is None
+        node = ExecutionNode(program, 1)
+        assert node._timeline is None
+        # A disabled recorder binds to None exactly like no recorder.
+        node = ExecutionNode(
+            program, 1, timeline=TimelineRecorder(enabled=False)
+        )
+        assert node._timeline is None
+
+    def test_disabled_timeline_never_called_on_hot_path(self):
+        # Stronger than "records nothing": a disabled recorder must not
+        # be *invoked* per instance.  Binding would keep a poisoned
+        # recorder reachable; the guard must drop it.
+        from repro.obs import TimelineRecorder
+
+        class Poisoned(TimelineRecorder):
+            def __init__(self):
+                super().__init__(enabled=False)
+
+            def span(self, *a, **kw):  # pragma: no cover - must not run
+                raise AssertionError("hot path called a disabled timeline")
+
+            begin = finish = discard = span
+
+        program, sink = build_mulsum()
+        node = ExecutionNode(program, 2, max_age=3, batch=8,
+                             timeline=Poisoned())
+        node.start()
+        node.join()
+        _assert_mulsum(sink, 4)
+
+    def test_enabled_timeline_ignores_non_stream_frames(self):
+        # Batch (non-stream) runs hit the span hooks, but no driver
+        # ever begin()s a frame: the recorder must stay empty.
+        from repro.obs import Telemetry
+
+        tel = Telemetry()
+        program, sink = build_mulsum()
+        result = run_program(program, workers=2, max_age=3, batch=8,
+                             telemetry=tel)
+        _assert_mulsum(sink, 4)
+        assert result.telemetry is tel
+        assert tel.timeline.in_flight() == 0
+        assert tel.timeline.sessions() == []

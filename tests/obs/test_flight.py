@@ -4,6 +4,8 @@ import json
 
 from repro.obs import (
     NULL_TRACER,
+    Telemetry,
+    TelemetryConfig,
     Tracer,
     dump_flight,
     flight_dir,
@@ -55,3 +57,49 @@ class TestDumpFlight:
         tr = Tracer(mode="ring")
         tr.instant("e", "test", "p", "t")
         assert dump_flight(tr, "boom", directory=target / "sub") is None
+
+
+class TestSloBreachFlightDump:
+    """Satellite: an SLO burn alert under a multi-tenant run dumps a
+    flight recording attributed to the offending session."""
+
+    def test_two_session_breach_dumps_session_annotated_flight(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.stream import (
+            SessionManager,
+            SessionSpec,
+            StreamConfig,
+        )
+        from repro.workloads import MJPEGConfig, build_mjpeg_stream
+
+        monkeypatch.setenv("P2G_FLIGHT_DIR", str(tmp_path))
+        specs = []
+        for i, deadline in enumerate((None, 0.001)):
+            # slow: a sub-microsecond deadline every frame must miss.
+            cfg = MJPEGConfig(width=32, height=32, frames=6,
+                              seed=100 + i)
+            scfg = StreamConfig(fps=0, max_frames=6, lag_window=4,
+                                deadline_ms=deadline,
+                                degrade_ratio=1.0)  # degrade, not shed
+            program, _sink, binding = build_mjpeg_stream(cfg, scfg)
+            specs.append(SessionSpec(f"s{i}", program, binding))
+        tel = Telemetry(TelemetryConfig(
+            interval_s=10.0, slo_min_frames=3, slo_cooldown_s=0.0,
+            slo_burn_alert=2.0,
+        ))
+        mgr = SessionManager(
+            specs, workers=2, batch=4,
+            tracer=Tracer(mode="ring"), telemetry=tel,
+        )
+        result = mgr.run(timeout=30.0)
+        assert result.telemetry is tel
+        # Only the deadline-carrying session s1 breached.
+        assert tel.slo.alerts("s1")
+        assert not tel.slo.alerts("s0")
+        assert tel.flight_paths, "breach must leave a flight recording"
+        doc = json.loads(tel.flight_paths[0].read_text())
+        assert validate_chrome_trace(doc) > 0
+        assert doc["flight"]["reason"] == "slo-breach"
+        assert doc["flight"]["context"]["session"] == "s1"
+        assert "[slo] s1" in capsys.readouterr().err
