@@ -1,0 +1,333 @@
+"""Elastic scale-out — fps and p99 before/during/after a live migration.
+
+The elasticity claim (DESIGN.md §15): a running cluster can absorb a
+mid-run node join — fence, incremental repartition, event-log replay,
+epoch flip — without dropping or corrupting a single frame, and the
+added capacity shows up as throughput once the migration commits.
+
+Two variants over the same two unpaced sessions:
+
+* ``2node-static``  — the reference run on a fixed 2-node cluster.
+* ``2to4-elastic``  — the same run started on 2 nodes with
+  ``elastic=True``; once a third of the frames have completed, two
+  nodes join mid-run (2→4).  Output must stay byte-identical to the
+  deterministic per-session reference, no RecoveryManager involvement,
+  and post-migration throughput must reach ≥ 1.5x the static baseline.
+
+The per-frame work is *latency-bound* (a ``sleep`` that releases the
+GIL) rather than CPU-bound, so the capacity ratio between 2 and 4
+nodes is a property of the worker pool, not of the host's core count —
+the bench behaves the same on a 1-core CI runner and a workstation.
+
+Frame timestamps are captured at the two ends of the pipeline: an
+admission stamp inside each session's ``store_frame`` glue and a
+completion stamp inside the merged program's output handler, giving an
+end-to-end latency per (session, age) that the migration window splits
+into pre/during/post phases.
+
+Artifact: ``BENCH_elastic.json`` via
+:func:`conftest.write_variants_json` — variant table plus the
+``phases`` breakdown (fps, p99, frame counts per phase).
+"""
+
+import hashlib
+import math
+import threading
+import time
+
+import numpy as np
+from conftest import emit, write_variants_json
+
+from repro.core import FetchSpec, FieldDef, KernelDef, Program
+from repro.core.events import StoreEvent
+from repro.dist import Cluster
+from repro.stream import (
+    SessionSpec,
+    StreamBinding,
+    StreamConfig,
+    merge_sessions,
+)
+from repro.stream.sources import FrameSource
+
+SESSIONS = 4          # one work kernel each: 4 kernels spread 2+2 on
+                      # two nodes, 1+1+1+1 once two more join
+FRAMES = 40           # per session
+TOTAL = SESSIONS * FRAMES
+WORK_MS = 20.0        # per-frame latency-bound work (GIL-free sleep)
+PAYLOAD = 64          # bytes per synthetic frame
+LAG_WINDOW = 8
+NODE_WORKERS = 2
+SCALE_AFTER = TOTAL // 3   # completions before the join fires
+POST_SPEEDUP_FLOOR = 1.5   # post-migration fps vs the static baseline
+
+_RESULTS: dict[str, dict] = {}
+_PHASES: dict[str, dict] = {}
+_ALL = ["2node-static", "2to4-elastic"]
+
+
+class _PayloadSource(FrameSource):
+    """Deterministic infinite byte-array camera (seeded PRNG)."""
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+
+    def frames(self):
+        rng = np.random.default_rng(self.seed)
+        while True:
+            yield rng.integers(0, 256, size=PAYLOAD, dtype=np.uint8)
+
+
+def _digest(arr) -> str:
+    return hashlib.sha1(arr.tobytes()).hexdigest()
+
+
+def _expected(seed: int, frames: int) -> dict[int, str]:
+    rng = np.random.default_rng(seed)
+    return {
+        age: _digest(rng.integers(0, 256, size=PAYLOAD, dtype=np.uint8))
+        for age in range(frames)
+    }
+
+
+def _build_session(name: str, seed: int, admit: dict):
+    """One latency-bound session: a single aged ``work`` kernel that
+    sleeps ``WORK_MS`` per frame and outputs the frame's digest."""
+    sink: dict[int, str] = {}
+
+    def work_body(ctx) -> None:
+        data = ctx["x"]
+        time.sleep(WORK_MS / 1000.0)
+        ctx.output("done", _digest(data))
+
+    work = KernelDef(
+        name="work",
+        body=work_body,
+        has_age=True,
+        fetches=(FetchSpec("x", "x_input"),),
+    )
+    program = Program.build(
+        fields=[FieldDef("x_input", "uint8", 1, shape=(PAYLOAD,))],
+        kernels=[work],
+        name="sleepcam",
+    )
+
+    def on_output(kernel, age, index, key, value) -> None:
+        if key == "done":
+            sink.setdefault(age, value)
+
+    program.set_output_handler(on_output)
+
+    def store_frame(fields, age, frame):
+        admit.setdefault((name, age), time.perf_counter())
+        region = (slice(0, PAYLOAD),)
+        fields["x_input"].store(age, region, frame)
+        return [StoreEvent("x_input", age, region)]
+
+    binding = StreamBinding(
+        source=_PayloadSource(seed),
+        store_frame=store_frame,
+        completion_key="done",
+        config=StreamConfig(
+            fps=0, max_frames=FRAMES, lag_window=LAG_WINDOW
+        ),
+    )
+    return SessionSpec(name, program, binding), sink
+
+
+def _p99_ms(latencies: list[float]) -> float:
+    lat = sorted(latencies)
+    idx = max(0, math.ceil(0.99 * len(lat)) - 1)
+    return round(lat[idx] * 1000.0, 3)
+
+
+def _run(elastic: bool) -> dict:
+    admit: dict[tuple, float] = {}
+    complete: dict[tuple, float] = {}
+    specs, sinks = [], {}
+    for i in range(SESSIONS):
+        spec, sink = _build_session(f"e{i}", 7000 + i, admit)
+        specs.append(spec)
+        sinks[spec.name] = sink
+    merged = merge_sessions(specs)
+
+    orig = merged.output_handler
+
+    def capture(kernel, age, index, key, value) -> None:
+        if key == "done":
+            session = kernel.partition(".")[0]
+            complete.setdefault((session, age), time.perf_counter())
+        orig(kernel, age, index, key, value)
+
+    merged.set_output_handler(capture)
+    cluster = Cluster(merged, {f"n{i}": NODE_WORKERS for i in range(2)})
+
+    window: dict[str, float] = {}
+    failures: list[BaseException] = []
+
+    def trigger() -> None:
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if len(complete) >= SCALE_AFTER:
+                break
+            time.sleep(0.002)
+        try:
+            window["start"] = time.perf_counter()
+            cluster.add_node("n2", workers=NODE_WORKERS)
+            cluster.add_node("n3", workers=NODE_WORKERS)
+            window["end"] = time.perf_counter()
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            failures.append(exc)
+
+    thread = None
+    if elastic:
+        thread = threading.Thread(target=trigger, daemon=True)
+        thread.start()
+    t0 = time.perf_counter()
+    result = cluster.run(
+        sessions=specs, timeout=600, stall_timeout=240,
+        elastic=elastic,
+    )
+    wall = time.perf_counter() - t0
+    if thread is not None:
+        thread.join(timeout=120)
+    if failures:
+        raise failures[0]
+
+    assert result.reason == "idle"
+    assert result.recoveries == []
+    for spec in specs:
+        exp = _expected(7000 + int(spec.name[1:]), FRAMES)
+        assert sinks[spec.name] == exp, (
+            f"session {spec.name} output diverged across migration"
+        )
+        r = result.stream.sessions[spec.name]
+        assert r.offered == r.completed == FRAMES and r.shed == 0
+
+    lats = {
+        k: complete[k] - admit[k] for k in complete if k in admit
+    }
+    t_first = min(admit.values())
+    t_last = max(complete.values())
+    data = {
+        "sessions": SESSIONS,
+        "frames_total": TOTAL,
+        "work_ms": WORK_MS,
+        "node_workers": NODE_WORKERS,
+        "nodes_start": 2,
+        "nodes_end": 4 if elastic else 2,
+        "aggregate_fps": round(TOTAL / (t_last - t_first), 2),
+        "p99_ms": _p99_ms(list(lats.values())),
+        "byte_identical": True,
+        "wall_time_s": round(wall, 4),
+    }
+    if not elastic:
+        return data
+
+    assert len(result.migrations) == 2
+    assert [m.reason for m in result.migrations] == [
+        "join:n2", "join:n3"
+    ]
+    assert result.membership["nodes"] == {
+        f"n{i}": "active" for i in range(4)
+    }
+    data.update(
+        migrations=len(result.migrations),
+        moved_kernels=sum(m.moved_kernels for m in result.migrations),
+        replayed=sum(m.replayed for m in result.migrations),
+        migration_s=round(
+            sum(m.migration_s for m in result.migrations), 4
+        ),
+        membership_epoch=result.membership["epoch"],
+    )
+
+    # Split frame completions into pre/during/post-migration phases by
+    # the wall-clock window the two joins occupied.
+    edges = (window["start"], window["end"])
+    phases = {"pre": [], "during": [], "post": []}
+    for key, t_c in complete.items():
+        if key not in admit:
+            continue
+        name = (
+            "pre" if t_c < edges[0]
+            else "during" if t_c <= edges[1]
+            else "post"
+        )
+        phases[name].append((t_c, lats[key]))
+    spans = {
+        "pre": edges[0] - t_first,
+        "during": edges[1] - edges[0],
+        "post": t_last - edges[1],
+    }
+    out = {}
+    for name, samples in phases.items():
+        span = spans[name]
+        entry = {"frames": len(samples)}
+        if span > 0:
+            entry["fps"] = round(len(samples) / span, 2)
+        if samples:
+            entry["p99_ms"] = _p99_ms([l for _, l in samples])
+        out[name] = entry
+    _PHASES.update(out)
+    data["post_migration_fps"] = out["post"].get("fps", 0.0)
+    return data
+
+
+def _maybe_write() -> None:
+    if len(_RESULTS) == len(_ALL):
+        write_variants_json(
+            "elastic", _RESULTS,
+            sum(v["wall_time_s"] for v in _RESULTS.values()),
+            baseline="2node-static", phases=_PHASES,
+            workload="sleepcam-live", scale_after_frames=SCALE_AFTER,
+        )
+
+
+def test_static_two_node_baseline(benchmark):
+    data = benchmark.pedantic(
+        lambda: _run(elastic=False), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(data)
+    _RESULTS["2node-static"] = data
+    emit(
+        "elastic baseline",
+        f"2 nodes x {NODE_WORKERS}w: {data['aggregate_fps']} fps, "
+        f"p99 {data['p99_ms']} ms",
+    )
+    _maybe_write()
+
+
+def test_elastic_scale_out_2_to_4(benchmark):
+    data = benchmark.pedantic(
+        lambda: _run(elastic=True), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(data)
+    # The capacity claim: once the joins commit, throughput must clear
+    # 1.5x the static 2-node baseline (ideal is ~2x).
+    base = _RESULTS.get("2node-static") or _run(elastic=False)
+    _RESULTS.setdefault("2node-static", base)
+    post = data["post_migration_fps"]
+    assert post >= POST_SPEEDUP_FLOOR * base["aggregate_fps"], (
+        f"post-migration fps {post} below "
+        f"{POST_SPEEDUP_FLOOR}x baseline {base['aggregate_fps']}"
+    )
+    _RESULTS["2to4-elastic"] = data
+    lines = [
+        f"2->4 elastic: {data['aggregate_fps']} fps overall, "
+        f"{data['migrations']} migrations "
+        f"({data['moved_kernels']} kernels moved, "
+        f"{data['migration_s'] * 1000:.1f} ms)",
+    ]
+    for name in ("pre", "during", "post"):
+        ph = _PHASES.get(name, {})
+        lines.append(
+            f"  {name:<7} {ph.get('frames', 0):>3} frames  "
+            f"{ph.get('fps', '-'):>8} fps  "
+            f"p99 {ph.get('p99_ms', '-')} ms"
+        )
+    lines.append(
+        f"  floor: post >= {POST_SPEEDUP_FLOOR}x baseline "
+        f"({base['aggregate_fps']} fps) -> "
+        f"{post / base['aggregate_fps']:.2f}x"
+    )
+    emit("elastic scale-out", "\n".join(lines))
+    _maybe_write()

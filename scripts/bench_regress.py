@@ -1,15 +1,18 @@
 #!/usr/bin/env python
 """Frame-rate regression gate over committed bench artifacts.
 
-Compares a freshly generated bench JSON (``BENCH_stream_latency.json``
-or ``BENCH_multitenant.json``, written by the benchmarks via
-``BENCH_OUT_DIR``) against the baseline committed at the repo root.
-Each variant's throughput metric — ``sustained_fps`` for the stream
-bench, ``aggregate_fps`` for the multitenant bench — must stay within
-``--tolerance`` percent of the baseline; variants without a throughput
-metric (e.g. the ``8s-2gold-overload`` scenario, which reports QoS
-counters instead) are checked for contract keys only and never gate on
-speed.
+Compares a freshly generated bench JSON (``BENCH_stream_latency.json``,
+``BENCH_multitenant.json`` or ``BENCH_elastic.json``, written by the
+benchmarks via ``BENCH_OUT_DIR``) against the baseline committed at the
+repo root.  Each variant's throughput metric — ``sustained_fps`` for
+the stream bench, ``aggregate_fps`` for the multitenant and elastic
+benches — must stay within ``--tolerance`` percent of the baseline;
+variants without a throughput metric (e.g. the ``8s-2gold-overload``
+scenario, which reports QoS counters instead) are checked for contract
+keys only and never gate on speed.  When the artifact carries a
+top-level ``phases`` breakdown (the elasticity bench's
+pre/during/post-migration fps), the steady-state phases are gated the
+same way.
 
 The tolerance is deliberately a knob: on the quiet host that committed
 the baselines a few percent is meaningful, while shared CI runners need
@@ -103,6 +106,45 @@ def compare(baseline: dict, candidate: dict,
     extra = sorted(set(cand_v) - set(base_v))
     if extra:
         print(f"  (new variants, not gated: {', '.join(extra)})")
+    failures += compare_phases(baseline, candidate, tolerance_pct)
+    return failures
+
+
+def compare_phases(baseline: dict, candidate: dict,
+                   tolerance_pct: float) -> list[str]:
+    """Gate the optional top-level ``phases`` breakdown (the elasticity
+    bench's pre/during/post-migration fps): every baseline phase with
+    an ``fps`` entry must be present in the candidate and stay within
+    tolerance.  The ``during`` window is transient and tiny — it is
+    reported but never gated."""
+    base_p = baseline.get("phases")
+    if not isinstance(base_p, dict):
+        return []
+    failures: list[str] = []
+    cand_p = candidate.get("phases") or {}
+    floor = 1.0 - tolerance_pct / 100.0
+    for name in sorted(base_p):
+        base_fps = base_p[name].get("fps")
+        if base_fps is None:
+            continue
+        cand_fps = (cand_p.get(name) or {}).get("fps")
+        if name == "during":
+            print(f"  phase:{name:<18} fps {base_fps:9.2f} -> "
+                  f"{cand_fps if cand_fps is not None else '-':>9}  "
+                  f"(transient, not gated)")
+            continue
+        if cand_fps is None:
+            failures.append(f"phase {name}: fps missing from candidate")
+            continue
+        ratio = float(cand_fps) / base_fps if base_fps else float("inf")
+        verdict = "ok" if ratio >= floor else "REGRESSED"
+        print(f"  phase:{name:<18} fps {base_fps:9.2f} -> "
+              f"{float(cand_fps):9.2f}  ({ratio:5.2f}x)  {verdict}")
+        if ratio < floor:
+            failures.append(
+                f"phase {name}: fps {cand_fps} is below "
+                f"{floor:.2f}x of baseline {base_fps}"
+            )
     return failures
 
 

@@ -560,6 +560,26 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             progress_timeout=args.progress_timeout,
             max_restarts=args.max_restarts,
         )
+    elastic = None
+    if (args.scale_at is None) != (args.target_nodes is None):
+        print("--scale-at and --target-nodes must be given together",
+              file=sys.stderr)
+        return 2
+    if args.scale_at is not None:
+        from .dist import ElasticityConfig
+
+        # Time-trigger mode: the load policy is disabled (dead-band
+        # thresholds) so exactly one deterministic rescale happens.
+        elastic = ElasticityConfig(
+            interval=0.05, cooldown=0.0,
+            scale_at=args.scale_at, target_nodes=args.target_nodes,
+            max_nodes=max(args.nodes, args.target_nodes),
+            queue_high=float("inf"), queue_low=-1.0,
+        )
+    elif args.elastic:
+        from .dist import ElasticityConfig
+
+        elastic = ElasticityConfig()
     obs = _Obs(args)
     try:
         result = Cluster(program, nodes).run(
@@ -570,6 +590,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             adapt=_adapt_config(args),
             batch=args.batch,
             telemetry=obs.telemetry,
+            elastic=elastic,
         )
     except BaseException as exc:
         flight = getattr(exc, "flight_path", None)
@@ -588,6 +609,15 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
               f"(attempt {rec.attempt}, {rec.reenqueued} re-enqueued, "
               f"{rec.replayed} replayed, {rec.recovery_s * 1e3:.0f} ms): "
               f"{rec.reason}")
+    for mig in result.migrations:
+        print(f"migrated [{mig.reason}] epoch {mig.epoch}: "
+              f"{mig.moved_kernels} kernel(s) moved, "
+              f"fenced {list(mig.fenced)}, built {list(mig.built)}, "
+              f"{mig.replayed} replayed, "
+              f"{mig.migration_s * 1e3:.0f} ms")
+    if result.membership is not None:
+        print(f"membership epoch {result.membership['epoch']}: "
+              f"{result.membership['nodes']}")
     if faults is not None and not result.recoveries and schedule.specs:
         print("no scheduled fault fired (triggers beyond the run's "
               "instance counts)")
@@ -783,6 +813,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-k", type=int, default=8)
     p.add_argument("--iterations", type=int, default=4)
     p.add_argument("-t", "--timeout", type=float, default=300.0)
+    p.add_argument("--elastic", action="store_true",
+                   help="dynamic membership: epoch-stamped routing, "
+                        "event-log retention, and load-driven "
+                        "scale-out/in via the elasticity driver")
+    p.add_argument("--scale-at", type=float, default=None,
+                   help="deterministic trigger: rescale at this many "
+                        "seconds on the run clock (implies --elastic; "
+                        "needs --target-nodes)")
+    p.add_argument("--target-nodes", type=int, default=None,
+                   help="node count --scale-at rescales to")
     _add_batch_args(p)
     _add_adapt_args(p)
     _add_obs_args(p)

@@ -74,19 +74,80 @@ class ReplanEvent(Event):
     update their producer maps).  ``remote`` marks that producers-only
     flavour.
 
-    Like every event, a queued replan counts as outstanding work on the
-    quiescence counter, so it doubles as the quiescence token that keeps
-    the run alive while a swap is in flight.
+    ``token`` is the :class:`WorkToken` the enqueuer acquired so a run
+    cannot be declared idle while the swap is in flight; the analyzer
+    releases it once the event is retired.
     """
 
     decisions: tuple
     epoch: int | None = None
     remote: bool = False
+    token: "WorkToken | None" = dc_field(
+        default=None, compare=False, repr=False
+    )
 
 
 @dataclass(frozen=True)
 class ShutdownEvent(Event):
     """Sentinel asking the analyzer thread to exit."""
+
+
+class WorkToken:
+    """One unit of outstanding work on a quiescence counter, released
+    at most once.
+
+    The runtime detects completion by a shared counter reaching zero
+    (inc-before-dec makes zero stable — see
+    :class:`~repro.core.runtime.WorkCounter`).  Several subsystems pin
+    the counter above zero across a window in which work is owned by no
+    dispatchable instance: the recovery manager while a dead node's
+    kernels have no owner, the analyzer while a replan swap is in
+    flight, a stream driver until its last frame has been offered, and
+    the cluster across startup and membership migrations.  Each of those
+    windows used to hand-roll the same held-flag + lock + idempotent
+    decrement; this class is that pattern, once.
+
+    Construction increments the counter immediately; :meth:`release`
+    decrements it exactly once no matter how many paths call it (normal
+    teardown, error unwind, signal handlers).  Usable as a context
+    manager for strictly scoped windows.
+    """
+
+    __slots__ = ("_counter", "_lock", "_held", "label")
+
+    def __init__(self, counter, label: str = "") -> None:
+        self._counter = counter
+        self._lock = threading.Lock()
+        self._held = False
+        self.label = label
+        counter.inc()
+        self._held = True
+
+    @property
+    def held(self) -> bool:
+        """Whether the token still pins the counter."""
+        with self._lock:
+            return self._held
+
+    def release(self) -> bool:
+        """Decrement the counter if this token still holds it.
+
+        Idempotent and thread-safe; returns ``True`` only for the one
+        call that actually released.
+        """
+        with self._lock:
+            if not self._held:
+                return False
+            self._held = False
+        self._counter.dec()
+        return True
+
+    def __enter__(self) -> "WorkToken":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.release()
+        return False
 
 
 class EventBus:

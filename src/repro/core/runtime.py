@@ -56,6 +56,7 @@ from .events import (
     ResizeEvent,
     ShutdownEvent,
     StoreEvent,
+    WorkToken,
 )
 from .fields import FieldStore, SharedFieldStore
 from .instrumentation import Instrumentation
@@ -742,10 +743,11 @@ class ExecutionNode:
         Queues a :class:`ReplanEvent` carrying the LLS ``decisions``; the
         analyzer applies them at a safe age boundary (see
         :meth:`DependencyAnalyzer.apply_replan`).  The queued event holds
-        a quiescence token, so a run cannot be declared idle while a swap
-        is in flight.  Thread-safe; callable from the adaptation driver
-        or a transport handler.  Returns ``False`` when the node has
-        already wound down (or finished) and the request was dropped.
+        a :class:`~repro.core.events.WorkToken`, so a run cannot be
+        declared idle while a swap is in flight.  Thread-safe; callable
+        from the adaptation driver or a transport handler.  Returns
+        ``False`` when the node has already wound down (or finished) and
+        the request was dropped.
 
         ``remote`` marks a producers-only update for kernels owned by
         another node, pinned at that node's committed ``epoch``.
@@ -756,9 +758,9 @@ class ExecutionNode:
         with self._inject_lock:
             if self._dead:
                 return False
-            self._inc()
+            token = WorkToken(self._counter, label=f"replan:{self.name}")
             self._events.put(ReplanEvent(decisions, epoch=epoch,
-                                         remote=remote))
+                                         remote=remote, token=token))
         return True
 
     # ------------------------------------------------------------------
@@ -1172,6 +1174,19 @@ class ExecutionNode:
                 args={"count": n},
             )
 
+    def _retire_event(self, ev: Event) -> None:
+        """Retire one queued event's outstanding-work unit.
+
+        Token-carrying events (replan swaps) release their own
+        :class:`~repro.core.events.WorkToken`; everything else retires
+        the generic per-event count.
+        """
+        token = getattr(ev, "token", None)
+        if token is not None:
+            token.release()
+        else:
+            self._dec()
+
     def _analyzer_loop(self) -> None:
         while True:
             ev = self._events.get()
@@ -1206,7 +1221,7 @@ class ExecutionNode:
                         args = {"field": ev.field}
                     tr.complete(type(ev).__name__, "analyzer",
                                 self.name, "analyzer", t0, t1, args)
-                self._dec()
+                self._retire_event(ev)
 
     def _handle_replan(self, ev: ReplanEvent) -> None:
         """Apply a queued re-binding on the analyzer thread.
@@ -1360,7 +1375,7 @@ class ExecutionNode:
             except queue.Empty:
                 break
             if not isinstance(ev, ShutdownEvent):
-                self._dec()
+                self._retire_event(ev)
         # Shm hygiene: a wound-down node that *owns* its shared store has
         # no join() coming to unlink the segment names — release here or
         # they outlive the process in /dev/shm.  Cluster nodes share an

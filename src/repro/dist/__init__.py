@@ -27,14 +27,27 @@ from .heartbeat import (
     HeartbeatMonitor,
 )
 from .master import MasterNode, WorkloadAssignment
+from .membership import (
+    MEMBERSHIP_TOPIC,
+    ElasticityConfig,
+    ElasticityDriver,
+    MembershipTable,
+    MembershipView,
+)
 from .partition import (
     Partition,
     greedy_partition,
+    incremental_partition,
     kernighan_lin,
     partition_graph,
     tabu_search,
 )
-from .recovery import RecoveryConfig, RecoveryManager, RecoveryRecord
+from .recovery import (
+    RecoveryConfig,
+    RecoveryManager,
+    RecoveryRecord,
+    fence_node,
+)
 from .topology import GlobalTopology, LocalTopology, ProcessorSpec
 from .transport import InProcTransport, Message, TransportStats
 
@@ -51,7 +64,12 @@ __all__ = [
     "InProcTransport",
     "LIVENESS_TOPIC",
     "LocalTopology",
+    "MEMBERSHIP_TOPIC",
+    "ElasticityConfig",
+    "ElasticityDriver",
     "MasterNode",
+    "MembershipTable",
+    "MembershipView",
     "Message",
     "Partition",
     "ProcessorSpec",
@@ -60,7 +78,9 @@ __all__ = [
     "RecoveryRecord",
     "TransportStats",
     "WorkloadAssignment",
+    "fence_node",
     "greedy_partition",
+    "incremental_partition",
     "kernighan_lin",
     "partition_graph",
     "tabu_search",

@@ -165,6 +165,37 @@ class HeartbeatMonitor:
         with self._lock:
             self._health.pop(name, None)
 
+    def mark_draining(self, name: str) -> None:
+        """Expected departure: ``name`` is being drained on purpose.
+
+        A draining node goes silent the moment its fence stops the
+        heartbeater — without this grace state the monitor would declare
+        it failed and the recovery manager would resurrect a node the
+        cluster just decided to remove.  Draining nodes are exempt from
+        both silence and stall detection until :meth:`unwatch` (clean
+        drain completed) or :meth:`resume_watch` (drain aborted).
+        """
+        with self._lock:
+            h = self._health.get(name)
+            if h is not None:
+                h.draining = True
+
+    def resume_watch(self, name: str) -> None:
+        """Lift a :meth:`mark_draining` grace (drain aborted); the
+        timeout clock restarts now."""
+        now = time.monotonic()
+        with self._lock:
+            h = self._health.get(name)
+            if h is not None:
+                h.draining = False
+                h.last_seen = now
+                h.last_progress = now
+
+    def draining(self) -> list[str]:
+        """Nodes currently in the expected-departure grace state."""
+        with self._lock:
+            return sorted(n for n, h in self._health.items() if h.draining)
+
     def watched(self) -> list[str]:
         """Currently tracked node names."""
         with self._lock:
@@ -203,6 +234,8 @@ class HeartbeatMonitor:
         detected: list[tuple[str, str, str]] = []  # (event, node, reason)
         with self._lock:
             for name, h in list(self._health.items()):
+                if h.draining:
+                    continue  # expected departure: silence is planned
                 if now - h.last_seen > self.timeout:
                     event = "heartbeat-silence"
                     reason = (
@@ -242,7 +275,10 @@ class HeartbeatMonitor:
 class _Health:
     """Mutable per-node liveness record."""
 
-    __slots__ = ("last_seen", "last_progress", "executed", "busy", "backlog")
+    __slots__ = (
+        "last_seen", "last_progress", "executed", "busy", "backlog",
+        "draining",
+    )
 
     def __init__(self, last_seen: float, last_progress: float) -> None:
         self.last_seen = last_seen
@@ -250,3 +286,4 @@ class _Health:
         self.executed = 0
         self.busy = 0
         self.backlog = 0
+        self.draining = False

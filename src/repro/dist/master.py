@@ -16,7 +16,7 @@ from ..core.errors import TopologyError
 from ..core.graph import final_graph, weighted_final_graph
 from ..core.instrumentation import Instrumentation
 from ..core.program import Program
-from .partition import Partition, partition_graph
+from .partition import Partition, incremental_partition, partition_graph
 from .topology import GlobalTopology, LocalTopology
 
 __all__ = ["WorkloadAssignment", "MasterNode"]
@@ -103,16 +103,51 @@ class MasterNode:
         """
         if len(self.topology) == 0:
             raise TopologyError("no execution nodes registered")
-        if instrumentation is not None:
-            graph = weighted_final_graph(program, instrumentation)
-        else:
-            graph = final_graph(program)
-            for name in graph.nodes():
-                graph.node(name)["weight"] = program.kernels[name].cost_hint
+        graph = self._weighted_graph(program, instrumentation)
         capacities = self.topology.capacities()
         partition = partition_graph(graph, capacities, method, **kwargs)
         assignment = WorkloadAssignment(
             partition, method, self.topology.epoch
+        )
+        self.last_assignment = assignment
+        return assignment
+
+    def _weighted_graph(
+        self,
+        program: Program,
+        instrumentation: Instrumentation | None,
+    ):
+        if instrumentation is not None:
+            return weighted_final_graph(program, instrumentation)
+        graph = final_graph(program)
+        for name in graph.nodes():
+            graph.node(name)["weight"] = program.kernels[name].cost_hint
+        return graph
+
+    def plan_incremental(
+        self,
+        program: Program,
+        instrumentation: Instrumentation | None = None,
+        move_penalty: float = 0.5,
+    ) -> WorkloadAssignment:
+        """Repartition over the *current* topology after a membership
+        change, seeding from the last assignment and penalizing moved
+        kernels (see :func:`~repro.dist.partition
+        .incremental_partition`).  Falls back to a full :meth:`plan`
+        when there is no previous assignment to be incremental against.
+        """
+        if len(self.topology) == 0:
+            raise TopologyError("no execution nodes registered")
+        prev = self.last_assignment
+        if prev is None:
+            return self.plan(program, instrumentation)
+        graph = self._weighted_graph(program, instrumentation)
+        capacities = self.topology.capacities()
+        partition = incremental_partition(
+            graph, capacities, prev.partition, move_penalty=move_penalty
+        )
+        assignment = WorkloadAssignment(
+            partition, "incremental", self.topology.epoch
         )
         self.last_assignment = assignment
         return assignment

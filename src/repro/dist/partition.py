@@ -36,6 +36,7 @@ __all__ = [
     "kernighan_lin",
     "tabu_search",
     "partition_graph",
+    "incremental_partition",
 ]
 
 
@@ -289,6 +290,118 @@ def tabu_search(
             best, best_cost = part.copy(), cost
     best.validate(graph)
     return best
+
+
+# ----------------------------------------------------------------------
+def incremental_partition(
+    graph: Digraph,
+    capacities: Mapping[str, float],
+    previous: Partition,
+    move_penalty: float = 0.5,
+    balance_penalty: float = 1.0,
+    max_moves: int | None = None,
+) -> Partition:
+    """Repartition after a membership change, minimizing *moved* nodes.
+
+    A scale-out/scale-in migration pays per kernel that changes owner
+    (fence, state replay, warm caches lost), so the objective is not
+    just cut weight + balance but also migration volume.  The seed keeps
+    every node on its previous part when that part survived; orphans of
+    removed parts and brand-new graph nodes are placed greedily against
+    the surviving loads.  Refinement then applies best-gain single-node
+    moves where each move away from a node's *previous* placement is
+    charged ``move_penalty`` (scaled to total edge weight, like the
+    balance term) — a kernel moves only when the traffic/balance gain
+    exceeds its migration cost.
+    """
+    if not capacities:
+        raise PartitionError("no parts to partition onto")
+    caps = {p: float(c) for p, c in capacities.items()}
+    if any(c <= 0 for c in caps.values()):
+        raise PartitionError("part capacities must be positive")
+    origin = {
+        n: p for n, p in previous.assign.items() if p in caps
+    }
+    total_w = max(
+        sum(_node_weight(graph, n) for n in graph.nodes()), 1e-12
+    )
+    total_e = max(
+        sum(_edge_weight(a) for _u, _v, a in graph.edges()), 1e-12
+    )
+
+    # Seed: sticky placement, greedy fill for the unplaced.
+    assign: dict[Hashable, str] = {}
+    loads = {p: 0.0 for p in caps}
+    unplaced = []
+    for n in sorted(graph.nodes(), key=repr):
+        prev_part = origin.get(n)
+        if prev_part is not None:
+            assign[n] = prev_part
+            loads[prev_part] += _node_weight(graph, n)
+        else:
+            unplaced.append(n)
+    unplaced.sort(key=lambda n: (-_node_weight(graph, n), repr(n)))
+    total_cap = sum(caps.values())
+    ideal_density = max(total_w / total_cap, 1e-12)
+    for n in unplaced:
+        w = _node_weight(graph, n)
+        neighbours = set(graph.successors(n)) | set(graph.predecessors(n))
+        best_part, best_score = None, None
+        for p in sorted(caps):
+            affinity = sum(
+                _edge_weight(graph.edge(n, m) if graph.has_edge(n, m)
+                             else graph.edge(m, n))
+                for m in neighbours
+                if assign.get(m) == p
+            )
+            score = (
+                (loads[p] + w) / caps[p] / ideal_density
+                - 0.3 * affinity / total_e
+            )
+            if best_score is None or score < best_score:
+                best_part, best_score = p, score
+        assign[n] = best_part
+        loads[best_part] += w
+
+    part = Partition(assign, caps)
+    part.validate(graph)
+
+    def migration_cost(p: Partition) -> float:
+        moved_w = sum(
+            _node_weight(graph, n)
+            for n, dst in p.assign.items()
+            if n in origin and dst != origin[n]
+        )
+        return move_penalty * total_e * moved_w / total_w
+
+    def objective(p: Partition) -> float:
+        return p.cost(graph, balance_penalty) + migration_cost(p)
+
+    # Best-gain hill climb under the migration-aware objective.
+    budget = max_moves if max_moves is not None else 4 * len(graph)
+    current = objective(part)
+    parts = part.parts()
+    nodes = sorted(graph.nodes(), key=repr)
+    for _ in range(budget):
+        best = None
+        for n in nodes:
+            src = part.assign[n]
+            for p in parts:
+                if p == src:
+                    continue
+                part.assign[n] = p
+                cand = objective(part)
+                part.assign[n] = src
+                gain = current - cand
+                if gain > 1e-12 and (best is None or gain > best[0]):
+                    best = (gain, n, p)
+        if best is None:
+            break
+        _g, n, p = best
+        part.assign[n] = p
+        current = objective(part)
+    part.validate(graph)
+    return part
 
 
 def partition_graph(

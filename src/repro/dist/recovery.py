@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 from ..core.errors import NodeFailureError
+from ..core.events import WorkToken
 from ..core.scheduler import reenqueue
 from ..obs import MetricsRegistry, NULL_TRACER, Tracer
 from .topology import LocalTopology
@@ -45,7 +46,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .master import MasterNode
     from .transport import InProcTransport
 
-__all__ = ["RecoveryConfig", "RecoveryRecord", "RecoveryManager"]
+__all__ = [
+    "RecoveryConfig",
+    "RecoveryRecord",
+    "RecoveryManager",
+    "fence_node",
+]
 
 
 @dataclass(frozen=True)
@@ -87,6 +93,46 @@ class RecoveryRecord:
 def _base_name(name: str) -> str:
     """``node1~2`` → ``node1`` (restart attempts share one budget)."""
     return name.split("~", 1)[0]
+
+
+def fence_node(
+    node: "ExecutionNode",
+    transport: "InProcTransport",
+    *,
+    heartbeater: "Heartbeater | None" = None,
+    injector: "FaultInjector | None" = None,
+    tracer: Tracer = NULL_TRACER,
+    reason: str = "departing",
+) -> int:
+    """Fence a node out of the cluster and reclaim its work.
+
+    The one mechanism behind both *unplanned* departure (the recovery
+    manager fencing a node the failure detector declared dead) and
+    *planned* departure (an elastic migration draining a node whose
+    kernels move elsewhere): stop its heartbeat, cut every transport
+    subscription it holds (no deliveries to it, and its own late
+    publishes are already membership-rejected), wind it down fail-stop
+    and retire its outstanding work units.  Returns the number of
+    abandoned instances the successor must re-execute (via event-log
+    replay — write-once determinism makes the re-execution
+    byte-identical).
+    """
+    name = node.name
+    if injector is not None:
+        # Any fault token bridging fire->detection is redundant once the
+        # caller holds its own quiescence token for the fence window.
+        injector.release_token(name)
+    if heartbeater is not None:
+        heartbeater.stop()
+    transport.unsubscribe_node(name)
+    abandoned = node.wind_down()
+    if tracer.enabled:
+        tracer.instant(
+            "fencing", "recovery", "master", "recovery",
+            args={"node": name, "abandoned": abandoned,
+                  "reason": reason}, scope="g",
+        )
+    return abandoned
 
 
 class RecoveryManager:
@@ -166,25 +212,17 @@ class RecoveryManager:
         self.metrics.counter("recovery.node_failures").inc()
         # Recovery token: keeps the shared counter nonzero for the whole
         # window in which the dead node's kernels have no owner.
-        self._counter.inc()
-        try:
-            if self._injector is not None:
-                # The fault token that bridged fire→detection is now
-                # redundant — the recovery token has taken over.
-                self._injector.release_token(name)
+        with WorkToken(self._counter, label=f"recover:{name}"):
             hb = self._heartbeaters.pop(name, None)
-            if hb is not None:
-                hb.stop()
             # Fence the victim: no deliveries to it, no deliveries from
             # it, outstanding work reclaimed.
-            self._transport.unsubscribe_node(name)
-            abandoned = node.wind_down()
-            if self.tracer.enabled:
-                self.tracer.instant(
-                    "fencing", "recovery", "master", "recovery",
-                    args={"node": name, "abandoned": abandoned,
-                          "reason": reason}, scope="g",
-                )
+            abandoned = fence_node(
+                node, self._transport,
+                heartbeater=hb,
+                injector=self._injector,
+                tracer=self.tracer,
+                reason=reason,
+            )
             captive = (
                 self._injector.captive_instances(name)
                 if self._injector is not None
@@ -264,5 +302,3 @@ class RecoveryManager:
                     recovery_s=recovery_s,
                 )
             )
-        finally:
-            self._counter.dec()

@@ -50,6 +50,9 @@ class Message:
     sender: str
     payload: Any
     size: int = 0  #: accounted payload bytes (0 if unknown)
+    #: Membership epoch the message was routed under (-1 when the
+    #: transport has no membership wired — the static-cluster path).
+    epoch: int = -1
 
 
 @dataclass
@@ -63,6 +66,9 @@ class TransportStats:
     simulated_latency_s: float = 0.0
     delivery_errors: int = 0  #: subscriber callbacks that raised
     drops: int = 0  #: messages discarded by the drop filter (partition)
+    #: Publishes rejected because the sender's membership state was
+    #: ``dead``/``left`` — late deliveries across an epoch boundary.
+    stale_rejects: int = 0
 
     def record(
         self, msg: Message, receiver: str, latency_s: float
@@ -109,6 +115,13 @@ class InProcTransport:
         #: wiring): store-event deliveries record ``transport`` spans
         #: for the frame they carry.  ``None`` keeps publish untouched.
         self.timeline = None
+        #: Optional membership registry (set by an elastic cluster; any
+        #: object with a ``view()`` returning a
+        #: :class:`~repro.dist.membership.MembershipView`).  When wired,
+        #: every publish is epoch-stamped and a sender whose state is
+        #: ``dead``/``left`` is rejected — the late-delivery fence that
+        #: keeps a departed node's stragglers out of the new epoch.
+        self.membership = None
 
     # -- fault-tolerance hooks ------------------------------------------
     def enable_log(self) -> None:
@@ -200,8 +213,31 @@ class InProcTransport:
         subject to the drop filter) but neither logged nor counted in the
         traffic statistics, which stay an exact census of store/resize
         events.
+
+        With a membership registry wired the message is stamped with the
+        current epoch, and a sender the view marks ``dead``/``left`` is
+        rejected outright — before the durable log, so a departed node's
+        late stragglers can neither reach the new epoch's nodes nor be
+        replayed into a future recovery.
         """
-        msg = Message(topic, sender, payload, size)
+        epoch = -1
+        mem = self.membership
+        if mem is not None:
+            # Read the view before taking the transport lock: the
+            # membership table broadcasts through publish() and holds
+            # its own lock while snapshotting.
+            view = mem.view()
+            if not view.routable(sender):
+                with self._lock:
+                    self.stats.stale_rejects += 1
+                if self.tracer.enabled and not control:
+                    self.tracer.instant(
+                        "stale-reject", "transport", sender, "transport",
+                        args={"topic": topic, "epoch": view.epoch},
+                    )
+                return 0
+            epoch = view.epoch
+        msg = Message(topic, sender, payload, size, epoch)
         with self._lock:
             if self._closed:
                 raise TransportError("transport is closed")

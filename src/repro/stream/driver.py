@@ -27,6 +27,7 @@ from dataclasses import dataclass, field as dc_field
 from typing import Any, Callable
 
 from ..core.deadlines import Timer
+from ..core.events import WorkToken
 from .gate import CreditGate
 from .qos import QOS_CLASSES, QosPolicy
 from .retire import Retirer
@@ -339,8 +340,17 @@ class StreamDriver:
         # Quiescence token: held from before node.start() until the last
         # frame has been offered, so an initially instance-less live
         # program cannot be declared idle under the stream.
-        self._counter.inc()
-        self._token_held = True
+        self._token = WorkToken(
+            self._counter,
+            label=f"stream:{session or 'default'}",
+        )
+
+        # Pacing state: ``_rate`` starts at the configured fps and may
+        # be changed mid-run (:meth:`set_rate`); the next frame's
+        # scheduled arrival accumulates per-frame periods so a rate
+        # change only affects frames not yet offered.
+        self._rate = self.cfg.fps
+        self._next_ms = 0.0
 
         # Completion detection: wrap the program's output handler so the
         # binding's completion key marks ages done on both backends (the
@@ -384,14 +394,41 @@ class StreamDriver:
         self._stop.set()
         self.gate.close()
         if self._thread is None:
-            self._release_token()
+            self._token.release()
 
-    def _release_token(self) -> None:
+    def set_rate(self, fps: float) -> None:
+        """Change the offered frame rate mid-run.
+
+        Only frames not yet offered are affected: the next scheduled
+        arrival accumulates one period per frame, so doubling the rate
+        halves the spacing from the next frame on without rewriting
+        past arrivals (the elasticity chaos test doubles offered load
+        mid-run this way).  ``fps`` must be positive; an unpaced stream
+        (``fps == 0``) cannot become paced.
+        """
+        if fps <= 0:
+            raise ValueError(f"fps must be > 0, got {fps}")
         with self._lock:
-            if not self._token_held:
-                return
-            self._token_held = False
-        self._counter.dec()
+            self._rate = float(fps)
+
+    def set_nodes(self, nodes) -> None:
+        """Re-resolve the node set after a membership change.
+
+        An elastic migration replaces execution nodes mid-run; the
+        retirer's live-age probes must follow the membership epoch or
+        they would either free ages a newcomer still needs (probing a
+        wound-down node reports nothing live) or pin memory forever
+        (probing a departed node's frozen queues).  Credits need no
+        re-resolution — they travel a control topic keyed by session,
+        not by node.
+        """
+        nodes = list(nodes)
+        if not nodes:
+            raise ValueError("StreamDriver needs at least one node")
+        self._nodes = nodes
+        self.retirer.set_nodes(
+            nodes, max_back=max(n._max_back for n in nodes)
+        )
 
     # ------------------------------------------------------------------
     # Producer loop (driver thread)
@@ -414,9 +451,13 @@ class StreamDriver:
                     break
                 if cfg.max_frames is not None and age >= cfg.max_frames:
                     break
-                target_ms = (
-                    age * 1000.0 / cfg.fps if cfg.fps > 0 else None
-                )
+                with self._lock:
+                    rate = self._rate
+                    if rate > 0:
+                        target_ms = self._next_ms
+                        self._next_ms += 1000.0 / rate
+                    else:
+                        target_ms = None
                 if cfg.duration is not None:
                     at_ms = (
                         target_ms if target_ms is not None
@@ -479,7 +520,7 @@ class StreamDriver:
                     )
         finally:
             self._ended_ms = self.timer.elapsed_ms()
-            self._release_token()
+            self._token.release()
 
     def _shed(self, age: int, decision) -> None:
         """Apply a non-run QoS verdict: account it, tell the sink (for

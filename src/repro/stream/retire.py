@@ -71,12 +71,28 @@ class Retirer:
         )
         self._session = session
         self._lock = threading.Lock()
+        #: Serializes sweeps against migration windows: an elastic
+        #: repartition pauses sweeping while the node set is in flux
+        #: (probing a half-fenced node would under-report live ages).
+        self._sweep_gate = threading.Lock()
         self._done: set[int] = set()
         self._frontier = -1
         #: Ages strictly below this have been freed.
         self.retired_through = 0
         #: Total field bytes reclaimed by sweeps.
         self.freed_bytes = 0
+
+    def set_nodes(self, nodes, *, max_back: int | None = None) -> None:
+        """Swap the probed node set after an elastic migration.
+
+        The next sweep probes the new membership's nodes; ``max_back``
+        may be re-derived from them (a replacement subprogram can have
+        a different fetch horizon).
+        """
+        with self._lock:
+            self._nodes = list(nodes)
+            if max_back is not None:
+                self._max_back = max_back
 
     def note_complete(self, age: int) -> None:
         """Record that ``age`` drained (output delivered, or shed)."""
@@ -123,12 +139,36 @@ class Retirer:
                 floor = min(floor, min(running))
         return floor
 
+    def pause(self) -> None:
+        """Hold off sweeping for a migration window.
+
+        Blocks until any in-flight sweep finishes, so after ``pause()``
+        returns no probe of the outgoing node set is still running;
+        completions arriving meanwhile are recorded but not swept (the
+        first sweep after :meth:`resume` catches up).
+        """
+        self._sweep_gate.acquire()
+
+    def resume(self) -> None:
+        """Lift :meth:`pause`; the next completion sweeps normally."""
+        self._sweep_gate.release()
+
     def sweep(self) -> int:
         """Free every age below the safe floor; returns bytes freed.
 
         Cheap when there is nothing to do (one lock, a few probes), so
-        the driver calls it on every completion.
+        the driver calls it on every completion.  Returns 0 without
+        sweeping while paused or while another sweep is in flight —
+        the next completion retries.
         """
+        if not self._sweep_gate.acquire(blocking=False):
+            return 0
+        try:
+            return self._sweep_locked()
+        finally:
+            self._sweep_gate.release()
+
+    def _sweep_locked(self) -> int:
         floor = self._live_floor()
         if floor is None:
             return 0

@@ -69,3 +69,93 @@ class TestEventRecords:
         ev = InstanceDoneEvent(KernelInstance(k), stored_any=False)
         assert ev.kernel_time == 0.0
         assert not ev.stored_any
+
+
+class TestWorkToken:
+    """The shared quiescence-token helper behind the recovery fence,
+    the replan swap and the stream-driver lifetime."""
+
+    def _counter(self):
+        from repro.core import WorkCounter
+
+        return WorkCounter()
+
+    def test_acquire_on_construction(self):
+        from repro.core import WorkToken
+
+        c = self._counter()
+        tok = WorkToken(c, label="t")
+        assert tok.held
+        assert c.value() == 1
+
+    def test_release_is_idempotent(self):
+        from repro.core import WorkToken
+
+        c = self._counter()
+        tok = WorkToken(c)
+        assert tok.release() is True
+        assert c.value() == 0
+        assert not tok.held
+        # double release must not drive the counter negative
+        assert tok.release() is False
+        assert c.value() == 0
+
+    def test_context_manager(self):
+        from repro.core import WorkToken
+
+        c = self._counter()
+        with WorkToken(c, label="ctx") as tok:
+            assert c.value() == 1
+            assert tok.held
+        assert c.value() == 0
+        assert not tok.held
+
+    def test_release_inside_context_is_safe(self):
+        from repro.core import WorkToken
+
+        c = self._counter()
+        with WorkToken(c) as tok:
+            tok.release()
+        assert c.value() == 0
+
+    def test_token_blocks_quiescence(self):
+        import threading
+
+        from repro.core import WorkToken
+
+        c = self._counter()
+        tok = WorkToken(c)
+        done = threading.Event()
+        out = []
+
+        def waiter():
+            out.append(c.wait(timeout=5))
+            done.set()
+
+        t = threading.Thread(target=waiter, daemon=True)
+        t.start()
+        assert not done.wait(0.05)  # held token pins the run
+        tok.release()
+        assert done.wait(5)
+        assert out == ["idle"]
+
+    def test_concurrent_release_decrements_once(self):
+        import threading
+
+        from repro.core import WorkToken
+
+        c = self._counter()
+        c.inc()  # guard: counter must end at exactly 1
+        tok = WorkToken(c)
+        barrier = threading.Barrier(4)
+
+        def racer():
+            barrier.wait()
+            tok.release()
+
+        threads = [threading.Thread(target=racer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value() == 1

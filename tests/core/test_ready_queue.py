@@ -1,0 +1,108 @@
+"""ReadyQueue edge coverage: session-scoped ``min_age`` and fair-policy
+heap behaviour when a session's heap is empty or a session stops
+mid-run (its heap drains and the survivors keep dispatching)."""
+
+from repro.core.kernels import KernelDef
+from repro.core.runtime import KernelInstance, ReadyQueue
+
+
+def inst(session, age, i=0):
+    k = KernelDef(name=f"{session}.k", body=lambda ctx: None,
+                  has_age=True, index_vars=("x",), domain={"x": 4})
+    return KernelInstance(k, age=age, index=(i,))
+
+
+class TestMinAgeSession:
+    def test_unknown_session_is_none(self):
+        q = ReadyQueue(scheduling="fair")
+        q.push(inst("a", 3))
+        assert q.min_age("ghost") is None
+
+    def test_empty_queue_is_none(self):
+        q = ReadyQueue(scheduling="fair")
+        assert q.min_age() is None
+        assert q.min_age("a") is None
+
+    def test_scoped_bound_ignores_other_sessions(self):
+        q = ReadyQueue(scheduling="fair")
+        q.push(inst("a", 7))
+        q.push(inst("b", 2))
+        assert q.min_age("a") == 7
+        assert q.min_age("b") == 2
+        assert q.min_age() == 2  # unscoped: global minimum
+
+    def test_bound_tracks_pops(self):
+        q = ReadyQueue(scheduling="fair")
+        for age in (4, 6):
+            q.push(inst("a", age))
+        q.push(inst("b", 1))
+        popped = {q.pop_timed()[0].age for _ in range(2)}
+        # one a-instance and the b-instance went (round-robin)
+        assert popped == {4, 1}
+        assert q.min_age("a") == 6
+        assert q.min_age("b") is None
+
+    def test_emptied_session_heap_returns_none_then_recovers(self):
+        q = ReadyQueue(scheduling="fair")
+        q.push(inst("a", 5))
+        q.pop_timed()
+        assert q.min_age("a") is None  # heap exists but is empty
+        q.push(inst("a", 9))
+        assert q.min_age("a") == 9
+
+
+class TestFairEmptyHeaps:
+    def test_round_robin_skips_empty_session(self):
+        """A session whose heap drained must not stall the rotation."""
+        q = ReadyQueue(scheduling="fair")
+        q.push(inst("a", 0))
+        q.pop_timed()  # session "a" heap now empty but still registered
+        for age in range(3):
+            q.push(inst("b", age))
+        ages = [q.pop_timed()[0].age for _ in range(3)]
+        assert ages == [0, 1, 2]
+
+    def test_session_stopping_midrun_leaves_survivors_dispatchable(self):
+        """A stopped session's drained heap lingers in the rotation;
+        every remaining session still gets its turns, in age order."""
+        q = ReadyQueue(scheduling="fair", session_weights={"gold": 2})
+        for age in range(2):
+            q.push(inst("stopper", age))
+            q.push(inst("gold", age))
+            q.push(inst("be", age))
+        # "stopper" session ends mid-run: its queued work drains first.
+        got = []
+        while q.min_age("stopper") is not None:
+            item, _ = q.pop_timed()
+            got.append(item)
+            # put back anything that wasn't the stopping session's
+        survivors = [i for i in got
+                     if not i.kernel.name.startswith("stopper.")]
+        for item in survivors:
+            q.push(item)
+        remaining = [q.pop_timed()[0] for _ in range(4)]
+        names = {i.kernel.name.split(".")[0] for i in remaining}
+        assert names == {"gold", "be"}
+        for session in ("gold", "be"):
+            ages = [i.age for i in remaining
+                    if i.kernel.name.startswith(session + ".")]
+            assert ages == sorted(ages)  # age order per survivor
+        assert len(q) == 0
+
+    def test_sentinel_only_after_all_heaps_empty(self):
+        q = ReadyQueue(scheduling="fair")
+        q.push(inst("a", 0))
+        q.push_sentinel()
+        item, _ = q.pop_timed()
+        assert item is not None  # work before shutdown marker
+        assert q.pop_timed()[0] is None
+
+    def test_drain_clears_every_session(self):
+        q = ReadyQueue(scheduling="fair")
+        q.push(inst("a", 1))
+        q.push(inst("b", 2))
+        q.push_sentinel()
+        items = q.drain()
+        assert len(items) == 2
+        assert len(q) == 0
+        assert q.min_age("a") is None and q.min_age("b") is None
