@@ -1,0 +1,149 @@
+"""Operator-algebra scenarios — mosaic fps vs cameras × workers, plus
+motion and transcode single-number throughputs.
+
+The algebra claim (DESIGN.md §16): pipelines declared as composable
+operators lower onto the same fields+kernels runtime as the hand-written
+workloads, so they inherit batched dispatch and vectorization — and pay
+no throughput penalty for the abstraction.  Every variant asserts
+byte-identity against its pure-NumPy baseline before reporting fps.
+
+Variants:
+
+* ``4cam-2w`` / ``4cam-4w`` / ``9cam-4w`` — the multi-camera mosaic
+  (N sources → box-downscale → lockstep merge composite) at different
+  camera counts and worker pools; ``sustained_fps`` counts *composited*
+  output frames.
+* ``motion-4w`` — windowed SAD/SSD region stats + keyed zone partition.
+* ``transcode-4w`` — MJPEG decode → /2 downscale → re-encode.
+
+Artifact: ``BENCH_ops.json`` via :func:`conftest.write_variants_json`,
+gated in CI by ``scripts/bench_regress.py``.
+"""
+
+import pytest
+from conftest import emit, write_variants_json
+
+from repro.core import run_program
+from repro.workloads import (
+    MosaicConfig,
+    MotionConfig,
+    TranscodeConfig,
+    build_mosaic,
+    build_motion,
+    build_transcode,
+    mosaic_baseline,
+    motion_baseline,
+    transcode_baseline,
+)
+
+FRAMES = 24
+#: label -> (cams, size, workers); size must divide 16 * grid.
+MOSAIC_VARIANTS = {
+    "4cam-2w": (4, 64, 2),
+    "4cam-4w": (4, 64, 4),
+    "9cam-4w": (9, 48, 4),
+}
+_RESULTS: dict[str, dict] = {}
+_ALL = list(MOSAIC_VARIANTS) + ["motion-4w", "transcode-4w"]
+
+
+def _maybe_write() -> None:
+    if len(_RESULTS) == len(_ALL):
+        write_variants_json(
+            "ops", _RESULTS,
+            sum(v["wall_time_s"] for v in _RESULTS.values()),
+            baseline="4cam-2w", workload="operator-algebra",
+        )
+
+
+@pytest.mark.parametrize("label", list(MOSAIC_VARIANTS))
+def test_ops_mosaic(benchmark, label):
+    cams, size, workers = MOSAIC_VARIANTS[label]
+    cfg = MosaicConfig(cams=cams, width=size, height=size, frames=FRAMES)
+
+    def run():
+        pipe = build_mosaic(cfg)
+        result = run_program(pipe.program, workers=workers, timeout=600)
+        return pipe, result
+
+    pipe, result = benchmark.pedantic(run, rounds=1, iterations=1)
+    got = [f.tobytes() for f in pipe.collector().values()]
+    assert got == [f.tobytes() for f in mosaic_baseline(cfg)]
+    fps = FRAMES / result.wall_time
+    benchmark.extra_info["sustained_fps"] = fps
+    _RESULTS[label] = {
+        "cams": cams,
+        "workers": workers,
+        "frames": FRAMES,
+        "width": size,
+        "height": size,
+        "wall_time_s": round(result.wall_time, 4),
+        "sustained_fps": round(fps, 2),
+        "byte_identical": True,
+    }
+    emit(
+        f"ops mosaic [{label}]",
+        f"{cams} cams x {FRAMES} frames ({size}x{size}) on {workers} "
+        f"workers: {result.wall_time:.2f}s ({fps:.1f} fps composited, "
+        f"byte-identical)",
+    )
+    _maybe_write()
+
+
+def test_ops_motion(benchmark):
+    cfg = MotionConfig(width=64, height=64, frames=FRAMES, region=16)
+
+    def run():
+        pipe = build_motion(cfg)
+        result = run_program(pipe.program, workers=4, timeout=600)
+        return pipe, result
+
+    pipe, result = benchmark.pedantic(run, rounds=1, iterations=1)
+    got = pipe.collector().values()
+    base = motion_baseline(cfg)
+    assert len(got) == len(base)
+    for g, b in zip(got, base):
+        assert g["m"].tobytes() == b["m"].tobytes()
+        assert g["z"].tobytes() == b["z"].tobytes()
+    fps = len(got) / result.wall_time
+    benchmark.extra_info["sustained_fps"] = fps
+    _RESULTS["motion-4w"] = {
+        "workers": 4,
+        "frames": FRAMES,
+        "wall_time_s": round(result.wall_time, 4),
+        "sustained_fps": round(fps, 2),
+        "byte_identical": True,
+    }
+    emit(
+        "ops motion [motion-4w]",
+        f"{len(got)} windowed samples on 4 workers: "
+        f"{result.wall_time:.2f}s ({fps:.1f} fps, byte-identical)",
+    )
+    _maybe_write()
+
+
+def test_ops_transcode(benchmark):
+    cfg = TranscodeConfig(width=64, height=64, frames=12)
+
+    def run():
+        pipe = build_transcode(cfg)
+        result = run_program(pipe.program, workers=4, timeout=600)
+        return pipe, result
+
+    pipe, result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert pipe.collector().values() == transcode_baseline(cfg)
+    fps = cfg.frames / result.wall_time
+    benchmark.extra_info["sustained_fps"] = fps
+    _RESULTS["transcode-4w"] = {
+        "workers": 4,
+        "frames": cfg.frames,
+        "wall_time_s": round(result.wall_time, 4),
+        "sustained_fps": round(fps, 2),
+        "byte_identical": True,
+    }
+    emit(
+        "ops transcode [transcode-4w]",
+        f"{cfg.frames} frames decode->/2->re-encode on 4 workers: "
+        f"{result.wall_time:.2f}s ({fps:.1f} fps, byte-identical)",
+    )
+    _maybe_write()

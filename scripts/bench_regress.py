@@ -2,9 +2,9 @@
 """Frame-rate regression gate over committed bench artifacts.
 
 Compares a freshly generated bench JSON (``BENCH_stream_latency.json``,
-``BENCH_multitenant.json`` or ``BENCH_elastic.json``, written by the
-benchmarks via ``BENCH_OUT_DIR``) against the baseline committed at the
-repo root.  Each variant's throughput metric — ``sustained_fps`` for
+``BENCH_multitenant.json``, ``BENCH_elastic.json`` or
+``BENCH_ops.json``, written by the benchmarks via ``BENCH_OUT_DIR``)
+against the baseline committed at the repo root.  Each variant's throughput metric — ``sustained_fps`` for
 the stream bench, ``aggregate_fps`` for the multitenant and elastic
 benches — must stay within ``--tolerance`` percent of the baseline;
 variants without a throughput metric (e.g. the ``8s-2gold-overload``

@@ -181,6 +181,13 @@ def _add_stream_args(p: argparse.ArgumentParser) -> None:
                    help="run K of the N sessions at the gold QoS tier "
                         "(never shed under overload; the best-effort "
                         "rest absorb it), e.g. --tier gold:2")
+    g.add_argument("--source", metavar="PATH.yuv", default=None,
+                   help="with --live, loop a planar I420 .yuv clip as "
+                        "the frame source (FileLoopSource) instead of "
+                        "the synthetic camera")
+    g.add_argument("--source-glob", metavar="GLOB", default=None,
+                   help="with --live, a glob of I420 .yuv clips; "
+                        "camera/session i loops file i mod N")
 
 
 def _print_stream_report(args: argparse.Namespace, rep) -> None:
@@ -213,6 +220,32 @@ def _print_stream_report(args: argparse.Namespace, rep) -> None:
             json.dumps(rep.as_dict(), indent=2) + "\n"
         )
         print(f"stream report -> {args.stream_json}")
+
+
+def _live_sources(args: argparse.Namespace, width: int, height: int,
+                  count: int):
+    """Resolve ``--source`` / ``--source-glob`` into ``count`` looping
+    file sources, or ``None`` when neither flag was given (callers fall
+    back to the synthetic camera)."""
+    from .stream import FileLoopSource
+
+    paths = None
+    if getattr(args, "source_glob", None):
+        import glob as _glob
+
+        paths = sorted(_glob.glob(args.source_glob))
+        if not paths:
+            raise SystemExit(
+                f"--source-glob matched no files: {args.source_glob!r}"
+            )
+    elif getattr(args, "source", None):
+        paths = [args.source]
+    if paths is None:
+        return None
+    return [
+        FileLoopSource(paths[i % len(paths)], width, height)
+        for i in range(count)
+    ]
 
 
 def _parse_tier(spec: str | None, sessions: int) -> int:
@@ -365,6 +398,10 @@ def _cmd_mjpeg_sessions(args: argparse.Namespace) -> int:
         shed_seed=args.shed_seed,
         degrade_ratio=args.degrade_ratio,
     )
+    glob_sources = (
+        None if args.input
+        else _live_sources(args, args.width, args.height, args.sessions)
+    )
     specs, sinks = [], {}
     for i in range(args.sessions):
         name = f"s{i}"
@@ -372,10 +409,10 @@ def _cmd_mjpeg_sessions(args: argparse.Namespace) -> int:
             width=args.width, height=args.height, frames=args.frames,
             quality=args.quality, dct_method=args.dct, seed=1234 + i,
         )
-        source = (
-            FileLoopSource(args.input, cfg.width, cfg.height)
-            if args.input else None
-        )
+        if args.input:
+            source = FileLoopSource(args.input, cfg.width, cfg.height)
+        else:
+            source = glob_sources[i] if glob_sources else None
         tier = "gold" if i < gold else "best-effort"
         program, sink, binding = build_mjpeg_stream(
             cfg, dc_replace(scfg, qos_class=tier), source,
@@ -429,6 +466,10 @@ def _cmd_mjpeg(args: argparse.Namespace) -> int:
         source = None
         if args.input:
             source = FileLoopSource(args.input, cfg.width, cfg.height)
+        else:
+            file_sources = _live_sources(args, cfg.width, cfg.height, 1)
+            if file_sources:
+                source = file_sources[0]
         scfg = StreamConfig(
             fps=args.fps,
             duration=args.duration,
@@ -477,6 +518,213 @@ def _cmd_mjpeg(args: argparse.Namespace) -> int:
     if not args.live:
         order.insert(0, "read")
     print(result.instrumentation.table(order=order))
+    return 0
+
+
+def _ops_config(args: argparse.Namespace):
+    """The scenario config for ``repro ops <scenario>``."""
+    if args.scenario == "mosaic":
+        from .workloads import MosaicConfig
+
+        return MosaicConfig(
+            cams=args.cams, width=args.width, height=args.height,
+            frames=args.frames, seed=args.seed,
+        )
+    if args.scenario == "motion":
+        from .workloads import MotionConfig
+
+        return MotionConfig(
+            width=args.width, height=args.height, frames=args.frames,
+            region=args.region, slots=args.slots, seed=args.seed,
+        )
+    from .workloads import TranscodeConfig
+
+    return TranscodeConfig(
+        width=args.width, height=args.height, frames=args.frames,
+        quality_in=args.quality_in, quality_out=args.quality_out,
+        factor=args.factor, seed=args.seed,
+    )
+
+
+def _ops_build_stream(args, cfg, scfg, seed_shift: int = 0):
+    """Build one live pipeline for the scenario, resolving
+    ``--source``/``--source-glob`` into looping file sources."""
+    from dataclasses import replace as dc_replace
+
+    if seed_shift:
+        cfg = dc_replace(cfg, seed=cfg.seed + seed_shift)
+    vectorize = not args.no_vectorize
+    if args.scenario == "mosaic":
+        from .workloads import build_mosaic_stream
+
+        sources = _live_sources(args, cfg.width, cfg.height, cfg.cams)
+        return build_mosaic_stream(
+            cfg, stream=scfg, sources=sources, vectorize=vectorize
+        )
+    if args.scenario == "motion":
+        from .workloads import build_motion_stream
+
+        sources = _live_sources(args, cfg.width, cfg.height, 1)
+        return build_motion_stream(
+            cfg, stream=scfg,
+            source=sources[0] if sources else None,
+            vectorize=vectorize,
+        )
+    from .media import encode_jpeg
+    from .workloads import build_transcode_stream
+
+    source = None
+    file_sources = _live_sources(args, cfg.width, cfg.height, 1)
+    if file_sources:
+        # A .yuv clip feeds the transcode by encoding each frame at
+        # the input quality first (the capture side of the chain).
+        from .media import read_yuv_file
+        from .stream import CycleSource
+
+        clip = read_yuv_file(
+            file_sources[0].path, cfg.width, cfg.height
+        )
+        source = CycleSource(
+            [encode_jpeg(f, cfg.quality_in) for f in clip]
+        )
+    return build_transcode_stream(
+        cfg, stream=scfg, source=source, vectorize=vectorize
+    )
+
+
+def _ops_write_output(args, path: Path, pipe, cfg) -> str:
+    """Write the sink's collected results; returns a summary line."""
+    values = pipe.collector().values()
+    if args.scenario == "mosaic":
+        data = b"".join(f.tobytes() for f in values)
+        path.write_bytes(data)
+        return (f"mosaic {cfg.cams} cams: {len(values)} frames -> "
+                f"{path} ({len(data)} bytes)")
+    if args.scenario == "motion":
+        import json as _json
+
+        samples = [
+            {
+                "age": age,
+                "sad": int(v["m"][..., 0].sum()),
+                "ssd": int(v["m"][..., 1].sum()),
+                "zones": v["z"].tolist(),
+            }
+            for age, v in zip(pipe.collector().ages, values)
+        ]
+        payload = {
+            "width": cfg.width, "height": cfg.height,
+            "region": cfg.region, "slots": cfg.slots,
+            "samples": samples,
+        }
+        path.write_text(_json.dumps(payload, indent=2) + "\n")
+        return (f"motion: {len(values)} windowed samples -> {path}")
+    data = b"".join(values)
+    path.write_bytes(data)
+    return (f"transcode /{cfg.factor}: {len(values)} frames -> "
+            f"{path} ({len(data)} bytes)")
+
+
+def _cmd_ops_sessions(args: argparse.Namespace) -> int:
+    """``ops <scenario> --live --sessions N [--tier gold:K]``: N
+    namespaced operator pipelines multiplexed over one runtime."""
+    from dataclasses import replace as dc_replace
+
+    from .stream import SessionManager, SessionSpec, StreamConfig
+
+    gold = _parse_tier(args.tier, args.sessions)
+    scfg = StreamConfig(
+        fps=args.fps,
+        duration=args.duration,
+        max_frames=None if args.duration is not None else args.frames,
+        lag_window=args.lag_window,
+        deadline_ms=args.deadline_ms,
+        shed_seed=args.shed_seed,
+        degrade_ratio=args.degrade_ratio,
+    )
+    cfg = _ops_config(args)
+    specs, pipes = [], {}
+    for i in range(args.sessions):
+        name = f"s{i}"
+        tier = "gold" if i < gold else "best-effort"
+        pipe = _ops_build_stream(
+            args, cfg, dc_replace(scfg, qos_class=tier),
+            seed_shift=1000 * i,
+        )
+        specs.append(SessionSpec(name, pipe.program, pipe.binding))
+        pipes[name] = pipe
+    obs = _Obs(args)
+    mgr = SessionManager(
+        specs, workers=args.workers, backend=args.backend,
+        batch=args.batch, admission="queue",
+        metrics=obs.metrics, tracer=obs.tracer,
+        telemetry=obs.telemetry,
+    )
+    try:
+        result = mgr.run(timeout=args.timeout)
+    finally:
+        obs.finish()
+    _print_multitenant_report(args, result.stream)
+    out = Path(args.output)
+    for name, pipe in pipes.items():
+        path = out.with_name(f"{out.stem}.{name}{out.suffix}")
+        print("  " + _ops_write_output(args, path, pipe, cfg))
+    print(f"{args.scenario}: {args.sessions} sessions in "
+          f"{result.wall_time:.2f}s ({args.workers} workers)")
+    return 0
+
+
+def _cmd_ops(args: argparse.Namespace) -> int:
+    """``repro ops {mosaic,motion,transcode}``: run an operator-algebra
+    scenario, batch or live."""
+    from .core import run_program
+
+    if args.live and args.sessions > 1:
+        return _cmd_ops_sessions(args)
+    cfg = _ops_config(args)
+    if args.live:
+        from .stream import StreamConfig
+
+        scfg = StreamConfig(
+            fps=args.fps,
+            duration=args.duration,
+            max_frames=(None if args.duration is not None
+                        else args.frames),
+            lag_window=args.lag_window,
+            deadline_ms=args.deadline_ms,
+            shed_seed=args.shed_seed,
+            degrade_ratio=args.degrade_ratio,
+        )
+        pipe = _ops_build_stream(args, cfg, scfg)
+    else:
+        from .workloads import (
+            build_mosaic,
+            build_motion,
+            build_transcode,
+        )
+
+        builder = {
+            "mosaic": build_mosaic,
+            "motion": build_motion,
+            "transcode": build_transcode,
+        }[args.scenario]
+        pipe = builder(cfg, vectorize=not args.no_vectorize)
+    obs = _Obs(args)
+    try:
+        result = run_program(
+            pipe.program, workers=args.workers, timeout=args.timeout,
+            backend=args.backend, tracer=obs.tracer,
+            metrics=obs.metrics, adapt=_adapt_config(args),
+            stream=pipe.binding, batch=args.batch,
+            telemetry=obs.telemetry,
+        )
+    finally:
+        obs.finish()
+    _print_replans(result.replans)
+    _print_stream_report(args, result.stream)
+    print(_ops_write_output(args, Path(args.output), pipe, cfg))
+    print(f"{result.reason} in {result.wall_time:.2f}s "
+          f"({args.workers} workers)")
     return 0
 
 
@@ -750,6 +998,45 @@ def build_parser() -> argparse.ArgumentParser:
     _add_adapt_args(p)
     _add_obs_args(p)
     p.set_defaults(fn=_cmd_mjpeg)
+
+    p = sub.add_parser(
+        "ops",
+        help="run an operator-algebra scenario: multi-camera mosaic, "
+             "windowed motion stats, or MJPEG transcode "
+             "(pipelines from repro.ops compiled to fields+kernels)")
+    p.add_argument("scenario", choices=("mosaic", "motion", "transcode"))
+    p.add_argument("output",
+                   help="output path (.yuv mosaic, .json motion, "
+                        ".mjpeg transcode; --sessions N suffixes .sN)")
+    p.add_argument("--cams", type=int, default=4,
+                   help="mosaic cameras (perfect square, default 4)")
+    p.add_argument("--width", type=int, default=64)
+    p.add_argument("--height", type=int, default=64)
+    p.add_argument("--frames", type=int, default=8)
+    p.add_argument("--region", type=int, default=16,
+                   help="motion: statistics tile size (default 16)")
+    p.add_argument("--slots", type=int, default=4,
+                   help="motion: keyed-partition zones (default 4)")
+    p.add_argument("--quality-in", type=int, default=80,
+                   help="transcode: input JPEG quality (default 80)")
+    p.add_argument("--quality-out", type=int, default=60,
+                   help="transcode: re-encode quality (default 60)")
+    p.add_argument("--factor", type=int, default=2,
+                   help="transcode: downscale factor (default 2)")
+    p.add_argument("--seed", type=int, default=1234)
+    p.add_argument("--fps", type=float, default=25.0,
+                   help="with --live, the source pacing rate "
+                        "(0 = unpaced)")
+    p.add_argument("-w", "--workers", type=int, default=4)
+    p.add_argument("-t", "--timeout", type=float, default=1800.0)
+    p.add_argument("--backend", choices=("threads", "processes"),
+                   default="threads",
+                   help="execution backend for kernel bodies")
+    _add_stream_args(p)
+    _add_batch_args(p)
+    _add_adapt_args(p)
+    _add_obs_args(p)
+    p.set_defaults(fn=_cmd_ops)
 
     p = sub.add_parser("kmeans", help="run the K-means workload")
     p.add_argument("-n", type=int, default=400)

@@ -1,0 +1,73 @@
+"""Shared name validation for runtime-visible identifiers.
+
+Kernel, field and session names all end up in places with their own
+character rules: field names become POSIX shared-memory segment names
+(``p2g<run>_<field>_<age>``) where ``/`` is illegal, and the
+multi-tenant layer namespaces every name under a ``"<session>."``
+prefix, which makes ``.`` the reserved separator for the *components*
+of a name.  These rules used to live privately in
+``stream/multitenant.py``; the operator algebra (``repro.ops``) now
+generates kernel/field names from user-supplied operator and port
+names, so the checks are shared here.
+
+Two levels:
+
+* :func:`validate_component` — one dot-free component (a session name,
+  an operator name, a port name).  Rejects empty, ``.`` and ``/``.
+* :func:`validate_field_name` — a full field/kernel name, which *may*
+  contain dots (``"scale.y"``, ``"s0.scale.y"``) but never ``/`` and
+  never empty components.
+"""
+
+from __future__ import annotations
+
+__all__ = ["NAME_SEP", "validate_component", "validate_field_name"]
+
+#: Separator between the components of a runtime name.  A dot — not a
+#: slash — because field names end up inside POSIX shared-memory
+#: segment names, where ``/`` is illegal.
+NAME_SEP = "."
+
+
+def validate_component(name: str, *, what: str = "name") -> str:
+    """Check one dot-free name component; returns it unchanged.
+
+    Raises :class:`ValueError` for empty names, names containing the
+    namespace separator ``.``, and names containing ``/`` (illegal in
+    shared-memory segment paths).
+    """
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"{what} must be a non-empty string")
+    if NAME_SEP in name:
+        raise ValueError(
+            f"{what} {name!r} may not contain {NAME_SEP!r} "
+            f"(it is the namespace separator)"
+        )
+    if "/" in name:
+        raise ValueError(
+            f"{what} {name!r} may not contain '/' (it ends up in "
+            f"shared-memory segment names)"
+        )
+    return name
+
+
+def validate_field_name(name: str, *, what: str = "name") -> str:
+    """Check a full (possibly dotted) field/kernel name; returns it.
+
+    Every dot-separated component must itself be valid, so
+    ``"scale.y"`` passes while ``""``, ``"a..b"`` and ``"a/b"`` raise.
+    """
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"{what} must be a non-empty string")
+    for part in name.split(NAME_SEP):
+        if not part:
+            raise ValueError(
+                f"{what} {name!r} has an empty {NAME_SEP!r}-separated "
+                f"component"
+            )
+        if "/" in part:
+            raise ValueError(
+                f"{what} {name!r} may not contain '/' (it ends up in "
+                f"shared-memory segment names)"
+            )
+    return name

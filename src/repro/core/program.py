@@ -57,8 +57,16 @@ class Program:
         kernels: Iterable[KernelDef],
         timers: Iterable[str] = (),
         name: str = "program",
+        output_handler: "OutputHandler | None" = None,
     ) -> "Program":
-        """Assemble and validate a program from definition iterables."""
+        """Assemble and validate a program from definition iterables.
+
+        ``output_handler``, when given, is installed as the receiver of
+        kernel bodies' ``ctx.output`` results — a convenience for
+        generated programs (e.g. the operator compiler) whose sinks
+        deliver out-of-band, so callers need not remember the separate
+        :meth:`set_output_handler` step.
+        """
         fmap: dict[str, FieldDef] = {}
         for f in fields:
             if f.name in fmap:
@@ -71,6 +79,8 @@ class Program:
             kmap[k.name] = k
         prog = cls(fmap, kmap, tuple(timers), name)
         prog.validate()
+        if output_handler is not None:
+            prog.set_output_handler(output_handler)
         return prog
 
     # ------------------------------------------------------------------

@@ -327,3 +327,122 @@ def _build_affine_int(kernel: KernelDef, params: dict):
         bctx.emit(key, v)
 
     return batch_body
+
+
+@vectorizable_pattern("box_downscale")
+def _build_box_downscale(kernel: KernelDef, params: dict):
+    """Integer box-filter downscale of a fetched region — the operator
+    scenarios' mosaic tile scaler and the transcode resize stage.
+
+    ``repro.media.box_downscale`` accumulates in uint32 and divides with
+    integer rounding, identically for ``(h, w)`` and ``(N, h, w)``
+    inputs, so the stacked call is byte-identical to N scalar calls.
+    """
+    if len(kernel.fetches) != 1 or len(kernel.stores) != 1:
+        return None
+    fetch = kernel.fetches[0]
+    if fetch.whole_field():
+        return None
+    key = kernel.stores[0].emit_key
+    factor = int(params["factor"])
+
+    def batch_body(bctx: BatchKernelContext) -> None:
+        from ..media.yuv import box_downscale
+
+        blocks = bctx.fetched[fetch.param]
+        if blocks.shape[-1] % factor or blocks.shape[-2] % factor:
+            raise VectorizeFallback  # block geometry drifted
+        bctx.emit(key, box_downscale(blocks, factor))
+
+    return batch_body
+
+
+@vectorizable_pattern("idct_8x8")
+def _build_idct_8x8(kernel: KernelDef, params: dict):
+    """Inverse DCT + level shift of an 8x8 coefficient block back to
+    uint8 pixels — the transcode chain's decode stage.  The scalar body
+    routes through the same stacked :func:`repro.media.dct.idct2_blocks`
+    call (on a ``(1, 8, 8)`` view), so both paths perform the identical
+    batched matmul per slice."""
+    if len(kernel.fetches) != 1 or len(kernel.stores) != 1:
+        return None
+    fetch = kernel.fetches[0]
+    if fetch.whole_field():
+        return None
+    key = kernel.stores[0].emit_key
+
+    def batch_body(bctx: BatchKernelContext) -> None:
+        from ..media.dct import idct2_blocks
+
+        coeffs = bctx.fetched[fetch.param]
+        if coeffs.shape[-2:] != (8, 8):
+            raise VectorizeFallback
+        pixels = idct2_blocks(coeffs) + 128.0
+        bctx.emit(
+            key, np.clip(np.rint(pixels), 0, 255).astype(np.uint8)
+        )
+
+    return batch_body
+
+
+@vectorizable_pattern("absdiff_region_stats")
+def _build_absdiff_stats(kernel: KernelDef, params: dict):
+    """Windowed motion statistics over a region pair: sum of absolute
+    differences and sum of squared differences between the same region
+    at consecutive ages.  int64 accumulation makes the stacked
+    reduction bit-exact against the scalar body."""
+    if len(kernel.fetches) != 2 or len(kernel.stores) != 1:
+        return None
+    cur, prev = kernel.fetches
+    if cur.whole_field() or prev.whole_field():
+        return None
+    key = kernel.stores[0].emit_key
+
+    def batch_body(bctx: BatchKernelContext) -> None:
+        a = bctx.fetched[cur.param].astype(np.int64)
+        b = bctx.fetched[prev.param].astype(np.int64)
+        d = a - b
+        axes = tuple(range(1, d.ndim))
+        sad = np.abs(d).sum(axis=axes)
+        ssd = (d * d).sum(axis=axes)
+        bctx.emit(key, np.stack([sad, ssd], axis=1))
+
+    return batch_body
+
+
+@vectorizable_pattern("grid_composite")
+def _build_grid_composite(kernel: KernelDef, params: dict):
+    """Tile assembly for the mosaic composite: each out plane is a
+    ``grid x grid`` arrangement of whole-field input tiles, stitched
+    with two ``np.concatenate`` passes — exactly what the scalar body's
+    ``assemble_grid`` does, so the bytes match by construction.
+
+    ``layout`` maps each emit key to its tile fetch params in row-major
+    order.  The composite runs one instance per age, so batches are
+    length 1; the pattern still matters because it keeps the whole
+    merge kernel on the batched dispatch path.
+    """
+    grid = int(params["grid"])
+    layout: dict = params["layout"]
+    if any(not f.whole_field() for f in kernel.fetches):
+        return None
+    if set(layout) != {s.emit_key for s in kernel.stores}:
+        return None
+    have = {f.param for f in kernel.fetches}
+    if any(p not in have for tiles in layout.values() for p in tiles):
+        return None
+
+    def batch_body(bctx: BatchKernelContext) -> None:
+        n = len(bctx)
+        for key, tile_params in layout.items():
+            tiles = [bctx.fetched[p] for p in tile_params]
+            if len(tiles) != grid * grid:
+                raise VectorizeFallback
+            rows = [
+                np.concatenate(tiles[r * grid : (r + 1) * grid], axis=-1)
+                for r in range(grid)
+            ]
+            full = np.concatenate(rows, axis=-2)
+            bctx.emit(key, np.stack([full] * n))
+
+    return batch_body

@@ -54,12 +54,20 @@ from .quant import (
     quantize,
     scale_qtable,
 )
-from .yuv import YUVFrame, psnr, read_yuv_file, synthetic_sequence, write_yuv_file
+from .yuv import (
+    YUVFrame,
+    box_downscale,
+    psnr,
+    read_yuv_file,
+    synthetic_sequence,
+    write_yuv_file,
+)
 from .zigzag import ZIGZAG_ORDER, inverse_zigzag, zigzag
 
 __all__ = [
     "AVIInfo",
     "BitReader",
+    "box_downscale",
     "BitWriter",
     "HuffmanTable",
     "MJPEGReader",

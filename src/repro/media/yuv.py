@@ -27,6 +27,7 @@ __all__ = [
     "read_yuv_file",
     "write_yuv_file",
     "psnr",
+    "box_downscale",
     "CIF_WIDTH",
     "CIF_HEIGHT",
 ]
@@ -212,3 +213,30 @@ def psnr(a: np.ndarray, b: np.ndarray, peak: float = 255.0) -> float:
     if mse == 0.0:
         return math.inf
     return 10.0 * math.log10(peak * peak / mse)
+
+
+def box_downscale(plane: np.ndarray, factor: int) -> np.ndarray:
+    """Integer box-filter downscale of ``(..., h, w)`` by ``factor``.
+
+    Each ``factor x factor`` box becomes its rounded integer mean.  All
+    arithmetic is integral (uint32 accumulation, rounded division), so
+    the result is bit-exact regardless of whether the input is a single
+    plane or a stacked batch — the property the vectorized mosaic and
+    transcode kernels rely on for byte-identity.
+    """
+    a = np.asarray(plane)
+    k = int(factor)
+    if k <= 0:
+        raise ValueError(f"factor must be positive, got {factor}")
+    if k == 1:
+        return a.copy()
+    h, w = a.shape[-2], a.shape[-1]
+    if h % k or w % k:
+        raise ValueError(
+            f"plane {h}x{w} not divisible by downscale factor {k}"
+        )
+    boxes = a.astype(np.uint32).reshape(
+        a.shape[:-2] + (h // k, k, w // k, k)
+    )
+    sums = boxes.sum(axis=(-3, -1))
+    return ((sums + k * k // 2) // (k * k)).astype(a.dtype)

@@ -1,0 +1,44 @@
+"""Composable stream-operator algebra that compiles to fields+kernels.
+
+Declarative pipelines over the P2G model::
+
+    from repro import ops
+
+    cam = ops.source("cam", {"y": ("uint8", (64, 64))},
+                     frames=[{"y": f} for f in planes])
+    stats = cam["y"].window(2).block(16, 16).map(
+        "stats", body, out={"m": ("int64", (4, 4, 2))},
+        out_block={"m": (1, 1)})
+    done = stats.sink("collect")
+    pipe = ops.compile_ops(done)
+    run_program(pipe.program, workers=4)
+    results = pipe.collector().values()
+
+See :mod:`repro.ops.algebra` for the operator surface and age
+semantics, :mod:`repro.ops.compile` for the lowering rules, and
+DESIGN.md §16 for the full story.
+"""
+
+from .algebra import (
+    Handle,
+    OpNode,
+    PortSpec,
+    merge,
+    sink,
+    slot_of,
+    source,
+)
+from .compile import CompiledPipeline, OpsCollector, compile_ops
+
+__all__ = [
+    "CompiledPipeline",
+    "Handle",
+    "OpNode",
+    "OpsCollector",
+    "PortSpec",
+    "compile_ops",
+    "merge",
+    "sink",
+    "slot_of",
+    "source",
+]

@@ -46,8 +46,10 @@ from .multitenant import (
 from .qos import QOS_CLASSES, QosDecision, QosPolicy, shed_fraction
 from .retire import Retirer
 from .sources import (
+    CycleSource,
     FileLoopSource,
     FrameSource,
+    MultiSource,
     SequenceSource,
     SyntheticSource,
 )
@@ -57,12 +59,14 @@ __all__ = [
     "SESSION_SEP",
     "AdmissionError",
     "CreditGate",
+    "CycleSource",
     "FileLoopSource",
     "FrameSource",
     "MultitenantReport",
     "QosDecision",
     "QosPolicy",
     "Retirer",
+    "MultiSource",
     "SequenceSource",
     "SessionManager",
     "SessionSpec",

@@ -36,6 +36,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, replace as dc_replace
 
+from ..core.naming import NAME_SEP, validate_component
 from ..core.program import Program
 from ..core.runtime import ExecutionNode, RunResult
 from .driver import StreamBinding, StreamDriver
@@ -54,8 +55,9 @@ __all__ = [
 #: Separator between a session name and the names it owns.  A dot — not
 #: a slash — because namespaced field names end up inside POSIX
 #: shared-memory segment names (``p2g<run>_<field>_<age>``), where ``/``
-#: is illegal.
-SESSION_SEP = "."
+#: is illegal.  Shared with ``core.naming`` so operator-generated names
+#: obey the same rules.
+SESSION_SEP = NAME_SEP
 
 
 def session_of_name(name: str) -> str:
@@ -66,18 +68,7 @@ def session_of_name(name: str) -> str:
 
 
 def _check_session_name(name: str) -> None:
-    if not name:
-        raise ValueError("session name must be non-empty")
-    if SESSION_SEP in name:
-        raise ValueError(
-            f"session name {name!r} may not contain {SESSION_SEP!r} "
-            f"(it is the namespace separator)"
-        )
-    if "/" in name:
-        raise ValueError(
-            f"session name {name!r} may not contain '/' (it ends up in "
-            f"shared-memory segment names)"
-        )
+    validate_component(name, what="session name")
 
 
 def namespace_program(program: Program, session: str) -> Program:

@@ -24,6 +24,8 @@ __all__ = [
     "SyntheticSource",
     "FileLoopSource",
     "SequenceSource",
+    "CycleSource",
+    "MultiSource",
 ]
 
 
@@ -96,3 +98,46 @@ class SequenceSource(FrameSource):
 
     def frames(self) -> Iterator[Any]:
         return iter(self._frames)
+
+
+class CycleSource(FrameSource):
+    """Loops a finite in-memory sequence forever (the in-memory analogue
+    of :class:`FileLoopSource`; e.g. a pre-encoded JPEG clip feeding a
+    live transcode)."""
+
+    def __init__(self, frames: Sequence[Any]) -> None:
+        items = list(frames)
+        if not items:
+            raise ValueError("CycleSource needs at least one frame")
+        self._frames = items
+
+    def frames(self) -> Iterator[Any]:
+        while True:
+            yield from self._frames
+
+
+class MultiSource(FrameSource):
+    """Zips N component sources in lockstep; each yielded item is the
+    tuple of the components' frames for that age.
+
+    The zip ends when the *shortest* component ends — the operator
+    layer's merge alignment story: a stalled or exhausted camera stops
+    the composite stream cleanly instead of blocking forever on a
+    partial frame set.
+    """
+
+    def __init__(self, sources: Sequence[FrameSource]) -> None:
+        if not sources:
+            raise ValueError("MultiSource needs at least one component")
+        self.sources = list(sources)
+
+    def frames(self) -> Iterator[tuple]:
+        iterators = [s.frames() for s in self.sources]
+        while True:
+            bundle = []
+            for it in iterators:
+                try:
+                    bundle.append(next(it))
+                except StopIteration:
+                    return
+            yield tuple(bundle)

@@ -6,6 +6,10 @@
   VII-A) plus the sequential baseline.
 * :mod:`repro.workloads.mjpeg` — Motion JPEG encoding (figure 8, section
   VII-B) plus the standalone single-threaded baseline encoder.
+* :mod:`repro.workloads.ops_mosaic` / :mod:`~repro.workloads.ops_motion`
+  / :mod:`~repro.workloads.ops_transcode` — operator-algebra scenarios
+  (multi-camera mosaic, windowed motion statistics, MJPEG transcode)
+  compiled from :mod:`repro.ops` pipelines.
 """
 
 from .intra import IntraConfig, IntraSink, build_intra, intra_baseline
@@ -18,6 +22,25 @@ from .mjpeg import (
     mjpeg_baseline,
 )
 from .mjpeg_decode import MJPEGDecodeSink, build_mjpeg_decoder
+from .ops_mosaic import (
+    MosaicConfig,
+    build_mosaic,
+    build_mosaic_stream,
+    mosaic_baseline,
+)
+from .ops_motion import (
+    MotionConfig,
+    build_motion,
+    build_motion_stream,
+    motion_baseline,
+)
+from .ops_transcode import (
+    TranscodeConfig,
+    build_transcode,
+    build_transcode_stream,
+    make_input_jpegs,
+    transcode_baseline,
+)
 from .mulsum import build_mulsum, expected_series
 
 __all__ = [
@@ -27,15 +50,28 @@ __all__ = [
     "MJPEGConfig",
     "MJPEGDecodeSink",
     "MJPEGSink",
+    "MosaicConfig",
+    "MotionConfig",
+    "TranscodeConfig",
     "build_intra",
     "build_kmeans",
     "build_mjpeg",
     "build_mjpeg_decoder",
     "build_mjpeg_stream",
+    "build_mosaic",
+    "build_mosaic_stream",
+    "build_motion",
+    "build_motion_stream",
+    "build_transcode",
+    "build_transcode_stream",
     "build_mulsum",
     "expected_series",
     "generate_dataset",
     "intra_baseline",
     "kmeans_baseline",
+    "make_input_jpegs",
+    "mosaic_baseline",
+    "motion_baseline",
     "mjpeg_baseline",
+    "transcode_baseline",
 ]

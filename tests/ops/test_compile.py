@@ -1,0 +1,207 @@
+"""Lowering tests: operator graph → fields + kernels (``compile_ops``)."""
+
+import numpy as np
+import pytest
+
+from repro import ops
+from repro.core import AgeExpr, run_program
+
+
+def _src(name="src", n=4, shape=(4,)):
+    size = int(np.prod(shape))
+    return ops.source(
+        name,
+        {"x": ("int64", shape)},
+        frames=[
+            {"x": (np.arange(size, dtype=np.int64) + t).reshape(shape)}
+            for t in range(n)
+        ],
+    )
+
+
+def _kernel(pipe, name):
+    return pipe.program.kernels[name]
+
+
+class TestLoweringShapes:
+    def test_source_lowers_to_aged_store_kernel(self):
+        pipe = ops.compile_ops(_src().sink("out"))
+        k = _kernel(pipe, "src")
+        assert k.has_age and not k.fetches
+        assert [s.field for s in k.stores] == ["src.x"]
+        assert pipe.program.fields["src.x"].shape == (4,)
+
+    def test_live_mode_has_no_source_kernel(self):
+        from repro.stream import SequenceSource
+
+        h = ops.source(
+            "src", {"x": ("int64", (4,))},
+            live=SequenceSource([np.zeros(4, dtype=np.int64)]),
+        )
+        pipe = ops.compile_ops(h.sink("out"), mode="live")
+        assert "src" not in pipe.program.kernels
+        assert pipe.binding is not None
+        assert pipe.binding.completion_key == "out"
+
+    def test_window_expands_to_age_range_fetches(self):
+        def body(ctx):
+            ctx.emit("y", ctx.fetched["x@0"] + ctx.fetched["x@1"])
+
+        pipe = ops.compile_ops(
+            _src().window(2)
+            .map("m", body, out={"y": ("int64", (4,))})
+            .sink("out")
+        )
+        k = _kernel(pipe, "m")
+        assert [f.param for f in k.fetches] == ["x@0", "x@1"]
+        assert [f.age for f in k.fetches] == [
+            AgeExpr.var(0), AgeExpr.var(1),
+        ]
+
+    def test_skew_offsets_fetch_age(self):
+        a, b = _src("a"), _src("b")
+        pipe = ops.compile_ops(
+            ops.merge(
+                "m", [a, b.skew(2)],
+                lambda ctx: ctx.emit(
+                    "y", ctx.fetched["a.x"] + ctx.fetched["b.x"]
+                ),
+                out={"y": ("int64", (4,))},
+            ).sink("out")
+        )
+        k = _kernel(pipe, "m")
+        by_param = {f.param: f.age for f in k.fetches}
+        assert by_param == {
+            "a.x": AgeExpr.var(0), "b.x": AgeExpr.var(2),
+        }
+
+    def test_blocked_fetch_gets_index_dims(self):
+        def body(ctx):
+            ctx.emit("y", ctx.fetched["x"] * 2)
+
+        pipe = ops.compile_ops(
+            _src(shape=(4, 4)).block(2, 2)
+            .map("m", body, out={"y": ("int64", (4, 4))},
+                 out_block={"y": (2, 2)})
+            .sink("out")
+        )
+        k = _kernel(pipe, "m")
+        assert k.index_vars == ("i0", "i1")
+        (fetch,) = k.fetches
+        assert [d.var for d in fetch.dims] == ["i0", "i1"]
+        assert [d.block for d in fetch.dims] == [2, 2]
+
+    def test_block_wider_than_port_rank_rejected(self):
+        with pytest.raises(ValueError):
+            ops.compile_ops(
+                _src(shape=(4,)).block(2, 2)
+                .map("m", lambda ctx: None,
+                     out={"y": ("int64", (4,))})
+                .sink("out")
+            )
+
+    def test_keyed_partition_kernel(self):
+        pipe = ops.compile_ops(
+            _src().keyed_partition(
+                "kp", 3,
+                lambda ctx: ctx.emit(
+                    "z",
+                    np.array([ctx.index["slot"]], dtype=np.int64),
+                ),
+                out={"z": ("int64", (1,))},
+            ).sink("out")
+        )
+        k = _kernel(pipe, "kp")
+        assert k.index_vars == ("slot",)
+        assert k.domain == {"slot": 3}
+        (store,) = k.stores
+        assert store.dims[0].var == "slot"
+        assert pipe.program.fields["kp.z"].shape == (3, 1)
+
+    def test_multicast_fans_out_store_specs(self):
+        b0, b1 = _src().multicast("mc", 2)
+        pipe = ops.compile_ops(ops.sink(
+            "out", [b0, b1],
+            fn=lambda age, v: (v["mc.x_b0"], v["mc.x_b1"]),
+        ))
+        k = _kernel(pipe, "mc")
+        assert sorted(s.field for s in k.stores) == [
+            "mc.x_b0", "mc.x_b1",
+        ]
+        assert len({s.key for s in k.stores}) == 2
+
+    def test_sink_kernel_has_no_stores(self):
+        pipe = ops.compile_ops(_src().sink("out"))
+        k = _kernel(pipe, "out")
+        assert k.stores == () and len(k.fetches) == 1
+
+
+class TestCompiledExecution:
+    def test_linear_pipeline_matches_numpy(self):
+        def body(ctx):
+            ctx.emit("y", ctx.fetched["x"] * 3 + 1)
+
+        pipe = ops.compile_ops(
+            _src(n=5)
+            .map("m", body, out={"y": ("int64", (4,))})
+            .sink("out")
+        )
+        run_program(pipe.program, workers=2, timeout=60)
+        got = pipe.collector().values()
+        assert len(got) == 5
+        for t, arr in enumerate(got):
+            np.testing.assert_array_equal(
+                arr, (np.arange(4, dtype=np.int64) + t) * 3 + 1
+            )
+
+    def test_multicast_branches_diverge_and_merge(self):
+        b0, b1 = _src(n=3).multicast("mc", 2)
+
+        def dbl(ctx):
+            ctx.emit("y", ctx.fetched["x"] * 2)
+
+        def neg(ctx):
+            ctx.emit("y", -ctx.fetched["x"])
+
+        d = b0.map("dbl", dbl, out={"y": ("int64", (4,))})
+        ng = b1.map("neg", neg, out={"y": ("int64", (4,))})
+        m = ops.merge(
+            "m", [d, ng],
+            lambda ctx: ctx.emit(
+                "y", ctx.fetched["dbl.y"] + ctx.fetched["neg.y"]
+            ),
+            out={"y": ("int64", (4,))},
+        )
+        pipe = ops.compile_ops(m.sink("out"))
+        run_program(pipe.program, workers=2, timeout=60)
+        for t, arr in enumerate(pipe.collector().values()):
+            x = np.arange(4, dtype=np.int64) + t
+            np.testing.assert_array_equal(arr, x * 2 - x)
+
+    def test_callable_payload_ends_stream(self):
+        def frames(age):
+            if age >= 3:
+                return None
+            return {"x": np.full(4, age, dtype=np.int64)}
+
+        h = ops.source("src", {"x": ("int64", (4,))}, frames=frames)
+        pipe = ops.compile_ops(h.sink("out"))
+        run_program(pipe.program, workers=2, timeout=60)
+        assert pipe.collector().ages == [0, 1, 2]
+
+    def test_two_sinks_collect_separately(self):
+        h = _src(n=3)
+        b0, b1 = h.multicast("mc", 2)
+        s1 = b0.sink("raw")
+        s2 = b1.map(
+            "m",
+            lambda ctx: ctx.emit("y", ctx.fetched["x"] + 100),
+            out={"y": ("int64", (4,))},
+        ).sink("shifted")
+        pipe = ops.compile_ops([s1, s2])
+        run_program(pipe.program, workers=2, timeout=60)
+        raw = pipe.collector("raw").values()
+        shifted = pipe.collector("shifted").values()
+        assert len(raw) == len(shifted) == 3
+        for a, b in zip(raw, shifted):
+            np.testing.assert_array_equal(a + 100, b)

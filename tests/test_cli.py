@@ -273,3 +273,120 @@ class TestClusterCommand:
         assert code == 0
         assert "recovered node0 -> node0~1" in out
         assert "no progress" in out
+
+
+class TestOpsCommand:
+    def _fixture_clip(self, tmp_path, n=3, w=32, h=32, seed=7):
+        path = tmp_path / f"clip{seed}.yuv"
+        write_yuv_file(str(path), synthetic_sequence(n, w, h, seed))
+        return path
+
+    def test_mosaic_batch(self, tmp_path, capsys):
+        out = tmp_path / "m.yuv"
+        code = main([
+            "ops", "mosaic", str(out),
+            "--width", "32", "--height", "32", "--frames", "3",
+        ])
+        assert code == 0
+        assert "mosaic 4 cams: 3 frames" in capsys.readouterr().out
+        assert out.stat().st_size == 3 * (32 * 32 * 3 // 2)
+
+    def test_mosaic_live_matches_batch(self, tmp_path, capsys):
+        batch, live = tmp_path / "b.yuv", tmp_path / "l.yuv"
+        args = ["--width", "32", "--height", "32", "--frames", "3"]
+        assert main(["ops", "mosaic", str(batch)] + args) == 0
+        assert main([
+            "ops", "mosaic", str(live), "--live", "--fps", "0",
+        ] + args) == 0
+        capsys.readouterr()
+        assert batch.read_bytes() == live.read_bytes()
+
+    def test_motion_writes_samples(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "mo.json"
+        code = main([
+            "ops", "motion", str(out),
+            "--width", "32", "--height", "32", "--frames", "4",
+            "--region", "8", "--slots", "3",
+        ])
+        assert code == 0
+        capsys.readouterr()
+        payload = json.loads(out.read_text())
+        assert len(payload["samples"]) == 3
+        sample = payload["samples"][0]
+        assert sample["sad"] > 0
+        assert len(sample["zones"]) == 3
+
+    def test_transcode_batch(self, tmp_path, capsys):
+        out = tmp_path / "t.mjpeg"
+        code = main([
+            "ops", "transcode", str(out),
+            "--width", "32", "--height", "32", "--frames", "2",
+        ])
+        assert code == 0
+        assert "transcode /2: 2 frames" in capsys.readouterr().out
+        assert out.read_bytes().startswith(b"\xff\xd8")
+
+    def test_mosaic_sessions_write_per_session_files(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "m.yuv"
+        code = main([
+            "ops", "mosaic", str(out), "--live", "--fps", "0",
+            "--sessions", "2", "--tier", "gold:1",
+            "--width", "32", "--height", "32", "--frames", "2",
+        ])
+        text = capsys.readouterr().out
+        assert code == 0
+        assert "multitenant: 2 sessions" in text
+        for name in ("m.s0.yuv", "m.s1.yuv"):
+            assert (tmp_path / name).stat().st_size == \
+                2 * (32 * 32 * 3 // 2)
+
+    def test_source_glob_feeds_cameras(self, tmp_path, capsys):
+        for seed in (7, 8):
+            self._fixture_clip(tmp_path, seed=seed)
+        out = tmp_path / "m.yuv"
+        code = main([
+            "ops", "mosaic", str(out), "--live", "--fps", "0",
+            "--source-glob", str(tmp_path / "clip*.yuv"),
+            "--width", "32", "--height", "32", "--frames", "2",
+        ])
+        assert code == 0
+        capsys.readouterr()
+        assert out.stat().st_size == 2 * (32 * 32 * 3 // 2)
+
+    def test_source_feeds_motion(self, tmp_path, capsys):
+        import json
+
+        clip = self._fixture_clip(tmp_path, n=4)
+        out = tmp_path / "mo.json"
+        code = main([
+            "ops", "motion", str(out), "--live", "--fps", "0",
+            "--source", str(clip),
+            "--width", "32", "--height", "32", "--frames", "3",
+            "--region", "8",
+        ])
+        assert code == 0
+        capsys.readouterr()
+        assert len(json.loads(out.read_text())["samples"]) == 2
+
+    def test_source_glob_without_matches_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "ops", "mosaic", str(tmp_path / "m.yuv"), "--live",
+                "--source-glob", str(tmp_path / "nope*.yuv"),
+            ])
+
+    def test_mjpeg_accepts_source_flag(self, tmp_path, capsys):
+        clip = self._fixture_clip(tmp_path)
+        out = tmp_path / "c.mjpeg"
+        code = main([
+            "mjpeg", str(out), "--live", "--fps", "0",
+            "--source", str(clip),
+            "--width", "32", "--height", "32", "--frames", "2",
+        ])
+        assert code == 0
+        capsys.readouterr()
+        assert out.read_bytes().startswith(b"\xff\xd8")
